@@ -1,0 +1,106 @@
+// Command sfcexperiments regenerates every table of the reproduction: the
+// paper's figures, lemmas, theorems and propositions, plus the extension
+// experiments (see DESIGN.md for the index). It exits non-zero if any paper
+// claim fails to verify.
+//
+// Usage:
+//
+//	sfcexperiments [-only thm1,thm2] [-format text|markdown|csv|json]
+//	               [-quick] [-workers N] [-seed S] [-maxn N] [-maxpairs N]
+//	               [-list] [-out dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	var (
+		only     = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		format   = flag.String("format", "text", "output format: text, markdown, csv or json")
+		quick    = flag.Bool("quick", false, "reduced sweep sizes for a fast smoke run")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		seed     = flag.Int64("seed", 0, "override the experiment seed (0 = default)")
+		maxn     = flag.Uint64("maxn", 0, "override the exact-sweep size cap (0 = default)")
+		maxPairs = flag.Uint64("maxpairs", 0, "override the all-pairs size cap (0 = default)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		outDir   = flag.String("out", "", "also write one <id>.md and <id>.csv per experiment into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range analysis.Experiments() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := analysis.DefaultConfig()
+	if *quick {
+		cfg = analysis.QuickConfig()
+	}
+	cfg.Workers = *workers
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *maxn != 0 {
+		cfg.MaxExactN = *maxn
+	}
+	if *maxPairs != 0 {
+		cfg.MaxPairsN = *maxPairs
+	}
+
+	var tables []*analysis.Table
+	var err error
+	if *only == "" {
+		tables, err = analysis.RunAll(cfg)
+	} else {
+		ids := strings.Split(*only, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+		}
+		tables, err = analysis.RunSome(cfg, ids)
+	}
+	if *outDir != "" {
+		if mkErr := os.MkdirAll(*outDir, 0o755); mkErr != nil {
+			fmt.Fprintf(os.Stderr, "sfcexperiments: %v\n", mkErr)
+			os.Exit(2)
+		}
+		for _, tbl := range tables {
+			for ext, content := range map[string]string{".md": tbl.Markdown(), ".csv": tbl.CSV()} {
+				path := filepath.Join(*outDir, tbl.ID+ext)
+				if wErr := os.WriteFile(path, []byte(content), 0o644); wErr != nil {
+					fmt.Fprintf(os.Stderr, "sfcexperiments: %v\n", wErr)
+					os.Exit(2)
+				}
+			}
+		}
+	}
+
+	// Print whatever completed before reporting failure.
+	for _, tbl := range tables {
+		switch *format {
+		case "markdown":
+			fmt.Println(tbl.Markdown())
+		case "csv":
+			fmt.Println(tbl.CSV())
+		case "json":
+			fmt.Println(tbl.JSON())
+		case "text":
+			fmt.Println(tbl.Text())
+		default:
+			fmt.Fprintf(os.Stderr, "sfcexperiments: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sfcexperiments: CLAIM FAILED: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+func TestWorkloadKinds(t *testing.T) {
+	u := grid.MustNew(2, 3)
+	z := curve.NewZ(u)
+	if w, err := workload(z, "uniform"); err != nil || w != nil {
+		t.Fatalf("uniform workload: %v %v", w, err)
+	}
+	for _, kind := range []string{"gradient", "hotspot"} {
+		w, err := workload(z, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for pos := uint64(0); pos < u.N(); pos++ {
+			v := w(pos)
+			if v <= 0 {
+				t.Fatalf("%s weight %v at %d", kind, v, pos)
+			}
+			total += v
+		}
+		if total <= 0 {
+			t.Fatalf("%s total %v", kind, total)
+		}
+	}
+	if _, err := workload(z, "nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestGradientGrowsAlongDim1(t *testing.T) {
+	u := grid.MustNew(2, 3)
+	s := curve.NewSimple(u)
+	w, err := workload(s, "gradient")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simple curve position 0 is (0,0), position 7 is (7,0).
+	if !(w(7) > w(0)) {
+		t.Fatal("gradient not increasing along dimension 1")
+	}
+}

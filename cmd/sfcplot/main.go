@@ -1,0 +1,99 @@
+// Command sfcplot renders the reproduction's graphics as SVG files:
+//
+//   - curve drawings (the pictorial content of the paper's Figures 1, 3, 4,
+//     for any registered curve), and
+//   - the Theorem 2/3 convergence chart: Davg/bound versus k for the main
+//     curves, showing Z and simple flattening onto the 1.5 line and Hilbert
+//     onto ≈1.82 (d=2).
+//
+// Usage:
+//
+//	sfcplot -dir out               # writes curve-<name>.svg + convergence.svg
+//	sfcplot -dir out -k 5 -maxn 1048576
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/curve"
+	"repro/internal/grid"
+	"repro/internal/svgplot"
+)
+
+func main() {
+	var (
+		dir     = flag.String("dir", "plots", "output directory")
+		k       = flag.Int("k", 4, "log2 side for the curve drawings (2-d)")
+		maxn    = flag.Uint64("maxn", 1<<18, "largest n for the convergence sweep")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		seed    = flag.Int64("seed", 1, "seed for randomized curves")
+	)
+	flag.Parse()
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fail(err)
+	}
+
+	// Curve drawings.
+	u, err := grid.New(2, *k)
+	if err != nil {
+		fail(err)
+	}
+	for _, name := range curve.Names() {
+		c, err := curve.ByName(name, u, *seed)
+		if err != nil {
+			fail(err)
+		}
+		cv, err := svgplot.CurvePath(c, 420)
+		if err != nil {
+			fail(err)
+		}
+		path := filepath.Join(*dir, "curve-"+name+".svg")
+		if err := os.WriteFile(path, []byte(cv.String()), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", path)
+	}
+
+	// Convergence chart: Davg/bound vs k, d=2.
+	plot := svgplot.LinePlot{
+		Title:  "Davg / Theorem-1 bound vs k (d=2) — Z and simple → 1.5",
+		XLabel: "k (side = 2^k)",
+		YLabel: "Davg / bound",
+	}
+	for _, name := range []string{"z", "simple", "hilbert", "gray"} {
+		var xs, ys []float64
+		for kk := 2; uint64(1)<<(2*kk) <= *maxn; kk++ {
+			uu, err := grid.New(2, kk)
+			if err != nil {
+				fail(err)
+			}
+			c, err := curve.ByName(name, uu, *seed)
+			if err != nil {
+				fail(err)
+			}
+			davg := core.DAvg(c, *workers)
+			xs = append(xs, float64(kk))
+			ys = append(ys, davg/bounds.NNAvgLowerBound(2, kk))
+		}
+		plot.Series = append(plot.Series, svgplot.Series{Name: name, X: xs, Y: ys})
+	}
+	cv, err := plot.Render(640, 420)
+	if err != nil {
+		fail(err)
+	}
+	path := filepath.Join(*dir, "convergence.svg")
+	if err := os.WriteFile(path, []byte(cv.String()), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Println("wrote", path)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sfcplot:", err)
+	os.Exit(1)
+}

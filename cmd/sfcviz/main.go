@@ -1,0 +1,114 @@
+// Command sfcviz renders a two-dimensional space filling curve as ASCII
+// art: the key grid (the layout of Figures 3 and 4 of the paper) and the
+// visiting path drawn on a character canvas.
+//
+// Usage:
+//
+//	sfcviz -curve z -k 3          # the exact grid of Figure 3
+//	sfcviz -curve simple -k 3     # the exact grid of Figure 4
+//	sfcviz -curve hilbert -k 4 -path
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+func main() {
+	var (
+		name = flag.String("curve", "z", fmt.Sprintf("curve name %v", curve.Names()))
+		k    = flag.Int("k", 3, "log2 side length (grid is 2^k × 2^k)")
+		seed = flag.Int64("seed", 1, "seed for randomized curves")
+		path = flag.Bool("path", false, "draw the visiting path instead of the key grid")
+	)
+	flag.Parse()
+
+	if *k > 5 && !*path {
+		fail(fmt.Errorf("key grid beyond k=5 does not fit a terminal; use -path"))
+	}
+	if *k > 7 {
+		fail(fmt.Errorf("k=%d too large to render", *k))
+	}
+	u, err := grid.New(2, *k)
+	if err != nil {
+		fail(err)
+	}
+	c, err := curve.ByName(*name, u, *seed)
+	if err != nil {
+		fail(err)
+	}
+	if *path {
+		fmt.Print(renderPath(c))
+	} else {
+		fmt.Print(renderKeys(c))
+	}
+}
+
+// renderKeys prints the key assignment with dimension 1 horizontal and
+// dimension 2 growing upward, matching the paper's figures.
+func renderKeys(c curve.Curve) string {
+	u := c.Universe()
+	width := len(fmt.Sprint(u.N() - 1))
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %v (keys; x1 right, x2 up)\n", c.Name(), u)
+	for y := int(u.Side()) - 1; y >= 0; y-- {
+		for x := uint32(0); x < u.Side(); x++ {
+			fmt.Fprintf(&b, "%*d ", width, c.Index(u.MustPoint(x, uint32(y))))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// renderPath draws the visiting order on a (2·side−1)² canvas: cells are
+// "o", consecutive visits are connected by - and | segments; diagonal moves
+// (the Z curve's jumps) are marked with *.
+func renderPath(c curve.Curve) string {
+	u := c.Universe()
+	side := int(u.Side())
+	dim := 2*side - 1
+	canvas := make([][]byte, dim)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", dim))
+	}
+	p := u.NewPoint()
+	q := u.NewPoint()
+	c.Point(0, p)
+	canvas[2*int(p[1])][2*int(p[0])] = 'o'
+	for idx := uint64(1); idx < u.N(); idx++ {
+		c.Point(idx, q)
+		canvas[2*int(q[1])][2*int(q[0])] = 'o'
+		dx := int(q[0]) - int(p[0])
+		dy := int(q[1]) - int(p[1])
+		switch {
+		case dy == 0 && (dx == 1 || dx == -1):
+			canvas[2*int(p[1])][2*int(p[0])+dx] = '-'
+		case dx == 0 && (dy == 1 || dy == -1):
+			canvas[2*int(p[1])+dy][2*int(p[0])] = '|'
+		default:
+			// Non-unit step: mark the midpoint so self-intersections and
+			// jumps (Z, Gray, random) are visible.
+			my := int(p[1]) + int(q[1])
+			mx := int(p[0]) + int(q[0])
+			canvas[my][mx] = '*'
+		}
+		copy(p, q)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %v (path; start at key 0)\n", c.Name(), u)
+	for y := dim - 1; y >= 0; y-- { // x2 grows upward
+		b.Write(canvas[y])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sfcviz:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+func TestRenderKeysMatchesFigure3(t *testing.T) {
+	u := grid.MustNew(2, 3)
+	out := renderKeys(curve.NewZ(u))
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 9 { // header + 8 rows
+		t.Fatalf("%d lines", len(lines))
+	}
+	// Bottom row of Figure 3: 0 2 8 10 32 34 40 42.
+	bottom := strings.Fields(lines[8])
+	want := []string{"0", "2", "8", "10", "32", "34", "40", "42"}
+	for i, w := range want {
+		if bottom[i] != w {
+			t.Fatalf("bottom row %v, want %v", bottom, want)
+		}
+	}
+}
+
+func TestRenderPathShapes(t *testing.T) {
+	u := grid.MustNew(2, 2)
+	hil := renderPath(curve.NewHilbert(u))
+	if strings.Contains(hil, "*") {
+		t.Fatal("unit-step hilbert rendered a jump marker")
+	}
+	if !strings.Contains(hil, "o-o") && !strings.Contains(hil, "|") {
+		t.Fatal("hilbert path missing segments")
+	}
+	z := renderPath(curve.NewZ(u))
+	if !strings.Contains(z, "*") {
+		t.Fatal("Z curve path should show jumps")
+	}
+}

@@ -1,0 +1,24 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	Pan Xu, Srikanta Tirthapura.
+//	"A Lower Bound on Proximity Preservation by Space Filling Curves."
+//	IEEE IPDPS 2012, pp. 1295–1305. DOI 10.1109/IPDPS.2012.118.
+//
+// The library lives under internal/ (see DESIGN.md for the module map):
+//
+//   - internal/grid      — the d-dimensional universe, metrics, the
+//     nearest-neighbor decomposition p(α,β)
+//   - internal/curve     — Z, simple, snake, Gray, Hilbert and random SFCs
+//   - internal/core      — the stretch metrics (Davg, Dmax, all-pairs)
+//   - internal/bounds    — the paper's closed-form bounds and asymptotes
+//   - internal/analysis  — experiments regenerating every figure/theorem
+//   - internal/{cluster,partition,nbody,query} — application substrates
+//
+// Binaries: cmd/sfcexperiments (regenerate all tables), cmd/sfcstretch,
+// cmd/sfcviz, cmd/sfcpartition. Runnable examples live in examples/.
+//
+// The benchmark suite in bench_test.go has one benchmark per reproduced
+// artifact (figures 1–4, Lemmas 1/2/4/5, Theorems 1–3, Propositions 1–4 and
+// the extension experiments), plus throughput benchmarks for the metric
+// engines.
+package repro

@@ -1,0 +1,54 @@
+// Quickstart: build a Z curve, measure its nearest-neighbor stretch, and
+// compare it with the paper's universal lower bound (Theorem 1) and
+// asymptote (Theorem 2).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+func main() {
+	// A two-dimensional universe with side 2^8 = 256 (n = 65536 cells).
+	u, err := grid.New(2, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The Z curve maps each cell to its bit-interleaved Morton key.
+	z := curve.NewZ(u)
+	p := u.MustPoint(5, 9)
+	fmt.Printf("Z(%v) = %d\n", p, z.Index(p))
+
+	// Davg: the average, over all cells, of the mean curve distance to the
+	// cell's nearest neighbors (Definition 2 of the paper).
+	davg := core.DAvg(z, 0)
+
+	// Theorem 1: no bijection can do better than this.
+	lb := bounds.NNAvgLowerBound(u.D(), u.K())
+
+	// Theorem 2: the Z curve's asymptotic value, 1.5× the bound.
+	asym := bounds.NNAsymptote(u.D(), u.K())
+
+	fmt.Printf("universe          : %v\n", u)
+	fmt.Printf("Davg(Z)           : %.4f\n", davg)
+	fmt.Printf("Theorem 1 bound   : %.4f\n", lb)
+	fmt.Printf("Davg / bound      : %.4f  (→ 1.5 as n → ∞: Z is within 1.5× of ANY curve)\n", davg/lb)
+	fmt.Printf("Davg / asymptote  : %.4f  (→ 1.0: Theorem 2)\n", davg/asym)
+
+	// The same grid under a random bijection: proximity is destroyed — the
+	// expected distance between any two cells is (n+1)/3.
+	rnd, err := curve.NewRandom(u, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	davgRnd := core.DAvg(rnd, 0)
+	fmt.Printf("Davg(random)      : %.0f  (≈ (n+1)/3 = %.0f)\n", davgRnd, bounds.RandomCurveExpectedDelta(u.N()))
+}

@@ -1,0 +1,68 @@
+// Range queries over an SFC-keyed index: the database application of space
+// filling curves ([9], [1] in the paper). Points are stored sorted by curve
+// key; a box query is decomposed into curve intervals and answered by
+// binary search. The number of intervals — the clustering metric of Moon et
+// al. — determines how many disk seeks / scan restarts the query costs.
+//
+// Run with: go run ./examples/rangequery
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+	"repro/internal/query"
+)
+
+func main() {
+	u, err := grid.New(2, 9) // 512×512 key space
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A deterministic random point set.
+	rng := rand.New(rand.NewSource(99))
+	pts := make([]grid.Point, 20000)
+	for i := range pts {
+		pts[i] = u.MustPoint(uint32(rng.Intn(512)), uint32(rng.Intn(512)))
+	}
+
+	// One box query, answered through every curve's index.
+	box, err := query.NewBox(u, u.MustPoint(100, 200), u.MustPoint(163, 263))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("universe=%v points=%d box=64×64 at (100,200)\n\n", u, len(pts))
+	fmt.Printf("%-8s  %10s  %10s  %10s\n", "curve", "intervals", "matched", "scanned")
+	for _, name := range []string{"hilbert", "z", "gray", "snake", "simple"} {
+		c, err := curve.ByName(name, u, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ix, err := query.Build(c, pts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		result, st := ix.Range(box)
+		fmt.Printf("%-8s  %10d  %10d  %10d\n", name, st.Intervals, len(result), st.Scanned)
+	}
+
+	// Nearest-neighbor lookup through the Hilbert index.
+	hil := curve.NewHilbert(u)
+	ix, err := query.Build(hil, pts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := u.MustPoint(300, 40)
+	p, dist, err := ix.Nearest(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnearest point to %v: %v at Euclidean distance %.3f\n", q, p, dist)
+	fmt.Println("\nEvery index returns the same matches; the interval count is the cost")
+	fmt.Println("of the query plan. Hilbert fragments boxes least among the hierarchical")
+	fmt.Println("curves, exactly as Moon et al.'s clustering analysis predicts.")
+}

@@ -1,0 +1,238 @@
+// Package amr implements adaptive mesh refinement over the grid universe,
+// partitioned by space filling curves — the "partitioning dynamic adaptive
+// grid hierarchies" application of Parashar & Browne cited in the paper's
+// introduction ([22]).
+//
+// The mesh is a forest of axis-aligned subcubes ("leaves") of the finest-
+// resolution universe. A leaf at level ℓ covers an aligned subcube of side
+// 2^(k−ℓ). For a hierarchical curve (Z, Hilbert, Gray) every aligned
+// subcube occupies one contiguous, aligned interval of curve indices, and a
+// parent's interval is exactly the concatenation of its 2^d children's
+// intervals. Consequently the leaf array, kept sorted by interval start,
+// supports refinement by splicing children in place — no global re-sort —
+// and contiguous-segment partitions remain valid under refinement. This
+// locality of *structural updates* is the reason SFC orders underpin
+// adaptive tree codes (Warren & Salmon [26]).
+package amr
+
+import (
+	"fmt"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+// Leaf is one mesh cell: an aligned subcube at a refinement level.
+type Leaf struct {
+	KeyLo uint64 // first finest-resolution curve index covered
+	KeyHi uint64 // one past the last covered index
+	Level int    // 0 = whole universe, k = single finest cell
+}
+
+// Cells returns the number of finest-resolution cells the leaf covers.
+func (l Leaf) Cells() uint64 { return l.KeyHi - l.KeyLo }
+
+// Mesh is an adaptive mesh over a hierarchical curve.
+type Mesh struct {
+	c      curve.Curve
+	u      *grid.Universe
+	leaves []Leaf // sorted by KeyLo; intervals tile [0, n)
+}
+
+// IsHierarchical reports whether the curve maps every aligned subcube to an
+// aligned contiguous index interval — the property the mesh requires. The
+// shipped Z, Hilbert and Gray curves qualify.
+func IsHierarchical(c curve.Curve) bool {
+	switch c.(type) {
+	case *curve.Z, *curve.Hilbert, *curve.Gray:
+		return true
+	default:
+		return false
+	}
+}
+
+// NewMesh creates a mesh over the curve's universe, uniformly refined to
+// startLevel (0 = a single root leaf, k = fully refined).
+func NewMesh(c curve.Curve, startLevel int) (*Mesh, error) {
+	if !IsHierarchical(c) {
+		return nil, fmt.Errorf("amr: curve %s is not hierarchical", c.Name())
+	}
+	u := c.Universe()
+	if startLevel < 0 || startLevel > u.K() {
+		return nil, fmt.Errorf("amr: start level %d outside [0, %d]", startLevel, u.K())
+	}
+	d := u.D()
+	leafCells := uint64(1) << uint(d*(u.K()-startLevel))
+	count := u.N() / leafCells
+	m := &Mesh{c: c, u: u, leaves: make([]Leaf, count)}
+	for i := uint64(0); i < count; i++ {
+		m.leaves[i] = Leaf{KeyLo: i * leafCells, KeyHi: (i + 1) * leafCells, Level: startLevel}
+	}
+	return m, nil
+}
+
+// Curve returns the ordering curve.
+func (m *Mesh) Curve() curve.Curve { return m.c }
+
+// Len returns the number of leaves.
+func (m *Mesh) Len() int { return len(m.leaves) }
+
+// Leaves returns the leaf slice (sorted by KeyLo). The caller must not
+// modify it.
+func (m *Mesh) Leaves() []Leaf { return m.leaves }
+
+// Corner writes the lowest-coordinate cell of the leaf's subcube into dst
+// and returns the subcube side length.
+func (m *Mesh) Corner(l Leaf, dst grid.Point) uint32 {
+	m.c.Point(l.KeyLo, dst)
+	size := m.u.Side() >> uint(l.Level)
+	for i := range dst {
+		dst[i] &^= size - 1 // align down (sizes are powers of two)
+	}
+	return size
+}
+
+// Refine splits the leaf at index li into its 2^d children, splicing them
+// into the leaf array in curve order. It errors at the finest level.
+func (m *Mesh) Refine(li int) error {
+	if li < 0 || li >= len(m.leaves) {
+		return fmt.Errorf("amr: leaf %d out of range", li)
+	}
+	l := m.leaves[li]
+	if l.Level >= m.u.K() {
+		return fmt.Errorf("amr: leaf %d already at finest level", li)
+	}
+	d := m.u.D()
+	children := uint64(1) << uint(d)
+	childCells := l.Cells() / children
+	kids := make([]Leaf, children)
+	for i := uint64(0); i < children; i++ {
+		kids[i] = Leaf{
+			KeyLo: l.KeyLo + i*childCells,
+			KeyHi: l.KeyLo + (i+1)*childCells,
+			Level: l.Level + 1,
+		}
+	}
+	m.leaves = append(m.leaves[:li], append(kids, m.leaves[li+1:]...)...)
+	return nil
+}
+
+// RefineWhere refines, repeatedly, every leaf above the finest level for
+// which pred returns true, until no leaf qualifies or all are at maxLevel.
+// pred receives the leaf's corner cell and subcube side.
+func (m *Mesh) RefineWhere(maxLevel int, pred func(corner grid.Point, size uint32, level int) bool) error {
+	if maxLevel > m.u.K() {
+		maxLevel = m.u.K()
+	}
+	corner := m.u.NewPoint()
+	for li := 0; li < len(m.leaves); {
+		l := m.leaves[li]
+		if l.Level >= maxLevel {
+			li++
+			continue
+		}
+		size := m.Corner(l, corner)
+		if !pred(corner, size, l.Level) {
+			li++
+			continue
+		}
+		if err := m.Refine(li); err != nil {
+			return err
+		}
+		// Re-examine the spliced children at the same position.
+	}
+	return nil
+}
+
+// Validate checks the structural invariant: leaves sorted, intervals
+// exactly tiling [0, n), levels consistent with interval sizes.
+func (m *Mesh) Validate() error {
+	var pos uint64
+	d := m.u.D()
+	for i, l := range m.leaves {
+		if l.KeyLo != pos {
+			return fmt.Errorf("amr: leaf %d starts at %d, want %d", i, l.KeyLo, pos)
+		}
+		if l.KeyHi <= l.KeyLo {
+			return fmt.Errorf("amr: leaf %d empty", i)
+		}
+		want := uint64(1) << uint(d*(m.u.K()-l.Level))
+		if l.Cells() != want {
+			return fmt.Errorf("amr: leaf %d covers %d cells, level %d implies %d", i, l.Cells(), l.Level, want)
+		}
+		if l.KeyLo%want != 0 {
+			return fmt.Errorf("amr: leaf %d not aligned", i)
+		}
+		pos = l.KeyHi
+	}
+	if pos != m.u.N() {
+		return fmt.Errorf("amr: leaves cover %d of %d cells", pos, m.u.N())
+	}
+	return nil
+}
+
+// LeafWeight assigns a computational weight to a leaf.
+type LeafWeight func(l Leaf) float64
+
+// CellsWeight weighs a leaf by its covered cell count (uniform work per
+// finest cell).
+func CellsWeight(l Leaf) float64 { return float64(l.Cells()) }
+
+// UnitLeafWeight weighs every leaf equally (uniform work per leaf, the
+// usual model when each leaf carries a fixed-size stencil task).
+func UnitLeafWeight(Leaf) float64 { return 1 }
+
+// Partition cuts the leaf sequence into parts contiguous segments balancing
+// the leaf weight — valid because leaves are in curve order, so contiguous
+// leaf runs are spatially coherent exactly as in the flat case.
+func (m *Mesh) Partition(parts int, w LeafWeight) ([]int, error) {
+	if parts < 1 {
+		return nil, fmt.Errorf("amr: parts = %d", parts)
+	}
+	if w == nil {
+		w = UnitLeafWeight
+	}
+	var total float64
+	for _, l := range m.leaves {
+		wt := w(l)
+		if wt < 0 {
+			return nil, fmt.Errorf("amr: negative leaf weight %v", wt)
+		}
+		total += wt
+	}
+	cuts := make([]int, parts+1)
+	cuts[parts] = len(m.leaves)
+	if total == 0 {
+		for j := 1; j < parts; j++ {
+			cuts[j] = len(m.leaves) * j / parts
+		}
+		return cuts, nil
+	}
+	var prefix float64
+	next := 1
+	for i, l := range m.leaves {
+		prefix += w(l)
+		for next < parts && prefix >= total*float64(next)/float64(parts) {
+			cuts[next] = i + 1
+			next++
+		}
+	}
+	for ; next < parts; next++ {
+		cuts[next] = len(m.leaves)
+	}
+	return cuts, nil
+}
+
+// PartLoads returns the per-part weight of a cut vector from Partition.
+func (m *Mesh) PartLoads(cuts []int, w LeafWeight) []float64 {
+	if w == nil {
+		w = UnitLeafWeight
+	}
+	loads := make([]float64, len(cuts)-1)
+	for j := 0; j+1 < len(cuts); j++ {
+		for i := cuts[j]; i < cuts[j+1]; i++ {
+			loads[j] += w(m.leaves[i])
+		}
+	}
+	return loads
+}

@@ -1,0 +1,233 @@
+package amr
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+	"repro/internal/partition"
+)
+
+func hierarchicalCurves(t *testing.T, u *grid.Universe) []curve.Curve {
+	t.Helper()
+	var cs []curve.Curve
+	for _, name := range []string{"z", "hilbert", "gray"} {
+		c, err := curve.ByName(name, u, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs = append(cs, c)
+	}
+	return cs
+}
+
+func TestNewMeshValidation(t *testing.T) {
+	u := grid.MustNew(2, 4)
+	if _, err := NewMesh(curve.NewSimple(u), 0); err == nil {
+		t.Fatal("non-hierarchical curve accepted")
+	}
+	if _, err := NewMesh(curve.NewZ(u), -1); err == nil {
+		t.Fatal("negative level accepted")
+	}
+	if _, err := NewMesh(curve.NewZ(u), 5); err == nil {
+		t.Fatal("level beyond k accepted")
+	}
+	m, err := NewMesh(curve.NewZ(u), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 16 { // 4×4 leaves of 4×4 cells
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Curve().Name() != "z" {
+		t.Fatal("curve accessor wrong")
+	}
+}
+
+func TestRefineSplicesInPlace(t *testing.T) {
+	for _, dk := range [][2]int{{2, 4}, {3, 3}} {
+		u := grid.MustNew(dk[0], dk[1])
+		for _, c := range hierarchicalCurves(t, u) {
+			m, err := NewMesh(c, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(9))
+			for trial := 0; trial < 40; trial++ {
+				li := rng.Intn(m.Len())
+				if m.Leaves()[li].Level >= u.K() {
+					continue
+				}
+				before := m.Len()
+				if err := m.Refine(li); err != nil {
+					t.Fatal(err)
+				}
+				if m.Len() != before+(1<<uint(u.D()))-1 {
+					t.Fatalf("%s: leaf count %d after refine of %d", c.Name(), m.Len(), before)
+				}
+				// The structural invariant must hold after every splice —
+				// this is the hierarchical-curve property in action.
+				if err := m.Validate(); err != nil {
+					t.Fatalf("%s: %v", c.Name(), err)
+				}
+			}
+		}
+	}
+}
+
+func TestRefineGuards(t *testing.T) {
+	u := grid.MustNew(2, 2)
+	m, err := NewMesh(curve.NewZ(u), 2) // fully refined
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Refine(0); err == nil {
+		t.Fatal("refining finest leaf accepted")
+	}
+	if err := m.Refine(-1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if err := m.Refine(m.Len()); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestCornerGeometry(t *testing.T) {
+	u := grid.MustNew(2, 3)
+	for _, c := range hierarchicalCurves(t, u) {
+		m, err := NewMesh(c, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corner := u.NewPoint()
+		seen := map[string]bool{}
+		for _, l := range m.Leaves() {
+			size := m.Corner(l, corner)
+			if size != 4 {
+				t.Fatalf("%s: level-1 leaf size %d", c.Name(), size)
+			}
+			for _, v := range corner {
+				if v%size != 0 {
+					t.Fatalf("%s: corner %v not aligned", c.Name(), corner)
+				}
+			}
+			if seen[corner.String()] {
+				t.Fatalf("%s: duplicate corner %v", c.Name(), corner)
+			}
+			seen[corner.String()] = true
+			// Every cell of the leaf's interval lies in the subcube.
+			p := u.NewPoint()
+			for key := l.KeyLo; key < l.KeyHi; key++ {
+				c.Point(key, p)
+				for i := range p {
+					if p[i] < corner[i] || p[i] >= corner[i]+size {
+						t.Fatalf("%s: key %d at %v outside subcube %v+%d", c.Name(), key, p, corner, size)
+					}
+				}
+			}
+		}
+		if len(seen) != 4 {
+			t.Fatalf("%s: %d distinct corners", c.Name(), len(seen))
+		}
+	}
+}
+
+func TestRefineWhereHotspot(t *testing.T) {
+	// Refine around a hotspot at the origin: levels must grade from fine
+	// near the hotspot to coarse far away, and the mesh must stay valid.
+	u := grid.MustNew(2, 5)
+	h := curve.NewHilbert(u)
+	m, err := NewMesh(h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.RefineWhere(5, func(corner grid.Point, size uint32, level int) bool {
+		return corner[0] < 8 && corner[1] < 8 // refine fully inside the hotspot quadrant
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	corner := u.NewPoint()
+	fine, coarse := 0, 0
+	for _, l := range m.Leaves() {
+		m.Corner(l, corner)
+		if corner[0] < 8 && corner[1] < 8 {
+			if l.Level != 5 {
+				t.Fatalf("hotspot leaf at %v level %d", corner, l.Level)
+			}
+			fine++
+		} else {
+			coarse++
+		}
+	}
+	if fine != 64 { // the 8×8 hotspot fully refined to single cells
+		t.Fatalf("%d fine leaves", fine)
+	}
+	if coarse == 0 || coarse > 200 {
+		t.Fatalf("%d coarse leaves", coarse)
+	}
+	// Adaptivity: far fewer leaves than fully refining everything.
+	if m.Len() >= int(u.N()) {
+		t.Fatalf("mesh not adaptive: %d leaves", m.Len())
+	}
+}
+
+func TestPartitionBalancesLeafWeights(t *testing.T) {
+	u := grid.MustNew(2, 5)
+	z := curve.NewZ(u)
+	m, err := NewMesh(z, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Refine one quadrant to create skewed leaf counts.
+	err = m.RefineWhere(4, func(corner grid.Point, size uint32, level int) bool {
+		return corner[0] >= 16 && corner[1] >= 16
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []LeafWeight{UnitLeafWeight, CellsWeight} {
+		cuts, err := m.Partition(6, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cuts) != 7 || cuts[0] != 0 || cuts[6] != m.Len() {
+			t.Fatalf("bad cuts %v", cuts)
+		}
+		loads := m.PartLoads(cuts, w)
+		if ib := partition.Imbalance(loads); ib > 1.35 {
+			t.Fatalf("imbalance %v for %d leaves", ib, m.Len())
+		}
+	}
+	if _, err := m.Partition(0, nil); err == nil {
+		t.Fatal("parts=0 accepted")
+	}
+	if _, err := m.Partition(2, func(Leaf) float64 { return -1 }); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	// Zero weights fall back to even leaf counts.
+	cuts, err := m.Partition(3, func(Leaf) float64 { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cuts[3] != m.Len() {
+		t.Fatal("zero-weight cuts do not cover")
+	}
+}
+
+func TestIsHierarchical(t *testing.T) {
+	u := grid.MustNew(2, 3)
+	if !IsHierarchical(curve.NewZ(u)) || !IsHierarchical(curve.NewHilbert(u)) || !IsHierarchical(curve.NewGray(u)) {
+		t.Fatal("hierarchical curves not recognized")
+	}
+	if IsHierarchical(curve.NewSimple(u)) || IsHierarchical(curve.NewSnake(u)) {
+		t.Fatal("row-major curves misclassified")
+	}
+}

@@ -1,0 +1,25 @@
+package amr_test
+
+import (
+	"fmt"
+
+	"repro/internal/amr"
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+func ExampleMesh_Refine() {
+	u := grid.MustNew(2, 2) // 4×4 finest resolution
+	m, err := amr.NewMesh(curve.NewZ(u), 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("leaves before:", m.Len())
+	if err := m.Refine(0); err != nil {
+		panic(err)
+	}
+	fmt.Println("leaves after:", m.Len(), "valid:", m.Validate() == nil)
+	// Output:
+	// leaves before: 4
+	// leaves after: 7 valid: true
+}

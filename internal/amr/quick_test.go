@@ -1,0 +1,52 @@
+package amr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+// TestQuickRefinementInvariant drives random refinement sequences over
+// quick-generated shapes and hierarchical curves, validating the mesh after
+// every operation.
+func TestQuickRefinementInvariant(t *testing.T) {
+	names := []string{"z", "hilbert", "gray"}
+	f := func(dRaw, kRaw, curveRaw uint8, seed int64) bool {
+		d := 2 + int(dRaw)%2
+		k := 2 + int(kRaw)%3
+		u := grid.MustNew(d, k)
+		c, err := curve.ByName(names[int(curveRaw)%len(names)], u, 1)
+		if err != nil {
+			return false
+		}
+		m, err := NewMesh(c, 1)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for op := 0; op < 15; op++ {
+			li := rng.Intn(m.Len())
+			if m.Leaves()[li].Level >= u.K() {
+				continue
+			}
+			if err := m.Refine(li); err != nil {
+				return false
+			}
+			if m.Validate() != nil {
+				return false
+			}
+		}
+		// Partitions over the refined mesh stay structurally sound.
+		cuts, err := m.Partition(1+rng.Intn(6), CellsWeight)
+		if err != nil {
+			return false
+		}
+		return cuts[len(cuts)-1] == m.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

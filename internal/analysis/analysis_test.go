@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	cfg := QuickConfig()
+	if !testing.Short() {
+		cfg = DefaultConfig()
+		// Keep the full-suite runtime moderate while still exercising real
+		// convergence sizes.
+		cfg.MaxExactN = 1 << 18
+		cfg.MaxPairsN = 1 << 11
+		cfg.Samples = 50_000
+	}
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := QuickConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.Dims = nil
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty dims accepted")
+	}
+	bad = DefaultConfig()
+	bad.Dims = []int{0}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+	bad = DefaultConfig()
+	bad.MaxExactN = 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("tiny cap accepted")
+	}
+	bad = DefaultConfig()
+	bad.Samples = 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("1 sample accepted")
+	}
+}
+
+func TestKSweep(t *testing.T) {
+	ks := kSweep(2, 1<<16)
+	if ks[len(ks)-1] != 8 {
+		t.Fatalf("kSweep(2, 2^16) tops at %d, want 8", ks[len(ks)-1])
+	}
+	for i := 1; i < len(ks); i++ {
+		if ks[i-1] >= ks[i] {
+			t.Fatalf("kSweep not ascending: %v", ks)
+		}
+	}
+	if ks[0] != 1 {
+		t.Fatalf("kSweep must include k=1: %v", ks)
+	}
+	if maxK(3, 1<<10) != 3 {
+		t.Fatalf("maxK(3, 2^10) = %d", maxK(3, 1<<10))
+	}
+	// maxK never exceeds the key-width budget even for huge limits.
+	if got := maxK(1, 1<<63-1); got > 62 {
+		t.Fatalf("maxK(1, huge) = %d", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	es := Experiments()
+	if len(es) != 34 {
+		t.Fatalf("%d experiments", len(es))
+	}
+	seen := map[string]bool{}
+	for _, e := range es {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, ok := ByID("thm1"); !ok {
+		t.Fatal("ByID(thm1) missing")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID(nope) found")
+	}
+	if len(IDs()) != len(es) {
+		t.Fatal("IDs length mismatch")
+	}
+}
+
+func TestRunSomeUnknownID(t *testing.T) {
+	if _, err := RunSome(QuickConfig(), []string{"bogus"}); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestRunSomeBadConfig(t *testing.T) {
+	bad := QuickConfig()
+	bad.Dims = nil
+	if _, err := RunSome(bad, []string{"fig1"}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	if _, err := RunAll(bad); err == nil {
+		t.Fatal("bad config accepted by RunAll")
+	}
+}
+
+// TestEveryExperimentPasses is the integration test of the reproduction:
+// every figure, lemma, theorem and proposition of the paper must verify.
+func TestEveryExperimentPasses(t *testing.T) {
+	cfg := testConfig(t)
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tbl, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if tbl == nil || len(tbl.Rows) == 0 {
+				t.Fatalf("%s: empty table", e.ID)
+			}
+			if tbl.ID != e.ID {
+				t.Fatalf("table id %q for experiment %q", tbl.ID, e.ID)
+			}
+			// No row may carry a failed check cell.
+			for _, row := range tbl.Rows {
+				for _, cell := range row {
+					if cell == "NO" {
+						t.Fatalf("%s: failed check in row %v", e.ID, row)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestTableRenderers(t *testing.T) {
+	tbl := &Table{
+		ID:      "x",
+		Title:   "T",
+		Caption: "C",
+		Columns: []string{"a", "b"},
+	}
+	tbl.AddRow("1", "two,with comma")
+	tbl.AddRow("3", `quote"inside`)
+	md := tbl.Markdown()
+	if !strings.Contains(md, "| a | b |") || !strings.Contains(md, "### x — T") {
+		t.Fatalf("markdown:\n%s", md)
+	}
+	csv := tbl.CSV()
+	if !strings.Contains(csv, `"two,with comma"`) || !strings.Contains(csv, `"quote""inside"`) {
+		t.Fatalf("csv quoting:\n%s", csv)
+	}
+	txt := tbl.Text()
+	if !strings.Contains(txt, "a") || !strings.Contains(txt, "---") {
+		t.Fatalf("text:\n%s", txt)
+	}
+	js := tbl.JSON()
+	if !strings.Contains(js, `"id": "x"`) || !strings.Contains(js, `"two,with comma"`) {
+		t.Fatalf("json:\n%s", js)
+	}
+	var parsed struct {
+		ID   string              `json:"id"`
+		Rows []map[string]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(js), &parsed); err != nil {
+		t.Fatalf("json does not parse: %v", err)
+	}
+	if parsed.ID != "x" || len(parsed.Rows) != 2 || parsed.Rows[0]["b"] != "two,with comma" {
+		t.Fatalf("json content wrong: %+v", parsed)
+	}
+}
+
+func TestAddRowArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch did not panic")
+		}
+	}()
+	tbl := &Table{ID: "x", Columns: []string{"a", "b"}}
+	tbl.AddRow("only one")
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if ff(1.5) != "1.5" || fr(1.23456) != "1.2346" || fu(7) != "7" || fi(-2) != "-2" {
+		t.Fatal("format helpers wrong")
+	}
+	if yes(true) != "yes" || yes(false) != "NO" {
+		t.Fatal("yes() wrong")
+	}
+}
+
+func TestConvergenceTolerance(t *testing.T) {
+	if convergenceTolerance(2, 20) != 0.02 {
+		t.Fatal("floor not applied")
+	}
+	if convergenceTolerance(4, 1) != 0.5 {
+		t.Fatal("cap not applied")
+	}
+	mid := convergenceTolerance(2, 6)
+	if mid <= 0.02 || mid >= 0.5 {
+		t.Fatalf("mid tolerance %v", mid)
+	}
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bits"
+)
+
+// Config sets the sweep sizes shared by all experiments. The zero value is
+// not usable; start from DefaultConfig.
+type Config struct {
+	// Workers is the parallelism for exact metric sweeps (<= 0 means
+	// GOMAXPROCS).
+	Workers int
+	// Seed drives every randomized component (random curves, samplers,
+	// particle placements); experiments are deterministic given (Config).
+	Seed int64
+	// Dims is the set of dimensionalities swept (the paper's results hold
+	// for any constant d).
+	Dims []int
+	// MaxExactN caps universe sizes for O(n·d) exact stretch sweeps.
+	MaxExactN uint64
+	// MaxPairsN caps universe sizes for O(n²) all-pairs sweeps.
+	MaxPairsN uint64
+	// Samples is the sample count for sampled estimators.
+	Samples int
+	// Quick shrinks sweeps (used by -short tests and smoke runs).
+	Quick bool
+}
+
+// DefaultConfig returns the sweep used to generate EXPERIMENTS.md.
+func DefaultConfig() Config {
+	return Config{
+		Workers:   0,
+		Seed:      20120521, // IPDPS 2012 conference date
+		Dims:      []int{1, 2, 3, 4},
+		MaxExactN: 1 << 20,
+		MaxPairsN: 1 << 12,
+		Samples:   200_000,
+		Quick:     false,
+	}
+}
+
+// QuickConfig returns a reduced sweep for fast smoke tests.
+func QuickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.MaxExactN = 1 << 14
+	cfg.MaxPairsN = 1 << 10
+	cfg.Samples = 20_000
+	cfg.Quick = true
+	return cfg
+}
+
+// Validate reports configuration errors.
+func (cfg Config) Validate() error {
+	if len(cfg.Dims) == 0 {
+		return fmt.Errorf("analysis: no dimensions configured")
+	}
+	for _, d := range cfg.Dims {
+		if d < 1 || d > bits.MaxKeyBits {
+			return fmt.Errorf("analysis: bad dimension %d", d)
+		}
+	}
+	if cfg.MaxExactN < 4 || cfg.MaxPairsN < 4 {
+		return fmt.Errorf("analysis: size caps too small")
+	}
+	if cfg.Samples < 2 {
+		return fmt.Errorf("analysis: need at least 2 samples")
+	}
+	return nil
+}
+
+// maxK returns the largest k with 2^(d·k) <= limit (and d·k within the key
+// budget), at least 1.
+func maxK(d int, limit uint64) int {
+	k := 1
+	for (k+1)*d <= bits.MaxKeyBits && uint64(1)<<uint((k+1)*d) <= limit {
+		k++
+	}
+	return k
+}
+
+// kSweep returns an ascending set of k values for dimension d ending at the
+// largest size under limit: roughly four points spread towards the top so
+// convergence trends are visible without quadratic table blowup.
+func kSweep(d int, limit uint64) []int {
+	top := maxK(d, limit)
+	ks := map[int]bool{top: true}
+	for _, back := range []int{1, 2, 4} {
+		if top-back >= 1 {
+			ks[top-back] = true
+		}
+	}
+	ks[1] = true
+	out := make([]int, 0, len(ks))
+	for k := range ks {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/grid"
+	"repro/internal/octree"
+)
+
+// ExtOctree exercises the Morton-keyed Barnes–Hut tree (Warren & Salmon
+// [26], the paper's flagship SFC application): a θ sweep showing the
+// accuracy/work trade-off of the multipole acceptance criterion on a
+// clustered mass distribution.
+func ExtOctree(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "ext-octree",
+		Title: "Morton-keyed Barnes–Hut tree (Warren & Salmon)",
+		Caption: "Force evaluation on probe bodies attracted by a clustered mass, versus the exact direct sum. " +
+			"Growing θ cuts the per-force work from Θ(n) towards Θ(log n) while the relative error stays small; " +
+			"θ=0 reproduces the direct sum exactly.",
+		Columns: []string{"d", "k", "bodies", "theta", "mean rel err", "mean interactions", "direct interactions"},
+	}
+	d, k := 2, 6
+	clusterN := 3000
+	probes := 40
+	if cfg.Quick {
+		clusterN = 800
+		probes = 15
+	}
+	u := grid.MustNew(d, k)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	side := float64(u.Side())
+	var bodies []octree.Body
+	for i := 0; i < clusterN; i++ {
+		// Two clusters pull the probes in a nontrivial direction.
+		cx, cy := side/8, side/8
+		if i%3 == 0 {
+			cx, cy = side/2, side/8
+		}
+		bodies = append(bodies, octree.Body{
+			Pos:  []float64{cx + rng.Float64()*side/10, cy + rng.Float64()*side/10},
+			Mass: 1,
+		})
+	}
+	for i := 0; i < probes; i++ {
+		bodies = append(bodies, octree.Body{
+			Pos:  []float64{side*3/4 + rng.Float64()*side/8, side*3/4 + rng.Float64()*side/8},
+			Mass: 1e-3,
+		})
+	}
+	tree, err := octree.Build(u, bodies, octree.Config{LeafSize: 8})
+	if err != nil {
+		return nil, err
+	}
+	if err := tree.Validate(); err != nil {
+		return nil, err
+	}
+	force := make([]float64, d)
+	direct := make([]float64, d)
+	var prevErr float64
+	for _, theta := range []float64{0, 0.3, 0.6, 1.0} {
+		var errSum float64
+		var work int
+		samples := 0
+		for i := 0; i < tree.Len(); i++ {
+			if tree.BodyMass(i) > 1e-2 {
+				continue
+			}
+			st := tree.Force(i, theta, force)
+			tree.DirectForce(i, direct)
+			var diff2, mag2 float64
+			for j := 0; j < d; j++ {
+				diff := force[j] - direct[j]
+				diff2 += diff * diff
+				mag2 += direct[j] * direct[j]
+			}
+			errSum += math.Sqrt(diff2 / mag2)
+			work += st.DirectPairs + st.Approximated
+			samples++
+		}
+		meanErr := errSum / float64(samples)
+		meanWork := float64(work) / float64(samples)
+		t.AddRow(fi(d), fi(k), fi(len(bodies)), ff(theta), ff(meanErr), fr(meanWork), fi(tree.Len()-1))
+		switch {
+		case theta == 0 && meanErr > 1e-12:
+			return t, fmt.Errorf("θ=0 error %v, want exact", meanErr)
+		case theta > 0 && meanErr > 0.05:
+			return t, fmt.Errorf("θ=%v error %v too large", theta, meanErr)
+		case theta >= 0.6 && meanWork*5 > float64(tree.Len()):
+			return t, fmt.Errorf("θ=%v work %v not ≪ n", theta, meanWork)
+		}
+		prevErr = meanErr
+	}
+	_ = prevErr
+	return t, nil
+}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+// Prop1 checks the lower bound on the average-maximum NN-stretch:
+// Dmax(π) ≥ Davg(π) ≥ Theorem-1 bound, for every curve.
+func Prop1(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "prop1",
+		Title: "Lower bound on the average-maximum NN-stretch",
+		Caption: "Dmax ≥ Davg ≥ Thm1 bound (Proposition 1). The simple curve sits a full factor d above the bound " +
+			"— the gap the paper's §VI lists as open.",
+		Columns: []string{"d", "k", "n", "curve", "Dmax", "Davg", "Thm1 bound", "Dmax/bound", "holds"},
+	}
+	for _, d := range cfg.Dims {
+		k := maxK(d, cfg.MaxExactN)
+		u := grid.MustNew(d, k)
+		lb := bounds.NNMaxLowerBound(d, k)
+		cs, err := sweepCurves(cfg, u)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range cs {
+			avg, max := core.NNStretch(c, cfg.Workers)
+			ok := max >= avg-1e-9 && max >= lb-1e-9
+			t.AddRow(fi(d), fi(k), fu(u.N()), c.Name(), ff(max), ff(avg), ff(lb), fr(max/lb), yes(ok))
+			if !ok {
+				return t, fmt.Errorf("%s on %v: Dmax %v vs Davg %v vs bound %v", c.Name(), u, max, avg, lb)
+			}
+		}
+	}
+	return t, nil
+}
+
+// Prop2 checks the exact identity Dmax(simple) = n^(1−1/d).
+func Prop2(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "prop2",
+		Title: "Dmax of the simple curve",
+		Caption: "Every cell has a dimension-d neighbor at curve distance exactly n^(1−1/d), " +
+			"so Dmax(S) = n^(1−1/d) with no asymptotics (Proposition 2).",
+		Columns: []string{"d", "k", "n", "Dmax measured", "n^(1−1/d)", "equal"},
+	}
+	for _, d := range cfg.Dims {
+		for _, k := range kSweep(d, cfg.MaxExactN) {
+			u := grid.MustNew(d, k)
+			s := curve.NewSimple(u)
+			max := core.DMax(s, cfg.Workers)
+			want := bounds.SimpleDMaxExact(d, k)
+			ok := abs(max-want) < 1e-9*(1+want)
+			t.AddRow(fi(d), fi(k), fu(u.N()), ff(max), ff(want), yes(ok))
+			if !ok {
+				return t, fmt.Errorf("Dmax(S) on %v: %v, want %v", u, max, want)
+			}
+		}
+	}
+	return t, nil
+}
+
+// Prop3 checks the all-pairs stretch lower bounds for every curve, under
+// both metrics, by exact O(n²) computation.
+func Prop3(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "prop3",
+		Title: "All-pairs stretch lower bounds",
+		Caption: "str_avg,M ≥ (1/3d)(n+1)/(s−1) and str_avg,E ≥ (1/3√d)(n+1)/(s−1) for every SFC (Proposition 3); " +
+			"exact over all pairs.",
+		Columns: []string{"d", "k", "n", "curve", "str_M", "LB_M", "str_M/LB", "str_E", "LB_E", "str_E/LB", "holds"},
+	}
+	for _, d := range cfg.Dims {
+		k := maxK(d, cfg.MaxPairsN)
+		u := grid.MustNew(d, k)
+		if u.N() < 2 {
+			continue
+		}
+		lbM := bounds.AllPairsManhattanLB(d, k)
+		lbE := bounds.AllPairsEuclideanLB(d, k)
+		cs, err := sweepCurves(cfg, u)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range cs {
+			strM, err := core.AllPairsStretch(c, core.Manhattan, cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			strE, err := core.AllPairsStretch(c, core.Euclidean, cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			ok := strM >= lbM-1e-9 && strE >= lbE-1e-9
+			t.AddRow(fi(d), fi(k), fu(u.N()), c.Name(),
+				ff(strM), ff(lbM), fr(strM/lbM), ff(strE), ff(lbE), fr(strE/lbE), yes(ok))
+			if !ok {
+				return t, fmt.Errorf("%s on %v: stretch (%v, %v) below bounds (%v, %v)",
+					c.Name(), u, strM, strE, lbM, lbE)
+			}
+		}
+	}
+	return t, nil
+}
+
+// Prop4 checks the simple curve's all-pairs upper bounds, including the
+// pointwise Lemma 7 bounds on the worst pair.
+func Prop4(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "prop4",
+		Title: "All-pairs stretch of the simple curve",
+		Caption: "str_avg,M(S) ≤ n^(1−1/d) and str_avg,E(S) ≤ √2·n^(1−1/d) (Proposition 4); " +
+			"the max-pair columns verify Lemma 7's pointwise version.",
+		Columns: []string{"d", "k", "n", "str_M", "UB_M", "max-pair_M", "str_E", "UB_E", "max-pair_E", "holds"},
+	}
+	for _, d := range cfg.Dims {
+		k := maxK(d, cfg.MaxPairsN)
+		u := grid.MustNew(d, k)
+		if u.N() < 2 {
+			continue
+		}
+		s := curve.NewSimple(u)
+		strM, err := core.AllPairsStretch(s, core.Manhattan, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		strE, err := core.AllPairsStretch(s, core.Euclidean, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		maxM, err := core.MaxPairStretch(s, core.Manhattan, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		maxE, err := core.MaxPairStretch(s, core.Euclidean, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		ubM := bounds.SimpleAllPairsManhattanUB(d, k)
+		ubE := bounds.SimpleAllPairsEuclideanUB(d, k)
+		ok := strM <= ubM+1e-9 && strE <= ubE+1e-9 && maxM <= ubM+1e-9 && maxE <= ubE+1e-9
+		t.AddRow(fi(d), fi(k), fu(u.N()),
+			ff(strM), ff(ubM), ff(maxM), ff(strE), ff(ubE), ff(maxE), yes(ok))
+		if !ok {
+			return t, fmt.Errorf("simple curve on %v exceeds Prop 4/Lemma 7 bounds", u)
+		}
+	}
+	return t, nil
+}

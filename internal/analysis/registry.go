@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is one reproducible artifact of the paper: running it
+// regenerates the corresponding table and verifies the paper's claim,
+// returning an error if the claim fails.
+type Experiment struct {
+	ID    string // stable identifier used by -only flags and bench names
+	Title string
+	Run   func(Config) (*Table, error)
+}
+
+// Experiments returns all experiments in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"fig1", "Figure 1: two SFCs on the 2×2 grid", Fig1},
+		{"fig2", "Figure 2: nearest-neighbor decomposition p(α,β)", Fig2},
+		{"fig3", "Figure 3: the 2-d Z curve on the 8×8 grid", Fig3},
+		{"fig4", "Figure 4: the simple curve on the 8×8 grid", Fig4},
+		{"lemma1", "Lemma 1: generalized triangle inequality", Lemma1},
+		{"lemma2", "Lemma 2: S_A'(π) = (n−1)n(n+1)/3 for any SFC", Lemma2},
+		{"lemma4", "Lemma 4: decomposition count bound", Lemma4},
+		{"thm1", "Theorem 1: universal lower bound on Davg", Theorem1},
+		{"lemma5", "Lemma 5: per-dimension Z-curve sums Λ_i", Lemma5},
+		{"thm2", "Theorem 2: Davg(Z) ~ (1/d)·n^(1−1/d)", Theorem2},
+		{"thm3", "Theorem 3: Davg(simple) ~ (1/d)·n^(1−1/d)", Theorem3},
+		{"prop1", "Proposition 1: lower bound on Dmax", Prop1},
+		{"prop2", "Proposition 2: Dmax(simple) = n^(1−1/d)", Prop2},
+		{"prop3", "Proposition 3: all-pairs stretch lower bounds", Prop3},
+		{"prop4", "Proposition 4: simple-curve all-pairs upper bounds", Prop4},
+		{"ext-hilbert", "Extension: NN-stretch of the Hilbert curve (§VI open question)", ExtHilbert},
+		{"ext-cluster", "Extension: clustering metric comparison (Moon et al.)", ExtCluster},
+		{"ext-partition", "Extension: SFC domain decomposition quality", ExtPartition},
+		{"ext-nbody", "Extension: N-body interaction locality", ExtNBody},
+		{"ext-profile", "Extension: stretch vs pair distance (probabilistic model, §VI)", ExtProfile},
+		{"ext-pnorm", "Extension: p-norm stretch (Dai & Su)", ExtPNorm},
+		{"ext-converse", "Extension: converse stretch (Gotsman & Lindenbaum)", ExtConverse},
+		{"ext-dilation", "Extension: unit-step dilation constants (Niedermeier et al.)", ExtDilation},
+		{"ext-bign", "Extension: asymptotics at astronomically large n", ExtBigN},
+		{"ext-io", "Extension: secondary-memory I/O (paged B+-tree)", ExtIO},
+		{"ext-dist", "Extension: per-cell δavg distribution", ExtDist},
+		{"ext-optimal", "Extension: exhaustively optimal SFCs on tiny universes", ExtOptimal},
+		{"ext-amr", "Extension: adaptive mesh refinement over hierarchical curves", ExtAMR},
+		{"ext-drift", "Extension: incremental repartitioning under workload drift", ExtDrift},
+		{"ext-rect", "Extension: rectangular universes and the generalized bound", ExtRect},
+		{"ext-torus", "Extension: stretch under periodic boundary conditions", ExtTorus},
+		{"ext-knn", "Extension: nearest-neighbor search work (Chen & Chang)", ExtKNN},
+		{"ext-octree", "Extension: Morton-keyed Barnes–Hut tree (Warren & Salmon)", ExtOctree},
+		{"ext-constants", "Extension: asymptotic stretch constants per curve", ExtConstants},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment IDs in paper order.
+func IDs() []string {
+	es := Experiments()
+	ids := make([]string, len(es))
+	for i, e := range es {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// RunAll executes every experiment and collects the tables. It fails fast
+// on the first violated claim.
+func RunAll(cfg Config) ([]*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var tables []*Table
+	for _, e := range Experiments() {
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			return tables, fmt.Errorf("experiment %s: %w", e.ID, err)
+		}
+		tables = append(tables, tbl)
+	}
+	return tables, nil
+}
+
+// RunSome executes the named experiments (any order), in paper order.
+func RunSome(cfg Config, ids []string) ([]*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	want := map[string]bool{}
+	for _, id := range ids {
+		if _, ok := ByID(id); !ok {
+			known := IDs()
+			sort.Strings(known)
+			return nil, fmt.Errorf("analysis: unknown experiment %q (known: %v)", id, known)
+		}
+		want[id] = true
+	}
+	var tables []*Table
+	for _, e := range Experiments() {
+		if !want[e.ID] {
+			continue
+		}
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			return tables, fmt.Errorf("experiment %s: %w", e.ID, err)
+		}
+		tables = append(tables, tbl)
+	}
+	return tables, nil
+}

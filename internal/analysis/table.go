@@ -1,0 +1,151 @@
+// Package analysis is the experiment harness: it regenerates, as numeric
+// tables, every verifiable artifact of the paper — the four figures, the
+// theorems, the lemmas with measurable content, and the propositions — plus
+// the extension experiments listed in DESIGN.md. Each experiment both
+// produces a human-readable table and *asserts* the paper's claim,
+// returning an error if the reproduction ever contradicts the paper.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string   // experiment identifier, e.g. "thm1"
+	Title   string   // short human title
+	Caption string   // what the table shows and what to look for
+	Columns []string // header cells
+	Rows    [][]string
+}
+
+// AddRow appends a row; the cell count must match the header.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("analysis: row of %d cells for %d columns in %s", len(cells), len(t.Columns), t.ID))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Markdown renders the table as GitHub-flavored Markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	if t.Caption != "" {
+		fmt.Fprintf(&b, "%s\n\n", t.Caption)
+	}
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (quoting cells that need it).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// JSON renders the table as a machine-readable object with the experiment
+// metadata and rows as column-keyed maps.
+func (t *Table) JSON() string {
+	doc := struct {
+		ID      string              `json:"id"`
+		Title   string              `json:"title"`
+		Caption string              `json:"caption,omitempty"`
+		Columns []string            `json:"columns"`
+		Rows    []map[string]string `json:"rows"`
+	}{ID: t.ID, Title: t.Title, Caption: t.Caption, Columns: t.Columns}
+	for _, row := range t.Rows {
+		m := make(map[string]string, len(row))
+		for i, cell := range row {
+			m[t.Columns[i]] = cell
+		}
+		doc.Rows = append(doc.Rows, m)
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		// The document is strings-only; marshalling cannot fail in practice.
+		return fmt.Sprintf(`{"id":%q,"error":%q}`, t.ID, err)
+	}
+	return string(b)
+}
+
+// Text renders the table as aligned plain text for terminal output.
+func (t *Table) Text() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	if t.Caption != "" {
+		fmt.Fprintf(&b, "%s\n", t.Caption)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// f formats a float compactly for table cells.
+func ff(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// fr formats a ratio with fixed precision, the main convergence indicator
+// in the tables.
+func fr(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+// u formats an unsigned integer.
+func fu(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// i formats an int.
+func fi(v int) string { return strconv.Itoa(v) }
+
+// yes renders a boolean check cell.
+func yes(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "NO"
+}

@@ -1,0 +1,163 @@
+// Package bits provides the low-level bit manipulation primitives used to
+// construct space filling curve keys: Morton (bit-interleaved) codes in any
+// number of dimensions, binary-reflected Gray codes, and small helpers shared
+// by the curve implementations.
+//
+// # Conventions
+//
+// A d-dimensional Morton key interleaves the bits of d coordinates, each k
+// bits wide, into a single d·k bit integer. Following the paper's definition
+// of the Z curve (§IV.B), the most significant bit of the key is the most
+// significant bit of the first coordinate, then the most significant bit of
+// the second coordinate, and so on:
+//
+//	Z(x) = x1^1 x2^1 … xd^1  x1^2 x2^2 … xd^2  …  x1^k x2^k … xd^k
+//
+// where xi^j is the j-th most significant bit of coordinate i. For example,
+// with d = 3 and k = 3, Interleave of (0b101, 0b010, 0b011) is 0b100011101,
+// matching the worked example in the paper.
+package bits
+
+import "math/bits"
+
+// MaxKeyBits is the maximum total width d·k of a curve key. Keys are held in
+// uint64 values; one bit of headroom is kept so that sums and differences of
+// keys cannot overflow signed intermediate forms used by callers.
+const MaxKeyBits = 62
+
+// Interleave packs the k low bits of each coordinate in x into a single
+// Morton key. x[0] is the paper's first dimension and contributes the most
+// significant bit within each k-level group. Bits of x above position k-1
+// are ignored. The result is well defined for len(x)*k <= MaxKeyBits.
+func Interleave(x []uint32, k int) uint64 {
+	d := len(x)
+	var key uint64
+	for level := 0; level < k; level++ {
+		for i := 0; i < d; i++ {
+			bit := uint64(x[i]>>uint(level)) & 1
+			shift := uint(level*d + (d - 1 - i))
+			key |= bit << shift
+		}
+	}
+	return key
+}
+
+// Deinterleave unpacks a Morton key produced by Interleave into dst, which
+// must have length d. Each coordinate receives its k bits; higher bits of
+// dst entries are cleared.
+func Deinterleave(key uint64, k int, dst []uint32) {
+	d := len(dst)
+	for i := range dst {
+		dst[i] = 0
+	}
+	for level := 0; level < k; level++ {
+		for i := 0; i < d; i++ {
+			shift := uint(level*d + (d - 1 - i))
+			bit := uint32(key>>shift) & 1
+			dst[i] |= bit << uint(level)
+		}
+	}
+}
+
+// Interleave2 is a constant-time two-dimensional Morton encode using the
+// classic parallel-prefix bit spreading. It is equivalent to
+// Interleave([]uint32{x, y}, 31) truncated to the coordinates' width: x
+// supplies the higher bit of each pair (dimension 1 of the paper).
+func Interleave2(x, y uint32) uint64 {
+	return spread2(x)<<1 | spread2(y)
+}
+
+// Deinterleave2 inverts Interleave2.
+func Deinterleave2(key uint64) (x, y uint32) {
+	return compact2(key >> 1), compact2(key)
+}
+
+// spread2 spaces the 32 bits of v so that bit i moves to bit 2i.
+func spread2(v uint32) uint64 {
+	w := uint64(v)
+	w = (w | w<<16) & 0x0000FFFF0000FFFF
+	w = (w | w<<8) & 0x00FF00FF00FF00FF
+	w = (w | w<<4) & 0x0F0F0F0F0F0F0F0F
+	w = (w | w<<2) & 0x3333333333333333
+	w = (w | w<<1) & 0x5555555555555555
+	return w
+}
+
+// compact2 inverts spread2, collecting every second bit starting at bit 0.
+func compact2(w uint64) uint32 {
+	w &= 0x5555555555555555
+	w = (w | w>>1) & 0x3333333333333333
+	w = (w | w>>2) & 0x0F0F0F0F0F0F0F0F
+	w = (w | w>>4) & 0x00FF00FF00FF00FF
+	w = (w | w>>8) & 0x0000FFFF0000FFFF
+	w = (w | w>>16) & 0x00000000FFFFFFFF
+	return uint32(w)
+}
+
+// Interleave3 is a constant-time three-dimensional Morton encode for
+// coordinates of at most 20 bits each. x supplies the highest bit of each
+// triple (dimension 1 of the paper).
+func Interleave3(x, y, z uint32) uint64 {
+	return spread3(x)<<2 | spread3(y)<<1 | spread3(z)
+}
+
+// Deinterleave3 inverts Interleave3.
+func Deinterleave3(key uint64) (x, y, z uint32) {
+	return compact3(key >> 2), compact3(key >> 1), compact3(key)
+}
+
+// spread3 spaces the 20 low bits of v so that bit i moves to bit 3i.
+func spread3(v uint32) uint64 {
+	w := uint64(v) & 0xFFFFF
+	w = (w | w<<32) & 0x001F00000000FFFF
+	w = (w | w<<16) & 0x001F0000FF0000FF
+	w = (w | w<<8) & 0x100F00F00F00F00F
+	w = (w | w<<4) & 0x10C30C30C30C30C3
+	w = (w | w<<2) & 0x1249249249249249
+	return w
+}
+
+// compact3 inverts spread3.
+func compact3(w uint64) uint32 {
+	w &= 0x1249249249249249
+	w = (w | w>>2) & 0x10C30C30C30C30C3
+	w = (w | w>>4) & 0x100F00F00F00F00F
+	w = (w | w>>8) & 0x001F0000FF0000FF
+	w = (w | w>>16) & 0x001F00000000FFFF
+	w = (w | w>>32) & 0x00000000001FFFFF
+	return uint32(w)
+}
+
+// GrayEncode returns the binary-reflected Gray code of v.
+func GrayEncode(v uint64) uint64 { return v ^ (v >> 1) }
+
+// GrayDecode inverts GrayEncode: it returns the rank of the Gray codeword g
+// in the reflected Gray sequence.
+func GrayDecode(g uint64) uint64 {
+	g ^= g >> 32
+	g ^= g >> 16
+	g ^= g >> 8
+	g ^= g >> 4
+	g ^= g >> 2
+	g ^= g >> 1
+	return g
+}
+
+// Log2 returns floor(log2(v)) for v > 0, and 0 for v == 0.
+func Log2(v uint64) int {
+	if v == 0 {
+		return 0
+	}
+	return 63 - bits.LeadingZeros64(v)
+}
+
+// IsPow2 reports whether v is a power of two (v > 0 with a single set bit).
+func IsPow2(v uint64) bool { return v != 0 && v&(v-1) == 0 }
+
+// AbsDiff returns |a-b| for unsigned inputs without overflow.
+func AbsDiff(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return b - a
+}

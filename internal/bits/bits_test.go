@@ -1,0 +1,181 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInterleavePaperExample(t *testing.T) {
+	// Paper §IV.B: d=3, k=3, Z(101, 010, 011) = 100011101.
+	got := Interleave([]uint32{0b101, 0b010, 0b011}, 3)
+	want := uint64(0b100011101)
+	if got != want {
+		t.Fatalf("Interleave(101,010,011) = %b, want %b", got, want)
+	}
+}
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		d := 1 + rng.Intn(6)
+		k := 1 + rng.Intn(62/d)
+		x := make([]uint32, d)
+		for i := range x {
+			x[i] = rng.Uint32() & (1<<uint(k) - 1)
+		}
+		key := Interleave(x, k)
+		if k*d < 64 && key >= 1<<uint(k*d) {
+			t.Fatalf("d=%d k=%d key %d out of range", d, k, key)
+		}
+		got := make([]uint32, d)
+		Deinterleave(key, k, got)
+		for i := range x {
+			if got[i] != x[i] {
+				t.Fatalf("d=%d k=%d round trip: got %v want %v", d, k, got, x)
+			}
+		}
+	}
+}
+
+func TestInterleaveMonotoneInMSB(t *testing.T) {
+	// The first dimension's bit at each level is the most significant of the
+	// group: flipping x[0]'s top bit must change the key by more than
+	// flipping x[d-1]'s top bit.
+	k := 4
+	base := []uint32{0, 0, 0}
+	hi0 := []uint32{1 << (k - 1), 0, 0}
+	hiLast := []uint32{0, 0, 1 << (k - 1)}
+	k0 := Interleave(hi0, k)
+	kl := Interleave(hiLast, k)
+	kb := Interleave(base, k)
+	if !(k0 > kl && kl > kb) {
+		t.Fatalf("significance ordering violated: %d %d %d", k0, kl, kb)
+	}
+}
+
+func TestInterleave2MatchesGeneric(t *testing.T) {
+	f := func(x, y uint32) bool {
+		k := 31
+		a := Interleave2(x&(1<<31-1), y&(1<<31-1))
+		b := Interleave([]uint32{x & (1<<31 - 1), y & (1<<31 - 1)}, k)
+		return a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeinterleave2RoundTrip(t *testing.T) {
+	f := func(x, y uint32) bool {
+		x &= 1<<31 - 1
+		y &= 1<<31 - 1
+		gx, gy := Deinterleave2(Interleave2(x, y))
+		return gx == x && gy == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleave3MatchesGeneric(t *testing.T) {
+	f := func(x, y, z uint32) bool {
+		x &= 1<<20 - 1
+		y &= 1<<20 - 1
+		z &= 1<<20 - 1
+		a := Interleave3(x, y, z)
+		b := Interleave([]uint32{x, y, z}, 20)
+		return a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeinterleave3RoundTrip(t *testing.T) {
+	f := func(x, y, z uint32) bool {
+		x &= 1<<20 - 1
+		y &= 1<<20 - 1
+		z &= 1<<20 - 1
+		gx, gy, gz := Deinterleave3(Interleave3(x, y, z))
+		return gx == x && gy == y && gz == z
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrayRoundTrip(t *testing.T) {
+	f := func(v uint64) bool { return GrayDecode(GrayEncode(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrayAdjacency(t *testing.T) {
+	// Consecutive ranks must differ in exactly one bit.
+	for v := uint64(0); v < 4096; v++ {
+		a, b := GrayEncode(v), GrayEncode(v+1)
+		if x := a ^ b; x == 0 || x&(x-1) != 0 {
+			t.Fatalf("gray codes of %d and %d differ in != 1 bit", v, v+1)
+		}
+	}
+}
+
+func TestGraySmallValues(t *testing.T) {
+	want := []uint64{0, 1, 3, 2, 6, 7, 5, 4}
+	for i, w := range want {
+		if g := GrayEncode(uint64(i)); g != w {
+			t.Fatalf("GrayEncode(%d) = %d, want %d", i, g, w)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := map[uint64]int{1: 0, 2: 1, 3: 1, 4: 2, 1023: 9, 1024: 10, 0: 0}
+	for v, want := range cases {
+		if got := Log2(v); got != want {
+			t.Fatalf("Log2(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, v := range []uint64{1, 2, 4, 1 << 40} {
+		if !IsPow2(v) {
+			t.Fatalf("IsPow2(%d) = false", v)
+		}
+	}
+	for _, v := range []uint64{0, 3, 6, 1<<40 + 1} {
+		if IsPow2(v) {
+			t.Fatalf("IsPow2(%d) = true", v)
+		}
+	}
+}
+
+func TestAbsDiff(t *testing.T) {
+	if AbsDiff(3, 10) != 7 || AbsDiff(10, 3) != 7 || AbsDiff(5, 5) != 0 {
+		t.Fatal("AbsDiff wrong")
+	}
+}
+
+func BenchmarkInterleaveGeneric(b *testing.B) {
+	x := []uint32{0xDEAD, 0xBEEF, 0xCAFE}
+	for i := 0; i < b.N; i++ {
+		sinkU64 = Interleave(x, 16)
+	}
+}
+
+func BenchmarkInterleave2Magic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkU64 = Interleave2(0xDEADBEEF, 0xCAFEBABE)
+	}
+}
+
+func BenchmarkInterleave3Magic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkU64 = Interleave3(0xDEAD, 0xBEEF, 0xCAFE)
+	}
+}
+
+var sinkU64 uint64

@@ -1,0 +1,52 @@
+package bits
+
+import "testing"
+
+// FuzzInterleaveRoundTrip fuzzes the generic Morton encode/decode pair over
+// arbitrary dimension/width splits of the key budget.
+func FuzzInterleaveRoundTrip(f *testing.F) {
+	f.Add(uint8(2), uint8(8), uint64(0xDEADBEEF))
+	f.Add(uint8(3), uint8(10), uint64(12345))
+	f.Add(uint8(1), uint8(30), uint64(1<<29))
+	f.Add(uint8(6), uint8(10), uint64(0))
+	f.Fuzz(func(t *testing.T, dRaw, kRaw uint8, seed uint64) {
+		d := 1 + int(dRaw)%8
+		k := 1 + int(kRaw)%(MaxKeyBits/d)
+		x := make([]uint32, d)
+		s := seed
+		for i := range x {
+			s = s*6364136223846793005 + 1442695040888963407
+			x[i] = uint32(s>>32) & (1<<uint(k) - 1)
+		}
+		key := Interleave(x, k)
+		if k*d < 64 && key >= 1<<uint(k*d) {
+			t.Fatalf("key %d out of range for d=%d k=%d", key, d, k)
+		}
+		got := make([]uint32, d)
+		Deinterleave(key, k, got)
+		for i := range x {
+			if got[i] != x[i] {
+				t.Fatalf("round trip d=%d k=%d: %v != %v", d, k, got, x)
+			}
+		}
+	})
+}
+
+// FuzzGrayRoundTrip fuzzes the Gray encode/decode pair and the one-bit
+// adjacency property.
+func FuzzGrayRoundTrip(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(1) << 63)
+	f.Add(uint64(0xAAAAAAAAAAAAAAAA))
+	f.Fuzz(func(t *testing.T, v uint64) {
+		if GrayDecode(GrayEncode(v)) != v {
+			t.Fatalf("gray round trip failed for %d", v)
+		}
+		if v < 1<<63-1 {
+			x := GrayEncode(v) ^ GrayEncode(v+1)
+			if x == 0 || x&(x-1) != 0 {
+				t.Fatalf("gray adjacency failed at %d", v)
+			}
+		}
+	})
+}

@@ -1,0 +1,53 @@
+package bits
+
+// Table-driven Morton encoding: per-byte lookup tables spread 8 coordinate
+// bits at a time. This is the classic alternative to the magic-mask
+// parallel-prefix spreads; BenchmarkInterleaveAblation compares the three
+// implementations (generic loop, magic masks, byte LUT) — the design choice
+// DESIGN.md calls out for the key-generation hot path.
+
+// lut2 and lut3 hold the spread of every byte value for d=2 and d=3:
+// lut2[b] has the bits of b at positions 0,2,4,…,14; lut3[b] at 0,3,6,…,21.
+var (
+	lut2 [256]uint32
+	lut3 [256]uint32
+)
+
+func init() {
+	for b := 0; b < 256; b++ {
+		var s2, s3 uint32
+		for bit := 0; bit < 8; bit++ {
+			if b&(1<<uint(bit)) != 0 {
+				s2 |= 1 << uint(2*bit)
+				s3 |= 1 << uint(3*bit)
+			}
+		}
+		lut2[b] = s2
+		lut3[b] = s3
+	}
+}
+
+// Interleave2LUT is Interleave2 implemented with byte lookup tables.
+func Interleave2LUT(x, y uint32) uint64 {
+	return spread2LUT(x)<<1 | spread2LUT(y)
+}
+
+func spread2LUT(v uint32) uint64 {
+	return uint64(lut2[v&0xFF]) |
+		uint64(lut2[v>>8&0xFF])<<16 |
+		uint64(lut2[v>>16&0xFF])<<32 |
+		uint64(lut2[v>>24&0xFF])<<48
+}
+
+// Interleave3LUT is Interleave3 implemented with byte lookup tables
+// (coordinates of at most 20 bits, like Interleave3).
+func Interleave3LUT(x, y, z uint32) uint64 {
+	return spread3LUT(x)<<2 | spread3LUT(y)<<1 | spread3LUT(z)
+}
+
+func spread3LUT(v uint32) uint64 {
+	v &= 0xFFFFF
+	return uint64(lut3[v&0xFF]) |
+		uint64(lut3[v>>8&0xFF])<<24 |
+		uint64(lut3[v>>16&0xF])<<48
+}

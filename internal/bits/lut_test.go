@@ -1,0 +1,66 @@
+package bits
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInterleave2LUTMatchesMagic(t *testing.T) {
+	f := func(x, y uint32) bool {
+		x &= 1<<31 - 1
+		y &= 1<<31 - 1
+		return Interleave2LUT(x, y) == Interleave2(x, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleave3LUTMatchesMagic(t *testing.T) {
+	f := func(x, y, z uint32) bool {
+		x &= 1<<20 - 1
+		y &= 1<<20 - 1
+		z &= 1<<20 - 1
+		return Interleave3LUT(x, y, z) == Interleave3(x, y, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkInterleaveAblation compares the three Morton implementations —
+// the key-generation design choice called out in DESIGN.md.
+func BenchmarkInterleaveAblation(b *testing.B) {
+	b.Run("d2/generic", func(b *testing.B) {
+		x := []uint32{0xDEADBEE, 0xCAFEBAB}
+		for i := 0; i < b.N; i++ {
+			sinkU64 = Interleave(x, 28)
+		}
+	})
+	b.Run("d2/magic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sinkU64 = Interleave2(0xDEADBEE, 0xCAFEBAB)
+		}
+	})
+	b.Run("d2/lut", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sinkU64 = Interleave2LUT(0xDEADBEE, 0xCAFEBAB)
+		}
+	})
+	b.Run("d3/generic", func(b *testing.B) {
+		x := []uint32{0xDEAD, 0xBEEF, 0xCAFE}
+		for i := 0; i < b.N; i++ {
+			sinkU64 = Interleave(x, 16)
+		}
+	})
+	b.Run("d3/magic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sinkU64 = Interleave3(0xDEAD, 0xBEEF, 0xCAFE)
+		}
+	})
+	b.Run("d3/lut", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sinkU64 = Interleave3LUT(0xDEAD, 0xBEEF, 0xCAFE)
+		}
+	})
+}

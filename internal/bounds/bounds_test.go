@@ -1,0 +1,219 @@
+package bounds
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+func TestSideAndN(t *testing.T) {
+	if Side(3) != 8 || N(2, 3) != 64 || N(3, 2) != 64 || NPow1m1d(2, 3) != 8 {
+		t.Fatal("size helpers wrong")
+	}
+}
+
+func TestNNAvgLowerBoundFormula(t *testing.T) {
+	// d=2, k=3: n=64, bound = (2/6)(64^(1/2) − 64^(-3/2)) = (1/3)(8 − 1/512).
+	got := NNAvgLowerBound(2, 3)
+	want := (8.0 - 1.0/512.0) / 3.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("bound = %v, want %v", got, want)
+	}
+	if NNMaxLowerBound(2, 3) != got {
+		t.Fatal("Prop 1 bound must equal Theorem 1 bound")
+	}
+}
+
+func TestBoundBelowAsymptote(t *testing.T) {
+	// The Theorem 1 bound must be strictly below the Z/simple asymptote, and
+	// their ratio must approach exactly 1.5 (the paper's optimality factor).
+	for d := 1; d <= 4; d++ {
+		for k := 1; d*k <= 24; k++ {
+			lb := NNAvgLowerBound(d, k)
+			asym := NNAsymptote(d, k)
+			if lb >= asym {
+				t.Fatalf("d=%d k=%d: bound %v >= asymptote %v", d, k, lb, asym)
+			}
+		}
+		// Large-k ratio → 1.5.
+		k := 24 / d
+		ratio := NNAsymptote(d, k) / NNAvgLowerBound(d, k)
+		if math.Abs(ratio-OptimalityFactor) > 0.01 {
+			t.Fatalf("d=%d k=%d: asymptote/bound = %v, want ≈ 1.5", d, k, ratio)
+		}
+	}
+}
+
+func TestLemma5LimitsSumToOne(t *testing.T) {
+	// Σ_{i=1}^{d} 2^(d−i)/(2^d − 1) = 1, which is how Theorem 2's h1 limit
+	// becomes 1/d · n^(2−1/d).
+	for d := 1; d <= 8; d++ {
+		var sum float64
+		for i := 1; i <= d; i++ {
+			sum += Lemma5Limit(d, i)
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("d=%d: limits sum to %v", d, sum)
+		}
+	}
+}
+
+func TestZLambdaExactSmall(t *testing.T) {
+	// 2×2 grid, hand-computed: Λ1 = 4, Λ2 = 2.
+	if got := ZLambdaExact(2, 1, 1); got.Cmp(big.NewInt(4)) != 0 {
+		t.Fatalf("Λ1(Z) on 2×2 = %v, want 4", got)
+	}
+	if got := ZLambdaExact(2, 1, 2); got.Cmp(big.NewInt(2)) != 0 {
+		t.Fatalf("Λ2(Z) on 2×2 = %v, want 2", got)
+	}
+	if got := ZLambdaExact(2, 0, 1); got.Sign() != 0 {
+		t.Fatalf("Λ on single cell = %v, want 0", got)
+	}
+}
+
+func TestZLambdaConvergesToLemma5Limit(t *testing.T) {
+	for d := 1; d <= 3; d++ {
+		for i := 1; i <= d; i++ {
+			k := 18 / d
+			lam, _ := new(big.Float).SetInt(ZLambdaExact(d, k, i)).Float64()
+			norm := math.Pow(float64(N(d, k)), 2-1/float64(d))
+			ratio := lam / norm
+			want := Lemma5Limit(d, i)
+			if math.Abs(ratio-want) > 0.02*want+1e-9 {
+				t.Fatalf("d=%d i=%d k=%d: Λ_i/n^(2−1/d) = %v, limit %v", d, i, k, ratio, want)
+			}
+		}
+	}
+}
+
+func TestZSumNNExactIsSumOfLambdas(t *testing.T) {
+	d, k := 3, 3
+	want := new(big.Int)
+	for i := 1; i <= d; i++ {
+		want.Add(want, ZLambdaExact(d, k, i))
+	}
+	if got := ZSumNNExact(d, k); got.Cmp(want) != 0 {
+		t.Fatalf("ZSumNNExact = %v, want %v", got, want)
+	}
+}
+
+func TestSimpleDAvgExactHandCases(t *testing.T) {
+	// d=1: Davg = 1 exactly for every k >= 1.
+	for k := 1; k <= 10; k++ {
+		if got := SimpleDAvgExact(1, k); math.Abs(got-1) > 1e-12 {
+			t.Fatalf("1-d simple Davg(k=%d) = %v, want 1", k, got)
+		}
+	}
+	// 2×2 grid: every cell has δavg = (1+2)/2 = 1.5.
+	if got := SimpleDAvgExact(2, 1); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("simple Davg on 2×2 = %v, want 1.5", got)
+	}
+	// k=0: single cell.
+	if got := SimpleDAvgExact(3, 0); got != 0 {
+		t.Fatalf("simple Davg on single cell = %v", got)
+	}
+}
+
+func TestSimpleDAvgConvergesToAsymptote(t *testing.T) {
+	// Theorem 3: Davg(S)·d/n^(1−1/d) → 1.
+	for d := 1; d <= 4; d++ {
+		k := 20 / d
+		ratio := SimpleDAvgExact(d, k) / NNAsymptote(d, k)
+		if math.Abs(ratio-1) > 0.05 {
+			t.Fatalf("d=%d k=%d: Davg(S)/asymptote = %v", d, k, ratio)
+		}
+	}
+}
+
+func TestSimpleDMaxExact(t *testing.T) {
+	if got := SimpleDMaxExact(2, 3); got != 8 {
+		t.Fatalf("Dmax(S) on 8×8 = %v, want 8", got)
+	}
+	if got := SimpleDMaxExact(3, 0); got != 0 {
+		t.Fatalf("Dmax(S) single cell = %v", got)
+	}
+}
+
+func TestAllPairsBounds(t *testing.T) {
+	// d=2, k=3: n=64, s=8. Manhattan LB = 65/(3·2·7), Euclidean = 65/(3√2·7).
+	if got, want := AllPairsManhattanLB(2, 3), 65.0/42.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Manhattan LB = %v, want %v", got, want)
+	}
+	if got, want := AllPairsEuclideanLB(2, 3), 65.0/(3*math.Sqrt2*7); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Euclidean LB = %v, want %v", got, want)
+	}
+	// Proposition ordering: Euclidean bound is √d/d = 1/√d weaker... i.e.
+	// larger than the Manhattan bound by a factor √d.
+	if AllPairsEuclideanLB(3, 2) <= AllPairsManhattanLB(3, 2) {
+		t.Fatal("Euclidean LB should exceed Manhattan LB")
+	}
+	// Proposition 4 UBs.
+	if SimpleAllPairsManhattanUB(2, 3) != 8 {
+		t.Fatal("simple all-pairs Manhattan UB wrong")
+	}
+	if math.Abs(SimpleAllPairsEuclideanUB(2, 3)-8*math.Sqrt2) > 1e-12 {
+		t.Fatal("simple all-pairs Euclidean UB wrong")
+	}
+	// The lower bound must sit below the simple curve's upper bound.
+	for d := 1; d <= 4; d++ {
+		for k := 1; d*k <= 20; k++ {
+			if AllPairsManhattanLB(d, k) > SimpleAllPairsManhattanUB(d, k)+1e-9 {
+				t.Fatalf("d=%d k=%d: Manhattan LB above simple UB", d, k)
+			}
+		}
+	}
+}
+
+func TestSAPrimeIdentity(t *testing.T) {
+	// n=4: 3·4·5/3 = 20.
+	if got := SAPrimeIdentity(4); got.Cmp(big.NewInt(20)) != 0 {
+		t.Fatalf("S_A'(4) = %v, want 20", got)
+	}
+	// Large n exceeds uint64: n = 2^22 → ~2.6e19·… just check positivity and
+	// divisibility reasoning via recomputation.
+	n := uint64(1) << 22
+	got := SAPrimeIdentity(n)
+	want := new(big.Int).SetUint64(n - 1)
+	want.Mul(want, new(big.Int).SetUint64(n))
+	want.Mul(want, new(big.Int).SetUint64(n+1))
+	want.Div(want, big.NewInt(3))
+	if got.Cmp(want) != 0 {
+		t.Fatal("SAPrimeIdentity large-n mismatch")
+	}
+}
+
+func TestRandomCurveExpectedDelta(t *testing.T) {
+	if got := RandomCurveExpectedDelta(64); math.Abs(got-65.0/3.0) > 1e-12 {
+		t.Fatalf("expected delta = %v", got)
+	}
+}
+
+func TestBinom(t *testing.T) {
+	cases := []struct {
+		a, b int
+		want uint64
+	}{{5, 0, 1}, {5, 2, 10}, {5, 5, 1}, {5, 6, 0}, {5, -1, 0}, {10, 3, 120}, {20, 10, 184756}}
+	for _, tc := range cases {
+		if got := binom(tc.a, tc.b); got != tc.want {
+			t.Fatalf("binom(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestGrayConstantsConsistency(t *testing.T) {
+	for d := 2; d <= 8; d++ {
+		var sum float64
+		for i := 1; i <= d; i++ {
+			sum += GrayLambdaLimit(d, i)
+		}
+		if math.Abs(sum-GrayAsymptoticConstant(d)) > 1e-12 {
+			t.Fatalf("d=%d: Σ Gray limits %v != constant %v", d, sum, GrayAsymptoticConstant(d))
+		}
+	}
+	if math.Abs(GrayAsymptoticConstant(2)-1.5) > 1e-12 {
+		t.Fatal("C(gray,2) != 3/2")
+	}
+	if math.Abs(GrayAsymptoticConstant(3)-7.0/6) > 1e-12 {
+		t.Fatal("C(gray,3) != 7/6")
+	}
+}

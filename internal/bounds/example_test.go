@@ -1,0 +1,40 @@
+package bounds_test
+
+import (
+	"fmt"
+
+	"repro/internal/bounds"
+)
+
+func ExampleNNAvgLowerBound() {
+	// Theorem 1 on a 2-d universe with n = 2^20 cells.
+	fmt.Printf("%.4f\n", bounds.NNAvgLowerBound(2, 10))
+	// Output: 341.3333
+}
+
+func ExampleNNAsymptote() {
+	// Theorem 2/3: (1/d)·n^(1−1/d). The ratio to the Theorem 1 bound is the
+	// paper's 1.5 optimality factor.
+	asym := bounds.NNAsymptote(2, 10)
+	lb := bounds.NNAvgLowerBound(2, 10)
+	fmt.Printf("%.0f %.4f\n", asym, asym/lb)
+	// Output: 512 1.5000
+}
+
+func ExampleZLambdaExact() {
+	// Lemma 5's exact per-dimension sums on the 2×2 grid.
+	fmt.Println(bounds.ZLambdaExact(2, 1, 1), bounds.ZLambdaExact(2, 1, 2))
+	// Output: 4 2
+}
+
+func ExampleSAPrimeIdentity() {
+	// Lemma 2 for n = 64: 63·64·65/3.
+	fmt.Println(bounds.SAPrimeIdentity(64))
+	// Output: 87360
+}
+
+func ExampleSimpleDMaxExact() {
+	// Proposition 2: Dmax(S) = n^(1−1/d), exactly.
+	fmt.Printf("%.0f\n", bounds.SimpleDMaxExact(3, 4))
+	// Output: 256
+}

@@ -1,0 +1,193 @@
+// Package cluster implements the clustering metric of Moon, Jagadish,
+// Faloutsos & Saltz ("Analysis of the clustering properties of the Hilbert
+// space-filling curve", IEEE TKDE 2001), cited as the principal related
+// metric in §II of the paper: given an axis-aligned query region, into how
+// many maximal runs of consecutive curve positions do the region's cells
+// fall?
+//
+// The stretch metrics of the paper and the clustering metric measure
+// different things — stretch is about distances between individual cells,
+// clustering about the fragmentation of regions — and the experiment
+// harness contrasts them (experiment "ext-cluster"): the Hilbert curve wins
+// on clustering while sharing the Θ(n^(1−1/d)) NN-stretch regime with Z.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+// MaxRegionCells bounds the region volume for a single Clusters evaluation.
+const MaxRegionCells = 1 << 22
+
+// Clusters returns the number of maximal runs of consecutive curve indices
+// covering the axis-aligned region with inclusive corner lo and the given
+// per-dimension extents. It errors if the region leaves the universe or is
+// larger than MaxRegionCells.
+func Clusters(c curve.Curve, lo grid.Point, extent []uint32) (int, error) {
+	keys, err := regionKeys(c, lo, extent)
+	if err != nil {
+		return 0, err
+	}
+	if len(keys) == 0 {
+		return 0, nil
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	runs := 1
+	for i := 1; i < len(keys); i++ {
+		if keys[i] != keys[i-1]+1 {
+			runs++
+		}
+	}
+	return runs, nil
+}
+
+// regionKeys collects the curve indices of every cell in the region.
+func regionKeys(c curve.Curve, lo grid.Point, extent []uint32) ([]uint64, error) {
+	u := c.Universe()
+	d := u.D()
+	if len(lo) != d || len(extent) != d {
+		return nil, fmt.Errorf("cluster: region arity mismatch (d=%d)", d)
+	}
+	vol := uint64(1)
+	for i := 0; i < d; i++ {
+		if extent[i] == 0 {
+			return nil, fmt.Errorf("cluster: empty extent in dimension %d", i+1)
+		}
+		if uint64(lo[i])+uint64(extent[i]) > uint64(u.Side()) {
+			return nil, fmt.Errorf("cluster: region exceeds universe in dimension %d", i+1)
+		}
+		vol *= uint64(extent[i])
+		if vol > MaxRegionCells {
+			return nil, fmt.Errorf("cluster: region volume exceeds %d cells", MaxRegionCells)
+		}
+	}
+	keys := make([]uint64, 0, vol)
+	p := lo.Clone()
+	for {
+		keys = append(keys, c.Index(p))
+		// Odometer increment within the region.
+		i := 0
+		for ; i < d; i++ {
+			p[i]++
+			if p[i] < lo[i]+extent[i] {
+				break
+			}
+			p[i] = lo[i]
+		}
+		if i == d {
+			return keys, nil
+		}
+	}
+}
+
+// Stats summarizes the clustering of a region shape over many placements.
+type Stats struct {
+	Mean    float64 // mean number of runs per region
+	Max     int     // worst placement seen
+	Regions int     // placements evaluated
+}
+
+// AvgClusters computes the exact mean cluster count of the given region
+// shape over every position in the universe. The number of placements is
+// Π (side − extent_i + 1); it errors when that exceeds maxRegions.
+func AvgClusters(c curve.Curve, extent []uint32, maxRegions uint64) (Stats, error) {
+	u := c.Universe()
+	d := u.D()
+	if len(extent) != d {
+		return Stats{}, fmt.Errorf("cluster: extent arity mismatch (d=%d)", d)
+	}
+	placements := uint64(1)
+	for i := 0; i < d; i++ {
+		if extent[i] == 0 || extent[i] > u.Side() {
+			return Stats{}, fmt.Errorf("cluster: bad extent %d in dimension %d", extent[i], i+1)
+		}
+		placements *= uint64(u.Side()-extent[i]) + 1
+	}
+	if maxRegions == 0 {
+		maxRegions = 1 << 16
+	}
+	if placements > maxRegions {
+		return Stats{}, fmt.Errorf("cluster: %d placements exceed limit %d (use SampledAvgClusters)", placements, maxRegions)
+	}
+	lo := u.NewPoint()
+	var st Stats
+	var sum float64
+	for {
+		runs, err := Clusters(c, lo, extent)
+		if err != nil {
+			return Stats{}, err
+		}
+		sum += float64(runs)
+		if runs > st.Max {
+			st.Max = runs
+		}
+		st.Regions++
+		// Odometer over placements.
+		i := 0
+		for ; i < d; i++ {
+			lo[i]++
+			if uint64(lo[i])+uint64(extent[i]) <= uint64(u.Side()) {
+				break
+			}
+			lo[i] = 0
+		}
+		if i == d {
+			break
+		}
+	}
+	st.Mean = sum / float64(st.Regions)
+	return st, nil
+}
+
+// SampledAvgClusters estimates the mean cluster count over uniformly random
+// placements of the region shape, deterministically from seed.
+func SampledAvgClusters(c curve.Curve, extent []uint32, samples int, seed int64) (Stats, error) {
+	u := c.Universe()
+	d := u.D()
+	if len(extent) != d {
+		return Stats{}, fmt.Errorf("cluster: extent arity mismatch (d=%d)", d)
+	}
+	if samples < 1 {
+		return Stats{}, fmt.Errorf("cluster: need at least 1 sample")
+	}
+	for i := 0; i < d; i++ {
+		if extent[i] == 0 || extent[i] > u.Side() {
+			return Stats{}, fmt.Errorf("cluster: bad extent %d in dimension %d", extent[i], i+1)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	lo := u.NewPoint()
+	var st Stats
+	var sum float64
+	for s := 0; s < samples; s++ {
+		for i := 0; i < d; i++ {
+			lo[i] = uint32(rng.Intn(int(u.Side()-extent[i]) + 1))
+		}
+		runs, err := Clusters(c, lo, extent)
+		if err != nil {
+			return Stats{}, err
+		}
+		sum += float64(runs)
+		if runs > st.Max {
+			st.Max = runs
+		}
+		st.Regions++
+	}
+	st.Mean = sum / float64(st.Regions)
+	return st, nil
+}
+
+// Square returns the d-dimensional extent vector with every side equal to
+// size — the square/cubic regions used in Moon et al.'s analysis.
+func Square(d int, size uint32) []uint32 {
+	e := make([]uint32, d)
+	for i := range e {
+		e[i] = size
+	}
+	return e
+}

@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+func TestClustersFullUniverseIsOneRun(t *testing.T) {
+	u := grid.MustNew(2, 3)
+	for _, name := range curve.Names() {
+		c, err := curve.ByName(name, u, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs, err := Clusters(c, u.NewPoint(), Square(2, u.Side()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if runs != 1 {
+			t.Errorf("%s: full universe splits into %d runs", name, runs)
+		}
+	}
+}
+
+func TestClustersSingleCell(t *testing.T) {
+	u := grid.MustNew(2, 3)
+	z := curve.NewZ(u)
+	runs, err := Clusters(z, u.MustPoint(3, 5), Square(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Fatalf("single cell is %d runs", runs)
+	}
+}
+
+func TestClustersZQuadrant(t *testing.T) {
+	// An aligned quadrant of the Z curve is exactly one run; a row of the
+	// 8×8 Z curve is fragmented into 4 runs of 2.
+	u := grid.MustNew(2, 3)
+	z := curve.NewZ(u)
+	runs, err := Clusters(z, u.MustPoint(4, 4), Square(2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Fatalf("aligned Z quadrant is %d runs", runs)
+	}
+	// Dimension 1 contributes the most significant bit of each key pair, so
+	// cells consecutive along dimension 2 pair up: a full line in dimension
+	// 2 fragments into 4 runs of 2, while a line in dimension 1 is fully
+	// scattered (8 singleton runs).
+	runs, err = Clusters(z, u.MustPoint(0, 0), []uint32{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 4 {
+		t.Fatalf("Z line along dim 2 is %d runs, want 4", runs)
+	}
+	runs, err = Clusters(z, u.MustPoint(0, 0), []uint32{8, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 8 {
+		t.Fatalf("Z line along dim 1 is %d runs, want 8", runs)
+	}
+}
+
+func TestClustersSimpleRows(t *testing.T) {
+	// For the simple curve a region of r rows is exactly r runs (unless the
+	// rows are full-width and adjacent, where runs merge).
+	u := grid.MustNew(2, 3)
+	s := curve.NewSimple(u)
+	runs, err := Clusters(s, u.MustPoint(1, 1), []uint32{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 4 {
+		t.Fatalf("3×4 region on simple curve = %d runs, want 4", runs)
+	}
+	runs, err = Clusters(s, u.MustPoint(0, 2), []uint32{8, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Fatalf("full-width block on simple curve = %d runs, want 1", runs)
+	}
+}
+
+func TestClustersValidation(t *testing.T) {
+	u := grid.MustNew(2, 3)
+	z := curve.NewZ(u)
+	if _, err := Clusters(z, u.MustPoint(6, 6), Square(2, 4)); err == nil {
+		t.Fatal("out-of-universe region accepted")
+	}
+	if _, err := Clusters(z, u.MustPoint(0, 0), []uint32{0, 4}); err == nil {
+		t.Fatal("empty extent accepted")
+	}
+	if _, err := Clusters(z, u.MustPoint(0, 0), []uint32{4}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestAvgClustersExact(t *testing.T) {
+	u := grid.MustNew(2, 3)
+	z := curve.NewZ(u)
+	h := curve.NewHilbert(u)
+	stZ, err := AvgClusters(z, Square(2, 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stH, err := AvgClusters(h, Square(2, 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stZ.Regions != 49 || stH.Regions != 49 {
+		t.Fatalf("placements %d/%d, want 49", stZ.Regions, stH.Regions)
+	}
+	// Moon et al.: Hilbert clusters 2×2 queries strictly better than Z.
+	if stH.Mean >= stZ.Mean {
+		t.Errorf("Hilbert mean clusters %v not below Z %v", stH.Mean, stZ.Mean)
+	}
+	if stZ.Max < 2 || stH.Max < 1 {
+		t.Errorf("suspicious maxima: Z %d, H %d", stZ.Max, stH.Max)
+	}
+}
+
+func TestAvgClustersGuards(t *testing.T) {
+	u := grid.MustNew(2, 5)
+	z := curve.NewZ(u)
+	if _, err := AvgClusters(z, Square(2, 2), 10); err == nil {
+		t.Fatal("placement explosion accepted")
+	}
+	if _, err := AvgClusters(z, Square(2, 0), 0); err == nil {
+		t.Fatal("zero extent accepted")
+	}
+	if _, err := AvgClusters(z, []uint32{2}, 0); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestSampledMatchesExactOnSmallGrid(t *testing.T) {
+	u := grid.MustNew(2, 3)
+	h := curve.NewHilbert(u)
+	exact, err := AvgClusters(h, Square(2, 3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := SampledAvgClusters(h, Square(2, 3), 4000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Mean-exact.Mean) > 0.15*exact.Mean {
+		t.Fatalf("sampled %v far from exact %v", est.Mean, exact.Mean)
+	}
+	if est.Regions != 4000 {
+		t.Fatalf("sample count %d", est.Regions)
+	}
+}
+
+func TestSampledDeterministic(t *testing.T) {
+	u := grid.MustNew(2, 4)
+	z := curve.NewZ(u)
+	a, err := SampledAvgClusters(z, Square(2, 3), 500, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SampledAvgClusters(z, Square(2, 3), 500, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+	if _, err := SampledAvgClusters(z, Square(2, 3), 0, 1); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+	if _, err := SampledAvgClusters(z, []uint32{3}, 10, 1); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if _, err := SampledAvgClusters(z, Square(2, 0), 10, 1); err == nil {
+		t.Fatal("zero extent accepted")
+	}
+}
+
+func TestSquare(t *testing.T) {
+	e := Square(3, 5)
+	if len(e) != 3 || e[0] != 5 || e[2] != 5 {
+		t.Fatalf("Square = %v", e)
+	}
+}

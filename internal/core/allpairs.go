@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"math/rand"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+	"repro/internal/parallel"
+)
+
+// MaxExactPairsN bounds the universe size for the exact O(n²) all-pairs
+// computations; beyond it the sampled estimators must be used.
+const MaxExactPairsN = 1 << 15
+
+// Metric selects the high-dimensional distance used by the all-pairs
+// stretch (§V.B of the paper).
+type Metric int
+
+const (
+	// Manhattan is Δ(α, β) = Σ|α_i − β_i|.
+	Manhattan Metric = iota
+	// Euclidean is Δ_E(α, β) = sqrt(Σ(α_i − β_i)²).
+	Euclidean
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case Manhattan:
+		return "manhattan"
+	case Euclidean:
+		return "euclidean"
+	default:
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+}
+
+// flatUniverse materializes the curve as flat arrays for O(1) pair access:
+// for each Linear cell index, its curve index and its coordinates.
+func flatUniverse(c curve.Curve) (idxOf []uint64, coords []uint32) {
+	u := c.Universe()
+	n := u.N()
+	d := u.D()
+	idxOf = make([]uint64, n)
+	coords = make([]uint32, n*uint64(d))
+	p := u.NewPoint()
+	for lin := uint64(0); lin < n; lin++ {
+		u.FromLinear(lin, p)
+		idxOf[lin] = c.Index(p)
+		copy(coords[lin*uint64(d):(lin+1)*uint64(d)], p)
+	}
+	return idxOf, coords
+}
+
+// sumPairsFloat sums term(a, b) over all unordered pairs a < b of [0, n),
+// parallelized over a with per-chunk Kahan compensation and a deterministic
+// combine.
+func sumPairsFloat(n uint64, workers int, term func(a, b uint64) float64) float64 {
+	return parallel.SumFloat64Chunked(n, workers, func(lo, hi uint64) float64 {
+		var s, comp float64
+		for a := lo; a < hi; a++ {
+			for b := a + 1; b < n; b++ {
+				y := term(a, b) - comp
+				t := s + y
+				comp = (t - s) - y
+				s = t
+			}
+		}
+		return s
+	})
+}
+
+// maxPairsFloat maximizes term(a, b) over all unordered pairs a < b.
+func maxPairsFloat(n uint64, workers int, term func(a, b uint64) float64) float64 {
+	return parallel.MaxFloat64Chunked(n, workers, func(lo, hi uint64) float64 {
+		best := math.Inf(-1)
+		for a := lo; a < hi; a++ {
+			for b := a + 1; b < n; b++ {
+				if v := term(a, b); v > best {
+					best = v
+				}
+			}
+		}
+		return best
+	})
+}
+
+// AllPairsStretch returns str_avg(π) under the chosen metric:
+//
+//	str_avg(π) = (2/(n(n−1))) Σ_{(α,β) ∈ A} Δπ(α, β) / Δ(α, β)
+//
+// computed exactly over all unordered pairs, in parallel. It returns an
+// error when n exceeds MaxExactPairsN (use SampledAllPairsStretch instead)
+// or when the universe has a single cell.
+func AllPairsStretch(c curve.Curve, m Metric, workers int) (float64, error) {
+	u := c.Universe()
+	n := u.N()
+	if n > MaxExactPairsN {
+		return 0, fmt.Errorf("core: exact all-pairs stretch over n=%d exceeds limit %d", n, MaxExactPairsN)
+	}
+	if n < 2 {
+		return 0, fmt.Errorf("core: all-pairs stretch undefined for n=%d", n)
+	}
+	idxOf, coords := flatUniverse(c)
+	d := u.D()
+	// Parallelize over the first element of the pair; each a pairs with all
+	// b > a, so per-index work is skewed — the deterministic static split is
+	// still fine because the harness sizes are small.
+	total := parallel.SumFloat64Chunked(n, workers, func(lo, hi uint64) float64 {
+		var s, comp float64
+		for a := lo; a < hi; a++ {
+			ca := coords[a*uint64(d) : (a+1)*uint64(d)]
+			ia := idxOf[a]
+			for b := a + 1; b < n; b++ {
+				cb := coords[b*uint64(d) : (b+1)*uint64(d)]
+				var dist float64
+				switch m {
+				case Manhattan:
+					var md uint64
+					for i := 0; i < d; i++ {
+						if ca[i] >= cb[i] {
+							md += uint64(ca[i] - cb[i])
+						} else {
+							md += uint64(cb[i] - ca[i])
+						}
+					}
+					dist = float64(md)
+				case Euclidean:
+					var sq float64
+					for i := 0; i < d; i++ {
+						diff := float64(int64(ca[i]) - int64(cb[i]))
+						sq += diff * diff
+					}
+					dist = math.Sqrt(sq)
+				}
+				y := float64(absDiff(ia, idxOf[b]))/dist - comp
+				t := s + y
+				comp = (t - s) - y
+				s = t
+			}
+		}
+		return s
+	})
+	return 2 * total / (float64(n) * float64(n-1)), nil
+}
+
+// SAPrime returns S_{A′}(π) = Σ over ordered pairs of Δπ(α, β), computed by
+// brute force over all unordered cell pairs (doubled). Lemma 2 states this
+// equals (n−1)n(n+1)/3 for every bijection π; the harness verifies the
+// identity. n is capped at MaxExactPairsN, which also keeps the sum within
+// uint64.
+func SAPrime(c curve.Curve, workers int) (uint64, error) {
+	u := c.Universe()
+	n := u.N()
+	if n > MaxExactPairsN {
+		return 0, fmt.Errorf("core: exact S_A' over n=%d exceeds limit %d", n, MaxExactPairsN)
+	}
+	idxOf, _ := flatUniverse(c)
+	total := parallel.SumUint64Chunked(n, workers, func(lo, hi uint64) uint64 {
+		var s uint64
+		for a := lo; a < hi; a++ {
+			ia := idxOf[a]
+			for b := a + 1; b < n; b++ {
+				s += absDiff(ia, idxOf[b])
+			}
+		}
+		return s
+	})
+	return 2 * total, nil
+}
+
+// SAPrimeIdentity returns the Lemma 2 value (n−1)n(n+1)/3 as a big.Int
+// (it exceeds uint64 for n ≥ 2^21).
+func SAPrimeIdentity(n uint64) *big.Int {
+	bn := new(big.Int).SetUint64(n)
+	r := new(big.Int).SetUint64(n - 1)
+	r.Mul(r, bn)
+	r.Mul(r, new(big.Int).SetUint64(n+1))
+	return r.Div(r, big.NewInt(3))
+}
+
+// SampledStretch is the result of a sampled all-pairs stretch estimate.
+type SampledStretch struct {
+	Mean    float64 // sample mean of Δπ/Δ over sampled pairs
+	StdErr  float64 // standard error of the mean
+	Samples int     // number of pairs sampled
+}
+
+// SampledAllPairsStretch estimates str_avg(π) by sampling unordered pairs
+// of distinct cells uniformly at random (deterministically from seed).
+func SampledAllPairsStretch(c curve.Curve, m Metric, samples int, seed int64) (SampledStretch, error) {
+	u := c.Universe()
+	n := u.N()
+	if n < 2 {
+		return SampledStretch{}, fmt.Errorf("core: all-pairs stretch undefined for n=%d", n)
+	}
+	if samples < 2 {
+		return SampledStretch{}, fmt.Errorf("core: need at least 2 samples, got %d", samples)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := u.NewPoint()
+	q := u.NewPoint()
+	var sum, sumSq float64
+	for s := 0; s < samples; s++ {
+		la := uint64(rng.Int63n(int64(n)))
+		lb := uint64(rng.Int63n(int64(n) - 1))
+		if lb >= la {
+			lb++
+		}
+		u.FromLinear(la, p)
+		u.FromLinear(lb, q)
+		dPi := float64(curve.Dist(c, p, q))
+		var dist float64
+		switch m {
+		case Manhattan:
+			dist = float64(grid.Manhattan(p, q))
+		case Euclidean:
+			dist = grid.Euclidean(p, q)
+		}
+		v := dPi / dist
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(samples)
+	variance := (sumSq - sum*mean) / float64(samples-1)
+	if variance < 0 {
+		variance = 0
+	}
+	return SampledStretch{
+		Mean:    mean,
+		StdErr:  math.Sqrt(variance / float64(samples)),
+		Samples: samples,
+	}, nil
+}
+
+// MaxPairStretch returns max over unordered pairs of Δπ/Δ under the chosen
+// metric — used to verify the per-pair Lemma 7 bounds for the simple curve.
+func MaxPairStretch(c curve.Curve, m Metric, workers int) (float64, error) {
+	u := c.Universe()
+	n := u.N()
+	if n > MaxExactPairsN {
+		return 0, fmt.Errorf("core: exact max pair stretch over n=%d exceeds limit %d", n, MaxExactPairsN)
+	}
+	if n < 2 {
+		return 0, fmt.Errorf("core: pair stretch undefined for n=%d", n)
+	}
+	idxOf, coords := flatUniverse(c)
+	d := u.D()
+	return parallel.MaxFloat64Chunked(n, workers, func(lo, hi uint64) float64 {
+		best := math.Inf(-1)
+		for a := lo; a < hi; a++ {
+			ca := coords[a*uint64(d) : (a+1)*uint64(d)]
+			ia := idxOf[a]
+			for b := a + 1; b < n; b++ {
+				cb := coords[b*uint64(d) : (b+1)*uint64(d)]
+				var dist float64
+				switch m {
+				case Manhattan:
+					var md uint64
+					for i := 0; i < d; i++ {
+						if ca[i] >= cb[i] {
+							md += uint64(ca[i] - cb[i])
+						} else {
+							md += uint64(cb[i] - ca[i])
+						}
+					}
+					dist = float64(md)
+				case Euclidean:
+					var sq float64
+					for i := 0; i < d; i++ {
+						diff := float64(int64(ca[i]) - int64(cb[i]))
+						sq += diff * diff
+					}
+					dist = math.Sqrt(sq)
+				}
+				if v := float64(absDiff(ia, idxOf[b])) / dist; v > best {
+					best = v
+				}
+			}
+		}
+		return best
+	}), nil
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+// naiveAllPairs is a trust-nothing O(n²) reference using only the public
+// grid/curve primitives.
+func naiveAllPairs(c curve.Curve, m Metric) float64 {
+	u := c.Universe()
+	n := u.N()
+	p := u.NewPoint()
+	q := u.NewPoint()
+	var sum float64
+	for a := uint64(0); a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			u.FromLinear(a, p)
+			u.FromLinear(b, q)
+			var dist float64
+			if m == Manhattan {
+				dist = float64(grid.Manhattan(p, q))
+			} else {
+				dist = grid.Euclidean(p, q)
+			}
+			sum += float64(curve.Dist(c, p, q)) / dist
+		}
+	}
+	return 2 * sum / (float64(n) * float64(n-1))
+}
+
+func TestAllPairsStretchMatchesNaive(t *testing.T) {
+	for _, dk := range [][2]int{{1, 4}, {2, 2}, {3, 1}} {
+		u := grid.MustNew(dk[0], dk[1])
+		for _, c := range testCurves(t, u) {
+			for _, m := range []Metric{Manhattan, Euclidean} {
+				got, err := AllPairsStretch(c, m, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := naiveAllPairs(c, m); math.Abs(got-want) > 1e-9 {
+					t.Errorf("%s %v on %v: %v, naive %v", c.Name(), m, u, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAllPairsStretchGuards(t *testing.T) {
+	big3 := grid.MustNew(3, 6) // 2^18 > MaxExactPairsN
+	if _, err := AllPairsStretch(curve.NewZ(big3), Manhattan, 1); err == nil {
+		t.Fatal("oversized exact all-pairs accepted")
+	}
+	one := grid.MustNew(2, 0)
+	if _, err := AllPairsStretch(curve.NewZ(one), Manhattan, 1); err == nil {
+		t.Fatal("single-cell all-pairs accepted")
+	}
+	if _, err := MaxPairStretch(curve.NewZ(big3), Manhattan, 1); err == nil {
+		t.Fatal("oversized max pair accepted")
+	}
+	if _, err := MaxPairStretch(curve.NewZ(one), Manhattan, 1); err == nil {
+		t.Fatal("single-cell max pair accepted")
+	}
+	if _, err := SAPrime(curve.NewZ(big3), 1); err == nil {
+		t.Fatal("oversized SAPrime accepted")
+	}
+}
+
+func TestProposition3LowerBounds(t *testing.T) {
+	// Any SFC's all-pairs stretch respects the Proposition 3 bounds.
+	for _, dk := range [][2]int{{1, 4}, {2, 3}, {3, 2}} {
+		d, k := dk[0], dk[1]
+		u := grid.MustNew(d, k)
+		lbM := bounds.AllPairsManhattanLB(d, k)
+		lbE := bounds.AllPairsEuclideanLB(d, k)
+		for _, c := range testCurves(t, u) {
+			gotM, err := AllPairsStretch(c, Manhattan, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotM < lbM-1e-9 {
+				t.Errorf("%s on %v: Manhattan stretch %v below bound %v", c.Name(), u, gotM, lbM)
+			}
+			gotE, err := AllPairsStretch(c, Euclidean, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotE < lbE-1e-9 {
+				t.Errorf("%s on %v: Euclidean stretch %v below bound %v", c.Name(), u, gotE, lbE)
+			}
+			// Δ_E ≤ Δ pointwise, so the Euclidean stretch dominates.
+			if gotE < gotM-1e-9 {
+				t.Errorf("%s on %v: Euclidean stretch %v below Manhattan %v", c.Name(), u, gotE, gotM)
+			}
+		}
+	}
+}
+
+func TestProposition4SimpleCurveUpperBounds(t *testing.T) {
+	for _, dk := range [][2]int{{1, 4}, {2, 3}, {3, 2}} {
+		d, k := dk[0], dk[1]
+		u := grid.MustNew(d, k)
+		s := curve.NewSimple(u)
+		gotM, err := AllPairsStretch(s, Manhattan, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ub := bounds.SimpleAllPairsManhattanUB(d, k); gotM > ub+1e-9 {
+			t.Errorf("d=%d k=%d: simple Manhattan stretch %v above UB %v", d, k, gotM, ub)
+		}
+		gotE, err := AllPairsStretch(s, Euclidean, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ub := bounds.SimpleAllPairsEuclideanUB(d, k); gotE > ub+1e-9 {
+			t.Errorf("d=%d k=%d: simple Euclidean stretch %v above UB %v", d, k, gotE, ub)
+		}
+	}
+}
+
+func TestLemma7PerPairBound(t *testing.T) {
+	// Lemma 7 is pointwise: max over pairs of ΔS/Δ ≤ n^(1−1/d), and
+	// ΔS/Δ_E ≤ √2·n^(1−1/d).
+	for _, dk := range [][2]int{{2, 3}, {3, 2}} {
+		d, k := dk[0], dk[1]
+		u := grid.MustNew(d, k)
+		s := curve.NewSimple(u)
+		maxM, err := MaxPairStretch(s, Manhattan, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ub := bounds.SimpleAllPairsManhattanUB(d, k); maxM > ub+1e-9 {
+			t.Errorf("d=%d k=%d: max pair Manhattan stretch %v above %v", d, k, maxM, ub)
+		}
+		maxE, err := MaxPairStretch(s, Euclidean, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ub := bounds.SimpleAllPairsEuclideanUB(d, k); maxE > ub+1e-9 {
+			t.Errorf("d=%d k=%d: max pair Euclidean stretch %v above %v", d, k, maxE, ub)
+		}
+	}
+}
+
+func TestLemma2SAPrimeIdentity(t *testing.T) {
+	// S_{A'}(π) = (n−1)n(n+1)/3 for *every* bijection π.
+	for _, dk := range [][2]int{{1, 4}, {2, 3}, {3, 2}} {
+		u := grid.MustNew(dk[0], dk[1])
+		want := SAPrimeIdentity(u.N())
+		for _, c := range testCurves(t, u) {
+			got, err := SAPrime(c, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if new(big.Int).SetUint64(got).Cmp(want) != 0 {
+				t.Errorf("%s on %v: S_A' = %d, want %v", c.Name(), u, got, want)
+			}
+		}
+	}
+	// Both identity implementations agree.
+	if SAPrimeIdentity(4096).Cmp(bounds.SAPrimeIdentity(4096)) != 0 {
+		t.Fatal("core and bounds SAPrimeIdentity disagree")
+	}
+}
+
+func TestSampledAllPairsApproximatesExact(t *testing.T) {
+	u := grid.MustNew(2, 4)
+	z := curve.NewZ(u)
+	exact, err := AllPairsStretch(z, Manhattan, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := SampledAllPairsStretch(z, Manhattan, 60000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Samples != 60000 || est.StdErr <= 0 {
+		t.Fatalf("estimator metadata wrong: %+v", est)
+	}
+	if math.Abs(est.Mean-exact) > 6*est.StdErr {
+		t.Fatalf("sampled %v ± %v far from exact %v", est.Mean, est.StdErr, exact)
+	}
+}
+
+func TestSampledAllPairsDeterministic(t *testing.T) {
+	u := grid.MustNew(3, 3)
+	h := curve.NewHilbert(u)
+	a, err := SampledAllPairsStretch(h, Euclidean, 1000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SampledAllPairsStretch(h, Euclidean, 1000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed gave %+v and %+v", a, b)
+	}
+}
+
+func TestSampledAllPairsGuards(t *testing.T) {
+	u := grid.MustNew(2, 0)
+	if _, err := SampledAllPairsStretch(curve.NewZ(u), Manhattan, 100, 1); err == nil {
+		t.Fatal("single-cell sampling accepted")
+	}
+	u2 := grid.MustNew(2, 2)
+	if _, err := SampledAllPairsStretch(curve.NewZ(u2), Manhattan, 1, 1); err == nil {
+		t.Fatal("1-sample estimate accepted")
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if Manhattan.String() != "manhattan" || Euclidean.String() != "euclidean" {
+		t.Fatal("metric names wrong")
+	}
+	if Metric(9).String() == "" {
+		t.Fatal("unknown metric has empty name")
+	}
+}

@@ -1,0 +1,152 @@
+// Package core implements the paper's proximity-preservation metrics — the
+// primary contribution of Xu & Tirthapura, "A Lower Bound on Proximity
+// Preservation by Space Filling Curves" (IPDPS 2012).
+//
+// For a space filling curve π over the universe U (n cells, d dimensions):
+//
+//   - δavg_π(α): the average curve distance Δπ(α, β) = |π(α) − π(β)| from a
+//     cell α to its nearest neighbors β ∈ N(α) (Definition 1).
+//   - Davg(π): the average of δavg over all cells — the
+//     "average-average nearest-neighbor stretch" (Definition 2).
+//   - δmax_π(α), Dmax(π): the max-per-cell variants (Definitions 3, 4).
+//   - str_avg,M(π), str_avg,E(π): the average all-pairs stretch under the
+//     Manhattan and Euclidean metrics (§V.B).
+//   - Λ_i(π): the per-dimension sums of curve distances over nearest-
+//     neighbor pairs differing in dimension i (§IV.B), and S_{A′}(π), the
+//     total curve distance over all ordered pairs (Lemma 2).
+//
+// All exact computations run in parallel over contiguous chunks of the cell
+// index space with deterministic reductions (see the parallel package), so
+// repeated runs yield identical values. Pass workers <= 0 to use
+// GOMAXPROCS.
+package core
+
+import (
+	"repro/internal/curve"
+	"repro/internal/grid"
+	"repro/internal/parallel"
+)
+
+// DeltaAvgAt returns δavg_π(α) (Definition 1): the mean curve distance from
+// cell p to its nearest neighbors.
+func DeltaAvgAt(c curve.Curve, p grid.Point) float64 {
+	u := c.Universe()
+	base := c.Index(p)
+	var sum uint64
+	deg := 0
+	u.Neighbors(p, func(_ int, q grid.Point) {
+		sum += absDiff(base, c.Index(q))
+		deg++
+	})
+	if deg == 0 {
+		return 0
+	}
+	return float64(sum) / float64(deg)
+}
+
+// DeltaMaxAt returns δmax_π(α) (Definition 3): the maximum curve distance
+// from cell p to a nearest neighbor.
+func DeltaMaxAt(c curve.Curve, p grid.Point) uint64 {
+	base := c.Index(p)
+	var max uint64
+	c.Universe().Neighbors(p, func(_ int, q grid.Point) {
+		if d := absDiff(base, c.Index(q)); d > max {
+			max = d
+		}
+	})
+	return max
+}
+
+// DAvg returns the average-average nearest-neighbor stretch Davg(π)
+// (Definition 2), computed exactly in parallel.
+func DAvg(c curve.Curve, workers int) float64 {
+	avg, _ := NNStretch(c, workers)
+	return avg
+}
+
+// DMax returns the average-maximum nearest-neighbor stretch Dmax(π)
+// (Definition 4), computed exactly in parallel.
+func DMax(c curve.Curve, workers int) float64 {
+	_, max := NNStretch(c, workers)
+	return max
+}
+
+// NNStretch computes Davg(π) and Dmax(π) in a single parallel sweep over
+// all cells.
+func NNStretch(c curve.Curve, workers int) (davg, dmax float64) {
+	u := c.Universe()
+	n := u.N()
+	if n == 1 {
+		return 0, 0 // a single cell has no neighbors
+	}
+	type acc struct{ avg, max float64 }
+	partial := func(lo, hi uint64) acc {
+		p := u.NewPoint()
+		q := u.NewPoint()
+		side := u.Side()
+		d := u.D()
+		var a acc
+		var kahanAvgC, kahanMaxC float64
+		for idx := lo; idx < hi; idx++ {
+			u.FromLinear(idx, p)
+			base := c.Index(p)
+			var sum, max uint64
+			deg := 0
+			copy(q, p)
+			for dim := 0; dim < d; dim++ {
+				if p[dim] > 0 {
+					q[dim] = p[dim] - 1
+					dd := absDiff(base, c.Index(q))
+					sum += dd
+					if dd > max {
+						max = dd
+					}
+					deg++
+					q[dim] = p[dim]
+				}
+				if p[dim]+1 < side {
+					q[dim] = p[dim] + 1
+					dd := absDiff(base, c.Index(q))
+					sum += dd
+					if dd > max {
+						max = dd
+					}
+					deg++
+					q[dim] = p[dim]
+				}
+			}
+			// Kahan-compensated accumulation of both running sums.
+			y := float64(sum)/float64(deg) - kahanAvgC
+			t := a.avg + y
+			kahanAvgC = (t - a.avg) - y
+			a.avg = t
+
+			y = float64(max) - kahanMaxC
+			t = a.max + y
+			kahanMaxC = (t - a.max) - y
+			a.max = t
+		}
+		return a
+	}
+	var sumAvg, sumMax, cAvg, cMax float64
+	for _, a := range parallel.MapRanges(n, workers, partial) {
+		y := a.avg - cAvg
+		t := sumAvg + y
+		cAvg = (t - sumAvg) - y
+		sumAvg = t
+
+		y = a.max - cMax
+		t = sumMax + y
+		cMax = (t - sumMax) - y
+		sumMax = t
+	}
+	return sumAvg / float64(n), sumMax / float64(n)
+}
+
+// absDiff returns |a − b| for curve indices.
+func absDiff(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return b - a
+}

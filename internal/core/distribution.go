@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/curve"
+	"repro/internal/parallel"
+)
+
+// MaxDistributionN bounds the universe size for exact per-cell δavg
+// distributions (8 bytes per cell are materialized).
+const MaxDistributionN = 1 << 24
+
+// Distribution summarizes the per-cell δavg values of a curve. Davg is the
+// mean of this distribution; the quantiles expose *how* a curve achieves
+// its average — e.g. the simple curve concentrates all cells near the mean
+// while the Z curve mixes many cheap cells with a heavy tail of expensive
+// boundary-crossing cells.
+type Distribution struct {
+	Mean float64
+	P50  float64
+	P90  float64
+	P99  float64
+	Max  float64
+}
+
+// DeltaAvgDistribution computes the exact distribution of δavg over all
+// cells, in parallel.
+func DeltaAvgDistribution(c curve.Curve, workers int) (Distribution, error) {
+	u := c.Universe()
+	n := u.N()
+	if n > MaxDistributionN {
+		return Distribution{}, fmt.Errorf("core: distribution over n=%d exceeds limit %d", n, MaxDistributionN)
+	}
+	if n < 2 {
+		return Distribution{}, fmt.Errorf("core: distribution undefined for n=%d", n)
+	}
+	values := make([]float64, n)
+	parallel.ForChunked(n, workers, func(lo, hi uint64) {
+		p := u.NewPoint()
+		for lin := lo; lin < hi; lin++ {
+			u.FromLinear(lin, p)
+			values[lin] = DeltaAvgAt(c, p)
+		}
+	})
+	sort.Float64s(values)
+	var sum, comp float64
+	for _, v := range values {
+		y := v - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	q := func(p float64) float64 {
+		i := int(p * float64(n-1))
+		return values[i]
+	}
+	return Distribution{
+		Mean: sum / float64(n),
+		P50:  q(0.50),
+		P90:  q(0.90),
+		P99:  q(0.99),
+		Max:  values[n-1],
+	}, nil
+}

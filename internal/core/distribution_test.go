@@ -1,0 +1,55 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+func TestDeltaAvgDistributionMeanIsDAvg(t *testing.T) {
+	u := grid.MustNew(2, 5)
+	for _, c := range testCurves(t, u) {
+		dist, err := DeltaAvgDistribution(c, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := DAvg(c, 3); math.Abs(dist.Mean-want) > 1e-9 {
+			t.Errorf("%s: distribution mean %v, Davg %v", c.Name(), dist.Mean, want)
+		}
+		if !(dist.P50 <= dist.P90 && dist.P90 <= dist.P99 && dist.P99 <= dist.Max) {
+			t.Errorf("%s: quantiles not monotone: %+v", c.Name(), dist)
+		}
+	}
+}
+
+func TestDeltaAvgDistributionShapes(t *testing.T) {
+	// Shape claim: the simple curve is concentrated (P99 close to the
+	// median) while the Z curve is heavy-tailed (max far above the median).
+	u := grid.MustNew(2, 6)
+	s, err := DeltaAvgDistribution(curve.NewSimple(u), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := DeltaAvgDistribution(curve.NewZ(u), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.P99 > 2*s.P50 {
+		t.Errorf("simple curve not concentrated: %+v", s)
+	}
+	if z.Max < 4*z.P50 {
+		t.Errorf("Z curve not heavy-tailed: %+v", z)
+	}
+}
+
+func TestDeltaAvgDistributionGuards(t *testing.T) {
+	if _, err := DeltaAvgDistribution(curve.NewZ(grid.MustNew(2, 0)), 1); err == nil {
+		t.Fatal("single cell accepted")
+	}
+	big := grid.MustNew(5, 5) // 2^25 > MaxDistributionN
+	if _, err := DeltaAvgDistribution(curve.NewZ(big), 1); err == nil {
+		t.Fatal("oversized accepted")
+	}
+}

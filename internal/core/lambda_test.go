@@ -1,0 +1,45 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+// TestGrayLambdaLimitConjecture checks this reproduction's conjectured
+// Lemma 5 analogue for the Gray-code curve:
+// Λ_i(Gray)/n^(2−1/d) → 2^(d−i−1)/(2^(d−1)−1).
+func TestGrayLambdaLimitConjecture(t *testing.T) {
+	for _, dk := range [][2]int{{2, 9}, {3, 6}, {4, 4}} {
+		d, k := dk[0], dk[1]
+		u := grid.MustNew(d, k)
+		g := curve.NewGray(u)
+		lambdas := Lambdas(g, 0)
+		norm := math.Pow(float64(u.N()), 2-1/float64(d))
+		for i := 1; i <= d; i++ {
+			got := float64(lambdas[i-1]) / norm
+			want := bounds.GrayLambdaLimit(d, i)
+			if math.Abs(got-want) > 0.02*want {
+				t.Errorf("d=%d i=%d: Λ_i(Gray)/n^(2−1/d) = %v, conjecture %v", d, i, got, want)
+			}
+		}
+	}
+}
+
+// TestGrayConstantMatchesMeasured checks the summed constant against a
+// direct Davg measurement.
+func TestGrayConstantMatchesMeasured(t *testing.T) {
+	for _, dk := range [][2]int{{2, 9}, {3, 6}} {
+		d, k := dk[0], dk[1]
+		u := grid.MustNew(d, k)
+		g := curve.NewGray(u)
+		cMeasured := DAvg(g, 0) * float64(d) / math.Pow(float64(u.N()), 1-1/float64(d))
+		want := bounds.GrayAsymptoticConstant(d)
+		if math.Abs(cMeasured-want) > 0.02*want {
+			t.Errorf("d=%d: measured C(gray) %v, conjecture %v", d, cMeasured, want)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+// MaxExhaustiveN bounds the universe size for ExhaustiveOptimal: the search
+// visits all n! bijections (8! = 40320 is instant; 16! is not).
+const MaxExhaustiveN = 8
+
+// Optimal is the result of an exhaustive search over every SFC of a tiny
+// universe.
+type Optimal struct {
+	MinDAvg  float64  // minimum Davg over all n! bijections
+	MinDMax  float64  // minimum Dmax over all n! bijections
+	BestAvg  []uint64 // a permutation achieving MinDAvg (linear idx → curve idx)
+	BestMax  []uint64 // a permutation achieving MinDMax
+	Searched uint64   // bijections evaluated (n!)
+}
+
+// ExhaustiveOptimal finds the truly optimal SFC of a tiny universe by
+// enumerating all n! bijections (Heap's algorithm). The paper's Theorem 1
+// lower-bounds what any SFC can achieve; this computes the exact optimum at
+// the only sizes where that is feasible, quantifying the bound's slack.
+func ExhaustiveOptimal(u *grid.Universe) (Optimal, error) {
+	n := u.N()
+	if n < 2 {
+		return Optimal{}, fmt.Errorf("core: optimum undefined for n=%d", n)
+	}
+	if n > MaxExhaustiveN {
+		return Optimal{}, fmt.Errorf("core: exhaustive search over n=%d (> %d) is infeasible", n, MaxExhaustiveN)
+	}
+	// Precompute the neighbor structure once: for each linear cell index,
+	// the linear indices of its neighbors and its degree.
+	type cellInfo struct {
+		neighbors []int
+		invDeg    float64
+	}
+	cells := make([]cellInfo, n)
+	u.Cells(func(lin uint64, p grid.Point) bool {
+		var nbs []int
+		u.Neighbors(p, func(_ int, q grid.Point) {
+			nbs = append(nbs, int(u.Linear(q)))
+		})
+		cells[lin] = cellInfo{neighbors: nbs, invDeg: 1 / float64(len(nbs))}
+		return true
+	})
+
+	perm := make([]uint64, n)
+	for i := range perm {
+		perm[i] = uint64(i)
+	}
+	opt := Optimal{MinDAvg: 1e308, MinDMax: 1e308}
+	evaluate := func() {
+		var sumAvg, sumMax float64
+		for lin := range cells {
+			base := perm[lin]
+			var total, max uint64
+			for _, nb := range cells[lin].neighbors {
+				dd := absDiff(base, perm[nb])
+				total += dd
+				if dd > max {
+					max = dd
+				}
+			}
+			sumAvg += float64(total) * cells[lin].invDeg
+			sumMax += float64(max)
+		}
+		if avg := sumAvg / float64(n); avg < opt.MinDAvg {
+			opt.MinDAvg = avg
+			opt.BestAvg = append(opt.BestAvg[:0], perm...)
+		}
+		if mx := sumMax / float64(n); mx < opt.MinDMax {
+			opt.MinDMax = mx
+			opt.BestMax = append(opt.BestMax[:0], perm...)
+		}
+		opt.Searched++
+	}
+	// Heap's algorithm, iterative.
+	counters := make([]int, n)
+	evaluate()
+	for i := 0; i < int(n); {
+		if counters[i] < i {
+			if i%2 == 0 {
+				perm[0], perm[i] = perm[i], perm[0]
+			} else {
+				perm[counters[i]], perm[i] = perm[i], perm[counters[i]]
+			}
+			evaluate()
+			counters[i]++
+			i = 0
+		} else {
+			counters[i] = 0
+			i++
+		}
+	}
+	return opt, nil
+}
+
+// OptimalCurve wraps a permutation found by ExhaustiveOptimal as a Curve.
+func OptimalCurve(u *grid.Universe, perm []uint64, name string) (curve.Curve, error) {
+	return curve.NewTable(u, name, perm)
+}

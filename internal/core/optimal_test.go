@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+func TestExhaustiveOptimalLine(t *testing.T) {
+	// On a 1-d universe the identity curve is optimal: Davg = Dmax = 1.
+	u := grid.MustNew(1, 3) // 8 cells, 40320 permutations
+	opt, err := ExhaustiveOptimal(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Searched != 40320 {
+		t.Fatalf("searched %d permutations", opt.Searched)
+	}
+	if math.Abs(opt.MinDAvg-1) > 1e-12 || math.Abs(opt.MinDMax-1) > 1e-12 {
+		t.Fatalf("1-d optimum (%v, %v), want (1, 1)", opt.MinDAvg, opt.MinDMax)
+	}
+}
+
+func TestExhaustiveOptimal2x2MatchesFigure1(t *testing.T) {
+	// On the 2×2 grid the optimum Davg is 1.5 — achieved by Figure 1's π1 —
+	// and the optimum Dmax is 2.
+	u := grid.MustNew(2, 1)
+	opt, err := ExhaustiveOptimal(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Searched != 24 {
+		t.Fatalf("searched %d", opt.Searched)
+	}
+	if math.Abs(opt.MinDAvg-1.5) > 1e-12 {
+		t.Fatalf("2×2 optimal Davg = %v, want 1.5", opt.MinDAvg)
+	}
+	if math.Abs(opt.MinDMax-2) > 1e-12 {
+		t.Fatalf("2×2 optimal Dmax = %v, want 2", opt.MinDMax)
+	}
+	// The witnesses must be valid curves achieving the optima.
+	ca, err := OptimalCurve(u, opt.BestAvg, "opt-avg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := DAvg(ca, 1); math.Abs(got-opt.MinDAvg) > 1e-12 {
+		t.Fatalf("witness Davg %v != optimum %v", got, opt.MinDAvg)
+	}
+	cm, err := OptimalCurve(u, opt.BestMax, "opt-max")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := DMax(cm, 1); math.Abs(got-opt.MinDMax) > 1e-12 {
+		t.Fatalf("witness Dmax %v != optimum %v", got, opt.MinDMax)
+	}
+}
+
+func TestExhaustiveOptimalRespectsTheorem1(t *testing.T) {
+	// Even the true optimum cannot beat the Theorem 1 bound; the gap at
+	// tiny n quantifies the bound's slack.
+	for _, dk := range [][2]int{{1, 2}, {2, 1}, {3, 1}} {
+		u := grid.MustNew(dk[0], dk[1])
+		opt, err := ExhaustiveOptimal(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := bounds.NNAvgLowerBound(dk[0], dk[1])
+		if opt.MinDAvg < lb-1e-12 {
+			t.Fatalf("d=%d k=%d: optimum %v beats Theorem 1 bound %v", dk[0], dk[1], opt.MinDAvg, lb)
+		}
+		if opt.MinDMax < opt.MinDAvg-1e-12 {
+			t.Fatalf("optimal Dmax below optimal Davg")
+		}
+	}
+}
+
+func TestExhaustiveOptimalBeatsOrMatchesZ(t *testing.T) {
+	// The optimum is, by definition, at most the Z curve's stretch.
+	u := grid.MustNew(3, 1)
+	opt, err := ExhaustiveOptimal(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z := DAvg(curve.NewZ(u), 1); opt.MinDAvg > z+1e-12 {
+		t.Fatalf("optimum %v above Z %v", opt.MinDAvg, z)
+	}
+}
+
+func TestExhaustiveOptimalGuards(t *testing.T) {
+	if _, err := ExhaustiveOptimal(grid.MustNew(2, 2)); err == nil {
+		t.Fatal("n=16 accepted")
+	}
+	if _, err := ExhaustiveOptimal(grid.MustNew(1, 0)); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+// SampledNN is a sampled estimate of the nearest-neighbor stretch.
+type SampledNN struct {
+	DAvg       float64 // estimate of Davg(π)
+	DAvgStdErr float64 // standard error of the DAvg estimate
+	DMax       float64 // estimate of Dmax(π)
+	Samples    int
+}
+
+// SampledNNStretch estimates Davg and Dmax by sampling cells uniformly at
+// random (deterministically from seed) and evaluating δavg/δmax exactly at
+// each sampled cell. Unlike the exact sweep, it only needs O(samples · d)
+// curve evaluations, so it runs on universes far beyond the 2^20-cell exact
+// regime.
+//
+// Caveat for hierarchical curves (Z, Gray, Hilbert): their per-cell δavg
+// distribution is heavy-tailed — level-j boundary crossings have curve
+// distance ~2^(jd) but probability ~2^(−j), so every bit level contributes
+// equally to the mean. A uniform sample therefore underestimates Davg
+// unless samples ≫ 2^k; at very large k prefer the exact closed forms in
+// the bounds package (validated against exhaustive measurement at feasible
+// sizes). The simple/snake curves have essentially constant δavg per
+// interior cell, so sampling is accurate for them at any size — which is
+// how the harness probes Theorem 3 at n = 2^60 (experiment ext-bign).
+func SampledNNStretch(c curve.Curve, samples int, seed int64) (SampledNN, error) {
+	u := c.Universe()
+	if u.N() < 2 {
+		return SampledNN{}, fmt.Errorf("core: NN stretch undefined for n=%d", u.N())
+	}
+	if samples < 2 {
+		return SampledNN{}, fmt.Errorf("core: need at least 2 samples, got %d", samples)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := u.NewPoint()
+	var sum, sumSq, maxSum float64
+	for s := 0; s < samples; s++ {
+		for i := range p {
+			p[i] = uint32(rng.Int63n(int64(u.Side())))
+		}
+		v := DeltaAvgAt(c, p)
+		sum += v
+		sumSq += v * v
+		maxSum += float64(DeltaMaxAt(c, p))
+	}
+	mean := sum / float64(samples)
+	variance := (sumSq - sum*mean) / float64(samples-1)
+	if variance < 0 {
+		variance = 0
+	}
+	return SampledNN{
+		DAvg:       mean,
+		DAvgStdErr: math.Sqrt(variance / float64(samples)),
+		DMax:       maxSum / float64(samples),
+		Samples:    samples,
+	}, nil
+}
+
+// ProfileBin is one distance stratum of a stretch profile.
+type ProfileBin struct {
+	Distance    uint64  // Manhattan distance r of the stratum
+	MeanStretch float64 // mean Δπ/Δ over sampled pairs at distance r
+	Pairs       int     // pairs sampled in this stratum
+}
+
+// StretchProfile estimates the mean stretch Δπ/Δ as a function of the
+// Manhattan distance r between the pair, for r = 1, 2, 4, … up to the
+// universe diameter. This addresses the final open question of the paper's
+// §VI — proximity preservation "using a more general probabilistic model of
+// input". The profile exposes a structural dichotomy: for the structured
+// curves the stretch is approximately scale-invariant (every stratum is
+// Θ(n^(1−1/d)), consistent with the paper's NN and all-pairs bounds
+// differing only by constants), whereas for a random bijection Δπ is
+// ~(n+1)/3 regardless of r, so its profile decays like 1/r.
+//
+// Pairs are sampled by picking a random cell and a random offset of
+// Manhattan length r (rejection-sampled inside the universe).
+func StretchProfile(c curve.Curve, samplesPerBin int, seed int64) ([]ProfileBin, error) {
+	u := c.Universe()
+	if u.N() < 2 {
+		return nil, fmt.Errorf("core: profile undefined for n=%d", u.N())
+	}
+	if samplesPerBin < 1 {
+		return nil, fmt.Errorf("core: need at least 1 sample per bin")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var bins []ProfileBin
+	p := u.NewPoint()
+	q := u.NewPoint()
+	for r := uint64(1); r <= u.MaxManhattan(); r *= 2 {
+		var sum float64
+		pairs := 0
+		attempts := 0
+		maxAttempts := samplesPerBin * 100
+		for pairs < samplesPerBin && attempts < maxAttempts {
+			attempts++
+			for i := range p {
+				p[i] = uint32(rng.Int63n(int64(u.Side())))
+			}
+			if !randomOffset(rng, u, p, q, r) {
+				continue
+			}
+			sum += float64(curve.Dist(c, p, q)) / float64(r)
+			pairs++
+		}
+		if pairs == 0 {
+			continue
+		}
+		bins = append(bins, ProfileBin{Distance: r, MeanStretch: sum / float64(pairs), Pairs: pairs})
+	}
+	return bins, nil
+}
+
+// randomOffset writes into q a uniformly chosen cell at Manhattan distance
+// exactly r from p, returning false when the sampled offset leaves the
+// universe. The offset splits r across dimensions by a stars-and-bars draw
+// and assigns each component a random sign.
+func randomOffset(rng *rand.Rand, u *grid.Universe, p, q grid.Point, r uint64) bool {
+	d := u.D()
+	// Draw a random composition of r into d nonnegative parts.
+	parts := make([]uint64, d)
+	remaining := r
+	for i := 0; i < d-1; i++ {
+		// Binomial-ish split: uniform cut of the remaining mass.
+		parts[i] = uint64(rng.Int63n(int64(remaining) + 1))
+		remaining -= parts[i]
+	}
+	parts[d-1] = remaining
+	rng.Shuffle(d, func(i, j int) { parts[i], parts[j] = parts[j], parts[i] })
+	for i := 0; i < d; i++ {
+		v := int64(p[i])
+		if parts[i] > 0 && rng.Intn(2) == 0 {
+			v -= int64(parts[i])
+		} else {
+			v += int64(parts[i])
+		}
+		if v < 0 || v >= int64(u.Side()) {
+			return false
+		}
+		q[i] = uint32(v)
+	}
+	return true
+}
+
+// PNormStretch computes the p-norm all-pairs stretch of Dai & Su ([7, 8] in
+// the paper's related work):
+//
+//	str_p(π) = ( (2/(n(n−1))) Σ_{(α,β) ∈ A} (Δπ(α,β)/Δ(α,β))^p )^(1/p)
+//
+// For p = 1 under the Manhattan metric it coincides with AllPairsStretch;
+// growing p weights the badly-stretched pairs more heavily, interpolating
+// towards the worst-case pair stretch (MaxPairStretch) as p → ∞.
+func PNormStretch(c curve.Curve, m Metric, p float64, workers int) (float64, error) {
+	u := c.Universe()
+	n := u.N()
+	if n > MaxExactPairsN {
+		return 0, fmt.Errorf("core: exact p-norm stretch over n=%d exceeds limit %d", n, MaxExactPairsN)
+	}
+	if n < 2 {
+		return 0, fmt.Errorf("core: p-norm stretch undefined for n=%d", n)
+	}
+	if p < 1 {
+		return 0, fmt.Errorf("core: p-norm needs p >= 1, got %v", p)
+	}
+	idxOf, coords := flatUniverse(c)
+	d := u.D()
+	total := sumPairsFloat(n, workers, func(a, b uint64) float64 {
+		dist := pairDistance(coords, d, a, b, m)
+		return math.Pow(float64(absDiff(idxOf[a], idxOf[b]))/dist, p)
+	})
+	return math.Pow(2*total/(float64(n)*float64(n-1)), 1/p), nil
+}
+
+// ConverseStretch measures the opposite direction from the paper's stretch
+// — the question of Gotsman & Lindenbaum ([11]): how far apart in space can
+// two cells be, relative to their distance along the curve? It returns the
+// maximum over unordered pairs of
+//
+//	Δ_E(α, β) / Δπ(α, β)^(1/d),
+//
+// the natural normalization since an index interval of length m can span a
+// region of diameter at most O(m^(1/d)). Unit-step curves with good
+// locality (Hilbert) keep this ratio small; the Z curve's jumps make it
+// large. The paper notes ([20], [11]) that a small converse stretch does
+// NOT imply a small forward stretch — this metric lets the harness
+// demonstrate that contrast.
+func ConverseStretch(c curve.Curve, workers int) (float64, error) {
+	u := c.Universe()
+	n := u.N()
+	if n > MaxExactPairsN {
+		return 0, fmt.Errorf("core: exact converse stretch over n=%d exceeds limit %d", n, MaxExactPairsN)
+	}
+	if n < 2 {
+		return 0, fmt.Errorf("core: converse stretch undefined for n=%d", n)
+	}
+	idxOf, coords := flatUniverse(c)
+	d := u.D()
+	invD := 1 / float64(d)
+	return maxPairsFloat(n, workers, func(a, b uint64) float64 {
+		dist := pairDistance(coords, d, a, b, Euclidean)
+		return dist / math.Pow(float64(absDiff(idxOf[a], idxOf[b])), invD)
+	}), nil
+}
+
+// UnitStepDilation returns, for a unit-step curve, the maximum over index
+// pairs (i, j) of Δ(π⁻¹(i), π⁻¹(j))^d / |i−j| — the worst-case constant in
+// Niedermeier, Reinhardt & Sanders' style bounds ("Manhattan distance is at
+// most c·|i−j|^(1/d)", [20] in the paper; they prove c^d ≤ 9 for the 2-d
+// Hilbert curve in the form Δ ≤ 3·sqrt(i−j)).
+func UnitStepDilation(c curve.Curve, workers int) (float64, error) {
+	u := c.Universe()
+	n := u.N()
+	if n > MaxExactPairsN {
+		return 0, fmt.Errorf("core: exact dilation over n=%d exceeds limit %d", n, MaxExactPairsN)
+	}
+	if n < 2 {
+		return 0, fmt.Errorf("core: dilation undefined for n=%d", n)
+	}
+	// Here pairs range over curve indices, so decode the curve once.
+	d := u.D()
+	coords := make([]uint32, n*uint64(d))
+	p := u.NewPoint()
+	for idx := uint64(0); idx < n; idx++ {
+		c.Point(idx, p)
+		copy(coords[idx*uint64(d):(idx+1)*uint64(d)], p)
+	}
+	dd := float64(d)
+	return maxPairsFloat(n, workers, func(a, b uint64) float64 {
+		var md uint64
+		ca := coords[a*uint64(d) : (a+1)*uint64(d)]
+		cb := coords[b*uint64(d) : (b+1)*uint64(d)]
+		for i := 0; i < d; i++ {
+			if ca[i] >= cb[i] {
+				md += uint64(ca[i] - cb[i])
+			} else {
+				md += uint64(cb[i] - ca[i])
+			}
+		}
+		return math.Pow(float64(md), dd) / float64(b-a)
+	}), nil
+}
+
+// pairDistance computes the chosen metric between two flattened cells.
+func pairDistance(coords []uint32, d int, a, b uint64, m Metric) float64 {
+	ca := coords[a*uint64(d) : (a+1)*uint64(d)]
+	cb := coords[b*uint64(d) : (b+1)*uint64(d)]
+	switch m {
+	case Manhattan:
+		var md uint64
+		for i := 0; i < d; i++ {
+			if ca[i] >= cb[i] {
+				md += uint64(ca[i] - cb[i])
+			} else {
+				md += uint64(cb[i] - ca[i])
+			}
+		}
+		return float64(md)
+	default:
+		var sq float64
+		for i := 0; i < d; i++ {
+			diff := float64(int64(ca[i]) - int64(cb[i]))
+			sq += diff * diff
+		}
+		return math.Sqrt(sq)
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+func TestStratifiedMatchesExactAcrossCurves(t *testing.T) {
+	// The stratified estimator must agree with the exact sweep for every
+	// curve at feasible sizes — including the heavy-tailed hierarchical
+	// ones that defeat uniform sampling.
+	for _, dk := range [][2]int{{2, 6}, {3, 4}} {
+		u := grid.MustNew(dk[0], dk[1])
+		for _, c := range testCurves(t, u) {
+			exact := DAvg(c, 2)
+			est, err := StratifiedNNStretch(c, 3000, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(est.DAvg-exact) > 0.06*exact {
+				t.Errorf("%s on %v: stratified %v, exact %v", c.Name(), u, est.DAvg, exact)
+			}
+			if est.Strata != dk[0]*dk[1] {
+				t.Errorf("%s: %d strata, want %d", c.Name(), est.Strata, dk[0]*dk[1])
+			}
+		}
+	}
+}
+
+func TestStratifiedFixesHeavyTailAtHugeN(t *testing.T) {
+	// The payoff: Davg(Z) and Davg(hilbert) measured at n = 2^60, where
+	// uniform sampling underestimates by ~10× (see
+	// TestSampledNNStretchHeavyTailCaveat). Z must sit at its Theorem 2
+	// asymptote.
+	u := grid.MustNew(3, 20)
+	z := curve.NewZ(u)
+	est, err := StratifiedNNStretch(z, 4000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asym := bounds.NNAsymptote(3, 20)
+	if ratio := est.DAvg / asym; math.Abs(ratio-1) > 0.05 {
+		t.Fatalf("stratified Davg(Z)/asymptote = %v at n=2^60", ratio)
+	}
+	// Hilbert at n=2^60: same Θ(n^(1−1/d)) regime, ratio to bound bounded.
+	h := curve.NewHilbert(u)
+	estH, err := StratifiedNNStretch(h, 4000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := bounds.NNAvgLowerBound(3, 20)
+	if r := estH.DAvg / lb; r < 1 || r > 3 {
+		t.Fatalf("stratified Davg(hilbert)/bound = %v at n=2^60", r)
+	}
+}
+
+func TestStratifiedDeterministic(t *testing.T) {
+	u := grid.MustNew(2, 8)
+	g := curve.NewGray(u)
+	a, err := StratifiedNNStretch(g, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := StratifiedNNStretch(g, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestStratifiedGuards(t *testing.T) {
+	if _, err := StratifiedNNStretch(curve.NewZ(grid.MustNew(2, 0)), 10, 1); err == nil {
+		t.Fatal("single cell accepted")
+	}
+	if _, err := StratifiedNNStretch(curve.NewZ(grid.MustNew(2, 3)), 0, 1); err == nil {
+		t.Fatal("0 samples accepted")
+	}
+}
+
+func TestStratifiedOneDimensional(t *testing.T) {
+	// d=1 simple curve: Davg is exactly 1; the estimator (which samples
+	// strata with replacement) must land close. Boundary cells give the
+	// only within-stratum variance, so a moderate sample suffices.
+	u := grid.MustNew(1, 6)
+	s := curve.NewSimple(u)
+	est, err := StratifiedNNStretch(s, 500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.DAvg-1) > 0.03 {
+		t.Fatalf("1-d simple stratified Davg = %v, want ≈ 1", est.DAvg)
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"repro/internal/curve"
+	"repro/internal/parallel"
+)
+
+// NNStretchTorus computes Davg and Dmax under *periodic* boundary
+// conditions: every cell has exactly 2d neighbors, with coordinates
+// wrapping modulo the side length.
+//
+// The paper's model (§III) is the open grid; periodic domains are the norm
+// in N-body and PDE codes, so this ablation quantifies what the wraparound
+// costs. Wrap pairs connect opposite faces, which sit maximally far apart
+// on every key-ordered curve — there are only d·n/s of them, but each costs
+// Θ(n), adding a Θ(n^(1−1/d)) term of its own. The harness (ext-torus)
+// shows the structured curves keep the same asymptotic order with a larger
+// constant, while the paper's lower bound — proved for the open grid —
+// still holds a fortiori (the periodic neighbor set contains the open one,
+// and wrap distances only add weight).
+func NNStretchTorus(c curve.Curve, workers int) (davg, dmax float64) {
+	u := c.Universe()
+	n := u.N()
+	if n == 1 {
+		return 0, 0
+	}
+	side := u.Side()
+	d := u.D()
+	// On a 2-cycle the +1 and −1 neighbors coincide; count each distinct
+	// neighbor once (simple-graph convention).
+	deltas := []uint32{1}
+	if side > 2 {
+		deltas = append(deltas, side-1)
+	}
+	type acc struct{ avg, max float64 }
+	partial := func(lo, hi uint64) acc {
+		p := u.NewPoint()
+		q := u.NewPoint()
+		var a acc
+		for idx := lo; idx < hi; idx++ {
+			u.FromLinear(idx, p)
+			base := c.Index(p)
+			var sum, max uint64
+			deg := 0
+			copy(q, p)
+			for dim := 0; dim < d; dim++ {
+				for _, delta := range deltas {
+					q[dim] = (p[dim] + delta) & (side - 1)
+					if q[dim] == p[dim] {
+						continue // side == 1
+					}
+					dd := absDiff(base, c.Index(q))
+					sum += dd
+					if dd > max {
+						max = dd
+					}
+					deg++
+				}
+				q[dim] = p[dim]
+			}
+			if deg == 0 {
+				continue
+			}
+			a.avg += float64(sum) / float64(deg)
+			a.max += float64(max)
+		}
+		return a
+	}
+	var sumAvg, sumMax float64
+	for _, a := range parallel.MapRanges(n, workers, partial) {
+		sumAvg += a.avg
+		sumMax += a.max
+	}
+	return sumAvg / float64(n), sumMax / float64(n)
+}

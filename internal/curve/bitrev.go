@@ -1,0 +1,52 @@
+package curve
+
+import (
+	"math/bits"
+
+	"repro/internal/grid"
+)
+
+// BitReversal is the bit-reversal permutation curve: the curve index is the
+// row-major linear index with its d·k bits reversed (the van der Corput
+// ordering of the cells).
+//
+// It is the deterministic antithesis of proximity preservation: moving one
+// step along dimension 1 flips the linear index's lowest bit, which lands
+// in the key's highest bit, so nearest neighbors sit ~n/2 apart on the
+// curve. Unlike the seeded random curve it needs no table, so it provides a
+// reproducible Θ(n)-stretch adversary at any size — useful in the Theorem 1
+// tables as a structured curve that is maximally bad.
+type BitReversal struct {
+	u     *grid.Universe
+	shift uint // 64 − d·k
+}
+
+// NewBitReversal returns the bit-reversal curve over u.
+func NewBitReversal(u *grid.Universe) *BitReversal {
+	return &BitReversal{u: u, shift: uint(64 - u.D()*u.K())}
+}
+
+// Universe implements Curve.
+func (b *BitReversal) Universe() *grid.Universe { return b.u }
+
+// Name implements Curve.
+func (b *BitReversal) Name() string { return "bitrev" }
+
+// Index implements Curve.
+func (b *BitReversal) Index(p grid.Point) uint64 {
+	if b.shift == 64 {
+		return 0 // single-cell universe
+	}
+	return bits.Reverse64(b.u.Linear(p)) >> b.shift
+}
+
+// Point implements Curve.
+func (b *BitReversal) Point(idx uint64, dst grid.Point) {
+	if b.shift == 64 {
+		b.u.FromLinear(0, dst)
+		return
+	}
+	b.u.FromLinear(bits.Reverse64(idx<<b.shift), dst)
+}
+
+var _ Curve = (*BitReversal)(nil)

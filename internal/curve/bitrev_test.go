@@ -1,0 +1,39 @@
+package curve
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestBitReversalBijection(t *testing.T) {
+	for _, dk := range [][2]int{{1, 6}, {2, 4}, {3, 2}, {2, 0}} {
+		u := grid.MustNew(dk[0], dk[1])
+		if err := Validate(NewBitReversal(u)); err != nil {
+			t.Errorf("%v: %v", u, err)
+		}
+	}
+}
+
+func TestBitReversalKnownValues(t *testing.T) {
+	// 1-d, 8 cells: van der Corput order 0,4,2,6,1,5,3,7 — i.e. the cell at
+	// coordinate x gets index reverse3(x).
+	u := grid.MustNew(1, 3)
+	b := NewBitReversal(u)
+	want := []uint64{0, 4, 2, 6, 1, 5, 3, 7}
+	for x, w := range want {
+		if got := b.Index(u.MustPoint(uint32(x))); got != w {
+			t.Fatalf("bitrev(%d) = %d, want %d", x, got, w)
+		}
+	}
+}
+
+func TestBitReversalDestroysLocality(t *testing.T) {
+	// Neighbors along dimension 1 with even coordinate differ in the lowest
+	// linear bit → highest key bit → curve distance exactly n/2.
+	u := grid.MustNew(2, 4)
+	b := NewBitReversal(u)
+	if got := Dist(b, u.MustPoint(0, 5), u.MustPoint(1, 5)); got != u.N()/2 {
+		t.Fatalf("even-step distance %d, want %d", got, u.N()/2)
+	}
+}

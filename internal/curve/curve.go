@@ -1,0 +1,142 @@
+// Package curve implements space filling curves over the d-dimensional grid
+// universe of the grid package.
+//
+// Following the paper (§I, §III), an SFC is any bijection π from the n cells
+// of the universe onto {0, …, n−1}; it need not be continuous (consecutive
+// cells need not be adjacent) and the induced curve may self-intersect. The
+// package provides the curves analyzed or referenced by the paper:
+//
+//   - Z curve (Morton order) — analyzed in §IV.B (Theorem 2)
+//   - Simple curve (row-major order, eq. 8) — analyzed in §IV.C (Theorem 3)
+//     and §V.A (Proposition 2)
+//   - Hilbert curve — the open question of §VI; d-dimensional via the
+//     Skilling transpose algorithm
+//   - Gray-code curve — related work [9, 10]
+//   - Snake (boustrophedon) curve — a continuous variant of the simple curve
+//   - Diagonal curve — anti-diagonal sweep, another structure-free baseline
+//   - Bit-reversal curve — deterministic worst-case baseline (Θ(n) stretch)
+//   - Random curve — a seeded uniformly random bijection, the natural
+//     worst-case baseline
+//
+// plus axis-permutation and reflection wrappers used to test invariance of
+// the stretch metrics under grid symmetries.
+package curve
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/grid"
+)
+
+// Curve is a space filling curve: a bijection between the cells of a
+// universe and the index range [0, n).
+//
+// Implementations must be safe for concurrent use by multiple goroutines;
+// all the curves in this package are immutable after construction.
+type Curve interface {
+	// Universe returns the grid the curve fills.
+	Universe() *grid.Universe
+	// Index returns π(p) ∈ [0, n). The argument must be a cell of the
+	// universe; Index must not retain or modify it.
+	Index(p grid.Point) uint64
+	// Point writes π⁻¹(idx) into dst, which must have length d.
+	Point(idx uint64, dst grid.Point)
+	// Name returns a short stable identifier ("z", "hilbert", …).
+	Name() string
+}
+
+// Dist returns Δπ(a, b) = |π(a) − π(b)|, the distance between two cells
+// along the curve (§III of the paper).
+func Dist(c Curve, a, b grid.Point) uint64 {
+	ia, ib := c.Index(a), c.Index(b)
+	if ia >= ib {
+		return ia - ib
+	}
+	return ib - ia
+}
+
+// Validate checks that c is a bijection onto [0, n) and that Point inverts
+// Index, by full enumeration. It is O(n) time and n/8 bytes of memory;
+// intended for tests and for validating new curve implementations.
+func Validate(c Curve) error {
+	u := c.Universe()
+	n := u.N()
+	seen := make([]uint64, (n+63)/64)
+	q := u.NewPoint()
+	var failure error
+	u.Cells(func(_ uint64, p grid.Point) bool {
+		idx := c.Index(p)
+		if idx >= n {
+			failure = fmt.Errorf("curve %s: Index(%v) = %d out of range [0,%d)", c.Name(), p, idx, n)
+			return false
+		}
+		if seen[idx/64]&(1<<(idx%64)) != 0 {
+			failure = fmt.Errorf("curve %s: index %d assigned twice (second at %v)", c.Name(), idx, p)
+			return false
+		}
+		seen[idx/64] |= 1 << (idx % 64)
+		c.Point(idx, q)
+		if !q.Equal(p) {
+			failure = fmt.Errorf("curve %s: Point(Index(%v)) = %v", c.Name(), p, q)
+			return false
+		}
+		return true
+	})
+	return failure
+}
+
+// IsUnitStep reports whether consecutive curve positions are always nearest
+// neighbors in the grid (Manhattan distance 1) — the classical "continuous,
+// non-self-intersecting" SFC property. The paper's definition does not
+// require it (curve π2 of Figure 1 violates it); Hilbert, Snake and the
+// 1-dimensional curves satisfy it, the Z and Gray curves do not.
+func IsUnitStep(c Curve) bool {
+	u := c.Universe()
+	prev := u.NewPoint()
+	cur := u.NewPoint()
+	c.Point(0, prev)
+	for idx := uint64(1); idx < u.N(); idx++ {
+		c.Point(idx, cur)
+		if grid.Manhattan(prev, cur) != 1 {
+			return false
+		}
+		prev, cur = cur, prev
+	}
+	return true
+}
+
+// Factory builds a curve over u. Randomized curves derive their permutation
+// deterministically from seed; deterministic curves ignore it.
+type Factory func(u *grid.Universe, seed int64) (Curve, error)
+
+var registry = map[string]Factory{
+	"z":        func(u *grid.Universe, _ int64) (Curve, error) { return NewZ(u), nil },
+	"simple":   func(u *grid.Universe, _ int64) (Curve, error) { return NewSimple(u), nil },
+	"snake":    func(u *grid.Universe, _ int64) (Curve, error) { return NewSnake(u), nil },
+	"gray":     func(u *grid.Universe, _ int64) (Curve, error) { return NewGray(u), nil },
+	"diagonal": func(u *grid.Universe, _ int64) (Curve, error) { return NewDiagonal(u) },
+	"bitrev":   func(u *grid.Universe, _ int64) (Curve, error) { return NewBitReversal(u), nil },
+	"hilbert":  func(u *grid.Universe, _ int64) (Curve, error) { return NewHilbert(u), nil },
+	"random":   func(u *grid.Universe, seed int64) (Curve, error) { return NewRandom(u, seed) },
+}
+
+// Names returns the registered curve names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName constructs the named curve over u. seed is used only by randomized
+// curves.
+func ByName(name string, u *grid.Universe, seed int64) (Curve, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("curve: unknown curve %q (have %v)", name, Names())
+	}
+	return f(u, seed)
+}

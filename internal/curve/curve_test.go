@@ -1,0 +1,422 @@
+package curve
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// allCurves builds one instance of every registered curve over u.
+func allCurves(t *testing.T, u *grid.Universe) []Curve {
+	t.Helper()
+	var cs []Curve
+	for _, name := range Names() {
+		c, err := ByName(name, u, 12345)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+		cs = append(cs, c)
+	}
+	return cs
+}
+
+func TestAllCurvesAreBijections(t *testing.T) {
+	for _, dk := range [][2]int{{1, 5}, {2, 4}, {3, 3}, {4, 2}, {5, 1}, {2, 0}} {
+		u := grid.MustNew(dk[0], dk[1])
+		for _, c := range allCurves(t, u) {
+			if err := Validate(c); err != nil {
+				t.Errorf("%v: %v", u, err)
+			}
+		}
+	}
+}
+
+func TestRegistryUnknown(t *testing.T) {
+	if _, err := ByName("peano", grid.MustNew(2, 2), 0); err == nil {
+		t.Fatal("unknown curve accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	want := map[string]bool{"z": true, "simple": true, "snake": true, "gray": true, "hilbert": true, "random": true, "diagonal": true, "bitrev": true}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v", names)
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Fatalf("unexpected name %q", n)
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+}
+
+func TestZCurvePaperFigure3(t *testing.T) {
+	// Figure 3: two-dimensional Z curve on an 8×8 grid. Spot-check cells
+	// against the key grid in the figure (keys shown as binary, dimension 1
+	// horizontal, dimension 2 vertical).
+	u := grid.MustNew(2, 3)
+	z := NewZ(u)
+	cases := []struct {
+		x1, x2 uint32
+		key    uint64
+	}{
+		{0, 0, 0b000000},
+		{1, 0, 0b000010}, // x1=001 contributes the high bit of each pair
+		{0, 1, 0b000001},
+		{1, 1, 0b000011},
+		{2, 0, 0b001000},
+		{7, 7, 0b111111},
+		{2, 5, 0b011001 ^ 0}, // interleave(010, 101): pairs (0,1)(1,0)(0,1) = 01 10 01
+		{4, 2, 0b100100 ^ 0}, // interleave(100, 010): 10 01 00
+	}
+	for _, tc := range cases {
+		p := u.MustPoint(tc.x1, tc.x2)
+		if got := z.Index(p); got != tc.key {
+			t.Errorf("Z(%d,%d) = %06b, want %06b", tc.x1, tc.x2, got, tc.key)
+		}
+	}
+}
+
+func TestZCurveD1IsIdentity(t *testing.T) {
+	u := grid.MustNew(1, 6)
+	z := NewZ(u)
+	u.Cells(func(idx uint64, p grid.Point) bool {
+		if z.Index(p) != uint64(p[0]) {
+			t.Fatalf("1-d Z curve not identity at %v", p)
+		}
+		return true
+	})
+}
+
+func TestSimpleCurveEquation8(t *testing.T) {
+	// S(α) = Σ x_i side^(i-1) — dimension 1 least significant.
+	u := grid.MustNew(3, 2)
+	s := NewSimple(u)
+	p := u.MustPoint(3, 1, 2)
+	want := uint64(3) + 1*4 + 2*16
+	if got := s.Index(p); got != want {
+		t.Fatalf("S(%v) = %d, want %d", p, got, want)
+	}
+}
+
+func TestSimpleCurvePaperFigure4(t *testing.T) {
+	// Figure 4: the simple curve on 8×8 sweeps dimension 1 row by row.
+	u := grid.MustNew(2, 3)
+	s := NewSimple(u)
+	if s.Index(u.MustPoint(0, 0)) != 0 ||
+		s.Index(u.MustPoint(7, 0)) != 7 ||
+		s.Index(u.MustPoint(0, 1)) != 8 ||
+		s.Index(u.MustPoint(7, 7)) != 63 {
+		t.Fatal("simple curve order does not match Figure 4")
+	}
+}
+
+func TestSnakeUnitStep(t *testing.T) {
+	for _, dk := range [][2]int{{1, 5}, {2, 4}, {3, 3}, {4, 2}} {
+		u := grid.MustNew(dk[0], dk[1])
+		if !IsUnitStep(NewSnake(u)) {
+			t.Errorf("snake not unit-step on %v", u)
+		}
+	}
+}
+
+func TestHilbertUnitStep(t *testing.T) {
+	for _, dk := range [][2]int{{1, 5}, {2, 5}, {3, 3}, {4, 2}, {5, 2}} {
+		u := grid.MustNew(dk[0], dk[1])
+		if !IsUnitStep(NewHilbert(u)) {
+			t.Errorf("hilbert not unit-step on %v", u)
+		}
+	}
+}
+
+func TestHilbert2DOrder4(t *testing.T) {
+	// Classic first-order 2-d Hilbert curve on a 2×2 grid visits a U shape:
+	// four distinct cells, unit steps, starting at the origin.
+	u := grid.MustNew(2, 1)
+	h := NewHilbert(u)
+	if err := Validate(h); err != nil {
+		t.Fatal(err)
+	}
+	p := u.NewPoint()
+	h.Point(0, p)
+	if p[0] != 0 || p[1] != 0 {
+		t.Fatalf("Hilbert origin at %v", p)
+	}
+	if !IsUnitStep(h) {
+		t.Fatal("order-1 Hilbert not unit step")
+	}
+}
+
+func TestZAndGrayNotUnitStep(t *testing.T) {
+	u := grid.MustNew(2, 2)
+	if IsUnitStep(NewZ(u)) {
+		t.Error("Z curve reported unit-step")
+	}
+	if IsUnitStep(NewGray(u)) {
+		t.Error("Gray curve reported unit-step")
+	}
+}
+
+func TestGrayStepsAreAxisParallel(t *testing.T) {
+	// Consecutive Gray-curve cells differ in exactly one coordinate (by a
+	// power of two).
+	u := grid.MustNew(3, 3)
+	g := NewGray(u)
+	prev := u.NewPoint()
+	cur := u.NewPoint()
+	g.Point(0, prev)
+	for idx := uint64(1); idx < u.N(); idx++ {
+		g.Point(idx, cur)
+		diffs := 0
+		for i := range cur {
+			if cur[i] != prev[i] {
+				diffs++
+				d := int64(cur[i]) - int64(prev[i])
+				if d < 0 {
+					d = -d
+				}
+				if d&(d-1) != 0 {
+					t.Fatalf("gray step at %d moves %d along axis %d", idx, d, i)
+				}
+			}
+		}
+		if diffs != 1 {
+			t.Fatalf("gray step at %d changes %d axes", idx, diffs)
+		}
+		copy(prev, cur)
+	}
+}
+
+func TestRandomCurveDeterminism(t *testing.T) {
+	u := grid.MustNew(2, 3)
+	a, err := NewRandom(u, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRandom(u, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewRandom(u, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Seed() != 99 {
+		t.Fatal("seed not recorded")
+	}
+	same := true
+	differs := false
+	u.Cells(func(_ uint64, p grid.Point) bool {
+		if a.Index(p) != b.Index(p) {
+			same = false
+		}
+		if a.Index(p) != c.Index(p) {
+			differs = true
+		}
+		return true
+	})
+	if !same {
+		t.Error("same seed produced different curves")
+	}
+	if !differs {
+		t.Error("different seeds produced identical curves")
+	}
+}
+
+func TestRandomCurveSizeLimit(t *testing.T) {
+	u := grid.MustNew(3, 10) // 2^30 cells
+	if _, err := NewRandom(u, 1); err == nil {
+		t.Fatal("oversized random curve accepted")
+	}
+}
+
+func TestDist(t *testing.T) {
+	u := grid.MustNew(2, 2)
+	s := NewSimple(u)
+	a := u.MustPoint(0, 0)
+	b := u.MustPoint(3, 0)
+	if Dist(s, a, b) != 3 || Dist(s, b, a) != 3 {
+		t.Fatal("Dist wrong")
+	}
+	if Dist(s, a, a) != 0 {
+		t.Fatal("Dist self nonzero")
+	}
+}
+
+func TestTransformsPreserveBijectivity(t *testing.T) {
+	u := grid.MustNew(3, 2)
+	base := NewZ(u)
+	perm, err := NewAxisPermuted(base, []int{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []Curve{
+		perm,
+		NewReflected(base, 0b101),
+		NewReversed(base),
+		NewReflected(NewReversed(base), 0b010),
+	} {
+		if err := Validate(c); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+func TestAxisPermutedValidation(t *testing.T) {
+	u := grid.MustNew(3, 2)
+	base := NewZ(u)
+	if _, err := NewAxisPermuted(base, []int{0, 1}); err == nil {
+		t.Fatal("short permutation accepted")
+	}
+	if _, err := NewAxisPermuted(base, []int{0, 0, 1}); err == nil {
+		t.Fatal("repeated axis accepted")
+	}
+	if _, err := NewAxisPermuted(base, []int{0, 1, 3}); err == nil {
+		t.Fatal("out-of-range axis accepted")
+	}
+}
+
+func TestAxisPermutedRoundTrip(t *testing.T) {
+	u := grid.MustNew(4, 2)
+	base := NewHilbert(u)
+	ap, err := NewAxisPermuted(base, []int{3, 1, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(ap); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableCurve(t *testing.T) {
+	u := grid.MustNew(1, 2)
+	tab, err := NewTable(u, "custom", []uint64{2, 0, 3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(tab); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Name() != "custom" {
+		t.Fatal("name lost")
+	}
+	if _, err := NewTable(u, "bad", []uint64{0, 0, 1, 2}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, err := NewTable(u, "bad", []uint64{0, 1, 2, 4}); err == nil {
+		t.Fatal("out of range accepted")
+	}
+	if _, err := NewTable(u, "bad", []uint64{0, 1}); err == nil {
+		t.Fatal("short table accepted")
+	}
+}
+
+func TestFromOrder(t *testing.T) {
+	// Figure 1 curve π1 on the 2×2 grid: cells labelled
+	//   A=(0,1) C=(1,1)
+	//   D=(0,0) B=(1,0)
+	// π1 orders C, A, B, D.
+	u := grid.MustNew(2, 1)
+	lin := func(x, y uint32) uint64 { return u.Linear(u.MustPoint(x, y)) }
+	pi1, err := FromOrder(u, "pi1", []uint64{lin(1, 1), lin(0, 1), lin(1, 0), lin(0, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(pi1); err != nil {
+		t.Fatal(err)
+	}
+	if pi1.Index(u.MustPoint(1, 1)) != 0 || pi1.Index(u.MustPoint(0, 0)) != 3 {
+		t.Fatal("π1 order wrong")
+	}
+	if _, err := FromOrder(u, "bad", []uint64{0, 0, 1, 2}); err == nil {
+		t.Fatal("duplicate visit accepted")
+	}
+	if _, err := FromOrder(u, "bad", []uint64{0, 1, 2, 7}); err == nil {
+		t.Fatal("out-of-range visit accepted")
+	}
+	if _, err := FromOrder(u, "bad", []uint64{0, 1}); err == nil {
+		t.Fatal("short order accepted")
+	}
+}
+
+func TestHilbertMatchesKnown2D(t *testing.T) {
+	// Second-order 2-d Hilbert curve: verify the full visiting order is a
+	// single connected path covering the 4×4 grid, and that the d(=2)
+	// quadrant structure holds: positions 0..3 in one quadrant, 4..7 in
+	// another, etc.
+	u := grid.MustNew(2, 2)
+	h := NewHilbert(u)
+	quadrantOf := func(p grid.Point) int {
+		return int(p[0]/2) + 2*int(p[1]/2)
+	}
+	p := u.NewPoint()
+	for q := 0; q < 4; q++ {
+		h.Point(uint64(4*q), p)
+		first := quadrantOf(p)
+		for t2 := 1; t2 < 4; t2++ {
+			h.Point(uint64(4*q+t2), p)
+			if quadrantOf(p) != first {
+				t.Fatalf("Hilbert positions %d..%d span quadrants", 4*q, 4*q+3)
+			}
+		}
+	}
+}
+
+func TestRandomBijectionViaTable(t *testing.T) {
+	// A random permutation wrapped in a Table is a valid SFC per the paper's
+	// general definition.
+	u := grid.MustNew(2, 2)
+	rng := rand.New(rand.NewSource(5))
+	perm := make([]uint64, u.N())
+	for i, v := range rng.Perm(int(u.N())) {
+		perm[i] = uint64(v)
+	}
+	tab := MustTable(u, "randtab", perm)
+	if err := Validate(tab); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkZIndex3D(b *testing.B) {
+	u := grid.MustNew(3, 10)
+	z := NewZ(u)
+	p := u.MustPoint(123, 456, 789)
+	for i := 0; i < b.N; i++ {
+		sink = z.Index(p)
+	}
+}
+
+func BenchmarkHilbertIndex3D(b *testing.B) {
+	u := grid.MustNew(3, 10)
+	h := NewHilbert(u)
+	p := u.MustPoint(123, 456, 789)
+	for i := 0; i < b.N; i++ {
+		sink = h.Index(p)
+	}
+}
+
+func BenchmarkHilbertPoint3D(b *testing.B) {
+	u := grid.MustNew(3, 10)
+	h := NewHilbert(u)
+	p := u.NewPoint()
+	for i := 0; i < b.N; i++ {
+		h.Point(uint64(i)&(u.N()-1), p)
+	}
+}
+
+func BenchmarkSnakeIndex3D(b *testing.B) {
+	u := grid.MustNew(3, 10)
+	s := NewSnake(u)
+	p := u.MustPoint(123, 456, 789)
+	for i := 0; i < b.N; i++ {
+		sink = s.Index(p)
+	}
+}
+
+var sink uint64

@@ -1,0 +1,176 @@
+package curve
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/grid"
+)
+
+// Diagonal is the anti-diagonal curve: cells are visited in increasing
+// order of their coordinate sum Σ x_i, ties broken lexicographically with
+// dimension d most significant. In two dimensions this is the classic
+// Cantor-style diagonal sweep.
+//
+// It is a further "simple" curve in the spirit of §IV.C — no recursive
+// structure at all — and a useful adversary for the stretch experiments:
+// its nearest neighbors sit in adjacent diagonals whose sizes are
+// Θ(n^(1−1/d)), so it also lands in the Θ(n^(1−1/d)) average NN-stretch
+// regime, but with a different constant than the row-major curve.
+//
+// Index and Point run in O(d) and O(d·log s) respectively, using
+// precomputed per-dimension tables of lattice-point counts
+// ("bounded compositions"): counts[j][t] = #{y ∈ [0,s)^j : Σ y = t}.
+type Diagonal struct {
+	u *grid.Universe
+	// prefix[j][t] = Σ_{t' ≤ t} counts[j][t'] for j = 1..d (index j-1),
+	// with t ranging over 0..j(s-1).
+	prefix [][]uint64
+	// cum[t] = number of cells with coordinate sum < t (so cum has length
+	// d(s-1)+2 and cum[d(s-1)+1] = n).
+	cum []uint64
+}
+
+// maxDiagonalTableEntries bounds the precomputed table size (8 bytes per
+// entry).
+const maxDiagonalTableEntries = 1 << 26
+
+// NewDiagonal builds the diagonal curve over u. It errors when the count
+// tables would exceed the memory budget (universes with d·2^k beyond ~2^24).
+func NewDiagonal(u *grid.Universe) (*Diagonal, error) {
+	d := u.D()
+	s := int64(u.Side())
+	maxSum := int64(d) * (s - 1)
+	if int64(d)*(maxSum+1) > maxDiagonalTableEntries {
+		return nil, fmt.Errorf("curve: diagonal tables for %v exceed %d entries", u, maxDiagonalTableEntries)
+	}
+	dg := &Diagonal{u: u, prefix: make([][]uint64, d)}
+	// counts for j=1: 1 for t in [0, s).
+	cur := make([]uint64, s)
+	for t := range cur {
+		cur[t] = 1
+	}
+	for j := 1; j <= d; j++ {
+		if j > 1 {
+			// counts[j][t] = Σ_{v=0}^{min(s-1,t)} counts[j-1][t-v], computed
+			// from the previous prefix row in O(1) per t.
+			prevPrefix := dg.prefix[j-2]
+			next := make([]uint64, int64(j)*(s-1)+1)
+			for t := int64(0); t < int64(len(next)); t++ {
+				hi := t // counts[j-1] summed over t-v for v in [0, min(s-1,t)]
+				lo := t - (s - 1)
+				next[t] = prefixAt(prevPrefix, hi)
+				if lo > 0 {
+					next[t] -= prefixAt(prevPrefix, lo-1)
+				}
+			}
+			cur = next
+		}
+		p := make([]uint64, len(cur))
+		var run uint64
+		for t := range cur {
+			run += cur[t]
+			p[t] = run
+		}
+		dg.prefix[j-1] = p
+	}
+	dg.cum = make([]uint64, maxSum+2)
+	top := dg.prefix[d-1]
+	for t := int64(0); t <= maxSum; t++ {
+		if t == 0 {
+			dg.cum[1] = diagCount(top, 0)
+		} else {
+			dg.cum[t+1] = dg.cum[t] + diagCount(top, t)
+		}
+	}
+	if dg.cum[maxSum+1] != u.N() {
+		return nil, fmt.Errorf("curve: diagonal table self-check failed for %v", u)
+	}
+	return dg, nil
+}
+
+// MustDiagonal is NewDiagonal for known-good universes; it panics on error.
+func MustDiagonal(u *grid.Universe) *Diagonal {
+	dg, err := NewDiagonal(u)
+	if err != nil {
+		panic(err)
+	}
+	return dg
+}
+
+// prefixAt reads a prefix row with clamping: S(t<0) = 0, S(t ≥ len) = total.
+func prefixAt(prefix []uint64, t int64) uint64 {
+	if t < 0 {
+		return 0
+	}
+	if t >= int64(len(prefix)) {
+		return prefix[len(prefix)-1]
+	}
+	return prefix[t]
+}
+
+// diagCount returns counts[j][t] from the row's prefix sums.
+func diagCount(prefix []uint64, t int64) uint64 {
+	return prefixAt(prefix, t) - prefixAt(prefix, t-1)
+}
+
+// Universe implements Curve.
+func (dg *Diagonal) Universe() *grid.Universe { return dg.u }
+
+// Name implements Curve.
+func (dg *Diagonal) Name() string { return "diagonal" }
+
+// Index implements Curve.
+func (dg *Diagonal) Index(p grid.Point) uint64 {
+	d := dg.u.D()
+	var t int64
+	for _, v := range p {
+		t += int64(v)
+	}
+	idx := dg.cum[t]
+	rem := t
+	// Most significant tie-break dimension first; the last remaining
+	// dimension is forced, so stop at i = 1.
+	for i := d - 1; i >= 1; i-- {
+		// Digits v < p[i] feasible for the remaining i dimensions
+		// contribute counts[i][rem−v]; the telescoped sum is
+		// S_i(rem) − S_i(rem − p[i]).
+		row := dg.prefix[i-1]
+		idx += prefixAt(row, rem) - prefixAt(row, rem-int64(p[i]))
+		rem -= int64(p[i])
+	}
+	return idx
+}
+
+// Point implements Curve.
+func (dg *Diagonal) Point(idx uint64, dst grid.Point) {
+	d := dg.u.D()
+	s := int64(dg.u.Side())
+	// Find the diagonal: largest t with cum[t] <= idx.
+	t := int64(sort.Search(len(dg.cum)-1, func(t int) bool { return dg.cum[t+1] > idx }))
+	r := idx - dg.cum[t]
+	rem := t
+	for i := d - 1; i >= 1; i-- {
+		row := dg.prefix[i-1]
+		base := prefixAt(row, rem)
+		// Smallest v whose cumulative ways base − S_i(rem−v−1) exceed r.
+		lo := rem - int64(i)*(s-1)
+		if lo < 0 {
+			lo = 0
+		}
+		hi := rem
+		if hi > s-1 {
+			hi = s - 1
+		}
+		v := lo + int64(sort.Search(int(hi-lo+1), func(dv int) bool {
+			v := lo + int64(dv)
+			return base-prefixAt(row, rem-v-1) > r
+		}))
+		r -= base - prefixAt(row, rem-v)
+		dst[i] = uint32(v)
+		rem -= v
+	}
+	dst[0] = uint32(rem)
+}
+
+var _ Curve = (*Diagonal)(nil)

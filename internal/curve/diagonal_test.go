@@ -1,0 +1,142 @@
+package curve
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestDiagonalBijectionManySizes(t *testing.T) {
+	for _, dk := range [][2]int{{1, 5}, {2, 4}, {2, 0}, {3, 3}, {4, 2}, {5, 1}} {
+		u := grid.MustNew(dk[0], dk[1])
+		dg, err := NewDiagonal(u)
+		if err != nil {
+			t.Fatalf("%v: %v", u, err)
+		}
+		if err := Validate(dg); err != nil {
+			t.Errorf("%v: %v", u, err)
+		}
+	}
+}
+
+func TestDiagonalOrderIsBySum(t *testing.T) {
+	// Visiting order must be non-decreasing in the coordinate sum, with the
+	// tie broken by dimension d most significant.
+	u := grid.MustNew(3, 2)
+	dg := MustDiagonal(u)
+	p := u.NewPoint()
+	prevSum := int64(-1)
+	var prevKey []uint32
+	for idx := uint64(0); idx < u.N(); idx++ {
+		dg.Point(idx, p)
+		var sum int64
+		for _, v := range p {
+			sum += int64(v)
+		}
+		if sum < prevSum {
+			t.Fatalf("sum decreased at idx %d", idx)
+		}
+		if sum == prevSum {
+			// Compare (x_d, …, x_1) lexicographically.
+			less := false
+			for i := u.D() - 1; i >= 0; i-- {
+				if prevKey[i] != p[i] {
+					less = prevKey[i] < p[i]
+					break
+				}
+			}
+			if !less {
+				t.Fatalf("tie-break violated at idx %d: %v after %v", idx, p, prevKey)
+			}
+		}
+		prevSum = sum
+		prevKey = append(prevKey[:0], p...)
+	}
+}
+
+func TestDiagonal2DKnownOrder(t *testing.T) {
+	// 3-bit? Use 4×4: diagonals 0,1,2,…: (0,0) | (1,0),(0,1) | (2,0),(1,1),(0,2) …
+	u := grid.MustNew(2, 2)
+	dg := MustDiagonal(u)
+	wantOrder := [][2]uint32{
+		{0, 0},
+		{1, 0}, {0, 1},
+		{2, 0}, {1, 1}, {0, 2},
+		{3, 0}, {2, 1}, {1, 2}, {0, 3},
+		{3, 1}, {2, 2}, {1, 3},
+		{3, 2}, {2, 3},
+		{3, 3},
+	}
+	p := u.NewPoint()
+	for idx, w := range wantOrder {
+		dg.Point(uint64(idx), p)
+		if p[0] != w[0] || p[1] != w[1] {
+			t.Fatalf("position %d = %v, want (%d,%d)", idx, p, w[0], w[1])
+		}
+		if got := dg.Index(u.MustPoint(w[0], w[1])); got != uint64(idx) {
+			t.Fatalf("Index(%v) = %d, want %d", w, got, idx)
+		}
+	}
+}
+
+func TestDiagonalDiagonalsAreContiguous(t *testing.T) {
+	// All cells of one diagonal occupy one contiguous index range.
+	u := grid.MustNew(3, 2)
+	dg := MustDiagonal(u)
+	bySum := map[int64][]uint64{}
+	u.Cells(func(_ uint64, p grid.Point) bool {
+		var sum int64
+		for _, v := range p {
+			sum += int64(v)
+		}
+		bySum[sum] = append(bySum[sum], dg.Index(p))
+		return true
+	})
+	for sum, idxs := range bySum {
+		sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+		for i := 1; i < len(idxs); i++ {
+			if idxs[i] != idxs[i-1]+1 {
+				t.Fatalf("diagonal %d not contiguous: %v", sum, idxs)
+			}
+		}
+	}
+}
+
+func TestDiagonalTooLarge(t *testing.T) {
+	// d=2, k=28 → tables of ~2^29 entries exceed the budget.
+	u := grid.MustNew(2, 28)
+	if _, err := NewDiagonal(u); err == nil {
+		t.Fatal("oversized diagonal accepted")
+	}
+}
+
+func TestDiagonalD1IsIdentity(t *testing.T) {
+	u := grid.MustNew(1, 6)
+	dg := MustDiagonal(u)
+	u.Cells(func(idx uint64, p grid.Point) bool {
+		if dg.Index(p) != idx {
+			t.Fatalf("1-d diagonal not identity at %v", p)
+		}
+		return true
+	})
+}
+
+func BenchmarkDiagonalIndex(b *testing.B) {
+	u := grid.MustNew(3, 7)
+	dg := MustDiagonal(u)
+	p := u.MustPoint(100, 50, 25)
+	for i := 0; i < b.N; i++ {
+		sink = dg.Index(p)
+	}
+}
+
+func BenchmarkDiagonalPoint(b *testing.B) {
+	u := grid.MustNew(3, 7)
+	dg := MustDiagonal(u)
+	p := u.NewPoint()
+	mask := u.N() - 1
+	for i := 0; i < b.N; i++ {
+		dg.Point(uint64(i)&mask, p)
+	}
+}

@@ -1,0 +1,57 @@
+package curve_test
+
+import (
+	"fmt"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+func ExampleZ_Index() {
+	// The paper's worked example (§IV.B): d=3, k=3,
+	// Z(101, 010, 011) = 100011101.
+	u := grid.MustNew(3, 3)
+	z := curve.NewZ(u)
+	p := u.MustPoint(0b101, 0b010, 0b011)
+	fmt.Printf("%09b\n", z.Index(p))
+	// Output: 100011101
+}
+
+func ExampleSimple_Index() {
+	// Eq. (8): S(α) = Σ x_i · side^(i−1).
+	u := grid.MustNew(2, 3)
+	s := curve.NewSimple(u)
+	fmt.Println(s.Index(u.MustPoint(3, 5)))
+	// Output: 43
+}
+
+func ExampleByName() {
+	u := grid.MustNew(2, 2)
+	c, err := curve.ByName("hilbert", u, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(c.Name(), curve.IsUnitStep(c))
+	// Output: hilbert true
+}
+
+func ExampleDist() {
+	u := grid.MustNew(2, 3)
+	z := curve.NewZ(u)
+	a := u.MustPoint(3, 0)
+	b := u.MustPoint(4, 0) // crossing the top-level quadrant boundary
+	fmt.Println(curve.Dist(z, a, b))
+	// Output: 22
+}
+
+func ExampleFromOrder() {
+	// Figure 1's curve π2, which visits A=(0,1), B=(1,0), C=(1,1), D=(0,0).
+	u := grid.MustNew(2, 1)
+	lin := func(x, y uint32) uint64 { return u.Linear(u.MustPoint(x, y)) }
+	pi2, err := curve.FromOrder(u, "pi2", []uint64{lin(0, 1), lin(1, 0), lin(1, 1), lin(0, 0)})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(pi2.Index(u.MustPoint(0, 0)))
+	// Output: 3
+}

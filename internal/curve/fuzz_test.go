@@ -1,0 +1,68 @@
+package curve
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// FuzzCurveRoundTrip fuzzes every registered deterministic curve's
+// Index/Point pair over arbitrary universe shapes and cells.
+func FuzzCurveRoundTrip(f *testing.F) {
+	f.Add(uint8(2), uint8(4), uint64(7))
+	f.Add(uint8(3), uint8(3), uint64(0))
+	f.Add(uint8(1), uint8(10), uint64(999))
+	f.Fuzz(func(t *testing.T, dRaw, kRaw uint8, seed uint64) {
+		d := 1 + int(dRaw)%5
+		k := 1 + int(kRaw)%4
+		u := grid.MustNew(d, k)
+		p := u.NewPoint()
+		s := seed
+		for i := range p {
+			s = s*6364136223846793005 + 1442695040888963407
+			p[i] = uint32(s>>32) % u.Side()
+		}
+		q := u.NewPoint()
+		for _, name := range Names() {
+			if name == "random" {
+				continue // table-backed; covered by Validate tests
+			}
+			c, err := ByName(name, u, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			idx := c.Index(p)
+			if idx >= u.N() {
+				t.Fatalf("%s: Index(%v) = %d out of range on %v", name, p, idx, u)
+			}
+			c.Point(idx, q)
+			if !q.Equal(p) {
+				t.Fatalf("%s: Point(Index(%v)) = %v on %v", name, p, q, u)
+			}
+		}
+	})
+}
+
+// FuzzSnakeUnitStep fuzzes the snake curve's unit-step property at
+// arbitrary positions and shapes.
+func FuzzSnakeUnitStep(f *testing.F) {
+	f.Add(uint8(2), uint8(4), uint64(3))
+	f.Add(uint8(4), uint8(2), uint64(100))
+	f.Fuzz(func(t *testing.T, dRaw, kRaw uint8, idxRaw uint64) {
+		d := 1 + int(dRaw)%5
+		k := 1 + int(kRaw)%4
+		u := grid.MustNew(d, k)
+		if u.N() < 2 {
+			return
+		}
+		s := NewSnake(u)
+		idx := idxRaw % (u.N() - 1)
+		p := u.NewPoint()
+		q := u.NewPoint()
+		s.Point(idx, p)
+		s.Point(idx+1, q)
+		if grid.Manhattan(p, q) != 1 {
+			t.Fatalf("snake step %d→%d: %v to %v on %v", idx, idx+1, p, q, u)
+		}
+	})
+}

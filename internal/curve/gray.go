@@ -1,0 +1,41 @@
+package curve
+
+import (
+	"repro/internal/bits"
+	"repro/internal/grid"
+)
+
+// Gray is the Gray-code curve of Faloutsos [9, 10] in the paper's related
+// work: the curve visits cells in the order of the binary-reflected Gray
+// code of their interleaved (Morton) keys. Equivalently, the position of a
+// cell is the Gray rank of its Z key:
+//
+//	G(x) = gray⁻¹(Z(x)).
+//
+// Consecutive positions differ in exactly one bit of one coordinate, so
+// steps are axis-parallel but may jump a power-of-two distance; the curve is
+// not unit-step, but is a bijection and hence an SFC in the paper's sense.
+type Gray struct {
+	u *grid.Universe
+}
+
+// NewGray returns the Gray-code curve over u.
+func NewGray(u *grid.Universe) *Gray { return &Gray{u: u} }
+
+// Universe implements Curve.
+func (g *Gray) Universe() *grid.Universe { return g.u }
+
+// Name implements Curve.
+func (g *Gray) Name() string { return "gray" }
+
+// Index implements Curve.
+func (g *Gray) Index(p grid.Point) uint64 {
+	return bits.GrayDecode(bits.Interleave(p, g.u.K()))
+}
+
+// Point implements Curve.
+func (g *Gray) Point(idx uint64, dst grid.Point) {
+	bits.Deinterleave(bits.GrayEncode(idx), g.u.K(), dst)
+}
+
+var _ Curve = (*Gray)(nil)

@@ -1,0 +1,122 @@
+package curve
+
+import (
+	"repro/internal/bits"
+	"repro/internal/grid"
+)
+
+// Hilbert is the d-dimensional Hilbert curve, implemented with Skilling's
+// transpose algorithm (J. Skilling, "Programming the Hilbert curve", AIP
+// Conf. Proc. 707, 2004). The curve is unit-step (consecutive positions are
+// nearest neighbors) and non-self-intersecting in every dimension.
+//
+// The paper leaves the average NN-stretch of the Hilbert curve as an open
+// question (§VI); the experiment harness measures it (experiment
+// "ext-hilbert") and finds it in the same Θ(n^(1−1/d)) regime as the Z
+// curve.
+type Hilbert struct {
+	u *grid.Universe
+}
+
+// NewHilbert returns the Hilbert curve over u.
+func NewHilbert(u *grid.Universe) *Hilbert { return &Hilbert{u: u} }
+
+// Universe implements Curve.
+func (h *Hilbert) Universe() *grid.Universe { return h.u }
+
+// Name implements Curve.
+func (h *Hilbert) Name() string { return "hilbert" }
+
+// Index implements Curve: it converts the axes to Skilling's transposed
+// Hilbert form in a scratch copy and interleaves the transpose bits into the
+// final index (most significant level first, matching the bits package
+// convention).
+func (h *Hilbert) Index(p grid.Point) uint64 {
+	d, k := h.u.D(), h.u.K()
+	if k == 0 {
+		return 0
+	}
+	var buf [16]uint32
+	var x []uint32
+	if d <= len(buf) {
+		x = buf[:d]
+	} else {
+		x = make([]uint32, d)
+	}
+	copy(x, p)
+	axesToTranspose(x, k)
+	return bits.Interleave(x, k)
+}
+
+// Point implements Curve.
+func (h *Hilbert) Point(idx uint64, dst grid.Point) {
+	k := h.u.K()
+	if k == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	bits.Deinterleave(idx, k, dst)
+	transposeToAxes(dst, k)
+}
+
+var _ Curve = (*Hilbert)(nil)
+
+// axesToTranspose converts grid coordinates (k bits each) into Skilling's
+// transposed Hilbert representation, in place.
+func axesToTranspose(x []uint32, k int) {
+	n := len(x)
+	m := uint32(1) << uint(k-1)
+	// Inverse undo.
+	for q := m; q > 1; q >>= 1 {
+		p := q - 1
+		for i := 0; i < n; i++ {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+	// Gray encode.
+	for i := 1; i < n; i++ {
+		x[i] ^= x[i-1]
+	}
+	var t uint32
+	for q := m; q > 1; q >>= 1 {
+		if x[n-1]&q != 0 {
+			t ^= q - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		x[i] ^= t
+	}
+}
+
+// transposeToAxes inverts axesToTranspose, in place.
+func transposeToAxes(x []uint32, k int) {
+	n := len(x)
+	top := uint32(2) << uint(k-1)
+	// Gray decode by H ^ (H/2).
+	t := x[n-1] >> 1
+	for i := n - 1; i > 0; i-- {
+		x[i] ^= x[i-1]
+	}
+	x[0] ^= t
+	// Undo excess work.
+	for q := uint32(2); q != top; q <<= 1 {
+		p := q - 1
+		for i := n - 1; i >= 0; i-- {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t = (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package curve
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+)
+
+// TestQuickRoundTripLargeUniverses property-tests Point∘Index = id on
+// universes too large for full Validate enumeration, with quick-generated
+// random cells.
+func TestQuickRoundTripLargeUniverses(t *testing.T) {
+	for _, dk := range [][2]int{{2, 15}, {3, 10}, {4, 7}, {6, 5}} {
+		u := grid.MustNew(dk[0], dk[1])
+		curves := []Curve{NewZ(u), NewSimple(u), NewSnake(u), NewGray(u), NewHilbert(u)}
+		if dg, err := NewDiagonal(u); err == nil {
+			curves = append(curves, dg)
+		}
+		for _, c := range curves {
+			c := c
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				p := u.NewPoint()
+				for i := range p {
+					p[i] = uint32(rng.Int63n(int64(u.Side())))
+				}
+				idx := c.Index(p)
+				if idx >= u.N() {
+					return false
+				}
+				q := u.NewPoint()
+				c.Point(idx, q)
+				return q.Equal(p)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+				t.Errorf("%s on %v: %v", c.Name(), u, err)
+			}
+		}
+	}
+}
+
+// TestQuickIndexInjective samples random distinct cell pairs and checks
+// their indices differ — a sampled injectivity property at sizes where the
+// bitmap check is too large.
+func TestQuickIndexInjective(t *testing.T) {
+	u := grid.MustNew(3, 12)
+	curves := []Curve{NewZ(u), NewSimple(u), NewSnake(u), NewGray(u), NewHilbert(u)}
+	for _, c := range curves {
+		c := c
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			p := u.NewPoint()
+			q := u.NewPoint()
+			for i := range p {
+				p[i] = uint32(rng.Int63n(int64(u.Side())))
+				q[i] = uint32(rng.Int63n(int64(u.Side())))
+			}
+			if p.Equal(q) {
+				return true
+			}
+			return c.Index(p) != c.Index(q)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+// TestQuickHilbertUnitStepSampled verifies the unit-step property of the
+// Hilbert curve at random positions of a universe too large to walk fully.
+func TestQuickHilbertUnitStepSampled(t *testing.T) {
+	u := grid.MustNew(3, 12)
+	h := NewHilbert(u)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		idx := uint64(rng.Int63n(int64(u.N() - 1)))
+		p := u.NewPoint()
+		q := u.NewPoint()
+		h.Point(idx, p)
+		h.Point(idx+1, q)
+		return grid.Manhattan(p, q) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSnakeUnitStepSampled does the same for the snake curve.
+func TestQuickSnakeUnitStepSampled(t *testing.T) {
+	u := grid.MustNew(4, 9)
+	s := NewSnake(u)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		idx := uint64(rng.Int63n(int64(u.N() - 1)))
+		p := u.NewPoint()
+		q := u.NewPoint()
+		s.Point(idx, p)
+		s.Point(idx+1, q)
+		return grid.Manhattan(p, q) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDiagonalSumOrderSampled checks, at scale, that the diagonal
+// curve's index order respects the coordinate-sum order.
+func TestQuickDiagonalSumOrderSampled(t *testing.T) {
+	u := grid.MustNew(2, 11)
+	dg := MustDiagonal(u)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := u.NewPoint()
+		q := u.NewPoint()
+		for i := range p {
+			p[i] = uint32(rng.Int63n(int64(u.Side())))
+			q[i] = uint32(rng.Int63n(int64(u.Side())))
+		}
+		sumP := int64(p[0]) + int64(p[1])
+		sumQ := int64(q[0]) + int64(q[1])
+		if sumP == sumQ {
+			return true
+		}
+		if sumP > sumQ {
+			p, q = q, p
+		}
+		return dg.Index(p) < dg.Index(q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

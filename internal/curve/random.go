@@ -1,0 +1,66 @@
+package curve
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/grid"
+)
+
+// MaxRandomCells bounds the universe size accepted by NewRandom: the curve
+// materializes both the permutation and its inverse, costing 16 bytes per
+// cell.
+const MaxRandomCells = 1 << 26
+
+// Random is a uniformly random bijection from cells to [0, n), drawn
+// deterministically from a seed. It is the natural baseline for the paper's
+// lower bound: the expected curve distance between *any* fixed pair of cells
+// — nearest neighbors included — is (n+1)/3, so its average NN-stretch is
+// Θ(n), vastly worse than the Θ(n^(1−1/d)) of the structured curves.
+type Random struct {
+	u    *grid.Universe
+	perm []uint64 // perm[linear index] = curve index
+	inv  []uint64 // inv[curve index] = linear index
+	seed int64
+}
+
+// NewRandom returns a seeded random curve over u. Universes larger than
+// MaxRandomCells cells are rejected.
+func NewRandom(u *grid.Universe, seed int64) (*Random, error) {
+	n := u.N()
+	if n > MaxRandomCells {
+		return nil, fmt.Errorf("curve: random curve over %d cells exceeds limit %d", n, MaxRandomCells)
+	}
+	perm := make([]uint64, n)
+	for i := range perm {
+		perm[i] = uint64(i)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Fisher–Yates with a 64-bit-capable index source.
+	for i := int64(n) - 1; i > 0; i-- {
+		j := rng.Int63n(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	inv := make([]uint64, n)
+	for lin, idx := range perm {
+		inv[idx] = uint64(lin)
+	}
+	return &Random{u: u, perm: perm, inv: inv, seed: seed}, nil
+}
+
+// Universe implements Curve.
+func (r *Random) Universe() *grid.Universe { return r.u }
+
+// Name implements Curve.
+func (r *Random) Name() string { return "random" }
+
+// Seed returns the seed the permutation was drawn from.
+func (r *Random) Seed() int64 { return r.seed }
+
+// Index implements Curve.
+func (r *Random) Index(p grid.Point) uint64 { return r.perm[r.u.Linear(p)] }
+
+// Point implements Curve.
+func (r *Random) Point(idx uint64, dst grid.Point) { r.u.FromLinear(r.inv[idx], dst) }
+
+var _ Curve = (*Random)(nil)

@@ -1,0 +1,86 @@
+package curve
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// Table is an explicit space filling curve given by a lookup table: entry i
+// of the table is the curve index of the cell with Linear index i. It
+// realizes the paper's fully general definition of an SFC — any bijection —
+// and is used for the hand-constructed curves of Figure 1 and for random
+// bijections in property tests.
+type Table struct {
+	u    *grid.Universe
+	name string
+	perm []uint64
+	inv  []uint64
+}
+
+// NewTable builds a table curve. perm[linearIndex] = curve index; it must be
+// a permutation of [0, n).
+func NewTable(u *grid.Universe, name string, perm []uint64) (*Table, error) {
+	n := u.N()
+	if uint64(len(perm)) != n {
+		return nil, fmt.Errorf("curve: table of %d entries for n=%d", len(perm), n)
+	}
+	inv := make([]uint64, n)
+	seen := make([]bool, n)
+	for lin, idx := range perm {
+		if idx >= n {
+			return nil, fmt.Errorf("curve: table entry %d = %d out of range", lin, idx)
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("curve: table assigns index %d twice", idx)
+		}
+		seen[idx] = true
+		inv[idx] = uint64(lin)
+	}
+	return &Table{u: u, name: name, perm: perm, inv: inv}, nil
+}
+
+// MustTable is NewTable for known-good tables; it panics on error.
+func MustTable(u *grid.Universe, name string, perm []uint64) *Table {
+	t, err := NewTable(u, name, perm)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// FromOrder builds a table curve from a visiting order: order[t] is the
+// Linear index of the cell visited at curve position t.
+func FromOrder(u *grid.Universe, name string, order []uint64) (*Table, error) {
+	n := u.N()
+	if uint64(len(order)) != n {
+		return nil, fmt.Errorf("curve: order of %d entries for n=%d", len(order), n)
+	}
+	perm := make([]uint64, n)
+	seen := make([]bool, n)
+	for pos, lin := range order {
+		if lin >= n {
+			return nil, fmt.Errorf("curve: order entry %d = %d out of range", pos, lin)
+		}
+		if seen[lin] {
+			return nil, fmt.Errorf("curve: order visits cell %d twice", lin)
+		}
+		seen[lin] = true
+		perm[lin] = uint64(pos)
+	}
+	return NewTable(u, name, perm)
+}
+
+// Universe implements Curve.
+func (t *Table) Universe() *grid.Universe { return t.u }
+
+// Name implements Curve.
+func (t *Table) Name() string { return t.name }
+
+// Index implements Curve.
+func (t *Table) Index(p grid.Point) uint64 { return t.perm[t.u.Linear(p)] }
+
+// Point implements Curve.
+func (t *Table) Point(idx uint64, dst grid.Point) { t.u.FromLinear(t.inv[idx], dst) }
+
+var _ Curve = (*Table)(nil)

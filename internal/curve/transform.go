@@ -1,0 +1,143 @@
+package curve
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// AxisPermuted wraps a curve with a permutation of the grid axes: the
+// wrapped curve sees coordinate i of the underlying curve at axis perm[i].
+// Since an axis permutation is an isometry of the grid (it preserves
+// Manhattan and Euclidean distances and the neighbor relation), every
+// stretch metric of the paper is invariant under it — a fact the test suite
+// exploits. The paper notes (§IV.B) that the Z curves obtained by
+// interleaving dimensions in different orders are all equivalent for the
+// metrics considered.
+type AxisPermuted struct {
+	inner Curve
+	perm  []int // position i of the inner point reads axis perm[i] of the outer point
+	inv   []int
+}
+
+// NewAxisPermuted wraps inner so that outer axis perm[i] maps to inner
+// axis i. perm must be a permutation of {0, …, d−1}.
+func NewAxisPermuted(inner Curve, perm []int) (*AxisPermuted, error) {
+	d := inner.Universe().D()
+	if len(perm) != d {
+		return nil, fmt.Errorf("curve: permutation of length %d for d=%d", len(perm), d)
+	}
+	seen := make([]bool, d)
+	for _, v := range perm {
+		if v < 0 || v >= d || seen[v] {
+			return nil, fmt.Errorf("curve: %v is not a permutation of 0..%d", perm, d-1)
+		}
+		seen[v] = true
+	}
+	inv := make([]int, d)
+	for i, v := range perm {
+		inv[v] = i
+	}
+	p := make([]int, d)
+	copy(p, perm)
+	return &AxisPermuted{inner: inner, perm: p, inv: inv}, nil
+}
+
+// Universe implements Curve.
+func (a *AxisPermuted) Universe() *grid.Universe { return a.inner.Universe() }
+
+// Name implements Curve.
+func (a *AxisPermuted) Name() string { return a.inner.Name() + "-axperm" }
+
+// Index implements Curve.
+func (a *AxisPermuted) Index(p grid.Point) uint64 {
+	q := make(grid.Point, len(p))
+	for i := range q {
+		q[i] = p[a.perm[i]]
+	}
+	return a.inner.Index(q)
+}
+
+// Point implements Curve.
+func (a *AxisPermuted) Point(idx uint64, dst grid.Point) {
+	q := make(grid.Point, len(dst))
+	a.inner.Point(idx, q)
+	for i, v := range q {
+		dst[a.perm[i]] = v
+	}
+}
+
+var _ Curve = (*AxisPermuted)(nil)
+
+// Reflected wraps a curve with per-axis coordinate reflections
+// (x → side−1−x on the axes selected by mask). Reflections are grid
+// isometries, so stretch metrics are invariant under them as well.
+type Reflected struct {
+	inner Curve
+	mask  uint64 // bit i set: axis i reflected
+}
+
+// NewReflected wraps inner, reflecting every axis whose bit is set in mask.
+func NewReflected(inner Curve, mask uint64) *Reflected {
+	return &Reflected{inner: inner, mask: mask}
+}
+
+// Universe implements Curve.
+func (r *Reflected) Universe() *grid.Universe { return r.inner.Universe() }
+
+// Name implements Curve.
+func (r *Reflected) Name() string { return r.inner.Name() + "-reflect" }
+
+// Index implements Curve.
+func (r *Reflected) Index(p grid.Point) uint64 {
+	side := r.Universe().Side()
+	q := make(grid.Point, len(p))
+	for i := range q {
+		if r.mask&(1<<uint(i)) != 0 {
+			q[i] = side - 1 - p[i]
+		} else {
+			q[i] = p[i]
+		}
+	}
+	return r.inner.Index(q)
+}
+
+// Point implements Curve.
+func (r *Reflected) Point(idx uint64, dst grid.Point) {
+	r.inner.Point(idx, dst)
+	side := r.Universe().Side()
+	for i := range dst {
+		if r.mask&(1<<uint(i)) != 0 {
+			dst[i] = side - 1 - dst[i]
+		}
+	}
+}
+
+var _ Curve = (*Reflected)(nil)
+
+// Reversed wraps a curve with index reversal: π'(p) = n−1−π(p). Reversal
+// preserves |π(a)−π(b)| exactly, so every stretch metric is invariant.
+type Reversed struct {
+	inner Curve
+}
+
+// NewReversed returns the index-reversed curve.
+func NewReversed(inner Curve) *Reversed { return &Reversed{inner: inner} }
+
+// Universe implements Curve.
+func (r *Reversed) Universe() *grid.Universe { return r.inner.Universe() }
+
+// Name implements Curve.
+func (r *Reversed) Name() string { return r.inner.Name() + "-reversed" }
+
+// Index implements Curve.
+func (r *Reversed) Index(p grid.Point) uint64 {
+	return r.Universe().N() - 1 - r.inner.Index(p)
+}
+
+// Point implements Curve.
+func (r *Reversed) Point(idx uint64, dst grid.Point) {
+	r.inner.Point(r.Universe().N()-1-idx, dst)
+}
+
+var _ Curve = (*Reversed)(nil)

@@ -1,0 +1,62 @@
+package curve
+
+import (
+	"repro/internal/bits"
+	"repro/internal/grid"
+)
+
+// Z is the d-dimensional Z curve (Morton order) of §IV.B: the key of a cell
+// interleaves the coordinate bits, most significant bits first, dimension 1
+// contributing the most significant bit of each group:
+//
+//	Z(x) = x1^1 x2^1 … xd^1 x1^2 … xd^2 … x1^k … xd^k
+//
+// Theorem 2 of the paper: Davg(Z) ~ (1/d)·n^(1−1/d), within a factor 1.5 of
+// the Theorem 1 lower bound irrespective of d.
+type Z struct {
+	u *grid.Universe
+}
+
+// NewZ returns the Z curve over u.
+func NewZ(u *grid.Universe) *Z { return &Z{u: u} }
+
+// Universe implements Curve.
+func (z *Z) Universe() *grid.Universe { return z.u }
+
+// Name implements Curve.
+func (z *Z) Name() string { return "z" }
+
+// Index implements Curve: the Morton key of p.
+func (z *Z) Index(p grid.Point) uint64 {
+	switch z.u.D() {
+	case 1:
+		return uint64(p[0])
+	case 2:
+		return bits.Interleave2(p[0], p[1])
+	case 3:
+		if z.u.K() <= 20 {
+			return bits.Interleave3(p[0], p[1], p[2])
+		}
+	}
+	return bits.Interleave(p, z.u.K())
+}
+
+// Point implements Curve.
+func (z *Z) Point(idx uint64, dst grid.Point) {
+	switch z.u.D() {
+	case 1:
+		dst[0] = uint32(idx)
+		return
+	case 2:
+		dst[0], dst[1] = bits.Deinterleave2(idx)
+		return
+	case 3:
+		if z.u.K() <= 20 {
+			dst[0], dst[1], dst[2] = bits.Deinterleave3(idx)
+			return
+		}
+	}
+	bits.Deinterleave(idx, z.u.K(), dst)
+}
+
+var _ Curve = (*Z)(nil)

@@ -1,0 +1,124 @@
+package grid
+
+import "fmt"
+
+// Edge is an unordered nearest-neighbor pair of cells — an element of NN_d
+// in the paper's terminology. It is stored in canonical form: A and B differ
+// in exactly one coordinate, with B = A + e_Dim.
+type Edge struct {
+	A, B Point
+	Dim  int // the dimension along which A and B differ
+}
+
+// String renders the edge as "(a — b)".
+func (e Edge) String() string { return fmt.Sprintf("(%v — %v)", e.A, e.B) }
+
+// NewEdge canonicalizes the unordered pair {a, b}, which must be nearest
+// neighbors (Manhattan distance exactly 1).
+func NewEdge(a, b Point) (Edge, error) {
+	if len(a) != len(b) {
+		return Edge{}, fmt.Errorf("grid: edge endpoints of different dimension")
+	}
+	dim := -1
+	for i := range a {
+		if a[i] == b[i] {
+			continue
+		}
+		if dim >= 0 {
+			return Edge{}, fmt.Errorf("grid: %v and %v differ in more than one dimension", a, b)
+		}
+		diff := int64(a[i]) - int64(b[i])
+		if diff != 1 && diff != -1 {
+			return Edge{}, fmt.Errorf("grid: %v and %v are not nearest neighbors", a, b)
+		}
+		dim = i
+	}
+	if dim < 0 {
+		return Edge{}, fmt.Errorf("grid: %v equals %v", a, b)
+	}
+	if a[dim] < b[dim] {
+		return Edge{A: a.Clone(), B: b.Clone(), Dim: dim}, nil
+	}
+	return Edge{A: b.Clone(), B: a.Clone(), Dim: dim}, nil
+}
+
+// Decompose computes the paper's nearest-neighbor decomposition p(α, β)
+// (§IV.A): the set of unit edges forming the canonical staircase path from
+// α to β that corrects coordinates one dimension at a time, dimension 1
+// first. The returned edges are in path order from α to β. Decompose(α, β)
+// and Decompose(β, α) generally differ as sets (see Figure 2 of the paper),
+// but both have exactly Δ(α, β) edges.
+func Decompose(alpha, beta Point) []Edge {
+	d := len(alpha)
+	edges := make([]Edge, 0, Manhattan(alpha, beta))
+	cur := alpha.Clone()
+	for i := 0; i < d; i++ {
+		x, y := cur[i], beta[i]
+		switch {
+		case x < y:
+			for v := x; v < y; v++ {
+				a := cur.Clone()
+				a[i] = v
+				b := cur.Clone()
+				b[i] = v + 1
+				edges = append(edges, Edge{A: a, B: b, Dim: i})
+			}
+		case x > y:
+			// For a decreasing coordinate the walk visits edges from x down
+			// to y; each unordered edge is canonicalized with the smaller
+			// endpoint first.
+			for v := x; v > y; v-- {
+				a := cur.Clone()
+				a[i] = v - 1
+				b := cur.Clone()
+				b[i] = v
+				edges = append(edges, Edge{A: a, B: b, Dim: i})
+			}
+		}
+		cur[i] = y
+	}
+	return edges
+}
+
+// DecomposeVertices returns the vertex sequence of the canonical path from
+// α to β: α = v_0, v_1, …, v_m = β with consecutive vertices at Manhattan
+// distance 1 and m = Δ(α, β).
+func DecomposeVertices(alpha, beta Point) []Point {
+	d := len(alpha)
+	verts := make([]Point, 0, Manhattan(alpha, beta)+1)
+	cur := alpha.Clone()
+	verts = append(verts, cur.Clone())
+	for i := 0; i < d; i++ {
+		for cur[i] != beta[i] {
+			if cur[i] < beta[i] {
+				cur[i]++
+			} else {
+				cur[i]--
+			}
+			verts = append(verts, cur.Clone())
+		}
+	}
+	return verts
+}
+
+// DecompositionCount returns the exact number of ordered pairs (α, β) ∈ A′
+// whose decomposition p(α, β) contains the given edge. Following the
+// characterization in the proof of Lemma 4: with the edge along dimension i
+// joining coordinate values ζ_i and ζ_i+1, the count is
+//
+//	2 · side^(d-1) · (ζ_i + 1) · (side − 1 − ζ_i)
+//
+// (the paper writes this as 2·(d√n)^(d-1)·ζ_i·(d√n − ζ_i) with the interval
+// counted from 1). The maximum over edges is side^(d+1)/2 = n^((d+1)/d)/2,
+// which is the bound used in inequality (4) of the paper.
+func (u *Universe) DecompositionCount(e Edge) uint64 {
+	z := uint64(e.A[e.Dim])
+	perOther := pow64(uint64(u.side), u.d-1)
+	return 2 * perOther * (z + 1) * (uint64(u.side) - 1 - z)
+}
+
+// DecompositionCountBound returns the Lemma 4 upper bound n^((d+1)/d)/2
+// = side^(d+1)/2 on DecompositionCount over all edges.
+func (u *Universe) DecompositionCountBound() uint64 {
+	return pow64(uint64(u.side), u.d+1) / 2
+}

@@ -1,0 +1,202 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewEdgeCanonicalization(t *testing.T) {
+	e, err := NewEdge(Point{3, 4}, Point{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.A.Equal(Point{2, 4}) || !e.B.Equal(Point{3, 4}) || e.Dim != 0 {
+		t.Fatalf("bad edge %v dim %d", e, e.Dim)
+	}
+	if _, err := NewEdge(Point{0, 0}, Point{1, 1}); err == nil {
+		t.Fatal("diagonal accepted")
+	}
+	if _, err := NewEdge(Point{0, 0}, Point{2, 0}); err == nil {
+		t.Fatal("distance-2 accepted")
+	}
+	if _, err := NewEdge(Point{1, 1}, Point{1, 1}); err == nil {
+		t.Fatal("self edge accepted")
+	}
+	if _, err := NewEdge(Point{1}, Point{1, 2}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+// edgeKey gives a comparable identity for an edge, for set comparisons.
+func edgeKey(e Edge) string { return e.A.String() + "|" + e.B.String() }
+
+func TestDecomposePaperFigure2(t *testing.T) {
+	// Figure 2: α=(1,1), β=(3,5) on a 6×6 region of the plane.
+	// p(α,β) = {((1,1),(2,1)), ((2,1),(3,1)), ((3,1),(3,2)),
+	//           ((3,2),(3,3)), ((3,3),(3,4)), ((3,4),(3,5))}
+	alpha := Point{1, 1}
+	beta := Point{3, 5}
+	want := [][2]Point{
+		{{1, 1}, {2, 1}}, {{2, 1}, {3, 1}}, {{3, 1}, {3, 2}},
+		{{3, 2}, {3, 3}}, {{3, 3}, {3, 4}}, {{3, 4}, {3, 5}},
+	}
+	got := Decompose(alpha, beta)
+	if len(got) != len(want) {
+		t.Fatalf("p(α,β) has %d edges, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if !got[i].A.Equal(w[0]) || !got[i].B.Equal(w[1]) {
+			t.Fatalf("edge %d = %v, want (%v — %v)", i, got[i], w[0], w[1])
+		}
+	}
+
+	// p(β,α) from the figure: {((1,5),(2,5)), ((2,5),(3,5)), ((1,1),(1,2)),
+	// ((1,2),(1,3)), ((1,3),(1,4)), ((1,4),(1,5))} — as a set.
+	wantRev := map[string]bool{}
+	for _, w := range [][2]Point{
+		{{1, 5}, {2, 5}}, {{2, 5}, {3, 5}}, {{1, 1}, {1, 2}},
+		{{1, 2}, {1, 3}}, {{1, 3}, {1, 4}}, {{1, 4}, {1, 5}},
+	} {
+		e, err := NewEdge(w[0], w[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRev[edgeKey(e)] = true
+	}
+	gotRev := Decompose(beta, alpha)
+	if len(gotRev) != len(wantRev) {
+		t.Fatalf("p(β,α) has %d edges, want %d", len(gotRev), len(wantRev))
+	}
+	for _, e := range gotRev {
+		if !wantRev[edgeKey(e)] {
+			t.Fatalf("unexpected edge %v in p(β,α)", e)
+		}
+	}
+}
+
+func TestDecomposeSingleDimensionSymmetric(t *testing.T) {
+	// If α and β differ in only one coordinate, p(α,β) == p(β,α) as sets.
+	alpha := Point{6, 4, 5}
+	beta := Point{3, 4, 5}
+	fwd := Decompose(alpha, beta)
+	rev := Decompose(beta, alpha)
+	if len(fwd) != 3 || len(rev) != 3 {
+		t.Fatalf("lengths %d %d", len(fwd), len(rev))
+	}
+	set := map[string]bool{}
+	for _, e := range fwd {
+		set[edgeKey(e)] = true
+	}
+	for _, e := range rev {
+		if !set[edgeKey(e)] {
+			t.Fatalf("p(β,α) edge %v not in p(α,β)", e)
+		}
+	}
+}
+
+func TestDecomposePropertiesRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	u := MustNew(3, 3)
+	randPoint := func() Point {
+		p := u.NewPoint()
+		for i := range p {
+			p[i] = uint32(rng.Intn(int(u.Side())))
+		}
+		return p
+	}
+	for trial := 0; trial < 300; trial++ {
+		a, b := randPoint(), randPoint()
+		if a.Equal(b) {
+			continue
+		}
+		edges := Decompose(a, b)
+		if uint64(len(edges)) != Manhattan(a, b) {
+			t.Fatalf("|p(α,β)| = %d, Δ = %d", len(edges), Manhattan(a, b))
+		}
+		// Every edge is a valid unit edge with canonical orientation.
+		seen := map[string]bool{}
+		for _, e := range edges {
+			if Manhattan(e.A, e.B) != 1 {
+				t.Fatalf("non-unit edge %v", e)
+			}
+			if e.B[e.Dim] != e.A[e.Dim]+1 {
+				t.Fatalf("non-canonical edge %v", e)
+			}
+			if seen[edgeKey(e)] {
+				t.Fatalf("duplicate edge %v", e)
+			}
+			seen[edgeKey(e)] = true
+		}
+		// Vertex path agrees: consecutive vertices at distance 1, endpoints correct.
+		verts := DecomposeVertices(a, b)
+		if uint64(len(verts)) != Manhattan(a, b)+1 {
+			t.Fatalf("path has %d vertices", len(verts))
+		}
+		if !verts[0].Equal(a) || !verts[len(verts)-1].Equal(b) {
+			t.Fatalf("path endpoints wrong")
+		}
+		for i := 1; i < len(verts); i++ {
+			if Manhattan(verts[i-1], verts[i]) != 1 {
+				t.Fatalf("path step %d not unit", i)
+			}
+		}
+		// The edge set of the path equals Decompose's edge set.
+		for i := 1; i < len(verts); i++ {
+			e, err := NewEdge(verts[i-1], verts[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !seen[edgeKey(e)] {
+				t.Fatalf("path edge %v missing from decomposition", e)
+			}
+		}
+	}
+}
+
+func TestDecompositionCountMatchesEnumeration(t *testing.T) {
+	// Lemma 4 exact count: enumerate all ordered pairs on a small grid and
+	// count, for each edge, how many decompositions contain it.
+	u := MustNew(2, 2) // 4×4, 256 ordered pairs
+	counts := map[string]uint64{}
+	a := u.NewPoint()
+	b := u.NewPoint()
+	for ia := uint64(0); ia < u.N(); ia++ {
+		for ib := uint64(0); ib < u.N(); ib++ {
+			if ia == ib {
+				continue
+			}
+			u.FromLinear(ia, a)
+			u.FromLinear(ib, b)
+			for _, e := range Decompose(a, b) {
+				counts[edgeKey(e)]++
+			}
+		}
+	}
+	bound := u.DecompositionCountBound()
+	u.NNPairs(func(pa, pb Point, dim int) bool {
+		e, err := NewEdge(pa, pb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := u.DecompositionCount(e)
+		if got := counts[edgeKey(e)]; got != want {
+			t.Fatalf("edge %v: enumerated %d, formula %d", e, got, want)
+		}
+		if want > bound {
+			t.Fatalf("edge %v: count %d exceeds Lemma 4 bound %d", e, want, bound)
+		}
+		return true
+	})
+}
+
+func TestDecompositionCountBoundTight(t *testing.T) {
+	// The Lemma 4 bound side^(d+1)/2 is attained by central edges.
+	u := MustNew(3, 2)
+	e, err := NewEdge(u.MustPoint(1, 0, 0), u.MustPoint(2, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, bound := u.DecompositionCount(e), u.DecompositionCountBound(); got != bound {
+		t.Fatalf("central edge count %d, bound %d", got, bound)
+	}
+}

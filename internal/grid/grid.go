@@ -1,0 +1,309 @@
+// Package grid models the paper's universe: the d-dimensional grid of side
+// 2^k per dimension, holding n = 2^(k·d) cells (§III of Xu & Tirthapura,
+// "A Lower Bound on Proximity Preservation by Space Filling Curves",
+// IPDPS 2012). It provides cell addressing, nearest-neighbor enumeration,
+// the Manhattan/Euclidean metrics, and the nearest-neighbor decomposition
+// p(α, β) on which the paper's lower-bound proof rests.
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/bits"
+)
+
+// Point is a cell of the universe: a d-tuple of coordinates, each in
+// [0, 2^k). Index 0 is the paper's dimension 1.
+type Point []uint32
+
+// Clone returns a copy of p.
+func (p Point) Clone() Point {
+	q := make(Point, len(p))
+	copy(q, p)
+	return q
+}
+
+// Equal reports whether p and q have identical coordinates.
+func (p Point) Equal(q Point) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders p as "(x1,x2,…,xd)".
+func (p Point) String() string {
+	s := "("
+	for i, v := range p {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprint(v)
+	}
+	return s + ")"
+}
+
+// Universe is the d-dimensional grid of dimensions 2^k × … × 2^k.
+type Universe struct {
+	d    int    // number of dimensions (constant, >= 1)
+	k    int    // log2 of the side length
+	side uint32 // 2^k
+	n    uint64 // total cells, 2^(k*d)
+}
+
+// ErrTooLarge is returned by New when d·k exceeds the key-width budget.
+var ErrTooLarge = errors.New("grid: d*k exceeds 62 bits")
+
+// New constructs the universe with d dimensions and side length 2^k.
+// It returns an error unless d >= 1, k >= 0 and d·k <= 62 (so that cell
+// indices, and index differences, fit comfortably in uint64/int64).
+func New(d, k int) (*Universe, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("grid: d = %d, need d >= 1", d)
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("grid: k = %d, need k >= 0", k)
+	}
+	if d*k > bits.MaxKeyBits {
+		return nil, fmt.Errorf("%w: d=%d k=%d", ErrTooLarge, d, k)
+	}
+	return &Universe{d: d, k: k, side: 1 << uint(k), n: 1 << uint(d*k)}, nil
+}
+
+// MustNew is New for known-good parameters; it panics on error. Intended for
+// tests, examples and package-internal tables.
+func MustNew(d, k int) *Universe {
+	u, err := New(d, k)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// D returns the number of dimensions.
+func (u *Universe) D() int { return u.d }
+
+// K returns log2 of the side length.
+func (u *Universe) K() int { return u.k }
+
+// Side returns the side length 2^k.
+func (u *Universe) Side() uint32 { return u.side }
+
+// N returns the total number of cells, 2^(k·d).
+func (u *Universe) N() uint64 { return u.n }
+
+// String implements fmt.Stringer.
+func (u *Universe) String() string {
+	return fmt.Sprintf("grid(d=%d, side=2^%d, n=%d)", u.d, u.k, u.n)
+}
+
+// NewPoint returns a zeroed point with the universe's dimensionality.
+func (u *Universe) NewPoint() Point { return make(Point, u.d) }
+
+// Point builds a point from explicit coordinates, validating bounds.
+func (u *Universe) Point(coords ...uint32) (Point, error) {
+	if len(coords) != u.d {
+		return nil, fmt.Errorf("grid: %d coordinates for d=%d", len(coords), u.d)
+	}
+	p := Point(coords).Clone()
+	if !u.Contains(p) {
+		return nil, fmt.Errorf("grid: point %v outside %v", p, u)
+	}
+	return p, nil
+}
+
+// MustPoint is Point for known-good coordinates; it panics on error.
+func (u *Universe) MustPoint(coords ...uint32) Point {
+	p, err := u.Point(coords...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Contains reports whether p is a cell of the universe.
+func (u *Universe) Contains(p Point) bool {
+	if len(p) != u.d {
+		return false
+	}
+	for _, v := range p {
+		if v >= u.side {
+			return false
+		}
+	}
+	return true
+}
+
+// Linear returns the canonical row-major linear index of p:
+//
+//	Σ_{i=0}^{d-1} p[i] · side^i
+//
+// with dimension 1 (index 0) least significant. This matches the paper's
+// "simple curve" numbering, eq. (8), and is the iteration order of Cells.
+func (u *Universe) Linear(p Point) uint64 {
+	var idx uint64
+	for i := u.d - 1; i >= 0; i-- {
+		idx = idx<<uint(u.k) | uint64(p[i])
+	}
+	return idx
+}
+
+// FromLinear writes into dst the point whose Linear index is idx.
+// dst must have length d.
+func (u *Universe) FromLinear(idx uint64, dst Point) {
+	mask := uint64(u.side) - 1
+	for i := 0; i < u.d; i++ {
+		dst[i] = uint32(idx & mask)
+		idx >>= uint(u.k)
+	}
+}
+
+// Cells calls visit for every cell in Linear order, stopping early if visit
+// returns false. The Point passed to visit is reused between calls; clone it
+// if it must be retained.
+func (u *Universe) Cells(visit func(idx uint64, p Point) bool) {
+	p := u.NewPoint()
+	for idx := uint64(0); idx < u.n; idx++ {
+		u.FromLinear(idx, p)
+		if !visit(idx, p) {
+			return
+		}
+	}
+}
+
+// Degree returns |N(p)|: the number of Manhattan-distance-1 neighbors of p.
+// Interior cells have 2d neighbors; cells on the boundary have fewer, but
+// never fewer than d (for side >= 2).
+func (u *Universe) Degree(p Point) int {
+	deg := 0
+	for _, v := range p {
+		if v > 0 {
+			deg++
+		}
+		if v+1 < u.side {
+			deg++
+		}
+	}
+	return deg
+}
+
+// BoundaryDims returns the number of dimensions in which p lies on the
+// boundary (coordinate 0 or side-1). Zero means p is an interior cell.
+// For side == 1 every dimension counts once.
+func (u *Universe) BoundaryDims(p Point) int {
+	b := 0
+	for _, v := range p {
+		if v == 0 || v == u.side-1 {
+			b++
+		}
+	}
+	return b
+}
+
+// Neighbors calls visit for every neighbor of p (cells at Manhattan distance
+// exactly 1), passing the dimension along which the neighbor differs. The
+// Point passed to visit is a reused scratch buffer; clone it to retain it.
+func (u *Universe) Neighbors(p Point, visit func(dim int, q Point)) {
+	q := p.Clone()
+	for i := 0; i < u.d; i++ {
+		if p[i] > 0 {
+			q[i] = p[i] - 1
+			visit(i, q)
+			q[i] = p[i]
+		}
+		if p[i]+1 < u.side {
+			q[i] = p[i] + 1
+			visit(i, q)
+			q[i] = p[i]
+		}
+	}
+}
+
+// NNPairCount returns |NN_d|: the number of unordered nearest-neighbor
+// pairs, d · side^(d-1) · (side-1).
+func (u *Universe) NNPairCount() uint64 {
+	perDim := uint64(u.side-1) * pow64(uint64(u.side), u.d-1)
+	return uint64(u.d) * perDim
+}
+
+// NNPairs calls visit once per unordered nearest-neighbor pair (a, b) with
+// b = a + e_dim. Points are reused scratch buffers. Iteration is in Linear
+// order of a, dimensions ascending.
+func (u *Universe) NNPairs(visit func(a, b Point, dim int) bool) {
+	a := u.NewPoint()
+	b := u.NewPoint()
+	for idx := uint64(0); idx < u.n; idx++ {
+		u.FromLinear(idx, a)
+		copy(b, a)
+		for dim := 0; dim < u.d; dim++ {
+			if a[dim]+1 < u.side {
+				b[dim] = a[dim] + 1
+				if !visit(a, b, dim) {
+					return
+				}
+				b[dim] = a[dim]
+			}
+		}
+	}
+}
+
+// Manhattan returns Δ(a, b) = Σ |a_i − b_i|.
+func Manhattan(a, b Point) uint64 {
+	var s uint64
+	for i := range a {
+		s += bits.AbsDiff(uint64(a[i]), uint64(b[i]))
+	}
+	return s
+}
+
+// Euclidean returns Δ_E(a, b) = sqrt(Σ (a_i − b_i)²).
+func Euclidean(a, b Point) float64 {
+	var s float64
+	for i := range a {
+		d := float64(bits.AbsDiff(uint64(a[i]), uint64(b[i])))
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Chebyshev returns max_i |a_i − b_i|.
+func Chebyshev(a, b Point) uint64 {
+	var m uint64
+	for i := range a {
+		if d := bits.AbsDiff(uint64(a[i]), uint64(b[i])); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// MaxManhattan returns the diameter of the universe under Δ:
+// d·(side−1), attained by opposite corners (Lemma 6).
+func (u *Universe) MaxManhattan() uint64 {
+	return uint64(u.d) * uint64(u.side-1)
+}
+
+// MaxEuclidean returns the diameter under Δ_E: sqrt(d)·(side−1) (Lemma 6).
+func (u *Universe) MaxEuclidean() float64 {
+	return math.Sqrt(float64(u.d)) * float64(u.side-1)
+}
+
+// pow64 computes base^exp in uint64 (caller guarantees no overflow).
+func pow64(base uint64, exp int) uint64 {
+	r := uint64(1)
+	for ; exp > 0; exp-- {
+		r *= base
+	}
+	return r
+}
+
+// Pow64 computes base^exp in uint64 arithmetic. The caller must guarantee
+// the result fits (the Universe size limits make all in-package uses safe).
+func Pow64(base uint64, exp int) uint64 { return pow64(base, exp) }

@@ -1,0 +1,275 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 3); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+	if _, err := New(2, -1); err == nil {
+		t.Fatal("k=-1 accepted")
+	}
+	if _, err := New(8, 8); err == nil {
+		t.Fatal("d*k=64 accepted")
+	}
+	u, err := New(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.D() != 3 || u.K() != 4 || u.Side() != 16 || u.N() != 1<<12 {
+		t.Fatalf("bad universe %v", u)
+	}
+}
+
+func TestSideOne(t *testing.T) {
+	u := MustNew(3, 0)
+	if u.N() != 1 || u.Side() != 1 {
+		t.Fatalf("k=0 universe wrong: %v", u)
+	}
+	p := u.MustPoint(0, 0, 0)
+	if u.Degree(p) != 0 {
+		t.Fatalf("single cell has neighbors")
+	}
+	if u.NNPairCount() != 0 {
+		t.Fatalf("single cell has NN pairs")
+	}
+}
+
+func TestLinearRoundTrip(t *testing.T) {
+	for _, dk := range [][2]int{{1, 6}, {2, 4}, {3, 3}, {4, 2}, {5, 2}} {
+		u := MustNew(dk[0], dk[1])
+		p := u.NewPoint()
+		seen := make(map[uint64]bool, u.N())
+		for idx := uint64(0); idx < u.N(); idx++ {
+			u.FromLinear(idx, p)
+			if !u.Contains(p) {
+				t.Fatalf("%v: FromLinear(%d) = %v outside", u, idx, p)
+			}
+			if got := u.Linear(p); got != idx {
+				t.Fatalf("%v: Linear(FromLinear(%d)) = %d", u, idx, got)
+			}
+			seen[idx] = true
+		}
+		if uint64(len(seen)) != u.N() {
+			t.Fatalf("%v: %d distinct indices", u, len(seen))
+		}
+	}
+}
+
+func TestLinearMatchesSimpleCurveFormula(t *testing.T) {
+	// Linear must implement eq. (8): S(α) = Σ x_i · side^(i-1).
+	u := MustNew(3, 2)
+	p := u.MustPoint(1, 2, 3)
+	want := uint64(1) + 2*4 + 3*16
+	if got := u.Linear(p); got != want {
+		t.Fatalf("Linear(%v) = %d, want %d", p, got, want)
+	}
+}
+
+func TestDegreeBounds(t *testing.T) {
+	// Paper §III: d <= |N(α)| <= 2d for side >= 2.
+	for _, dk := range [][2]int{{1, 3}, {2, 3}, {3, 2}, {4, 1}} {
+		u := MustNew(dk[0], dk[1])
+		u.Cells(func(_ uint64, p Point) bool {
+			deg := u.Degree(p)
+			if deg < u.D() || deg > 2*u.D() {
+				t.Fatalf("%v: degree(%v) = %d outside [d, 2d]", u, p, deg)
+			}
+			// Cross-check against explicit enumeration.
+			count := 0
+			u.Neighbors(p, func(dim int, q Point) {
+				if Manhattan(p, q) != 1 {
+					t.Fatalf("neighbor %v of %v at distance %d", q, p, Manhattan(p, q))
+				}
+				if p[dim] == q[dim] {
+					t.Fatalf("neighbor dim mismatch")
+				}
+				count++
+			})
+			if count != deg {
+				t.Fatalf("%v: Degree=%d but Neighbors yields %d", p, deg, count)
+			}
+			return true
+		})
+	}
+}
+
+func TestBoundaryDims(t *testing.T) {
+	u := MustNew(2, 2) // 4x4
+	if b := u.BoundaryDims(u.MustPoint(1, 2)); b != 0 {
+		t.Fatalf("interior cell boundary dims = %d", b)
+	}
+	if b := u.BoundaryDims(u.MustPoint(0, 2)); b != 1 {
+		t.Fatalf("face cell boundary dims = %d", b)
+	}
+	if b := u.BoundaryDims(u.MustPoint(0, 3)); b != 2 {
+		t.Fatalf("corner cell boundary dims = %d", b)
+	}
+}
+
+func TestNNPairCount(t *testing.T) {
+	for _, dk := range [][2]int{{1, 4}, {2, 3}, {3, 2}, {4, 1}} {
+		u := MustNew(dk[0], dk[1])
+		var count uint64
+		u.NNPairs(func(a, b Point, dim int) bool {
+			if Manhattan(a, b) != 1 {
+				t.Fatalf("NN pair at distance %d", Manhattan(a, b))
+			}
+			if b[dim] != a[dim]+1 {
+				t.Fatalf("pair not canonical: %v %v dim %d", a, b, dim)
+			}
+			count++
+			return true
+		})
+		if count != u.NNPairCount() {
+			t.Fatalf("%v: enumerated %d pairs, formula %d", u, count, u.NNPairCount())
+		}
+		// Sum of degrees counts each unordered pair twice.
+		var degSum uint64
+		u.Cells(func(_ uint64, p Point) bool {
+			degSum += uint64(u.Degree(p))
+			return true
+		})
+		if degSum != 2*count {
+			t.Fatalf("%v: degree sum %d != 2×%d", u, degSum, count)
+		}
+	}
+}
+
+func TestNNPairsEarlyStop(t *testing.T) {
+	u := MustNew(2, 3)
+	visits := 0
+	u.NNPairs(func(a, b Point, dim int) bool {
+		visits++
+		return visits < 5
+	})
+	if visits != 5 {
+		t.Fatalf("early stop ignored: %d visits", visits)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	a := Point{1, 1}
+	b := Point{3, 5}
+	if Manhattan(a, b) != 6 {
+		t.Fatalf("Manhattan = %d", Manhattan(a, b))
+	}
+	if got := Euclidean(a, b); math.Abs(got-math.Sqrt(4+16)) > 1e-12 {
+		t.Fatalf("Euclidean = %v", got)
+	}
+	if Chebyshev(a, b) != 4 {
+		t.Fatalf("Chebyshev = %d", Chebyshev(a, b))
+	}
+}
+
+func TestMetricSymmetryAndTriangle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	u := MustNew(3, 4)
+	randPoint := func() Point {
+		p := u.NewPoint()
+		for i := range p {
+			p[i] = uint32(rng.Intn(int(u.Side())))
+		}
+		return p
+	}
+	for trial := 0; trial < 500; trial++ {
+		a, b, c := randPoint(), randPoint(), randPoint()
+		if Manhattan(a, b) != Manhattan(b, a) {
+			t.Fatal("Manhattan not symmetric")
+		}
+		if Manhattan(a, c) > Manhattan(a, b)+Manhattan(b, c) {
+			t.Fatal("Manhattan triangle inequality violated")
+		}
+		if Euclidean(a, c) > Euclidean(a, b)+Euclidean(b, c)+1e-9 {
+			t.Fatal("Euclidean triangle inequality violated")
+		}
+		// Δ_E <= Δ <= sqrt(d)·Δ_E (used implicitly by Prop 3/4 proofs).
+		if Euclidean(a, b) > float64(Manhattan(a, b))+1e-9 {
+			t.Fatal("Euclidean exceeds Manhattan")
+		}
+		if float64(Manhattan(a, b)) > math.Sqrt(float64(u.D()))*Euclidean(a, b)+1e-9 {
+			t.Fatal("Manhattan exceeds sqrt(d)·Euclidean")
+		}
+	}
+}
+
+func TestMaxDistances(t *testing.T) {
+	// Lemma 6: diameters are attained at opposite corners.
+	u := MustNew(3, 3)
+	lo := u.MustPoint(0, 0, 0)
+	hi := u.MustPoint(7, 7, 7)
+	if u.MaxManhattan() != Manhattan(lo, hi) {
+		t.Fatalf("MaxManhattan %d != %d", u.MaxManhattan(), Manhattan(lo, hi))
+	}
+	if math.Abs(u.MaxEuclidean()-Euclidean(lo, hi)) > 1e-12 {
+		t.Fatalf("MaxEuclidean %v != %v", u.MaxEuclidean(), Euclidean(lo, hi))
+	}
+}
+
+func TestCellsOrderAndEarlyStop(t *testing.T) {
+	u := MustNew(2, 2)
+	var idxs []uint64
+	u.Cells(func(idx uint64, p Point) bool {
+		if u.Linear(p) != idx {
+			t.Fatalf("Cells index mismatch at %d", idx)
+		}
+		idxs = append(idxs, idx)
+		return idx < 5
+	})
+	if len(idxs) != 6 {
+		t.Fatalf("early stop: visited %d", len(idxs))
+	}
+}
+
+func TestPointHelpers(t *testing.T) {
+	u := MustNew(2, 2)
+	if _, err := u.Point(1); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	if _, err := u.Point(4, 0); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+	p := u.MustPoint(1, 2)
+	q := p.Clone()
+	q[0] = 3
+	if p[0] != 1 {
+		t.Fatal("Clone aliases")
+	}
+	if p.Equal(q) || !p.Equal(Point{1, 2}) || p.Equal(Point{1}) {
+		t.Fatal("Equal wrong")
+	}
+	if p.String() != "(1,2)" {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestPow64(t *testing.T) {
+	if Pow64(3, 0) != 1 || Pow64(3, 4) != 81 || Pow64(2, 10) != 1024 {
+		t.Fatal("Pow64 wrong")
+	}
+}
+
+func BenchmarkLinearRoundTrip(b *testing.B) {
+	u := MustNew(3, 10)
+	p := u.NewPoint()
+	for i := 0; i < b.N; i++ {
+		u.FromLinear(uint64(i)&(u.N()-1), p)
+		sink = u.Linear(p)
+	}
+}
+
+func BenchmarkNeighbors(b *testing.B) {
+	u := MustNew(3, 10)
+	p := u.MustPoint(500, 500, 500)
+	for i := 0; i < b.N; i++ {
+		count := 0
+		u.Neighbors(p, func(int, Point) { count++ })
+		sink = uint64(count)
+	}
+}
+
+var sink uint64

@@ -1,0 +1,64 @@
+package nbody
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+// BenchmarkStepAblation compares the sequential and parallel force sweeps —
+// the disjoint-slot-ownership design DESIGN.md calls out for the N-body
+// substrate.
+func BenchmarkStepAblation(b *testing.B) {
+	u := grid.MustNew(2, 5)
+	z := curve.NewZ(u)
+	build := func() *System {
+		s, err := New(z, Config{Particles: 20000, Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	b.Run("sequential", func(b *testing.B) {
+		s := build()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Step(0.01)
+		}
+	})
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
+			s := build()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.StepParallel(0.01, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkLocalitySweep measures the interaction enumeration per curve:
+// the cost is dominated by the curve's Index/Point evaluations, so the
+// ranking mirrors BenchmarkCurveIndex.
+func BenchmarkLocalitySweep(b *testing.B) {
+	u := grid.MustNew(2, 5)
+	for _, name := range []string{"z", "hilbert", "simple"} {
+		c, err := curve.ByName(name, u, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := New(c, Config{Particles: 10000, Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkLoc = s.MeasureLocality()
+			}
+		})
+	}
+}
+
+var sinkLoc Locality

@@ -1,0 +1,334 @@
+// Package nbody implements a short-range N-body interaction simulation on
+// the grid universe — the application the paper singles out when motivating
+// nearest-neighbor stretch (§I: "In many applications of SFCs, such as
+// N-body simulations, the dominant interactions are the ones between
+// nearest neighbors").
+//
+// Particles live in continuous coordinates over the d-dimensional domain
+// [0, side)^d and are bucketed into grid cells. Each step, every particle
+// interacts with the particles in its own cell and in the 2d nearest-
+// neighbor cells (a short-range cutoff force). Particle storage is sorted
+// by the curve index of the containing cell, exactly as SFC-ordered N-body
+// codes lay out memory (Warren & Salmon's hashed oct-tree [26]).
+//
+// The package exposes the quantity the stretch metrics predict: the mean
+// distance *along the curve* (equivalently, distance in the sorted particle
+// array) between interacting cells. For a curve with small Davg, a cell's
+// interaction partners sit close by in memory.
+package nbody
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+// Config configures a System.
+type Config struct {
+	Particles int     // number of particles (>= 1)
+	Seed      int64   // RNG seed for initial conditions
+	Mass      float64 // particle mass (default 1)
+	// ForceK is the spring constant of the short-range repulsive force
+	// (default 1). Particles closer than 1 cell width repel.
+	ForceK float64
+}
+
+// System is a particle system bucketed on a grid and ordered by an SFC.
+type System struct {
+	u *grid.Universe
+	c curve.Curve
+
+	pos  []float64 // len d*N, positions in [0, side)
+	vel  []float64 // len d*N
+	mass float64
+	k    float64
+
+	// SFC-sorted view, rebuilt by sortParticles: ids[i] is the particle at
+	// array slot i; key[i] is the curve index of its cell; cellLo maps each
+	// distinct cell (by position in keys) for range lookups via sort.Search.
+	ids  []int
+	keys []uint64
+
+	steps int
+}
+
+// New creates a system with particles placed uniformly at random
+// (deterministically from cfg.Seed) and zero initial velocities.
+func New(c curve.Curve, cfg Config) (*System, error) {
+	if cfg.Particles < 1 {
+		return nil, fmt.Errorf("nbody: need at least 1 particle, got %d", cfg.Particles)
+	}
+	u := c.Universe()
+	if cfg.Mass == 0 {
+		cfg.Mass = 1
+	}
+	if cfg.Mass < 0 {
+		return nil, fmt.Errorf("nbody: negative mass %v", cfg.Mass)
+	}
+	if cfg.ForceK == 0 {
+		cfg.ForceK = 1
+	}
+	d := u.D()
+	s := &System{
+		u:    u,
+		c:    c,
+		pos:  make([]float64, d*cfg.Particles),
+		vel:  make([]float64, d*cfg.Particles),
+		mass: cfg.Mass,
+		k:    cfg.ForceK,
+		ids:  make([]int, cfg.Particles),
+		keys: make([]uint64, cfg.Particles),
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	side := float64(u.Side())
+	for i := range s.pos {
+		s.pos[i] = rng.Float64() * side
+	}
+	s.sortParticles()
+	return s, nil
+}
+
+// N returns the particle count.
+func (s *System) N() int { return len(s.ids) }
+
+// Steps returns the number of completed integration steps.
+func (s *System) Steps() int { return s.steps }
+
+// Curve returns the ordering curve.
+func (s *System) Curve() curve.Curve { return s.c }
+
+// cellOf buckets a particle's continuous position into its grid cell.
+func (s *System) cellOf(pid int, p grid.Point) {
+	d := s.u.D()
+	side := s.u.Side()
+	for i := 0; i < d; i++ {
+		v := uint32(s.pos[pid*d+i])
+		if v >= side {
+			v = side - 1
+		}
+		p[i] = v
+	}
+}
+
+// sortParticles rebuilds the SFC-sorted particle view.
+func (s *System) sortParticles() {
+	p := s.u.NewPoint()
+	for i := range s.ids {
+		s.ids[i] = i
+	}
+	tmp := make([]uint64, len(s.ids))
+	for pid := range tmp {
+		s.cellOf(pid, p)
+		tmp[pid] = s.c.Index(p)
+	}
+	sort.SliceStable(s.ids, func(a, b int) bool { return tmp[s.ids[a]] < tmp[s.ids[b]] })
+	for slot, pid := range s.ids {
+		s.keys[slot] = tmp[pid]
+	}
+}
+
+// cellRange returns the slots [lo, hi) of particles in the cell with the
+// given curve index.
+func (s *System) cellRange(key uint64) (int, int) {
+	lo := sort.Search(len(s.keys), func(i int) bool { return s.keys[i] >= key })
+	hi := sort.Search(len(s.keys), func(i int) bool { return s.keys[i] > key })
+	return lo, hi
+}
+
+// forEachInteraction invokes fn once per unordered pair of particles whose
+// cells are identical or nearest neighbors. fn receives the particle ids
+// and the curve distance between their cells.
+func (s *System) forEachInteraction(fn func(a, b int, cellDist uint64)) {
+	s.interactionsForSlots(0, len(s.keys), fn)
+}
+
+// interactionsForSlots enumerates the interactions owned by array slots in
+// [lo, hi): a slot owns its pairs with later same-cell slots and with all
+// particles in neighbor cells of strictly larger curve index. Distinct
+// slots own disjoint pair sets, which is what makes the parallel force
+// sweep race-free.
+func (s *System) interactionsForSlots(lo, hi int, fn func(a, b int, cellDist uint64)) {
+	p := s.u.NewPoint()
+	for slot := lo; slot < hi; slot++ {
+		key := s.keys[slot]
+		// Same-cell pairs, counted once: only slots after this one.
+		for other := slot + 1; other < len(s.keys) && s.keys[other] == key; other++ {
+			fn(s.ids[slot], s.ids[other], 0)
+		}
+		// Neighbor-cell pairs, counted once via key ordering: only
+		// neighbors with a strictly larger curve index.
+		s.c.Point(key, p)
+		s.u.Neighbors(p, func(_ int, q grid.Point) {
+			nkey := s.c.Index(q)
+			if nkey <= key {
+				return
+			}
+			nlo, nhi := s.cellRange(nkey)
+			for other := nlo; other < nhi; other++ {
+				fn(s.ids[slot], s.ids[other], nkey-key)
+			}
+		})
+	}
+}
+
+// applyPairForce accumulates the spring force of one interacting pair into
+// force, symmetrically (Newton's third law, so momentum is conserved).
+func (s *System) applyPairForce(force []float64, a, b int) {
+	d := s.u.D()
+	var dist2 float64
+	for i := 0; i < d; i++ {
+		diff := s.pos[a*d+i] - s.pos[b*d+i]
+		dist2 += diff * diff
+	}
+	if dist2 >= 1 || dist2 == 0 {
+		return
+	}
+	dist := math.Sqrt(dist2)
+	mag := s.k * (1 - dist) // linear repulsion, zero at the cutoff
+	for i := 0; i < d; i++ {
+		f := mag * (s.pos[a*d+i] - s.pos[b*d+i]) / dist
+		force[a*d+i] += f
+		force[b*d+i] -= f
+	}
+}
+
+// Step advances the system by dt using symplectic Euler with a symmetric
+// short-range repulsive force: particles within distance 1 of each other
+// (and in the same or neighboring cells) push apart with a linear spring.
+// Domain boundaries reflect.
+func (s *System) Step(dt float64) {
+	force := make([]float64, len(s.pos))
+	s.forEachInteraction(func(a, b int, _ uint64) {
+		s.applyPairForce(force, a, b)
+	})
+	s.integrate(force, dt)
+}
+
+// StepParallel is Step with the force sweep distributed across workers
+// goroutines (GOMAXPROCS when workers <= 0). The pair set owned by each
+// array slot is disjoint (a slot pairs only with later same-cell slots and
+// with strictly-larger-key neighbor cells), so slots partition the work;
+// each worker accumulates into a private force buffer and the buffers are
+// reduced in worker order, keeping the result deterministic for a fixed
+// worker count. Results agree with Step up to floating-point summation
+// order.
+func (s *System) StepParallel(dt float64, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > s.N() {
+		workers = s.N()
+	}
+	buffers := make([][]float64, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			force := make([]float64, len(s.pos))
+			buffers[w] = force
+			lo := s.N() * w / workers
+			hi := s.N() * (w + 1) / workers
+			s.interactionsForSlots(lo, hi, func(a, b int, _ uint64) {
+				s.applyPairForce(force, a, b)
+			})
+		}(w)
+	}
+	wg.Wait()
+	total := buffers[0]
+	for _, buf := range buffers[1:] {
+		for i, v := range buf {
+			total[i] += v
+		}
+	}
+	s.integrate(total, dt)
+}
+
+// integrate applies the accumulated forces, advances positions with
+// reflective boundaries, and re-sorts the particle array.
+func (s *System) integrate(force []float64, dt float64) {
+	d := s.u.D()
+	side := float64(s.u.Side())
+	for pid := 0; pid < s.N(); pid++ {
+		for i := 0; i < d; i++ {
+			j := pid*d + i
+			s.vel[j] += force[j] / s.mass * dt
+			s.pos[j] += s.vel[j] * dt
+			// Reflective boundaries.
+			if s.pos[j] < 0 {
+				s.pos[j] = -s.pos[j]
+				s.vel[j] = -s.vel[j]
+			}
+			if s.pos[j] >= side {
+				over := s.pos[j] - side
+				s.pos[j] = side - over - 1e-12
+				s.vel[j] = -s.vel[j]
+			}
+			if s.pos[j] < 0 { // pathological dt: clamp
+				s.pos[j] = 0
+			}
+		}
+	}
+	s.sortParticles()
+	s.steps++
+}
+
+// Momentum returns the total momentum vector (conserved by the pairwise
+// forces up to boundary reflections).
+func (s *System) Momentum() []float64 {
+	d := s.u.D()
+	m := make([]float64, d)
+	for pid := 0; pid < s.N(); pid++ {
+		for i := 0; i < d; i++ {
+			m[i] += s.mass * s.vel[pid*d+i]
+		}
+	}
+	return m
+}
+
+// KineticEnergy returns ½ m Σ v².
+func (s *System) KineticEnergy() float64 {
+	var e float64
+	for _, v := range s.vel {
+		e += v * v
+	}
+	return 0.5 * s.mass * e
+}
+
+// Locality describes how far apart, in the SFC-sorted particle array, the
+// interacting cells sit.
+type Locality struct {
+	Interactions uint64  // unordered interacting pairs (incl. same-cell)
+	CrossCell    uint64  // pairs in distinct (neighboring) cells
+	MeanCellDist float64 // mean curve distance between the cells of cross-cell pairs
+	MaxCellDist  uint64  // worst curve distance observed
+}
+
+// MeasureLocality scans the current interaction set. MeanCellDist is the
+// empirical analogue of the paper's Davg: for a uniform particle
+// distribution it concentrates around the average curve distance between
+// neighboring cells.
+func (s *System) MeasureLocality() Locality {
+	var loc Locality
+	var sum float64
+	s.forEachInteraction(func(_, _ int, cellDist uint64) {
+		loc.Interactions++
+		if cellDist > 0 {
+			loc.CrossCell++
+			sum += float64(cellDist)
+			if cellDist > loc.MaxCellDist {
+				loc.MaxCellDist = cellDist
+			}
+		}
+	})
+	if loc.CrossCell > 0 {
+		loc.MeanCellDist = sum / float64(loc.CrossCell)
+	}
+	return loc
+}

@@ -1,0 +1,233 @@
+package nbody
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+func newSystem(t *testing.T, c curve.Curve, n int, seed int64) *System {
+	t.Helper()
+	s, err := New(c, Config{Particles: n, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	u := grid.MustNew(2, 3)
+	z := curve.NewZ(u)
+	if _, err := New(z, Config{Particles: 0}); err == nil {
+		t.Fatal("0 particles accepted")
+	}
+	if _, err := New(z, Config{Particles: 5, Mass: -1}); err == nil {
+		t.Fatal("negative mass accepted")
+	}
+	s := newSystem(t, z, 100, 1)
+	if s.N() != 100 || s.Steps() != 0 || s.Curve() != z {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestDeterministicInitialConditions(t *testing.T) {
+	u := grid.MustNew(2, 3)
+	z := curve.NewZ(u)
+	a := newSystem(t, z, 50, 7)
+	b := newSystem(t, z, 50, 7)
+	for i := range a.pos {
+		if a.pos[i] != b.pos[i] {
+			t.Fatal("same seed, different positions")
+		}
+	}
+}
+
+func TestSortedByCellKey(t *testing.T) {
+	u := grid.MustNew(3, 2)
+	h := curve.NewHilbert(u)
+	s := newSystem(t, h, 500, 3)
+	for i := 1; i < len(s.keys); i++ {
+		if s.keys[i] < s.keys[i-1] {
+			t.Fatal("particle keys not sorted")
+		}
+	}
+	// Every particle's key matches its cell.
+	p := u.NewPoint()
+	for slot, pid := range s.ids {
+		s.cellOf(pid, p)
+		if h.Index(p) != s.keys[slot] {
+			t.Fatalf("slot %d: key %d, cell %v", slot, s.keys[slot], p)
+		}
+	}
+}
+
+func TestInteractionPairsUniqueAndAdjacent(t *testing.T) {
+	u := grid.MustNew(2, 3)
+	z := curve.NewZ(u)
+	s := newSystem(t, z, 200, 11)
+	seen := map[[2]int]bool{}
+	p := u.NewPoint()
+	q := u.NewPoint()
+	s.forEachInteraction(func(a, b int, cellDist uint64) {
+		if a == b {
+			t.Fatal("self interaction")
+		}
+		key := [2]int{a, b}
+		if a > b {
+			key = [2]int{b, a}
+		}
+		if seen[key] {
+			t.Fatalf("pair (%d,%d) visited twice", a, b)
+		}
+		seen[key] = true
+		s.cellOf(a, p)
+		s.cellOf(b, q)
+		if md := grid.Manhattan(p, q); md > 1 {
+			t.Fatalf("interaction across distance-%d cells", md)
+		}
+		if want := curve.Dist(z, p, q); want != cellDist {
+			t.Fatalf("cellDist %d, want %d", cellDist, want)
+		}
+	})
+	if len(seen) == 0 {
+		t.Fatal("no interactions found for 200 particles on an 8×8 grid")
+	}
+}
+
+func TestMomentumConservedWithoutBoundary(t *testing.T) {
+	// With particles away from walls and small dt, momentum stays ~0.
+	u := grid.MustNew(2, 4)
+	z := curve.NewZ(u)
+	s := newSystem(t, z, 300, 5)
+	for step := 0; step < 10; step++ {
+		s.Step(0.01)
+	}
+	for i, m := range s.Momentum() {
+		if math.Abs(m) > 1e-6 {
+			t.Fatalf("momentum[%d] = %v after 10 steps", i, m)
+		}
+	}
+	if s.Steps() != 10 {
+		t.Fatalf("steps = %d", s.Steps())
+	}
+}
+
+func TestParticlesStayInDomain(t *testing.T) {
+	u := grid.MustNew(2, 2)
+	z := curve.NewZ(u)
+	s := newSystem(t, z, 400, 9) // dense: lots of repulsion
+	side := float64(u.Side())
+	for step := 0; step < 50; step++ {
+		s.Step(0.05)
+	}
+	for _, x := range s.pos {
+		if x < 0 || x >= side {
+			t.Fatalf("particle escaped domain: %v", x)
+		}
+	}
+	if s.KineticEnergy() < 0 {
+		t.Fatal("negative kinetic energy")
+	}
+}
+
+func TestLocalityTracksDAvg(t *testing.T) {
+	// The headline connection: the mean curve distance between interacting
+	// neighbor cells under a uniform particle distribution approximates the
+	// average NN curve distance, so curves rank by Davg. Random must be
+	// catastrophically worse than Hilbert/Z.
+	u := grid.MustNew(2, 4)
+	z := curve.NewZ(u)
+	hil := curve.NewHilbert(u)
+	rnd, err := curve.NewRandom(u, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locOf := func(c curve.Curve) Locality {
+		s := newSystem(t, c, 2000, 17)
+		return s.MeasureLocality()
+	}
+	lz, lh, lr := locOf(z), locOf(hil), locOf(rnd)
+	if lz.CrossCell == 0 || lh.CrossCell == 0 || lr.CrossCell == 0 {
+		t.Fatal("no cross-cell interactions")
+	}
+	// The particle sets are identical (same seed), so interaction counts
+	// must agree across curves.
+	if lz.Interactions != lh.Interactions || lz.Interactions != lr.Interactions {
+		t.Fatalf("interaction counts differ: %d %d %d", lz.Interactions, lh.Interactions, lr.Interactions)
+	}
+	if !(lr.MeanCellDist > 4*lz.MeanCellDist) {
+		t.Errorf("random locality %v not ≫ Z %v", lr.MeanCellDist, lz.MeanCellDist)
+	}
+	if !(lr.MeanCellDist > 4*lh.MeanCellDist) {
+		t.Errorf("random locality %v not ≫ Hilbert %v", lr.MeanCellDist, lh.MeanCellDist)
+	}
+	// Sanity: the Z locality cost is within a small factor of Davg(Z) —
+	// same order of magnitude, as the paper's motivation asserts.
+	davg := core.DAvg(z, 2)
+	if lz.MeanCellDist > 3*davg || davg > 3*lz.MeanCellDist {
+		t.Errorf("Z locality %v vs Davg %v: not the same regime", lz.MeanCellDist, davg)
+	}
+}
+
+func TestStepParallelMatchesSequential(t *testing.T) {
+	u := grid.MustNew(2, 3)
+	z := curve.NewZ(u)
+	seq := newSystem(t, z, 500, 13)
+	par := newSystem(t, z, 500, 13)
+	for step := 0; step < 5; step++ {
+		seq.Step(0.02)
+		par.StepParallel(0.02, 4)
+	}
+	for i := range seq.pos {
+		if math.Abs(seq.pos[i]-par.pos[i]) > 1e-9 {
+			t.Fatalf("pos[%d]: seq %v, par %v", i, seq.pos[i], par.pos[i])
+		}
+		if math.Abs(seq.vel[i]-par.vel[i]) > 1e-9 {
+			t.Fatalf("vel[%d]: seq %v, par %v", i, seq.vel[i], par.vel[i])
+		}
+	}
+	if seq.Steps() != par.Steps() {
+		t.Fatal("step counts differ")
+	}
+}
+
+func TestStepParallelWorkerCounts(t *testing.T) {
+	u := grid.MustNew(2, 3)
+	z := curve.NewZ(u)
+	// More workers than particles must not panic; default workers path too.
+	tiny := newSystem(t, z, 3, 1)
+	tiny.StepParallel(0.01, 64)
+	tiny.StepParallel(0.01, 0)
+	if tiny.Steps() != 2 {
+		t.Fatalf("steps = %d", tiny.Steps())
+	}
+}
+
+func TestStepParallelConservesMomentum(t *testing.T) {
+	u := grid.MustNew(2, 4)
+	z := curve.NewZ(u)
+	s := newSystem(t, z, 300, 5)
+	for step := 0; step < 10; step++ {
+		s.StepParallel(0.01, 3)
+	}
+	for i, m := range s.Momentum() {
+		if math.Abs(m) > 1e-6 {
+			t.Fatalf("momentum[%d] = %v", i, m)
+		}
+	}
+}
+
+func TestLocalityMaxBounded(t *testing.T) {
+	u := grid.MustNew(2, 3)
+	s := newSystem(t, curve.NewZ(u), 500, 2)
+	loc := s.MeasureLocality()
+	if loc.MaxCellDist >= u.N() {
+		t.Fatalf("max cell dist %d out of range", loc.MaxCellDist)
+	}
+	if loc.MeanCellDist > float64(loc.MaxCellDist) {
+		t.Fatal("mean exceeds max")
+	}
+}

@@ -1,0 +1,356 @@
+// Package octree implements a Morton-keyed Barnes–Hut tree — the "parallel
+// hashed oct-tree N-body algorithm" of Warren & Salmon ([26]), the paper's
+// flagship application of space filling curves. Bodies are sorted by the Z
+// curve key of their containing cell; every tree node is an aligned
+// subcube, hence an aligned contiguous range of both keys and array
+// positions, so the whole tree is ranges over one flat sorted array — no
+// pointers chased, which is exactly why N-body codes adopt SFC orders.
+//
+// The package builds the 2^d-tree, accumulates masses and centers of mass
+// bottom-up, and evaluates gravitational forces with the Barnes–Hut
+// multipole acceptance criterion (opening angle θ). θ = 0 degenerates to
+// the exact direct sum, which the tests exploit.
+package octree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+	"repro/internal/parallel"
+)
+
+// Body is a point mass in the continuous domain [0, side)^d.
+type Body struct {
+	Pos  []float64
+	Mass float64
+}
+
+// Config tunes tree construction and force evaluation.
+type Config struct {
+	LeafSize  int     // max bodies per leaf (default 8)
+	Softening float64 // Plummer softening ε (default 1e-3·side)
+	G         float64 // gravitational constant (default 1)
+}
+
+// node is an aligned subcube covering a contiguous slice of the sorted
+// body array.
+type node struct {
+	bodyLo, bodyHi int // range in the sorted body arrays
+	level          int
+	corner         []float64 // physical corner of the subcube
+	size           float64   // physical side length
+	com            []float64
+	mass           float64
+	children       []int32 // indices of materialized children; nil for leaves
+}
+
+// Tree is an immutable Barnes–Hut tree over a body set.
+type Tree struct {
+	u     *grid.Universe
+	z     *curve.Z
+	cfg   Config
+	pos   []float64 // sorted by Morton key, d per body
+	mass  []float64
+	keys  []uint64
+	nodes []node
+	d     int
+}
+
+// Stats counts the work of force evaluations.
+type Stats struct {
+	NodesVisited int // nodes whose acceptance test ran
+	Approximated int // node-as-particle approximations taken
+	DirectPairs  int // body-body interactions computed
+}
+
+// Build sorts the bodies by Morton key and constructs the tree. Bodies must
+// lie inside [0, side)^d of u; u's resolution (k) bounds the tree depth.
+func Build(u *grid.Universe, bodies []Body, cfg Config) (*Tree, error) {
+	if len(bodies) == 0 {
+		return nil, fmt.Errorf("octree: no bodies")
+	}
+	if cfg.LeafSize == 0 {
+		cfg.LeafSize = 8
+	}
+	if cfg.LeafSize < 1 {
+		return nil, fmt.Errorf("octree: leaf size %d", cfg.LeafSize)
+	}
+	if cfg.G == 0 {
+		cfg.G = 1
+	}
+	side := float64(u.Side())
+	if cfg.Softening == 0 {
+		cfg.Softening = 1e-3 * side
+	}
+	d := u.D()
+	t := &Tree{
+		u: u, z: curve.NewZ(u), cfg: cfg, d: d,
+		pos:  make([]float64, d*len(bodies)),
+		mass: make([]float64, len(bodies)),
+		keys: make([]uint64, len(bodies)),
+	}
+	// Key every body by its containing cell.
+	type keyed struct {
+		key  uint64
+		body int
+	}
+	ks := make([]keyed, len(bodies))
+	cell := u.NewPoint()
+	for i, b := range bodies {
+		if len(b.Pos) != d {
+			return nil, fmt.Errorf("octree: body %d has %d coordinates for d=%d", i, len(b.Pos), d)
+		}
+		if b.Mass <= 0 {
+			return nil, fmt.Errorf("octree: body %d has mass %v", i, b.Mass)
+		}
+		for j, x := range b.Pos {
+			if x < 0 || x >= side {
+				return nil, fmt.Errorf("octree: body %d outside domain: %v", i, b.Pos)
+			}
+			cell[j] = uint32(x)
+		}
+		ks[i] = keyed{key: t.z.Index(cell), body: i}
+	}
+	sort.SliceStable(ks, func(a, b int) bool { return ks[a].key < ks[b].key })
+	for slot, kb := range ks {
+		copy(t.pos[slot*d:(slot+1)*d], bodies[kb.body].Pos)
+		t.mass[slot] = bodies[kb.body].Mass
+		t.keys[slot] = kb.key
+	}
+	t.buildNode(0, len(bodies), 0, 0, make([]float64, d))
+	return t, nil
+}
+
+// buildNode constructs the subtree whose subcube starts at the given key
+// with side 2^(k-level), covering sorted bodies [lo, hi). corner is the
+// physical corner (copied). Returns the node index.
+func (t *Tree) buildNode(lo, hi, level int, keyLo uint64, corner []float64) int32 {
+	d := t.d
+	size := float64(t.u.Side()) / float64(uint64(1)<<uint(level))
+	idx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{
+		bodyLo: lo, bodyHi: hi, level: level,
+		corner: append([]float64(nil), corner...),
+		size:   size,
+		com:    make([]float64, d),
+	})
+	if hi-lo <= t.cfg.LeafSize || level >= t.u.K() {
+		t.accumulate(idx)
+		return idx
+	}
+	// Split into 2^d children: child c covers keys [keyLo + c·cells,
+	// keyLo + (c+1)·cells) where cells = 2^(d·(k−level−1)).
+	cells := uint64(1) << uint(d*(t.u.K()-level-1))
+	children := 1 << uint(d)
+	childCorner := make([]float64, d)
+	var kids []int32
+	cell := t.u.NewPoint()
+	b := lo
+	for c := 0; c < children; c++ {
+		childKeyLo := keyLo + uint64(c)*cells
+		childKeyHi := childKeyLo + cells
+		start := b
+		for b < hi && t.keys[b] < childKeyHi {
+			b++
+		}
+		if b == start {
+			continue // empty child: not materialized
+		}
+		// Child corner from its first cell, aligned down.
+		t.z.Point(childKeyLo, cell)
+		for j := 0; j < d; j++ {
+			mask := uint32(size/2) - 1
+			childCorner[j] = float64(cell[j] &^ mask)
+		}
+		kids = append(kids, t.buildNode(start, b, level+1, childKeyLo, childCorner))
+	}
+	t.nodes[idx].children = kids
+	t.accumulate(idx)
+	return idx
+}
+
+// accumulate computes a node's mass and center of mass directly from its
+// body range (cheap, cache-friendly, and immune to child-ordering details).
+func (t *Tree) accumulate(idx int32) {
+	n := &t.nodes[idx]
+	d := t.d
+	for b := n.bodyLo; b < n.bodyHi; b++ {
+		m := t.mass[b]
+		n.mass += m
+		for j := 0; j < d; j++ {
+			n.com[j] += m * t.pos[b*d+j]
+		}
+	}
+	if n.mass > 0 {
+		for j := 0; j < d; j++ {
+			n.com[j] /= n.mass
+		}
+	}
+}
+
+// Len returns the body count.
+func (t *Tree) Len() int { return len(t.mass) }
+
+// Nodes returns the number of materialized tree nodes.
+func (t *Tree) Nodes() int { return len(t.nodes) }
+
+// BodyPos returns the position of the body at sorted slot i (aliased; do
+// not modify).
+func (t *Tree) BodyPos(i int) []float64 { return t.pos[i*t.d : (i+1)*t.d] }
+
+// BodyMass returns the mass of the body at sorted slot i.
+func (t *Tree) BodyMass(i int) float64 { return t.mass[i] }
+
+// TotalMass returns the root's mass.
+func (t *Tree) TotalMass() float64 { return t.nodes[0].mass }
+
+// Force computes the gravitational force on the body at sorted slot i with
+// the Barnes–Hut acceptance criterion: a node is approximated by its center
+// of mass when size/distance < theta. theta = 0 forces full recursion (the
+// exact direct sum). The returned Stats describe the traversal.
+func (t *Tree) Force(i int, theta float64, force []float64) Stats {
+	for j := range force {
+		force[j] = 0
+	}
+	var st Stats
+	t.forceRec(0, i, theta, force, &st)
+	return st
+}
+
+func (t *Tree) forceRec(ni int32, i int, theta float64, force []float64, st *Stats) {
+	n := &t.nodes[ni]
+	st.NodesVisited++
+	d := t.d
+	pi := t.pos[i*d : (i+1)*d]
+	// Acceptance test against the center of mass.
+	var dist2 float64
+	for j := 0; j < d; j++ {
+		dd := n.com[j] - pi[j]
+		dist2 += dd * dd
+	}
+	dist := math.Sqrt(dist2)
+	if n.children == nil || (dist > 0 && n.size/dist < theta) {
+		if n.children == nil {
+			// Leaf: direct sum over its bodies.
+			for b := n.bodyLo; b < n.bodyHi; b++ {
+				if b == i {
+					continue
+				}
+				t.addPairForce(pi, t.pos[b*d:(b+1)*d], t.mass[i], t.mass[b], force)
+				st.DirectPairs++
+			}
+			return
+		}
+		// Approximate the whole node — but never a node containing i.
+		if i < n.bodyLo || i >= n.bodyHi {
+			t.addPairForce(pi, n.com, t.mass[i], n.mass, force)
+			st.Approximated++
+			return
+		}
+	}
+	for _, ci := range n.children {
+		t.forceRec(ci, i, theta, force, st)
+	}
+}
+
+// addPairForce accumulates the softened gravitational pull of (pos2, m2) on
+// (pos1, m1) into force.
+func (t *Tree) addPairForce(pos1, pos2 []float64, m1, m2 float64, force []float64) {
+	var dist2 float64
+	for j := range pos1 {
+		dd := pos2[j] - pos1[j]
+		dist2 += dd * dd
+	}
+	dist2 += t.cfg.Softening * t.cfg.Softening
+	inv := t.cfg.G * m1 * m2 / (dist2 * math.Sqrt(dist2))
+	for j := range pos1 {
+		force[j] += inv * (pos2[j] - pos1[j])
+	}
+}
+
+// DirectForce computes the exact softened force on sorted slot i by the
+// O(n) direct sum — the reference the tests compare against.
+func (t *Tree) DirectForce(i int, force []float64) {
+	for j := range force {
+		force[j] = 0
+	}
+	d := t.d
+	pi := t.pos[i*d : (i+1)*d]
+	for b := 0; b < t.Len(); b++ {
+		if b == i {
+			continue
+		}
+		t.addPairForce(pi, t.pos[b*d:(b+1)*d], t.mass[i], t.mass[b], force)
+	}
+}
+
+// Validate checks the structural invariants: sorted keys, body ranges of
+// children partitioning the parent's, masses summing, and every node's
+// bodies lying inside its subcube.
+func (t *Tree) Validate() error {
+	for i := 1; i < len(t.keys); i++ {
+		if t.keys[i] < t.keys[i-1] {
+			return fmt.Errorf("octree: keys not sorted at %d", i)
+		}
+	}
+	d := t.d
+	for ni := range t.nodes {
+		n := &t.nodes[ni]
+		// Bodies inside the subcube.
+		for b := n.bodyLo; b < n.bodyHi; b++ {
+			for j := 0; j < d; j++ {
+				x := t.pos[b*d+j]
+				if x < n.corner[j] || x >= n.corner[j]+n.size {
+					return fmt.Errorf("octree: node %d body %d coordinate %v outside [%v, %v)",
+						ni, b, x, n.corner[j], n.corner[j]+n.size)
+				}
+			}
+		}
+		if n.children == nil {
+			continue
+		}
+		covered := 0
+		var childMass float64
+		for _, ci := range n.children {
+			ch := &t.nodes[ci]
+			covered += ch.bodyHi - ch.bodyLo
+			childMass += ch.mass
+		}
+		if covered != n.bodyHi-n.bodyLo {
+			return fmt.Errorf("octree: node %d children cover %d of %d bodies", ni, covered, n.bodyHi-n.bodyLo)
+		}
+		if math.Abs(childMass-n.mass) > 1e-9*(1+n.mass) {
+			return fmt.Errorf("octree: node %d child mass %v != %v", ni, childMass, n.mass)
+		}
+	}
+	return nil
+}
+
+// AllForces evaluates the force on every body with the given opening angle,
+// distributing bodies across workers goroutines (GOMAXPROCS when
+// workers <= 0). The returned slice holds d entries per sorted body slot.
+// The aggregate Stats sum the per-body traversal counters.
+func (t *Tree) AllForces(theta float64, workers int) ([]float64, Stats) {
+	n := uint64(t.Len())
+	out := make([]float64, t.Len()*t.d)
+	partial := parallel.MapRanges(n, workers, func(lo, hi uint64) Stats {
+		var st Stats
+		for i := lo; i < hi; i++ {
+			s := t.Force(int(i), theta, out[int(i)*t.d:(int(i)+1)*t.d])
+			st.NodesVisited += s.NodesVisited
+			st.Approximated += s.Approximated
+			st.DirectPairs += s.DirectPairs
+		}
+		return st
+	})
+	var total Stats
+	for _, s := range partial {
+		total.NodesVisited += s.NodesVisited
+		total.Approximated += s.Approximated
+		total.DirectPairs += s.DirectPairs
+	}
+	return out, total
+}

@@ -1,0 +1,262 @@
+package octree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func randomBodies(u *grid.Universe, n int, seed int64) []Body {
+	rng := rand.New(rand.NewSource(seed))
+	side := float64(u.Side())
+	bodies := make([]Body, n)
+	for i := range bodies {
+		pos := make([]float64, u.D())
+		for j := range pos {
+			pos[j] = rng.Float64() * side
+		}
+		bodies[i] = Body{Pos: pos, Mass: 0.5 + rng.Float64()}
+	}
+	return bodies
+}
+
+func TestBuildValidation(t *testing.T) {
+	u := grid.MustNew(2, 4)
+	if _, err := Build(u, nil, Config{}); err == nil {
+		t.Fatal("empty body set accepted")
+	}
+	if _, err := Build(u, []Body{{Pos: []float64{1}, Mass: 1}}, Config{}); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	if _, err := Build(u, []Body{{Pos: []float64{1, 99}, Mass: 1}}, Config{}); err == nil {
+		t.Fatal("outside domain accepted")
+	}
+	if _, err := Build(u, []Body{{Pos: []float64{1, 1}, Mass: 0}}, Config{}); err == nil {
+		t.Fatal("zero mass accepted")
+	}
+	if _, err := Build(u, []Body{{Pos: []float64{1, 1}, Mass: 1}}, Config{LeafSize: -1}); err == nil {
+		t.Fatal("negative leaf size accepted")
+	}
+}
+
+func TestTreeInvariants(t *testing.T) {
+	for _, dk := range [][2]int{{2, 5}, {3, 4}} {
+		u := grid.MustNew(dk[0], dk[1])
+		tree, err := Build(u, randomBodies(u, 1500, 7), Config{LeafSize: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("%v: %v", u, err)
+		}
+		if tree.Len() != 1500 || tree.Nodes() < 100 {
+			t.Fatalf("%v: %d bodies, %d nodes", u, tree.Len(), tree.Nodes())
+		}
+		// Total mass preserved.
+		var want float64
+		for i := 0; i < tree.Len(); i++ {
+			want += tree.BodyMass(i)
+		}
+		if math.Abs(tree.TotalMass()-want) > 1e-9*want {
+			t.Fatalf("total mass %v, want %v", tree.TotalMass(), want)
+		}
+	}
+}
+
+func TestThetaZeroIsDirectSum(t *testing.T) {
+	u := grid.MustNew(2, 4)
+	tree, err := Build(u, randomBodies(u, 300, 3), Config{LeafSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	force := make([]float64, 2)
+	direct := make([]float64, 2)
+	for i := 0; i < tree.Len(); i += 17 {
+		st := tree.Force(i, 0, force)
+		tree.DirectForce(i, direct)
+		for j := range force {
+			if math.Abs(force[j]-direct[j]) > 1e-9*(1+math.Abs(direct[j])) {
+				t.Fatalf("body %d: θ=0 force %v != direct %v", i, force, direct)
+			}
+		}
+		if st.Approximated != 0 {
+			t.Fatalf("θ=0 approximated %d nodes", st.Approximated)
+		}
+		if st.DirectPairs != tree.Len()-1 {
+			t.Fatalf("θ=0 visited %d pairs, want %d", st.DirectPairs, tree.Len()-1)
+		}
+	}
+}
+
+func TestBarnesHutAccuracy(t *testing.T) {
+	// Uniform distributions have near-zero net force (cancellation), which
+	// makes relative error against the net meaningless. Use a dominated
+	// configuration instead: a heavy cluster in one corner pulls probe
+	// bodies across the domain; the Barnes–Hut approximation of that pull
+	// must be accurate.
+	u := grid.MustNew(2, 6)
+	rng := rand.New(rand.NewSource(11))
+	var bodies []Body
+	for i := 0; i < 1500; i++ { // heavy cluster near the origin
+		bodies = append(bodies, Body{
+			Pos:  []float64{rng.Float64() * 6, rng.Float64() * 6},
+			Mass: 1,
+		})
+	}
+	probeStart := len(bodies)
+	for i := 0; i < 50; i++ { // light probes far away
+		bodies = append(bodies, Body{
+			Pos:  []float64{50 + rng.Float64()*10, 50 + rng.Float64()*10},
+			Mass: 1e-3,
+		})
+	}
+	tree, err := Build(u, bodies, Config{LeafSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probes were re-sorted; find them by mass.
+	force := make([]float64, 2)
+	direct := make([]float64, 2)
+	var relErrSum float64
+	samples := 0
+	for i := 0; i < tree.Len(); i++ {
+		if tree.BodyMass(i) > 1e-2 {
+			continue // not a probe
+		}
+		tree.Force(i, 0.5, force)
+		tree.DirectForce(i, direct)
+		mag := math.Hypot(direct[0], direct[1])
+		relErrSum += math.Hypot(force[0]-direct[0], force[1]-direct[1]) / mag
+		samples++
+	}
+	if samples != len(bodies)-probeStart {
+		t.Fatalf("found %d probes", samples)
+	}
+	if mean := relErrSum / float64(samples); mean > 0.02 {
+		t.Fatalf("θ=0.5 mean relative force error %v over %d probes", mean, samples)
+	}
+}
+
+func TestBarnesHutSavesWork(t *testing.T) {
+	u := grid.MustNew(2, 6)
+	tree, err := Build(u, randomBodies(u, 4000, 5), Config{LeafSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	force := make([]float64, 2)
+	st := tree.Force(1234, 0.7, force)
+	work := st.DirectPairs + st.Approximated
+	if work*5 > tree.Len() {
+		t.Fatalf("θ=0.7 interaction count %d not ≪ n=%d", work, tree.Len())
+	}
+	if st.Approximated == 0 {
+		t.Fatal("no approximations at θ=0.7")
+	}
+	// Tighter θ does more work and is more accurate.
+	stTight := tree.Force(1234, 0.2, force)
+	if stTight.DirectPairs+stTight.Approximated <= work {
+		t.Fatal("θ=0.2 did not increase work over θ=0.7")
+	}
+}
+
+func TestForceSymmetryPair(t *testing.T) {
+	// Two bodies: Newton's third law through the softened kernel.
+	u := grid.MustNew(2, 4)
+	bodies := []Body{
+		{Pos: []float64{3, 3}, Mass: 2},
+		{Pos: []float64{10, 7}, Mass: 5},
+	}
+	tree, err := Build(u, bodies, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0 := make([]float64, 2)
+	f1 := make([]float64, 2)
+	tree.Force(0, 0.5, f0)
+	tree.Force(1, 0.5, f1)
+	for j := range f0 {
+		if math.Abs(f0[j]+f1[j]) > 1e-12 {
+			t.Fatalf("forces not antisymmetric: %v vs %v", f0, f1)
+		}
+	}
+	// Pull directions point at each other.
+	if f0[0] <= 0 || f1[0] >= 0 {
+		t.Fatalf("directions wrong: %v %v", f0, f1)
+	}
+}
+
+func TestClusteredDistributionDeepTree(t *testing.T) {
+	// All bodies in one corner cell: tree must refine down to max depth and
+	// remain valid.
+	u := grid.MustNew(2, 5)
+	rng := rand.New(rand.NewSource(2))
+	bodies := make([]Body, 200)
+	for i := range bodies {
+		bodies[i] = Body{Pos: []float64{rng.Float64() * 0.9, rng.Float64() * 0.9}, Mass: 1}
+	}
+	tree, err := Build(u, bodies, Config{LeafSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// All in one cell → depth-k chain, leaf holds all 200.
+	force := make([]float64, 2)
+	st := tree.Force(0, 0.5, force)
+	if st.DirectPairs != 199 {
+		t.Fatalf("clustered leaf direct pairs %d", st.DirectPairs)
+	}
+}
+
+func BenchmarkBarnesHutForce(b *testing.B) {
+	u := grid.MustNew(3, 6)
+	tree, err := Build(u, randomBodies(u, 20000, 9), Config{LeafSize: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	force := make([]float64, 3)
+	for i := 0; i < b.N; i++ {
+		tree.Force(i%tree.Len(), 0.6, force)
+	}
+}
+
+func BenchmarkTreeBuild(b *testing.B) {
+	u := grid.MustNew(3, 6)
+	bodies := randomBodies(u, 20000, 9)
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(u, bodies, Config{LeafSize: 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestAllForcesMatchesPerBody(t *testing.T) {
+	u := grid.MustNew(2, 5)
+	tree, err := Build(u, randomBodies(u, 800, 21), Config{LeafSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, st := tree.AllForces(0.5, 4)
+	if st.NodesVisited == 0 || st.DirectPairs == 0 {
+		t.Fatalf("degenerate aggregate stats %+v", st)
+	}
+	force := make([]float64, 2)
+	for i := 0; i < tree.Len(); i += 41 {
+		tree.Force(i, 0.5, force)
+		for j := 0; j < 2; j++ {
+			if math.Abs(all[i*2+j]-force[j]) > 1e-12 {
+				t.Fatalf("body %d force mismatch: %v vs %v", i, all[i*2:i*2+2], force)
+			}
+		}
+	}
+	// Worker invariance.
+	all1, _ := tree.AllForces(0.5, 1)
+	for i := range all {
+		if all[i] != all1[i] {
+			t.Fatalf("worker-count dependent force at %d", i)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package octree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+)
+
+// TestQuickTreeInvariants builds trees over quick-generated shapes, body
+// counts and leaf sizes, and validates the structural invariants.
+func TestQuickTreeInvariants(t *testing.T) {
+	f := func(dRaw, kRaw, leafRaw uint8, seed int64) bool {
+		d := 2 + int(dRaw)%2 // 2 or 3
+		k := 2 + int(kRaw)%4 // 2..5
+		leaf := 1 + int(leafRaw)%16
+		u := grid.MustNew(d, k)
+		n := 50 + int(uint(seed)%400)
+		tree, err := Build(u, randomBodies(u, n, seed), Config{LeafSize: leaf})
+		if err != nil {
+			return false
+		}
+		return tree.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickThetaZeroExact checks, over random configurations, that θ=0
+// traversal reproduces the direct sum.
+func TestQuickThetaZeroExact(t *testing.T) {
+	f := func(seed int64) bool {
+		u := grid.MustNew(2, 4)
+		rng := rand.New(rand.NewSource(seed))
+		tree, err := Build(u, randomBodies(u, 60, seed), Config{LeafSize: 2})
+		if err != nil {
+			return false
+		}
+		i := rng.Intn(tree.Len())
+		force := make([]float64, 2)
+		direct := make([]float64, 2)
+		tree.Force(i, 0, force)
+		tree.DirectForce(i, direct)
+		for j := range force {
+			diff := force[j] - direct[j]
+			if diff < 0 {
+				diff = -diff
+			}
+			scale := direct[j]
+			if scale < 0 {
+				scale = -scale
+			}
+			if diff > 1e-9*(1+scale) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,43 @@
+package partition_test
+
+import (
+	"fmt"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+	"repro/internal/partition"
+)
+
+func ExampleUniform() {
+	u := grid.MustNew(2, 3) // 8×8 cells
+	h := curve.NewHilbert(u)
+	pt, err := partition.Uniform(h, 4)
+	if err != nil {
+		panic(err)
+	}
+	q := pt.Evaluate(nil, 1)
+	fmt.Println(q.Parts, q.Imbalance, q.EdgeCut)
+	// Output: 4 1 16
+}
+
+func ExamplePartition_Rebalance() {
+	u := grid.MustNew(1, 4) // a 16-cell line
+	s := curve.NewSimple(u)
+	pt, err := partition.Weighted(s, 2, partition.UnitWeight)
+	if err != nil {
+		panic(err)
+	}
+	// The load doubles on the right half: the cut slides, moving few cells.
+	w := func(pos uint64) float64 {
+		if pos >= 8 {
+			return 2
+		}
+		return 1
+	}
+	_, mig, err := pt.Rebalance(w)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(mig.MovedCells)
+	// Output: 2
+}

@@ -1,0 +1,238 @@
+// Package partition implements space-filling-curve domain decomposition —
+// the parallel-computing application that motivates the paper (§I cites
+// Aluru & Sevilgen, Pilkington & Baden, Parashar & Browne). The universe's
+// cells are ordered along an SFC and cut into p contiguous segments, one per
+// processor. The quality of the decomposition is measured by
+//
+//   - load imbalance: max part weight / mean part weight, and
+//   - edge cut: the number of nearest-neighbor cell pairs whose endpoints
+//     land in different parts — the communication volume of a stencil or
+//     short-range interaction computation.
+//
+// Proximity preservation is what keeps the edge cut low: a curve with small
+// NN-stretch keeps neighboring cells in the same or nearby segments.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+	"repro/internal/parallel"
+)
+
+// Weight assigns a nonnegative computational weight to the cell at a curve
+// position. Positions are curve indices, i.e. weight(i) is the weight of
+// the cell π⁻¹(i).
+type Weight func(pos uint64) float64
+
+// UnitWeight weighs every cell equally.
+func UnitWeight(uint64) float64 { return 1 }
+
+// Partition is a decomposition of a curve's index space [0, n) into p
+// contiguous segments. Segment j owns positions [cuts[j], cuts[j+1]).
+type Partition struct {
+	c    curve.Curve
+	cuts []uint64 // len p+1; cuts[0] = 0, cuts[p] = n, non-decreasing
+}
+
+// Uniform splits the curve into p segments of (near-)equal cell counts.
+func Uniform(c curve.Curve, parts int) (*Partition, error) {
+	if parts < 1 {
+		return nil, fmt.Errorf("partition: parts = %d", parts)
+	}
+	n := c.Universe().N()
+	cuts := make([]uint64, parts+1)
+	for j := 0; j <= parts; j++ {
+		cuts[j] = n * uint64(j) / uint64(parts)
+	}
+	return &Partition{c: c, cuts: cuts}, nil
+}
+
+// Weighted splits the curve into p contiguous segments balancing the given
+// weight: cut j is placed at the smallest position whose weight prefix sum
+// reaches j/p of the total (the standard SFC "chains-on-chains" heuristic).
+// Weights must be nonnegative; a zero total degenerates to Uniform.
+func Weighted(c curve.Curve, parts int, w Weight) (*Partition, error) {
+	if parts < 1 {
+		return nil, fmt.Errorf("partition: parts = %d", parts)
+	}
+	if w == nil {
+		return Uniform(c, parts)
+	}
+	n := c.Universe().N()
+	var total float64
+	for pos := uint64(0); pos < n; pos++ {
+		wt := w(pos)
+		if wt < 0 {
+			return nil, fmt.Errorf("partition: negative weight %v at position %d", wt, pos)
+		}
+		total += wt
+	}
+	if total == 0 {
+		return Uniform(c, parts)
+	}
+	cuts := make([]uint64, parts+1)
+	cuts[parts] = n
+	var prefix float64
+	next := 1
+	for pos := uint64(0); pos < n && next < parts; pos++ {
+		prefix += w(pos)
+		for next < parts && prefix >= total*float64(next)/float64(parts) {
+			cuts[next] = pos + 1
+			next++
+		}
+	}
+	for ; next < parts; next++ {
+		cuts[next] = n
+	}
+	return &Partition{c: c, cuts: cuts}, nil
+}
+
+// Curve returns the curve the partition is defined over.
+func (pt *Partition) Curve() curve.Curve { return pt.c }
+
+// Parts returns the number of segments.
+func (pt *Partition) Parts() int { return len(pt.cuts) - 1 }
+
+// Segment returns the half-open curve-position range [lo, hi) of part j.
+func (pt *Partition) Segment(j int) (lo, hi uint64) { return pt.cuts[j], pt.cuts[j+1] }
+
+// OwnerOfPosition returns the part owning curve position pos.
+func (pt *Partition) OwnerOfPosition(pos uint64) int {
+	// sort.Search finds the first cut strictly greater than pos; the owner
+	// is the preceding segment.
+	j := sort.Search(len(pt.cuts)-1, func(j int) bool { return pt.cuts[j+1] > pos })
+	return j
+}
+
+// Owner returns the part owning cell p.
+func (pt *Partition) Owner(p grid.Point) int {
+	return pt.OwnerOfPosition(pt.c.Index(p))
+}
+
+// Loads returns the per-part total weight.
+func (pt *Partition) Loads(w Weight) []float64 {
+	if w == nil {
+		w = UnitWeight
+	}
+	loads := make([]float64, pt.Parts())
+	for j := 0; j < pt.Parts(); j++ {
+		lo, hi := pt.Segment(j)
+		var s float64
+		for pos := lo; pos < hi; pos++ {
+			s += w(pos)
+		}
+		loads[j] = s
+	}
+	return loads
+}
+
+// Imbalance returns max(loads)/mean(loads); 1.0 is perfect balance. An
+// all-zero load vector yields 0.
+func Imbalance(loads []float64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	var sum, max float64
+	for _, l := range loads {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return max / (sum / float64(len(loads)))
+}
+
+// EdgeCut returns the number of unordered nearest-neighbor cell pairs whose
+// endpoints belong to different parts, computed in parallel.
+func (pt *Partition) EdgeCut(workers int) uint64 {
+	u := pt.c.Universe()
+	side := u.Side()
+	d := u.D()
+	return parallel.SumUint64Chunked(u.N(), workers, func(lo, hi uint64) uint64 {
+		p := u.NewPoint()
+		q := u.NewPoint()
+		var cut uint64
+		for lin := lo; lin < hi; lin++ {
+			u.FromLinear(lin, p)
+			ownerP := pt.Owner(p)
+			copy(q, p)
+			for dim := 0; dim < d; dim++ {
+				if p[dim]+1 < side {
+					q[dim] = p[dim] + 1
+					if pt.Owner(q) != ownerP {
+						cut++
+					}
+					q[dim] = p[dim]
+				}
+			}
+		}
+		return cut
+	})
+}
+
+// BoundaryCells returns, per part, the number of owned cells having at
+// least one neighbor in a different part — each part's communication
+// surface.
+func (pt *Partition) BoundaryCells(workers int) []uint64 {
+	u := pt.c.Universe()
+	parts := pt.Parts()
+	partial := parallel.MapRanges(u.N(), workers, func(lo, hi uint64) []uint64 {
+		p := u.NewPoint()
+		counts := make([]uint64, parts)
+		for lin := lo; lin < hi; lin++ {
+			u.FromLinear(lin, p)
+			owner := pt.Owner(p)
+			boundary := false
+			u.Neighbors(p, func(_ int, q grid.Point) {
+				if !boundary && pt.Owner(q) != owner {
+					boundary = true
+				}
+			})
+			if boundary {
+				counts[owner]++
+			}
+		}
+		return counts
+	})
+	total := make([]uint64, parts)
+	for _, counts := range partial {
+		for j, v := range counts {
+			total[j] += v
+		}
+	}
+	return total
+}
+
+// Quality bundles the decomposition metrics reported by the experiment
+// harness.
+type Quality struct {
+	Parts      int
+	Imbalance  float64
+	EdgeCut    uint64
+	MaxSurface uint64 // largest per-part boundary-cell count
+}
+
+// Evaluate computes the quality metrics of the partition under the given
+// weight (nil for unit weights).
+func (pt *Partition) Evaluate(w Weight, workers int) Quality {
+	loads := pt.Loads(w)
+	surf := pt.BoundaryCells(workers)
+	var maxSurf uint64
+	for _, s := range surf {
+		if s > maxSurf {
+			maxSurf = s
+		}
+	}
+	return Quality{
+		Parts:      pt.Parts(),
+		Imbalance:  Imbalance(loads),
+		EdgeCut:    pt.EdgeCut(workers),
+		MaxSurface: maxSurf,
+	}
+}

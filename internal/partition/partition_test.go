@@ -1,0 +1,244 @@
+package partition
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+func TestUniformCoversIndexSpace(t *testing.T) {
+	u := grid.MustNew(2, 4)
+	z := curve.NewZ(u)
+	for _, parts := range []int{1, 2, 3, 7, 16, 300} {
+		pt, err := Uniform(z, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.Parts() != parts {
+			t.Fatalf("Parts() = %d", pt.Parts())
+		}
+		var covered uint64
+		prevHi := uint64(0)
+		for j := 0; j < parts; j++ {
+			lo, hi := pt.Segment(j)
+			if lo != prevHi {
+				t.Fatalf("segment %d starts at %d, want %d", j, lo, prevHi)
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if covered != u.N() || prevHi != u.N() {
+			t.Fatalf("parts=%d: covered %d of %d", parts, covered, u.N())
+		}
+	}
+	if _, err := Uniform(z, 0); err == nil {
+		t.Fatal("parts=0 accepted")
+	}
+}
+
+func TestOwnerConsistency(t *testing.T) {
+	u := grid.MustNew(2, 3)
+	h := curve.NewHilbert(u)
+	pt, err := Uniform(h, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.Cells(func(_ uint64, p grid.Point) bool {
+		owner := pt.Owner(p)
+		pos := h.Index(p)
+		lo, hi := pt.Segment(owner)
+		if pos < lo || pos >= hi {
+			t.Fatalf("cell %v at pos %d assigned to part %d [%d,%d)", p, pos, owner, lo, hi)
+		}
+		if pt.OwnerOfPosition(pos) != owner {
+			t.Fatalf("OwnerOfPosition disagrees with Owner at %v", p)
+		}
+		return true
+	})
+}
+
+func TestWeightedBalancesSkewedLoad(t *testing.T) {
+	// All the weight sits in the first half of the curve; a weighted
+	// partition must cut there, a uniform one must not.
+	u := grid.MustNew(2, 4)
+	z := curve.NewZ(u)
+	n := u.N()
+	w := func(pos uint64) float64 {
+		if pos < n/2 {
+			return 1
+		}
+		return 0
+	}
+	weighted, err := Weighted(z, 4, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := Uniform(z, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib := Imbalance(weighted.Loads(w))
+	if ib > 1.05 {
+		t.Fatalf("weighted imbalance %v", ib)
+	}
+	if ibU := Imbalance(uniform.Loads(w)); ibU < 1.9 {
+		t.Fatalf("uniform imbalance on skewed load = %v, expected ~2", ibU)
+	}
+}
+
+func TestWeightedEdgeCases(t *testing.T) {
+	u := grid.MustNew(2, 2)
+	z := curve.NewZ(u)
+	// nil weight degrades to Uniform.
+	pt, err := Weighted(z, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	un, _ := Uniform(z, 3)
+	for j := 0; j < 3; j++ {
+		lo1, hi1 := pt.Segment(j)
+		lo2, hi2 := un.Segment(j)
+		if lo1 != lo2 || hi1 != hi2 {
+			t.Fatal("nil-weight partition differs from uniform")
+		}
+	}
+	// Zero weights degrade to Uniform.
+	pt, err = Weighted(z, 3, func(uint64) float64 { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo, hi := pt.Segment(1); lo == 0 && hi == 0 {
+		t.Fatal("zero-weight partition degenerate")
+	}
+	// Negative weights rejected.
+	if _, err := Weighted(z, 2, func(pos uint64) float64 { return -1 }); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := Weighted(z, 0, nil); err == nil {
+		t.Fatal("parts=0 accepted")
+	}
+}
+
+func TestLoadsAndImbalance(t *testing.T) {
+	u := grid.MustNew(1, 3) // 8 cells on a line
+	s := curve.NewSimple(u)
+	pt, err := Uniform(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := pt.Loads(nil)
+	if len(loads) != 2 || loads[0] != 4 || loads[1] != 4 {
+		t.Fatalf("loads = %v", loads)
+	}
+	if ib := Imbalance(loads); math.Abs(ib-1) > 1e-12 {
+		t.Fatalf("imbalance = %v", ib)
+	}
+	if Imbalance(nil) != 0 || Imbalance([]float64{0, 0}) != 0 {
+		t.Fatal("degenerate imbalance wrong")
+	}
+	if ib := Imbalance([]float64{3, 1}); math.Abs(ib-1.5) > 1e-12 {
+		t.Fatalf("imbalance(3,1) = %v", ib)
+	}
+}
+
+func TestEdgeCutLineGraph(t *testing.T) {
+	// On a 1-d universe with the identity curve, p parts cut exactly p−1
+	// edges.
+	u := grid.MustNew(1, 5)
+	s := curve.NewSimple(u)
+	for _, parts := range []int{1, 2, 4, 8} {
+		pt, err := Uniform(s, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cut := pt.EdgeCut(2); cut != uint64(parts-1) {
+			t.Fatalf("parts=%d: edge cut %d, want %d", parts, cut, parts-1)
+		}
+	}
+}
+
+func TestEdgeCutHalves2D(t *testing.T) {
+	// Splitting the 8×8 simple curve into 2 parts cuts exactly one row
+	// boundary: 8 edges.
+	u := grid.MustNew(2, 3)
+	s := curve.NewSimple(u)
+	pt, err := Uniform(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut := pt.EdgeCut(1); cut != 8 {
+		t.Fatalf("edge cut %d, want 8", cut)
+	}
+}
+
+func TestEdgeCutWorkerInvariance(t *testing.T) {
+	u := grid.MustNew(2, 4)
+	h := curve.NewHilbert(u)
+	pt, err := Uniform(h, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := pt.EdgeCut(1)
+	for _, w := range []int{2, 4, 9} {
+		if got := pt.EdgeCut(w); got != ref {
+			t.Fatalf("workers=%d: cut %d != %d", w, got, ref)
+		}
+	}
+}
+
+func TestBoundaryCells(t *testing.T) {
+	// 8×8 simple curve in 2 parts: the two rows adjacent to the cut are the
+	// only boundary cells — 8 per part.
+	u := grid.MustNew(2, 3)
+	s := curve.NewSimple(u)
+	pt, err := Uniform(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surf := pt.BoundaryCells(3)
+	if len(surf) != 2 || surf[0] != 8 || surf[1] != 8 {
+		t.Fatalf("boundary cells = %v", surf)
+	}
+}
+
+func TestSFCPartitionBeatsRandomOnEdgeCut(t *testing.T) {
+	// The motivating claim: proximity-preserving curves yield a small edge
+	// cut; a random bijection destroys locality entirely.
+	u := grid.MustNew(2, 4)
+	rnd, err := curve.NewRandom(u, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hil := curve.NewHilbert(u)
+	ptR, _ := Uniform(rnd, 8)
+	ptH, _ := Uniform(hil, 8)
+	cutR := ptR.EdgeCut(2)
+	cutH := ptH.EdgeCut(2)
+	if cutH*4 > cutR {
+		t.Fatalf("hilbert cut %d not ≪ random cut %d", cutH, cutR)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	u := grid.MustNew(2, 3)
+	z := curve.NewZ(u)
+	pt, err := Uniform(z, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := pt.Evaluate(nil, 2)
+	if q.Parts != 4 {
+		t.Fatalf("parts %d", q.Parts)
+	}
+	if math.Abs(q.Imbalance-1) > 1e-12 {
+		t.Fatalf("imbalance %v", q.Imbalance)
+	}
+	if q.EdgeCut == 0 || q.MaxSurface == 0 {
+		t.Fatalf("degenerate quality %+v", q)
+	}
+	if q.EdgeCut != pt.EdgeCut(1) {
+		t.Fatal("Evaluate EdgeCut mismatch")
+	}
+}

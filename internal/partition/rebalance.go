@@ -1,0 +1,65 @@
+package partition
+
+import (
+	"fmt"
+)
+
+// Migration summarizes the cost of moving from one partition to another of
+// the same curve: how many cells change owner. The selling point of SFC
+// decomposition — emphasized by the paper's motivating citations
+// (Pilkington & Baden; Parashar & Browne) — is that when the workload
+// drifts, rebalancing only slides segment boundaries, so the migration
+// volume is proportional to the load change rather than to the domain
+// size.
+type Migration struct {
+	MovedCells uint64  // cells whose owner changed
+	MovedFrac  float64 // MovedCells / n
+}
+
+// Rebalance computes a new weighted partition with the same part count and
+// the migration cost relative to pt. It errors if w is nil (rebalancing
+// needs a load signal).
+func (pt *Partition) Rebalance(w Weight) (*Partition, Migration, error) {
+	if w == nil {
+		return nil, Migration{}, fmt.Errorf("partition: Rebalance requires a weight function")
+	}
+	next, err := Weighted(pt.c, pt.Parts(), w)
+	if err != nil {
+		return nil, Migration{}, err
+	}
+	mig := MigrationBetween(pt, next)
+	return next, mig, nil
+}
+
+// MigrationBetween counts the cells whose owner differs between two
+// partitions over the same curve and part count. Because both partitions
+// are contiguous in curve order, the count is a sum of cut displacements,
+// computed in O(parts) without touching cells.
+func MigrationBetween(a, b *Partition) Migration {
+	n := a.c.Universe().N()
+	var moved uint64
+	// Walk both cut sequences; on each segment of curve positions where the
+	// owner differs, add its length. Owners are step functions with at most
+	// parts-1 steps each, so merge the breakpoints.
+	ai, bi := 0, 0
+	pos := uint64(0)
+	for pos < n {
+		// Advance owners to cover pos.
+		for a.cuts[ai+1] <= pos {
+			ai++
+		}
+		for b.cuts[bi+1] <= pos {
+			bi++
+		}
+		// Next breakpoint.
+		end := a.cuts[ai+1]
+		if b.cuts[bi+1] < end {
+			end = b.cuts[bi+1]
+		}
+		if ai != bi {
+			moved += end - pos
+		}
+		pos = end
+	}
+	return Migration{MovedCells: moved, MovedFrac: float64(moved) / float64(n)}
+}

@@ -1,0 +1,128 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+func TestRebalanceRequiresWeight(t *testing.T) {
+	u := grid.MustNew(2, 3)
+	pt, err := Uniform(curve.NewZ(u), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := pt.Rebalance(nil); err == nil {
+		t.Fatal("nil weight accepted")
+	}
+}
+
+func TestRebalanceIdenticalLoadMovesNothing(t *testing.T) {
+	u := grid.MustNew(2, 4)
+	pt, err := Weighted(curve.NewHilbert(u), 8, UnitWeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, mig, err := pt.Rebalance(UnitWeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig.MovedCells != 0 || mig.MovedFrac != 0 {
+		t.Fatalf("uniform→uniform moved %d cells", mig.MovedCells)
+	}
+	if next.Parts() != pt.Parts() {
+		t.Fatal("part count changed")
+	}
+}
+
+func TestRebalanceMigrationMatchesBruteCount(t *testing.T) {
+	u := grid.MustNew(2, 4)
+	h := curve.NewHilbert(u)
+	pt, err := Uniform(h, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skewed load: left half of the curve twice as heavy.
+	w := func(pos uint64) float64 {
+		if pos < u.N()/2 {
+			return 2
+		}
+		return 1
+	}
+	next, mig, err := pt.Rebalance(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute-force the moved-cell count.
+	var moved uint64
+	for pos := uint64(0); pos < u.N(); pos++ {
+		if pt.OwnerOfPosition(pos) != next.OwnerOfPosition(pos) {
+			moved++
+		}
+	}
+	if mig.MovedCells != moved {
+		t.Fatalf("migration %d, brute %d", mig.MovedCells, moved)
+	}
+	if moved == 0 {
+		t.Fatal("skewed load moved nothing")
+	}
+	// Rebalancing must actually balance the new load.
+	if ib := Imbalance(next.Loads(w)); ib > 1.05 {
+		t.Fatalf("rebalanced imbalance %v", ib)
+	}
+	// And the migration is incremental: far less than the whole domain.
+	if mig.MovedFrac > 0.5 {
+		t.Fatalf("moved fraction %v too large for a boundary shift", mig.MovedFrac)
+	}
+}
+
+func TestMigrationBetweenDisjointExtremes(t *testing.T) {
+	// Two 2-part partitions with cuts at opposite extremes: the middle
+	// segment disagrees.
+	u := grid.MustNew(1, 4) // 16 cells
+	s := curve.NewSimple(u)
+	a := &Partition{c: s, cuts: []uint64{0, 4, 16}}
+	b := &Partition{c: s, cuts: []uint64{0, 12, 16}}
+	mig := MigrationBetween(a, b)
+	if mig.MovedCells != 8 { // positions 4..11 change owner 1→0
+		t.Fatalf("moved %d, want 8", mig.MovedCells)
+	}
+}
+
+func TestRebalanceDriftScenario(t *testing.T) {
+	// A hotspot drifting across the domain: successive rebalances each move
+	// a bounded fraction of cells while keeping balance.
+	u := grid.MustNew(2, 5)
+	z := curve.NewZ(u)
+	makeWeight := func(center uint64) Weight {
+		return func(pos uint64) float64 {
+			d := int64(pos) - int64(center)
+			if d < 0 {
+				d = -d
+			}
+			if uint64(d) < u.N()/8 {
+				return 4
+			}
+			return 1
+		}
+	}
+	pt, err := Weighted(z, 8, makeWeight(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 1; step <= 4; step++ {
+		w := makeWeight(uint64(step) * u.N() / 5)
+		next, mig, err := pt.Rebalance(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ib := Imbalance(next.Loads(w)); ib > 1.1 {
+			t.Fatalf("step %d: imbalance %v", step, ib)
+		}
+		if mig.MovedFrac > 0.6 {
+			t.Fatalf("step %d: moved %v of the domain", step, mig.MovedFrac)
+		}
+		pt = next
+	}
+}

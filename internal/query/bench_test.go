@@ -1,0 +1,105 @@
+package query
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+// BenchmarkDecomposeAblation compares the specialized box decompositions
+// against the always-correct brute enumeration — the design choice called
+// out in DESIGN.md (hierarchical subcube recursion for Z/Hilbert/Gray,
+// row runs for simple/snake).
+func BenchmarkDecomposeAblation(b *testing.B) {
+	u := grid.MustNew(2, 9) // 512×512
+	box, err := NewBox(u, u.MustPoint(100, 200), u.MustPoint(227, 327))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range []string{"z", "hilbert", "simple"} {
+		c, err := curve.ByName(name, u, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("fast/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkIvs = DecomposeBox(c, box)
+			}
+		})
+		b.Run("brute/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkIvs = mergeIntervals(bruteDecompose(c, box))
+			}
+		})
+	}
+}
+
+// BenchmarkRangeQuery measures end-to-end range queries per curve.
+func BenchmarkRangeQuery(b *testing.B) {
+	u := grid.MustNew(2, 9)
+	pts := randomPointsBench(u, 50000, 3)
+	box, err := NewBox(u, u.MustPoint(100, 200), u.MustPoint(163, 263))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range []string{"hilbert", "z", "simple"} {
+		c, err := curve.ByName(name, u, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix, err := Build(c, pts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				got, _ := ix.Range(box)
+				sinkLen = len(got)
+			}
+		})
+	}
+}
+
+// BenchmarkNearest measures nearest-neighbor lookups through the index.
+func BenchmarkNearest(b *testing.B) {
+	u := grid.MustNew(2, 9)
+	pts := randomPointsBench(u, 20000, 4)
+	for _, name := range []string{"hilbert", "z"} {
+		c, err := curve.ByName(name, u, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix, err := Build(c, pts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		q := u.MustPoint(317, 41)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ix.Nearest(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func randomPointsBench(u *grid.Universe, n int, seed int64) []grid.Point {
+	pts := randomPoints(u, n, seed)
+	return pts
+}
+
+func ExampleDecomposeBox() {
+	u := grid.MustNew(2, 3)
+	z := curve.NewZ(u)
+	box, _ := NewBox(u, u.MustPoint(0, 0), u.MustPoint(3, 3))
+	fmt.Println(DecomposeBox(z, box))
+	// Output: [{0 16}]
+}
+
+var (
+	sinkIvs []Interval
+	sinkLen int
+)

@@ -1,0 +1,222 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+// Index is a static spatial index: points sorted by their curve key.
+// Multiple points may share a cell.
+type Index struct {
+	c    curve.Curve
+	keys []uint64     // sorted, one per point
+	pts  []grid.Point // aligned with keys
+}
+
+// Build constructs the index over a point set. The points are cloned; the
+// input slice is not retained.
+func Build(c curve.Curve, pts []grid.Point) (*Index, error) {
+	u := c.Universe()
+	ix := &Index{
+		c:    c,
+		keys: make([]uint64, len(pts)),
+		pts:  make([]grid.Point, len(pts)),
+	}
+	order := make([]int, len(pts))
+	tmp := make([]uint64, len(pts))
+	for i, p := range pts {
+		if !u.Contains(p) {
+			return nil, fmt.Errorf("query: point %v outside %v", p, u)
+		}
+		tmp[i] = c.Index(p)
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return tmp[order[a]] < tmp[order[b]] })
+	for slot, i := range order {
+		ix.keys[slot] = tmp[i]
+		ix.pts[slot] = pts[i].Clone()
+	}
+	return ix, nil
+}
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int { return len(ix.keys) }
+
+// Curve returns the ordering curve.
+func (ix *Index) Curve() curve.Curve { return ix.c }
+
+// QueryStats reports the work a range query performed.
+type QueryStats struct {
+	Intervals int // curve intervals the box decomposed into
+	Scanned   int // points touched by interval scans
+	Matched   int // points returned
+}
+
+// Range returns all indexed points inside the box, along with the work
+// statistics. The box is decomposed into curve intervals, each answered by
+// binary search on the sorted keys; because the decomposition covers
+// exactly the box's cells, no post-filtering is needed — Scanned equals
+// Matched, and Intervals measures the curve's clustering quality.
+func (ix *Index) Range(b Box) ([]grid.Point, QueryStats) {
+	var out []grid.Point
+	var st QueryStats
+	for _, iv := range DecomposeBox(ix.c, b) {
+		st.Intervals++
+		lo := sort.Search(len(ix.keys), func(i int) bool { return ix.keys[i] >= iv.Lo })
+		for i := lo; i < len(ix.keys) && ix.keys[i] < iv.Hi; i++ {
+			st.Scanned++
+			out = append(out, ix.pts[i])
+		}
+	}
+	st.Matched = len(out)
+	return out, st
+}
+
+// Count returns the number of indexed points inside the box.
+func (ix *Index) Count(b Box) int {
+	var total int
+	for _, iv := range DecomposeBox(ix.c, b) {
+		lo := sort.Search(len(ix.keys), func(i int) bool { return ix.keys[i] >= iv.Lo })
+		hi := sort.Search(len(ix.keys), func(i int) bool { return ix.keys[i] >= iv.Hi })
+		total += hi - lo
+	}
+	return total
+}
+
+// KNearest returns the k indexed points closest to q in Euclidean
+// distance, sorted nearest-first (ties broken arbitrarily). If fewer than k
+// points are indexed it returns all of them. It errors on an empty index or
+// k < 1. The search grows boxes of geometrically increasing radius around
+// q, exactly like Nearest, stopping once the k-th best distance is covered
+// by the searched radius.
+func (ix *Index) KNearest(q grid.Point, k int) ([]grid.Point, []float64, error) {
+	if ix.Len() == 0 {
+		return nil, nil, fmt.Errorf("query: k-nearest on empty index")
+	}
+	if k < 1 {
+		return nil, nil, fmt.Errorf("query: k = %d", k)
+	}
+	if k > ix.Len() {
+		k = ix.Len()
+	}
+	u := ix.c.Universe()
+	d := u.D()
+	maxRadius := int64(u.Side())
+	type cand struct {
+		p    grid.Point
+		dist float64
+	}
+	var best []cand
+	for radius := int64(1); ; radius *= 2 {
+		lo := u.NewPoint()
+		hi := u.NewPoint()
+		for i := 0; i < d; i++ {
+			l := int64(q[i]) - radius
+			if l < 0 {
+				l = 0
+			}
+			h := int64(q[i]) + radius
+			if h > int64(u.Side())-1 {
+				h = int64(u.Side()) - 1
+			}
+			lo[i] = uint32(l)
+			hi[i] = uint32(h)
+		}
+		pts, _ := ix.Range(Box{Lo: lo, Hi: hi})
+		best = best[:0]
+		for _, p := range pts {
+			best = append(best, cand{p: p, dist: grid.Euclidean(q, p)})
+		}
+		sort.Slice(best, func(i, j int) bool { return best[i].dist < best[j].dist })
+		if len(best) > k {
+			best = best[:k]
+		}
+		done := len(best) == k && best[len(best)-1].dist <= float64(radius)
+		if done || radius >= maxRadius {
+			out := make([]grid.Point, len(best))
+			dists := make([]float64, len(best))
+			for i, c := range best {
+				out[i] = c.p.Clone()
+				dists[i] = c.dist
+			}
+			return out, dists, nil
+		}
+	}
+}
+
+// NearestStats reports the work of one Nearest/KNearest call.
+type NearestStats struct {
+	Rounds    int // box expansions performed
+	Intervals int // total curve intervals examined
+	Scanned   int // total points touched
+}
+
+// NearestWithStats is Nearest instrumented with work counters — the
+// measurements behind the neighbor-finding comparison of Chen & Chang ([5]
+// in the paper's related work), reproduced by experiment ext-knn.
+func (ix *Index) NearestWithStats(q grid.Point) (grid.Point, float64, NearestStats, error) {
+	var st NearestStats
+	p, dist, err := ix.nearest(q, &st)
+	return p, dist, st, err
+}
+
+// Nearest returns an indexed point at minimal Euclidean distance from q
+// (ties broken arbitrarily), or an error when the index is empty. It
+// searches boxes of geometrically growing radius around q; once a candidate
+// at distance r is known and the searched box covers radius ≥ r, no closer
+// point can exist outside it.
+func (ix *Index) Nearest(q grid.Point) (grid.Point, float64, error) {
+	return ix.nearest(q, nil)
+}
+
+func (ix *Index) nearest(q grid.Point, st *NearestStats) (grid.Point, float64, error) {
+	if ix.Len() == 0 {
+		return nil, 0, fmt.Errorf("query: nearest on empty index")
+	}
+	u := ix.c.Universe()
+	d := u.D()
+	maxRadius := int64(u.Side()) // covers the whole universe
+	var best grid.Point
+	bestDist := math.Inf(1)
+	for radius := int64(1); ; radius *= 2 {
+		lo := u.NewPoint()
+		hi := u.NewPoint()
+		for i := 0; i < d; i++ {
+			l := int64(q[i]) - radius
+			if l < 0 {
+				l = 0
+			}
+			h := int64(q[i]) + radius
+			if h > int64(u.Side())-1 {
+				h = int64(u.Side()) - 1
+			}
+			lo[i] = uint32(l)
+			hi[i] = uint32(h)
+		}
+		pts, qs := ix.Range(Box{Lo: lo, Hi: hi})
+		if st != nil {
+			st.Rounds++
+			st.Intervals += qs.Intervals
+			st.Scanned += qs.Scanned
+		}
+		for _, p := range pts {
+			if dist := grid.Euclidean(q, p); dist < bestDist {
+				bestDist = dist
+				best = p
+			}
+		}
+		// A candidate at distance ≤ radius cannot be beaten by any point
+		// outside the searched box (all such points are > radius away).
+		if best != nil && bestDist <= float64(radius) {
+			return best.Clone(), bestDist, nil
+		}
+		if radius >= maxRadius {
+			// Box covered the whole universe.
+			return best.Clone(), bestDist, nil
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package rect
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Fatal("no dims accepted")
+	}
+	if _, err := New(3, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := New(32, 31); err == nil {
+		t.Fatal("63 bits accepted")
+	}
+	u := MustNew(3, 1, 2)
+	if u.D() != 3 || u.N() != 64 || u.Side(0) != 8 || u.Side(1) != 2 || u.Side(2) != 4 {
+		t.Fatalf("bad universe %v", u)
+	}
+	if u.MaxSide() != 8 || u.K(2) != 2 {
+		t.Fatal("accessors wrong")
+	}
+	if u.String() != "rect(2^3×2^1×2^2)" {
+		t.Fatalf("String = %q", u.String())
+	}
+}
+
+func TestLinearRoundTrip(t *testing.T) {
+	u := MustNew(2, 4, 3)
+	p := u.NewPoint()
+	seen := map[uint64]bool{}
+	for idx := uint64(0); idx < u.N(); idx++ {
+		u.FromLinear(idx, p)
+		if !u.Contains(p) {
+			t.Fatalf("FromLinear(%d) = %v outside", idx, p)
+		}
+		if got := u.Linear(p); got != idx {
+			t.Fatalf("round trip %d → %v → %d", idx, p, got)
+		}
+		seen[idx] = true
+	}
+	if uint64(len(seen)) != u.N() {
+		t.Fatal("linear not bijective")
+	}
+	if u.Contains(grid.Point{0}) || u.Contains(grid.Point{0, 99, 0}) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestCurvesAreBijections(t *testing.T) {
+	for _, ks := range [][]int{{6}, {4, 3}, {2, 5}, {3, 1, 2}, {1, 1, 1, 4}} {
+		u := MustNew(ks...)
+		for _, c := range []Curve{NewRowMajor(u), NewCompactZ(u)} {
+			if err := Validate(c); err != nil {
+				t.Errorf("%v: %v", u, err)
+			}
+		}
+	}
+}
+
+func TestCompactZMatchesCubicZOnCubes(t *testing.T) {
+	// On an equal-sided universe the compact Z curve must coincide with the
+	// cubic Z curve up to the paper's dimension order: our round-robin
+	// starts with dimension 1 at the LOW bit of each group, while the
+	// cubic curve puts dimension 1 at the HIGH bit. Reversing the axis
+	// order aligns them.
+	cu := grid.MustNew(3, 2)
+	cz := curve.NewZ(cu)
+	ru := MustNew(2, 2, 2)
+	rz := NewCompactZ(ru)
+	p := cu.NewPoint()
+	rev := cu.NewPoint()
+	cu.Cells(func(_ uint64, q grid.Point) bool {
+		copy(p, q)
+		for i := range p {
+			rev[i] = p[len(p)-1-i]
+		}
+		if cz.Index(p) != rz.Index(rev) {
+			t.Fatalf("cubic Z(%v) = %d, compact Z(%v) = %d", p, cz.Index(p), rev, rz.Index(rev))
+		}
+		return true
+	})
+}
+
+func TestDAvgMatchesCubicEngineOnCubes(t *testing.T) {
+	// The rectangular Davg sweep must agree with the cubic engine.
+	cu := grid.MustNew(2, 5)
+	ru := MustNew(5, 5)
+	if got, want := DAvg(NewRowMajor(ru), 2), core.DAvg(curve.NewSimple(cu), 2); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("rect row-major Davg %v, cubic simple %v", got, want)
+	}
+}
+
+func TestGeneralizedBoundReducesToTheorem1(t *testing.T) {
+	for _, dk := range [][2]int{{1, 6}, {2, 4}, {3, 3}} {
+		d, k := dk[0], dk[1]
+		ks := make([]int, d)
+		for i := range ks {
+			ks[i] = k
+		}
+		u := MustNew(ks...)
+		got := NNAvgLowerBound(u)
+		want := bounds.NNAvgLowerBound(d, k)
+		if math.Abs(got-want) > 1e-9*want {
+			t.Fatalf("d=%d k=%d: generalized bound %v, paper bound %v", d, k, got, want)
+		}
+	}
+}
+
+func TestGeneralizedBoundHoldsOnRectangles(t *testing.T) {
+	for _, ks := range [][]int{{8, 3}, {3, 8}, {10, 2}, {6, 3, 2}, {2, 2, 7}} {
+		u := MustNew(ks...)
+		lb := NNAvgLowerBound(u)
+		for _, c := range []Curve{NewRowMajor(u), NewCompactZ(u)} {
+			if got := DAvg(c, 2); got < lb-1e-9 {
+				t.Errorf("%s on %v: Davg %v below generalized bound %v", c.Name(), u, got, lb)
+			}
+		}
+	}
+}
+
+// bruteDAvg recomputes Davg with no parallelism and no cleverness.
+func bruteDAvg(c Curve) float64 {
+	u := c.Universe()
+	p := u.NewPoint()
+	q := u.NewPoint()
+	var total float64
+	for lin := uint64(0); lin < u.N(); lin++ {
+		u.FromLinear(lin, p)
+		base := c.Index(p)
+		var sum uint64
+		deg := 0
+		copy(q, p)
+		for i := 0; i < u.D(); i++ {
+			if p[i] > 0 {
+				q[i] = p[i] - 1
+				sum += absDiff(base, c.Index(q))
+				deg++
+				q[i] = p[i]
+			}
+			if p[i]+1 < u.Side(i) {
+				q[i] = p[i] + 1
+				sum += absDiff(base, c.Index(q))
+				deg++
+				q[i] = p[i]
+			}
+		}
+		total += float64(sum) / float64(deg)
+	}
+	return total / float64(u.N())
+}
+
+func TestRowMajorClosedFormMatchesBrute(t *testing.T) {
+	for _, ks := range [][]int{{5}, {4, 2}, {2, 4}, {3, 3, 2}, {1, 5}, {1, 1, 1}} {
+		u := MustNew(ks...)
+		c := NewRowMajor(u)
+		brute := bruteDAvg(c)
+		closed := RowMajorDAvgExact(u)
+		if math.Abs(brute-closed) > 1e-9*(1+closed) {
+			t.Errorf("%v: brute %v, closed form %v", u, brute, closed)
+		}
+		if swept := DAvg(c, 3); math.Abs(swept-brute) > 1e-9*(1+brute) {
+			t.Errorf("%v: parallel sweep %v, brute %v", u, swept, brute)
+		}
+	}
+}
+
+func TestAnisotropyMatters(t *testing.T) {
+	// Same n, different shapes: the generalized bound scales with n/s_max,
+	// so elongated universes admit (and achieve) smaller stretch.
+	square := MustNew(6, 6)
+	thin := MustNew(10, 2)
+	if square.N() != thin.N() {
+		t.Fatal("shapes must share n")
+	}
+	lbSquare := NNAvgLowerBound(square)
+	lbThin := NNAvgLowerBound(thin)
+	if lbThin >= lbSquare {
+		t.Fatalf("thin bound %v not below square bound %v", lbThin, lbSquare)
+	}
+	dSquare := DAvg(NewCompactZ(square), 2)
+	dThin := DAvg(NewCompactZ(thin), 2)
+	if dThin >= dSquare {
+		t.Fatalf("thin Davg %v not below square Davg %v", dThin, dSquare)
+	}
+}
+
+func BenchmarkCompactZIndex(b *testing.B) {
+	u := MustNew(20, 10, 5)
+	z := NewCompactZ(u)
+	p := grid.Point{123456, 789, 17}
+	for i := 0; i < b.N; i++ {
+		sink = z.Index(p)
+	}
+}
+
+var sink uint64

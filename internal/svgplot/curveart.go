@@ -1,0 +1,51 @@
+package svgplot
+
+import (
+	"fmt"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+// CurvePath renders a two-dimensional curve's visiting order as an SVG
+// drawing in the style of the paper's figures: cells as a light grid,
+// the curve as a polyline through cell centers, the start marked. Works
+// for any registered curve; self-intersections and jumps (Z, Gray, bitrev,
+// random) are plainly visible.
+func CurvePath(c curve.Curve, pixels float64) (*Canvas, error) {
+	u := c.Universe()
+	if u.D() != 2 {
+		return nil, fmt.Errorf("svgplot: curve drawing needs d=2, got d=%d", u.D())
+	}
+	if u.K() > 7 {
+		return nil, fmt.Errorf("svgplot: side 2^%d too dense to draw", u.K())
+	}
+	side := float64(u.Side())
+	const margin = 24
+	cell := (pixels - 2*margin) / side
+	cv := NewCanvas(pixels, pixels+20)
+	// x2 grows upward, like the paper's figures.
+	px := func(p grid.Point) (float64, float64) {
+		x := margin + (float64(p[0])+0.5)*cell
+		y := margin + (side-float64(p[1])-0.5)*cell
+		return x, y
+	}
+	// Light cell grid.
+	for i := 0; i <= int(side); i++ {
+		v := margin + float64(i)*cell
+		cv.Line(margin, v, margin+side*cell, v, "#dddddd", 0.6)
+		cv.Line(v, margin, v, margin+side*cell, "#dddddd", 0.6)
+	}
+	// The visiting path.
+	p := u.NewPoint()
+	pts := make([]float64, 0, 2*u.N())
+	for idx := uint64(0); idx < u.N(); idx++ {
+		c.Point(idx, p)
+		x, y := px(p)
+		pts = append(pts, x, y)
+	}
+	cv.Polyline(pts, "#1f77b4", 1.4)
+	cv.Circle(pts[0], pts[1], 3.2, "#d62728") // start
+	cv.Text(pixels/2, pixels+8, fmt.Sprintf("%s on %v", c.Name(), u), "middle", 11)
+	return cv, nil
+}

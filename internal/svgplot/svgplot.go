@@ -1,0 +1,209 @@
+// Package svgplot is a minimal, dependency-free SVG writer used to render
+// the reproduction's graphics: curve path drawings (the pictorial halves of
+// the paper's Figures 1, 3 and 4) and convergence charts for the theorem
+// sweeps. It emits plain SVG 1.1 and knows just enough about plotting
+// (linear axes, polylines, labels) for those two jobs.
+package svgplot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Canvas accumulates SVG elements.
+type Canvas struct {
+	W, H  float64
+	elems []string
+}
+
+// NewCanvas creates a canvas of the given pixel size.
+func NewCanvas(w, h float64) *Canvas { return &Canvas{W: w, H: h} }
+
+// Line draws a straight segment.
+func (c *Canvas) Line(x1, y1, x2, y2 float64, stroke string, width float64) {
+	c.elems = append(c.elems, fmt.Sprintf(
+		`<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="%.2f"/>`,
+		x1, y1, x2, y2, stroke, width))
+}
+
+// Circle draws a dot.
+func (c *Canvas) Circle(x, y, r float64, fill string) {
+	c.elems = append(c.elems, fmt.Sprintf(
+		`<circle cx="%.2f" cy="%.2f" r="%.2f" fill="%s"/>`, x, y, r, fill))
+}
+
+// Polyline draws a connected path through the points (flat x,y pairs).
+func (c *Canvas) Polyline(pts []float64, stroke string, width float64) {
+	if len(pts) < 4 {
+		return
+	}
+	var b strings.Builder
+	for i := 0; i+1 < len(pts); i += 2 {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.2f,%.2f", pts[i], pts[i+1])
+	}
+	c.elems = append(c.elems, fmt.Sprintf(
+		`<polyline points="%s" fill="none" stroke="%s" stroke-width="%.2f"/>`,
+		b.String(), stroke, width))
+}
+
+// Text places a label (anchor: start, middle or end).
+func (c *Canvas) Text(x, y float64, s, anchor string, size float64) {
+	c.elems = append(c.elems, fmt.Sprintf(
+		`<text x="%.2f" y="%.2f" font-family="sans-serif" font-size="%.1f" text-anchor="%s">%s</text>`,
+		x, y, size, anchor, escape(s)))
+}
+
+// Rect draws a rectangle outline.
+func (c *Canvas) Rect(x, y, w, h float64, stroke string, width float64) {
+	c.elems = append(c.elems, fmt.Sprintf(
+		`<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="none" stroke="%s" stroke-width="%.2f"/>`,
+		x, y, w, h, stroke, width))
+}
+
+// String renders the complete SVG document.
+func (c *Canvas) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		c.W, c.H, c.W, c.H)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	for _, e := range c.elems {
+		b.WriteString(e)
+		b.WriteByte('\n')
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// Series is one plotted line.
+type Series struct {
+	Name  string
+	X, Y  []float64
+	Color string
+}
+
+// LinePlot renders series against linear axes with ticks and a legend.
+// Y may optionally be displayed on a log10 axis.
+type LinePlot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogY   bool
+	Series []Series
+}
+
+// Palette is the default series color cycle.
+var Palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// Render draws the plot on a fresh canvas of the given size.
+func (p *LinePlot) Render(w, h float64) (*Canvas, error) {
+	if len(p.Series) == 0 {
+		return nil, fmt.Errorf("svgplot: no series")
+	}
+	const marginL, marginR, marginT, marginB = 64, 16, 36, 48
+	plotW := w - marginL - marginR
+	plotH := h - marginT - marginB
+	if plotW < 50 || plotH < 50 {
+		return nil, fmt.Errorf("svgplot: canvas too small")
+	}
+	// Data ranges.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for si, s := range p.Series {
+		if len(s.X) != len(s.Y) || len(s.X) == 0 {
+			return nil, fmt.Errorf("svgplot: series %d has %d x for %d y", si, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			y := s.Y[i]
+			if p.LogY {
+				if y <= 0 {
+					return nil, fmt.Errorf("svgplot: log axis with y = %v", y)
+				}
+				y = math.Log10(y)
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	sx := func(x float64) float64 { return marginL + (x-minX)/(maxX-minX)*plotW }
+	sy := func(y float64) float64 {
+		if p.LogY {
+			y = math.Log10(y)
+		}
+		return marginT + plotH - (y-minY)/(maxY-minY)*plotH
+	}
+	c := NewCanvas(w, h)
+	// Frame + title + labels.
+	c.Rect(marginL, marginT, plotW, plotH, "#444444", 1)
+	c.Text(w/2, 20, p.Title, "middle", 13)
+	c.Text(w/2, h-10, p.XLabel, "middle", 11)
+	c.Text(14, marginT-10, p.YLabel, "start", 11)
+	// Ticks: 5 per axis at round-ish positions.
+	for i := 0; i <= 4; i++ {
+		xv := minX + (maxX-minX)*float64(i)/4
+		px := sx(xv)
+		c.Line(px, marginT+plotH, px, marginT+plotH+4, "#444444", 1)
+		c.Text(px, marginT+plotH+16, trimFloat(xv), "middle", 10)
+
+		yv := minY + (maxY-minY)*float64(i)/4
+		display := yv
+		if p.LogY {
+			display = math.Pow(10, yv)
+		}
+		py := marginT + plotH - plotH*float64(i)/4
+		c.Line(marginL-4, py, marginL, py, "#444444", 1)
+		c.Text(marginL-6, py+3, trimFloat(display), "end", 10)
+	}
+	// Series.
+	for si, s := range p.Series {
+		color := s.Color
+		if color == "" {
+			color = Palette[si%len(Palette)]
+		}
+		order := make([]int, len(s.X))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return s.X[order[a]] < s.X[order[b]] })
+		pts := make([]float64, 0, 2*len(order))
+		for _, i := range order {
+			pts = append(pts, sx(s.X[i]), sy(s.Y[i]))
+		}
+		c.Polyline(pts, color, 1.6)
+		for i := 0; i+1 < len(pts); i += 2 {
+			c.Circle(pts[i], pts[i+1], 2.2, color)
+		}
+		// Legend entry.
+		ly := marginT + 14 + float64(si)*14
+		c.Line(marginL+8, ly-4, marginL+26, ly-4, color, 2)
+		c.Text(marginL+30, ly, s.Name, "start", 10)
+	}
+	return c, nil
+}
+
+// trimFloat formats tick labels compactly.
+func trimFloat(v float64) string {
+	if v != 0 && (math.Abs(v) >= 1e5 || math.Abs(v) < 1e-3) {
+		return fmt.Sprintf("%.1e", v)
+	}
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

@@ -1,0 +1,122 @@
+package svgplot
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+func TestCanvasElements(t *testing.T) {
+	c := NewCanvas(100, 80)
+	c.Line(0, 0, 10, 10, "#000", 1)
+	c.Circle(5, 5, 2, "#f00")
+	c.Polyline([]float64{0, 0, 1, 1, 2, 0}, "#00f", 1)
+	c.Polyline([]float64{0, 0}, "#00f", 1) // too short: ignored
+	c.Text(50, 40, "a<b&c>d", "middle", 10)
+	c.Rect(1, 1, 98, 78, "#333", 1)
+	svg := c.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "<line", "<circle", "<polyline", "<rect",
+		"a&lt;b&amp;c&gt;d", `viewBox="0 0 100 80"`,
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<polyline") != 1 {
+		t.Error("short polyline was not dropped")
+	}
+}
+
+func TestLinePlotRender(t *testing.T) {
+	p := LinePlot{
+		Title:  "t",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "a", X: []float64{3, 1, 2}, Y: []float64{1.5, 1.2, 1.8}},
+			{Name: "b", X: []float64{1, 2, 3}, Y: []float64{2, 2, 2}},
+		},
+	}
+	c, err := p.Render(400, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := c.String()
+	if !strings.Contains(svg, ">a</text>") || !strings.Contains(svg, ">b</text>") {
+		t.Error("legend entries missing")
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Errorf("expected 2 polylines, got %d", strings.Count(svg, "<polyline"))
+	}
+}
+
+func TestLinePlotValidation(t *testing.T) {
+	if _, err := (&LinePlot{}).Render(400, 300); err == nil {
+		t.Fatal("empty plot accepted")
+	}
+	bad := LinePlot{Series: []Series{{X: []float64{1}, Y: []float64{1, 2}}}}
+	if _, err := bad.Render(400, 300); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+	tiny := LinePlot{Series: []Series{{X: []float64{1}, Y: []float64{1}}}}
+	if _, err := tiny.Render(60, 60); err == nil {
+		t.Fatal("tiny canvas accepted")
+	}
+	logbad := LinePlot{LogY: true, Series: []Series{{X: []float64{1}, Y: []float64{0}}}}
+	if _, err := logbad.Render(400, 300); err == nil {
+		t.Fatal("log axis with zero accepted")
+	}
+}
+
+func TestLinePlotLogAxis(t *testing.T) {
+	p := LinePlot{
+		LogY: true,
+		Series: []Series{
+			{Name: "pow", X: []float64{1, 2, 3}, Y: []float64{10, 100, 1000}},
+		},
+	}
+	if _, err := p.Render(400, 300); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCurvePath(t *testing.T) {
+	u := grid.MustNew(2, 3)
+	for _, name := range []string{"hilbert", "z", "snake"} {
+		c, err := curve.ByName(name, u, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cv, err := CurvePath(c, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svg := cv.String()
+		if !strings.Contains(svg, "<polyline") || !strings.Contains(svg, name) {
+			t.Errorf("%s: drawing incomplete", name)
+		}
+	}
+}
+
+func TestCurvePathValidation(t *testing.T) {
+	u3 := grid.MustNew(3, 2)
+	if _, err := CurvePath(curve.NewZ(u3), 300); err == nil {
+		t.Fatal("3-d drawing accepted")
+	}
+	big := grid.MustNew(2, 8)
+	if _, err := CurvePath(curve.NewZ(big), 300); err == nil {
+		t.Fatal("oversized drawing accepted")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{1.5: "1.5", 2: "2", 0.125: "0.125", 1e6: "1.0e+06", 0: "0"}
+	for v, want := range cases {
+		if got := trimFloat(v); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

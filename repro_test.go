@@ -1,0 +1,61 @@
+package repro
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestEndToEndQuickHarness runs the entire experiment suite at quick sizes
+// and renders every table in every format — the same path cmd/sfcexperiments
+// exercises.
+func TestEndToEndQuickHarness(t *testing.T) {
+	tables, err := analysis.RunAll(analysis.QuickConfig())
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	if len(tables) != len(analysis.Experiments()) {
+		t.Fatalf("got %d tables for %d experiments", len(tables), len(analysis.Experiments()))
+	}
+	for _, tbl := range tables {
+		if md := tbl.Markdown(); !strings.Contains(md, tbl.ID) {
+			t.Errorf("%s: markdown lacks id", tbl.ID)
+		}
+		if csv := tbl.CSV(); len(strings.Split(csv, "\n")) < 3 {
+			t.Errorf("%s: csv too short", tbl.ID)
+		}
+		if txt := tbl.Text(); len(txt) == 0 {
+			t.Errorf("%s: empty text render", tbl.ID)
+		}
+	}
+}
+
+// TestDeliverablesPresent pins the repository contract: the documentation
+// artifacts the reproduction promises must exist and be non-trivial.
+func TestDeliverablesPresent(t *testing.T) {
+	for _, f := range []string{"README.md", "DESIGN.md", "EXPERIMENTS.md"} {
+		info, err := os.Stat(f)
+		if err != nil {
+			t.Errorf("missing deliverable %s: %v", f, err)
+			continue
+		}
+		if info.Size() < 1000 {
+			t.Errorf("deliverable %s suspiciously small (%d bytes)", f, info.Size())
+		}
+	}
+	if _, err := os.Stat("go.mod"); err != nil {
+		t.Errorf("missing go.mod: %v", err)
+	}
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every experiment id must be indexed in DESIGN.md.
+	for _, id := range analysis.IDs() {
+		if !strings.Contains(string(design), id) {
+			t.Errorf("DESIGN.md does not index experiment %s", id)
+		}
+	}
+}
