@@ -77,7 +77,10 @@ func ExtConstants(cfg Config) (*Table, error) {
 
 // stretchConstant measures Davg·d/n^(1−1/d) exactly at (d, k).
 func stretchConstant(cfg Config, name string, d, k int) (float64, error) {
-	u := grid.MustNew(d, k)
+	u, err := grid.New(d, k)
+	if err != nil {
+		return 0, err
+	}
 	c, err := sweepCurveByName(cfg, name, u)
 	if err != nil {
 		return 0, err

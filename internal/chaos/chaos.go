@@ -1,0 +1,189 @@
+// Package chaos is the randomized fault-injection harness tying the
+// resilience layer together. Each run draws a universe, a curve, a record
+// set, a fault schedule and a partition from a seeded source, then checks
+// the invariants the robustness story rests on:
+//
+//  1. No record is ever silently lost or duplicated: the records a
+//     degraded range query returns, plus the records whose keys fall in
+//     its reported unavailable intervals, are exactly the ground-truth
+//     content of the query box.
+//  2. Degraded results + unavailable intervals tile the query box: the
+//     dark intervals are sorted, disjoint, and lie inside the box's curve
+//     footprint, and no returned record's key falls in one.
+//  3. Checksums catch 100% of injected corruption: the store's
+//     ChecksumFailures counter equals the injector's Corruptions counter.
+//  4. Failure-driven rebalancing conserves cell ownership: after
+//     FailParts every cell has exactly one live owner, dead parts own
+//     nothing, and migration equals the cells the dead parts owned (plus,
+//     for the load-aware variant, exactly the measured rebalance slack).
+//
+// Every run is reproducible from (Seed, run index) alone.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// Config tunes the harness.
+type Config struct {
+	Seed          int64
+	Runs          int
+	QueriesPerRun int                              // degraded queries per run (default 4)
+	Log           func(format string, args ...any) // optional progress sink
+}
+
+// Violation is one failed invariant.
+type Violation struct {
+	Run       int
+	Invariant string
+	Detail    string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("run %d: %s: %s", v.Run, v.Invariant, v.Detail)
+}
+
+// Report aggregates a chaos campaign.
+type Report struct {
+	Runs                 int
+	Queries              int
+	RecordsServed        uint64
+	UnavailableIntervals uint64
+	PagesLost            int
+	CorruptionsInjected  uint64
+	CorruptionsDetected  uint64
+	TransientsInjected   uint64
+	RetriesObserved      uint64
+	PartitionChecks      int
+	CellsMigrated        uint64
+	Violations           []Violation
+}
+
+func (r *Report) violate(run int, invariant, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{Run: run, Invariant: invariant, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Run executes the campaign. It only errors on a bad config; invariant
+// failures are collected in the report.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Runs < 1 {
+		return nil, fmt.Errorf("chaos: runs = %d", cfg.Runs)
+	}
+	if cfg.QueriesPerRun == 0 {
+		cfg.QueriesPerRun = 4
+	}
+	if cfg.QueriesPerRun < 1 {
+		return nil, fmt.Errorf("chaos: queries per run = %d", cfg.QueriesPerRun)
+	}
+	rep := &Report{}
+	for run := 0; run < cfg.Runs; run++ {
+		rng := rand.New(rand.NewSource(subSeed(cfg.Seed, run)))
+		if err := storeRun(cfg, run, rng, rep); err != nil {
+			return nil, fmt.Errorf("chaos: run %d: %w", run, err)
+		}
+		if err := partitionRun(cfg, run, rng, rep); err != nil {
+			return nil, fmt.Errorf("chaos: run %d: %w", run, err)
+		}
+		rep.Runs++
+		if cfg.Log != nil && (run+1)%25 == 0 {
+			cfg.Log("chaos: %d/%d runs, %d violations", run+1, cfg.Runs, len(rep.Violations))
+		}
+	}
+	return rep, nil
+}
+
+// subSeed derives a well-mixed per-run seed.
+func subSeed(seed int64, run int) int64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(run)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return int64((x ^ (x >> 31)) &^ (1 << 63))
+}
+
+// randomUniverse keeps n small enough that a full ground-truth scan per
+// query stays cheap.
+func randomUniverse(rng *rand.Rand) *grid.Universe {
+	d := 1 + rng.Intn(3)
+	var k int
+	switch d {
+	case 1:
+		k = 3 + rng.Intn(6) // up to 256 cells
+	case 2:
+		k = 2 + rng.Intn(4) // up to 1024 cells
+	default:
+		k = 1 + rng.Intn(3) // up to 512 cells
+	}
+	u, err := grid.New(d, k)
+	if err != nil {
+		panic(err) // unreachable: d, k drawn from valid ranges
+	}
+	return u
+}
+
+func randomCurve(rng *rand.Rand, u *grid.Universe) (curve.Curve, error) {
+	names := curve.Names()
+	return curve.ByName(names[rng.Intn(len(names))], u, rng.Int63())
+}
+
+func randomRecords(rng *rand.Rand, u *grid.Universe, n int) []store.Record {
+	recs := make([]store.Record, n)
+	for i := range recs {
+		p := u.NewPoint()
+		for j := range p {
+			p[j] = uint32(rng.Intn(int(u.Side())))
+		}
+		recs[i] = store.Record{Point: p, Payload: uint64(i)}
+	}
+	return recs
+}
+
+func randomBox(rng *rand.Rand, u *grid.Universe) query.Box {
+	lo := u.NewPoint()
+	hi := u.NewPoint()
+	for j := range lo {
+		a := uint32(rng.Intn(int(u.Side())))
+		b := uint32(rng.Intn(int(u.Side())))
+		if a > b {
+			a, b = b, a
+		}
+		lo[j], hi[j] = a, b
+	}
+	b, err := query.NewBox(u, lo, hi)
+	if err != nil {
+		panic(err) // unreachable: corners drawn in range and ordered
+	}
+	return b
+}
+
+// recordKey orders records for multiset comparison.
+func recordLess(a, b store.Record) bool {
+	for i := range a.Point {
+		if a.Point[i] != b.Point[i] {
+			return a.Point[i] < b.Point[i]
+		}
+	}
+	return a.Payload < b.Payload
+}
+
+func sortRecords(recs []store.Record) {
+	sort.Slice(recs, func(i, j int) bool { return recordLess(recs[i], recs[j]) })
+}
+
+func sameRecords(a, b []store.Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Point.Equal(b[i].Point) || a[i].Payload != b[i].Payload {
+			return false
+		}
+	}
+	return true
+}

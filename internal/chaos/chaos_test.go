@@ -1,0 +1,56 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRunConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Runs: 0}); err == nil {
+		t.Fatal("zero runs accepted")
+	}
+	if _, err := Run(Config{Runs: 5, QueriesPerRun: -1}); err == nil {
+		t.Fatal("negative queries accepted")
+	}
+}
+
+// TestCampaignClean runs a small campaign and requires zero invariant
+// violations — the same gate cmd/sfcchaos enforces, kept in-tree so plain
+// `go test ./...` exercises the harness end to end.
+func TestCampaignClean(t *testing.T) {
+	rep, err := Run(Config{Seed: 1, Runs: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("%s", v)
+	}
+	if rep.Runs != 25 || rep.Queries == 0 || rep.PartitionChecks == 0 {
+		t.Fatalf("campaign did too little work: %+v", rep)
+	}
+	if rep.CorruptionsInjected == 0 || rep.PagesLost == 0 || rep.TransientsInjected == 0 {
+		t.Fatalf("fault schedules injected nothing: %+v", rep)
+	}
+	if rep.CorruptionsDetected != rep.CorruptionsInjected {
+		t.Fatalf("detected %d of %d corruptions", rep.CorruptionsDetected, rep.CorruptionsInjected)
+	}
+}
+
+// TestCampaignDeterministic: identical configs produce identical reports.
+func TestCampaignDeterministic(t *testing.T) {
+	run := func() Report {
+		rep, err := Run(Config{Seed: 42, Runs: 10, QueriesPerRun: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return *rep
+	}
+	a, b := run(), run()
+	if len(a.Violations) != 0 || len(b.Violations) != 0 {
+		t.Fatalf("violations: %v / %v", a.Violations, b.Violations)
+	}
+	a.Violations, b.Violations = nil, nil
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("reports diverge:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,134 @@
+package chaos
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/curve"
+	"repro/internal/partition"
+)
+
+// partitionRun exercises failure-driven rebalancing: build a random
+// (possibly weighted) partition, kill a random subset of parts, and check
+// ownership conservation and the migration bound for both the
+// minimal-displacement and the load-aware redistribution.
+func partitionRun(cfg Config, run int, rng *rand.Rand, rep *Report) error {
+	u := randomUniverse(rng)
+	c, err := randomCurve(rng, u)
+	if err != nil {
+		return err
+	}
+	parts := 2 + rng.Intn(14)
+	w := randomWeight(rng, c)
+	pt, err := partition.Weighted(c, parts, w)
+	if err != nil {
+		return err
+	}
+	nDead := 1 + rng.Intn(parts-1)
+	dead := rng.Perm(parts)[:nDead]
+	deadCells := pt.DeadCells(dead)
+
+	next, mig, err := pt.FailParts(dead)
+	if err != nil {
+		return err
+	}
+	rep.PartitionChecks++
+	rep.CellsMigrated += mig.MovedCells
+	checkFailover(run, rep, "failparts", pt, next, dead)
+	fromDead, fromAlive := partition.MigrationSplit(pt, next, dead)
+	if fromAlive != 0 {
+		rep.violate(run, "rebalance-migration", "FailParts moved %d cells between survivors (minimal displacement demands 0)", fromAlive)
+	}
+	if fromDead != deadCells || mig.MovedCells != deadCells {
+		rep.violate(run, "rebalance-migration", "FailParts migration %d (fromDead %d) != dead-owned cells %d",
+			mig.MovedCells, fromDead, deadCells)
+	}
+
+	// Load-aware variant: migration must decompose exactly into dead-owned
+	// cells plus the measured survivor-to-survivor slack.
+	wnext, wmig, err := pt.FailPartsWeighted(dead, w)
+	if err != nil {
+		return err
+	}
+	rep.PartitionChecks++
+	checkFailover(run, rep, "failparts-weighted", pt, wnext, dead)
+	wFromDead, wSlack := partition.MigrationSplit(pt, wnext, dead)
+	if wFromDead != deadCells {
+		rep.violate(run, "rebalance-migration", "FailPartsWeighted moved %d dead-owned cells, parts owned %d", wFromDead, deadCells)
+	}
+	if wmig.MovedCells != deadCells+wSlack {
+		rep.violate(run, "rebalance-migration", "FailPartsWeighted migration %d != dead %d + slack %d",
+			wmig.MovedCells, deadCells, wSlack)
+	}
+	return nil
+}
+
+// checkFailover verifies ownership conservation after a failure: same part
+// count, every cell owned by exactly one surviving part, dead parts empty.
+func checkFailover(run int, rep *Report, tag string, before, after *partition.Partition, dead []int) {
+	if after.Parts() != before.Parts() {
+		rep.violate(run, "ownership-conservation", "%s: part count %d != %d", tag, after.Parts(), before.Parts())
+		return
+	}
+	isDead := make([]bool, after.Parts())
+	for _, j := range dead {
+		isDead[j] = true
+	}
+	n := after.Curve().Universe().N()
+	var owned uint64
+	prevHi := uint64(0)
+	for j := 0; j < after.Parts(); j++ {
+		lo, hi := after.Segment(j)
+		if lo != prevHi || hi < lo {
+			rep.violate(run, "ownership-conservation", "%s: part %d segment [%d,%d) not contiguous after %d", tag, j, lo, hi, prevHi)
+			return
+		}
+		prevHi = hi
+		owned += hi - lo
+		if isDead[j] && hi != lo {
+			rep.violate(run, "ownership-conservation", "%s: dead part %d still owns %d cells", tag, j, hi-lo)
+			return
+		}
+	}
+	if owned != n {
+		rep.violate(run, "ownership-conservation", "%s: parts own %d of %d cells", tag, owned, n)
+		return
+	}
+	// Spot-check OwnerOfPosition never lands on a dead part.
+	for pos := uint64(0); pos < n; pos += 1 + n/64 {
+		if j := after.OwnerOfPosition(pos); isDead[j] {
+			rep.violate(run, "ownership-conservation", "%s: position %d owned by dead part %d", tag, pos, j)
+			return
+		}
+	}
+}
+
+// randomWeight draws one of the workload shapes the partition harness uses:
+// unit, gradient along dimension 1, or a central hotspot. nil (unit weights
+// via the Weighted fallback) is included.
+func randomWeight(rng *rand.Rand, c curve.Curve) partition.Weight {
+	u := c.Universe()
+	switch rng.Intn(3) {
+	case 0:
+		return nil
+	case 1:
+		p := u.NewPoint()
+		return func(pos uint64) float64 {
+			c.Point(pos, p)
+			return 1 + float64(p[0])
+		}
+	default:
+		p := u.NewPoint()
+		center := float64(u.Side()) / 2
+		sigma := math.Max(1, float64(u.Side())/8)
+		return func(pos uint64) float64 {
+			c.Point(pos, p)
+			var d2 float64
+			for _, v := range p {
+				d := float64(v) - center
+				d2 += d * d
+			}
+			return 0.1 + math.Exp(-d2/(2*sigma*sigma))
+		}
+	}
+}

@@ -147,6 +147,17 @@ func AvgClusters(c curve.Curve, extent []uint32, maxRegions uint64) (Stats, erro
 // SampledAvgClusters estimates the mean cluster count over uniformly random
 // placements of the region shape, deterministically from seed.
 func SampledAvgClusters(c curve.Curve, extent []uint32, samples int, seed int64) (Stats, error) {
+	return SampledAvgClustersRand(c, extent, samples, rand.New(rand.NewSource(seed)))
+}
+
+// SampledAvgClustersRand is SampledAvgClusters drawing placements from an
+// explicit generator, so callers can share one seeded stream across several
+// curves (sampling identical region placements for each) instead of
+// coordinating seeds. rng must be non-nil.
+func SampledAvgClustersRand(c curve.Curve, extent []uint32, samples int, rng *rand.Rand) (Stats, error) {
+	if rng == nil {
+		return Stats{}, fmt.Errorf("cluster: nil rand source")
+	}
 	u := c.Universe()
 	d := u.D()
 	if len(extent) != d {
@@ -160,7 +171,6 @@ func SampledAvgClusters(c curve.Curve, extent []uint32, samples int, seed int64)
 			return Stats{}, fmt.Errorf("cluster: bad extent %d in dimension %d", extent[i], i+1)
 		}
 	}
-	rng := rand.New(rand.NewSource(seed))
 	lo := u.NewPoint()
 	var st Stats
 	var sum float64

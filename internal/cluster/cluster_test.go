@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/curve"
@@ -183,6 +184,27 @@ func TestSampledDeterministic(t *testing.T) {
 	}
 	if _, err := SampledAvgClusters(z, Square(2, 0), 10, 1); err == nil {
 		t.Fatal("zero extent accepted")
+	}
+}
+
+// TestSampledRandEquivalence: the seed-taking wrapper and the explicit-rand
+// entry point agree, and a nil generator is rejected.
+func TestSampledRandEquivalence(t *testing.T) {
+	u := grid.MustNew(2, 4)
+	z := curve.NewZ(u)
+	a, err := SampledAvgClusters(z, Square(2, 3), 200, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SampledAvgClustersRand(z, Square(2, 3), 200, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("seed wrapper %+v, explicit rand %+v", a, b)
+	}
+	if _, err := SampledAvgClustersRand(z, Square(2, 3), 200, nil); err == nil {
+		t.Fatal("nil rand accepted")
 	}
 }
 

@@ -89,7 +89,12 @@ func NewDiagonal(u *grid.Universe) (*Diagonal, error) {
 	return dg, nil
 }
 
-// MustDiagonal is NewDiagonal for known-good universes; it panics on error.
+// MustDiagonal is NewDiagonal for known-good universes. It panics iff
+// NewDiagonal would return an error (a universe too large for the diagonal
+// table, or a failed table self-check), so it is safe exactly where the
+// universe is a compile-time constant — tests, examples, and static tables.
+// Code handling caller-supplied dimensions must use NewDiagonal and
+// propagate the error.
 func MustDiagonal(u *grid.Universe) *Diagonal {
 	dg, err := NewDiagonal(u)
 	if err != nil {

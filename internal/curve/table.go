@@ -40,7 +40,12 @@ func NewTable(u *grid.Universe, name string, perm []uint64) (*Table, error) {
 	return &Table{u: u, name: name, perm: perm, inv: inv}, nil
 }
 
-// MustTable is NewTable for known-good tables; it panics on error.
+// MustTable is NewTable for known-good tables. It panics iff NewTable would
+// return an error (a perm that is not a bijection on [0, n), or a size
+// mismatch with the universe), so it is safe exactly for hard-coded
+// permutations whose validity is established by the package's own tests.
+// Code building tables from computed or external data must use NewTable and
+// propagate the error.
 func MustTable(u *grid.Universe, name string, perm []uint64) *Table {
 	t, err := NewTable(u, name, perm)
 	if err != nil {

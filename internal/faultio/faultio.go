@@ -1,0 +1,203 @@
+// Package faultio provides a deterministic, seedable fault injector for
+// store page devices. Wrapping a device adds four failure modes drawn from
+// the fault model of secondary-memory systems the paper motivates
+// (Faloutsos/Jagadish line of work): transient read errors, permanently
+// lost pages, latency spikes, and in-flight bit corruption.
+//
+// Every decision is a pure function of (seed, page, per-page attempt
+// number), computed by hashing rather than by a shared stream, so a fault
+// schedule is reproducible from its seed alone, independent of goroutine
+// interleaving — the property the chaos harness (internal/chaos) relies on
+// to replay violations. The injector is safe for concurrent use.
+package faultio
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/store"
+)
+
+// Config selects the fault schedule. All probabilities are per read
+// attempt and must lie in [0, 1].
+type Config struct {
+	Seed          int64
+	TransientProb float64 // probability of a transient read error
+	CorruptProb   float64 // probability of returning a bit-corrupted page
+	SpikeProb     float64 // probability of a latency spike
+	LostFrac      float64 // fraction of pages permanently lost (chosen by seed)
+	LostPages     []int   // explicitly lost pages, in addition to LostFrac
+
+	ReadLatency  time.Duration // simulated latency of a normal read (default 100µs)
+	SpikeLatency time.Duration // simulated latency of a spiked read (default 50ms)
+}
+
+// Counters is a snapshot of the injector's accounting. The chaos harness
+// checks Corruptions against the store's ChecksumFailures: every injected
+// corruption must be detected.
+type Counters struct {
+	Reads       uint64 // ReadPage attempts observed
+	Transients  uint64 // transient errors injected
+	LostReads   uint64 // reads of permanently lost pages
+	Corruptions uint64 // corrupted pages returned
+	Spikes      uint64 // latency spikes injected
+	Latency     time.Duration
+}
+
+// Injector wraps a PageDevice with the configured fault schedule.
+type Injector struct {
+	dev  store.PageDevice
+	cfg  Config
+	lost []bool
+
+	attempts []atomic.Uint64 // per-page read counter; drives the hash stream
+
+	reads, transients, lostReads, corruptions, spikes atomic.Uint64
+	latency                                           atomic.Int64
+}
+
+// Wrap builds an injector over dev. It validates the probabilities and
+// resolves the lost-page set deterministically from the seed.
+func Wrap(dev store.PageDevice, cfg Config) (*Injector, error) {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"TransientProb", cfg.TransientProb},
+		{"CorruptProb", cfg.CorruptProb},
+		{"SpikeProb", cfg.SpikeProb},
+		{"LostFrac", cfg.LostFrac},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return nil, fmt.Errorf("faultio: %s = %v outside [0, 1]", p.name, p.v)
+		}
+	}
+	if cfg.ReadLatency == 0 {
+		cfg.ReadLatency = 100 * time.Microsecond
+	}
+	if cfg.SpikeLatency == 0 {
+		cfg.SpikeLatency = 50 * time.Millisecond
+	}
+	n := dev.NumPages()
+	in := &Injector{
+		dev:      dev,
+		cfg:      cfg,
+		lost:     make([]bool, n),
+		attempts: make([]atomic.Uint64, n),
+	}
+	for p := 0; p < n; p++ {
+		if u01(hash(cfg.Seed, streamLost, p, 0)) < cfg.LostFrac {
+			in.lost[p] = true
+		}
+	}
+	for _, p := range cfg.LostPages {
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("faultio: lost page %d out of range [0, %d)", p, n)
+		}
+		in.lost[p] = true
+	}
+	return in, nil
+}
+
+// NumPages implements store.PageDevice.
+func (in *Injector) NumPages() int { return in.dev.NumPages() }
+
+// Lost returns the permanently lost pages, ascending.
+func (in *Injector) Lost() []int {
+	var out []int
+	for p, l := range in.lost {
+		if l {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Counters returns a snapshot of the fault accounting.
+func (in *Injector) Counters() Counters {
+	return Counters{
+		Reads:       in.reads.Load(),
+		Transients:  in.transients.Load(),
+		LostReads:   in.lostReads.Load(),
+		Corruptions: in.corruptions.Load(),
+		Spikes:      in.spikes.Load(),
+		Latency:     time.Duration(in.latency.Load()),
+	}
+}
+
+// Decision streams: independent hash inputs per fault type so the modes
+// don't correlate.
+const (
+	streamLost = iota
+	streamTransient
+	streamSpike
+	streamCorrupt
+	streamCorruptSite
+)
+
+// ReadPage implements store.PageDevice. Precedence per attempt: a lost page
+// always errors; otherwise a transient error may fire; otherwise the read
+// succeeds (with possible latency spike) and may be returned corrupted.
+func (in *Injector) ReadPage(id int) (store.Page, error) {
+	if id < 0 || id >= len(in.lost) {
+		return in.dev.ReadPage(id) // let the device report the range error
+	}
+	n := in.attempts[id].Add(1)
+	in.reads.Add(1)
+	if in.lost[id] {
+		in.lostReads.Add(1)
+		return store.Page{}, fmt.Errorf("faultio: page %d: %w", id, store.ErrPermanent)
+	}
+	if u01(hash(in.cfg.Seed, streamTransient, id, n)) < in.cfg.TransientProb {
+		in.transients.Add(1)
+		in.latency.Add(int64(in.cfg.ReadLatency))
+		return store.Page{}, fmt.Errorf("faultio: transient error reading page %d (attempt %d)", id, n)
+	}
+	lat := in.cfg.ReadLatency
+	if u01(hash(in.cfg.Seed, streamSpike, id, n)) < in.cfg.SpikeProb {
+		in.spikes.Add(1)
+		lat = in.cfg.SpikeLatency
+	}
+	in.latency.Add(int64(lat))
+	pg, err := in.dev.ReadPage(id)
+	if err != nil {
+		return pg, err
+	}
+	if len(pg.Records) > 0 && u01(hash(in.cfg.Seed, streamCorrupt, id, n)) < in.cfg.CorruptProb {
+		in.corruptions.Add(1)
+		pg = corrupt(pg, hash(in.cfg.Seed, streamCorruptSite, id, n))
+	}
+	return pg, nil
+}
+
+var _ store.PageDevice = (*Injector)(nil)
+
+// corrupt returns a copy of the page with one payload bit flipped, the
+// record and bit chosen by h. Flipping exactly one bit guarantees the
+// store's FNV-1a page checksum changes, so detection must be 100%.
+func corrupt(pg store.Page, h uint64) store.Page {
+	recs := append([]store.Record(nil), pg.Records...)
+	i := int(h % uint64(len(recs)))
+	recs[i].Payload ^= 1 << ((h >> 32) % 64)
+	return store.Page{ID: pg.ID, Keys: pg.Keys, Records: recs}
+}
+
+// hash mixes (seed, stream, page, attempt) with SplitMix64.
+func hash(seed int64, stream, page int, attempt uint64) uint64 {
+	x := uint64(seed)
+	x = mix(x ^ uint64(stream)*0x9e3779b97f4a7c15)
+	x = mix(x ^ uint64(page)*0xbf58476d1ce4e5b9)
+	x = mix(x ^ attempt*0x94d049bb133111eb)
+	return x
+}
+
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// u01 maps a hash to [0, 1).
+func u01(h uint64) float64 { return float64(h>>11) / float64(1<<53) }

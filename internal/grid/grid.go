@@ -77,8 +77,11 @@ func New(d, k int) (*Universe, error) {
 	return &Universe{d: d, k: k, side: 1 << uint(k), n: 1 << uint(d*k)}, nil
 }
 
-// MustNew is New for known-good parameters; it panics on error. Intended for
-// tests, examples and package-internal tables.
+// MustNew is New for known-good parameters. It panics iff New would return
+// an error (d or k out of range, or 2^(d·k) overflowing uint64). Intended
+// for tests, examples and package-internal tables where (d, k) are literal
+// constants; code handling caller-supplied dimensions must use New and
+// propagate the error.
 func MustNew(d, k int) *Universe {
 	u, err := New(d, k)
 	if err != nil {
@@ -119,7 +122,11 @@ func (u *Universe) Point(coords ...uint32) (Point, error) {
 	return p, nil
 }
 
-// MustPoint is Point for known-good coordinates; it panics on error.
+// MustPoint is Point for known-good coordinates. It panics iff Point would
+// return an error (wrong arity or a coordinate outside the universe), so it
+// is safe exactly for literal coordinates already bounded by the universe's
+// side; code handling computed or external coordinates must use Point and
+// propagate the error.
 func (u *Universe) MustPoint(coords ...uint32) Point {
 	p, err := u.Point(coords...)
 	if err != nil {

@@ -32,8 +32,14 @@ import (
 // Config configures a System.
 type Config struct {
 	Particles int     // number of particles (>= 1)
-	Seed      int64   // RNG seed for initial conditions
+	Seed      int64   // RNG seed for initial conditions (ignored if Rand is set)
 	Mass      float64 // particle mass (default 1)
+	// Rand, when non-nil, is the source of the initial conditions and takes
+	// precedence over Seed. Passing an explicit *rand.Rand lets callers
+	// share one seeded stream across several systems (e.g. to place two
+	// curves' systems identically drawing from one generator) instead of
+	// coordinating global seeds.
+	Rand *rand.Rand
 	// ForceK is the spring constant of the short-range repulsive force
 	// (default 1). Particles closer than 1 cell width repel.
 	ForceK float64
@@ -85,7 +91,10 @@ func New(c curve.Curve, cfg Config) (*System, error) {
 		ids:  make([]int, cfg.Particles),
 		keys: make([]uint64, cfg.Particles),
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
 	side := float64(u.Side())
 	for i := range s.pos {
 		s.pos[i] = rng.Float64() * side

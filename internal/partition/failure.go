@@ -1,0 +1,184 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FailParts handles processor failure: the curve segments of the dead parts
+// are redistributed to the surviving parts with minimal cut displacement.
+// Each maximal run of dead parts is absorbed by its two surviving
+// neighbors along the curve — split at the midpoint when both exist, or
+// wholly by the single neighbor at a domain edge. Dead parts keep their
+// index but own an empty segment, so part numbering is stable across
+// failures.
+//
+// Because survivors only ever *extend* their segments, the migration volume
+// equals exactly the number of cells the dead parts owned — the
+// paper-motivated property that recovery cost scales with the load lost,
+// not with the domain size. Contiguity along the curve is what makes this
+// possible: a dead processor's data is one curve segment, and its
+// neighbors' segments are adjacent to it.
+//
+// It errors if dead contains an out-of-range or duplicate part, or if no
+// part survives.
+func (pt *Partition) FailParts(dead []int) (*Partition, Migration, error) {
+	isDead, alive, err := pt.deadSet(dead)
+	if err != nil {
+		return nil, Migration{}, err
+	}
+	if alive == 0 {
+		return nil, Migration{}, fmt.Errorf("partition: all %d parts dead", pt.Parts())
+	}
+	cuts := append([]uint64(nil), pt.cuts...)
+	p := pt.Parts()
+	for i := 0; i < p; {
+		if !isDead[i] {
+			i++
+			continue
+		}
+		j := i // maximal dead run [i, j]
+		for j+1 < p && isDead[j+1] {
+			j++
+		}
+		lo, hi := cuts[i], cuts[j+1]
+		var m uint64
+		switch {
+		case i > 0 && j < p-1: // survivors on both sides: split at midpoint
+			m = lo + (hi-lo)/2
+		case j < p-1: // run touches the low edge: right neighbor absorbs
+			m = lo
+		default: // run touches the high edge: left neighbor absorbs
+			m = hi
+		}
+		for t := i; t <= j; t++ {
+			cuts[t] = m
+		}
+		if j < p-1 {
+			cuts[j+1] = m
+		}
+		i = j + 1
+	}
+	// cuts[0] and cuts[p] are untouched by construction (edge runs assign
+	// lo=cuts[0] resp. hi=cuts[p] back to themselves).
+	next := &Partition{c: pt.c, cuts: cuts}
+	return next, MigrationBetween(pt, next), nil
+}
+
+// FailPartsWeighted is FailParts with load-aware redistribution: instead of
+// splitting dead segments between adjacent survivors, the whole index space
+// is re-partitioned across the survivors balancing the given weight (nil
+// for unit weights). Dead parts own empty segments. Migration decomposes
+// exactly as dead-owned cells (which must move) plus rebalance slack —
+// cells traded between survivors to restore balance; MigrationSplit
+// separates the two.
+func (pt *Partition) FailPartsWeighted(dead []int, w Weight) (*Partition, Migration, error) {
+	isDead, alive, err := pt.deadSet(dead)
+	if err != nil {
+		return nil, Migration{}, err
+	}
+	if alive == 0 {
+		return nil, Migration{}, fmt.Errorf("partition: all %d parts dead", pt.Parts())
+	}
+	if w == nil {
+		w = UnitWeight
+	}
+	wpt, err := Weighted(pt.c, alive, w)
+	if err != nil {
+		return nil, Migration{}, err
+	}
+	p := pt.Parts()
+	cuts := make([]uint64, p+1)
+	ai := 0
+	for j := 0; j < p; j++ {
+		if isDead[j] {
+			cuts[j+1] = cuts[j]
+			continue
+		}
+		_, hi := wpt.Segment(ai)
+		cuts[j+1] = hi
+		ai++
+	}
+	next := &Partition{c: pt.c, cuts: cuts}
+	return next, MigrationBetween(pt, next), nil
+}
+
+// deadSet validates the dead list and returns it as a lookup plus the
+// survivor count.
+func (pt *Partition) deadSet(dead []int) ([]bool, int, error) {
+	p := pt.Parts()
+	isDead := make([]bool, p)
+	for _, j := range dead {
+		if j < 0 || j >= p {
+			return nil, 0, fmt.Errorf("partition: dead part %d out of range [0, %d)", j, p)
+		}
+		if isDead[j] {
+			return nil, 0, fmt.Errorf("partition: dead part %d listed twice", j)
+		}
+		isDead[j] = true
+	}
+	return isDead, p - len(dead), nil
+}
+
+// DeadCells returns the number of cells the given parts own under pt.
+func (pt *Partition) DeadCells(dead []int) uint64 {
+	var s uint64
+	for _, j := range dead {
+		lo, hi := pt.Segment(j)
+		s += hi - lo
+	}
+	return s
+}
+
+// MigrationSplit decomposes the owner changes between partition a and its
+// post-failure successor b into cells leaving the dead parts (the
+// unavoidable cost — their data must move somewhere) and cells traded
+// between surviving parts (the rebalance slack). The total migration is
+// always fromDead + fromAlive, so the chaos harness can assert
+// migration ≤ dead-owned cells + slack with equality.
+func MigrationSplit(a, b *Partition, dead []int) (fromDead, fromAlive uint64) {
+	isDead := make([]bool, a.Parts())
+	for _, j := range dead {
+		if j >= 0 && j < len(isDead) {
+			isDead[j] = true
+		}
+	}
+	n := a.c.Universe().N()
+	ai, bi := 0, 0
+	pos := uint64(0)
+	for pos < n {
+		for a.cuts[ai+1] <= pos {
+			ai++
+		}
+		for b.cuts[bi+1] <= pos {
+			bi++
+		}
+		end := a.cuts[ai+1]
+		if b.cuts[bi+1] < end {
+			end = b.cuts[bi+1]
+		}
+		if ai != bi {
+			if isDead[ai] {
+				fromDead += end - pos
+			} else {
+				fromAlive += end - pos
+			}
+		}
+		pos = end
+	}
+	return fromDead, fromAlive
+}
+
+// EmptyParts returns the parts owning no cells, ascending — after a
+// failure, exactly the dead parts (plus any part that was already empty).
+func (pt *Partition) EmptyParts() []int {
+	var out []int
+	for j := 0; j < pt.Parts(); j++ {
+		lo, hi := pt.Segment(j)
+		if lo == hi {
+			out = append(out, j)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,236 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+func failTestPartition(t *testing.T, parts int) *Partition {
+	t.Helper()
+	u := grid.MustNew(2, 4)
+	pt, err := Uniform(curve.NewHilbert(u), parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pt
+}
+
+// checkFailInvariants asserts the structural properties every FailParts
+// result must satisfy: stable part count, contiguous non-decreasing cuts,
+// empty dead segments, full coverage, and migration exactly equal to the
+// cells the dead parts owned.
+func checkFailInvariants(t *testing.T, pt, next *Partition, dead []int, mig Migration) {
+	t.Helper()
+	if next.Parts() != pt.Parts() {
+		t.Fatalf("part count changed: %d -> %d", pt.Parts(), next.Parts())
+	}
+	n := pt.c.Universe().N()
+	var owned uint64
+	for j := 0; j < next.Parts(); j++ {
+		lo, hi := next.Segment(j)
+		if lo > hi {
+			t.Fatalf("part %d has inverted segment [%d, %d)", j, lo, hi)
+		}
+		owned += hi - lo
+	}
+	if owned != n {
+		t.Fatalf("segments cover %d of %d cells", owned, n)
+	}
+	for _, j := range dead {
+		if lo, hi := next.Segment(j); lo != hi {
+			t.Fatalf("dead part %d still owns [%d, %d)", j, lo, hi)
+		}
+	}
+	if want := pt.DeadCells(dead); mig.MovedCells != want {
+		t.Fatalf("migration = %d cells, dead parts owned %d", mig.MovedCells, want)
+	}
+	fromDead, fromAlive := MigrationSplit(pt, next, dead)
+	if fromAlive != 0 {
+		t.Fatalf("FailParts traded %d cells between survivors", fromAlive)
+	}
+	if fromDead != mig.MovedCells {
+		t.Fatalf("split fromDead = %d, total migration = %d", fromDead, mig.MovedCells)
+	}
+}
+
+func TestFailPartsMidpointSplit(t *testing.T) {
+	pt := failTestPartition(t, 4) // 256 cells, 64 each
+	next, mig, err := pt.FailParts([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFailInvariants(t, pt, next, []int{1}, mig)
+	// Part 1 owned [64, 128); neighbors 0 and 2 split it at 96.
+	if lo, hi := next.Segment(0); lo != 0 || hi != 96 {
+		t.Fatalf("part 0 = [%d, %d), want [0, 96)", lo, hi)
+	}
+	if lo, hi := next.Segment(2); lo != 96 || hi != 192 {
+		t.Fatalf("part 2 = [%d, %d), want [96, 192)", lo, hi)
+	}
+	if got := next.EmptyParts(); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("EmptyParts = %v, want [1]", got)
+	}
+}
+
+func TestFailPartsEdgeRuns(t *testing.T) {
+	pt := failTestPartition(t, 4)
+	// Low edge: part 0 dies, part 1 absorbs its whole segment.
+	next, mig, err := pt.FailParts([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFailInvariants(t, pt, next, []int{0}, mig)
+	if lo, hi := next.Segment(1); lo != 0 || hi != 128 {
+		t.Fatalf("part 1 = [%d, %d), want [0, 128)", lo, hi)
+	}
+	// High edge: last part dies, its left neighbor absorbs.
+	next, mig, err = pt.FailParts([]int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFailInvariants(t, pt, next, []int{3}, mig)
+	if lo, hi := next.Segment(2); lo != 128 || hi != 256 {
+		t.Fatalf("part 2 = [%d, %d), want [128, 256)", lo, hi)
+	}
+}
+
+func TestFailPartsDeadRun(t *testing.T) {
+	pt := failTestPartition(t, 5)
+	// Parts 1-3 die together; 0 and 4 split the merged run at its midpoint.
+	dead := []int{2, 1, 3} // order must not matter
+	next, mig, err := pt.FailParts(dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFailInvariants(t, pt, next, dead, mig)
+	lo0, hi0 := next.Segment(0)
+	lo4, hi4 := next.Segment(4)
+	if hi0 != lo4 {
+		t.Fatalf("survivors not adjacent: part 0 ends %d, part 4 starts %d", hi0, lo4)
+	}
+	if lo0 != 0 || hi4 != 256 {
+		t.Fatalf("edges moved: [%d, %d)", lo0, hi4)
+	}
+	// Ownership spot checks via the public API.
+	if next.OwnerOfPosition(hi0-1) != 0 || next.OwnerOfPosition(hi0) != 4 {
+		t.Fatal("midpoint ownership wrong")
+	}
+}
+
+func TestFailPartsErrors(t *testing.T) {
+	pt := failTestPartition(t, 3)
+	if _, _, err := pt.FailParts([]int{0, 1, 2}); err == nil {
+		t.Fatal("all-dead accepted")
+	}
+	if _, _, err := pt.FailParts([]int{3}); err == nil {
+		t.Fatal("out-of-range part accepted")
+	}
+	if _, _, err := pt.FailParts([]int{-1}); err == nil {
+		t.Fatal("negative part accepted")
+	}
+	if _, _, err := pt.FailParts([]int{1, 1}); err == nil {
+		t.Fatal("duplicate part accepted")
+	}
+	if _, _, err := pt.FailPartsWeighted([]int{0, 1, 2}, nil); err == nil {
+		t.Fatal("weighted all-dead accepted")
+	}
+}
+
+func TestFailPartsRepeated(t *testing.T) {
+	// Cascading failures: kill parts one at a time and re-fail the result.
+	pt := failTestPartition(t, 6)
+	cur := pt
+	for _, j := range []int{2, 4, 0} {
+		// Previously-failed parts are already empty; only the new death is
+		// passed, so DeadCells counts just its current segment.
+		next, mig, err := cur.FailParts([]int{j})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkFailInvariants(t, cur, next, []int{j}, mig)
+		cur = next
+	}
+	// 0, 2, 4 are empty; 1, 3, 5 cover the domain.
+	if got := cur.EmptyParts(); !reflect.DeepEqual(got, []int{0, 2, 4}) {
+		t.Fatalf("EmptyParts = %v, want [0 2 4]", got)
+	}
+}
+
+func TestFailPartsWeighted(t *testing.T) {
+	pt := failTestPartition(t, 4)
+	// A hotspot weight concentrated in the first quarter of the curve.
+	w := func(pos uint64) float64 {
+		if pos < 64 {
+			return 9
+		}
+		return 1
+	}
+	dead := []int{2}
+	next, mig, err := pt.FailPartsWeighted(dead, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Parts() != pt.Parts() {
+		t.Fatalf("part count changed: %d -> %d", pt.Parts(), next.Parts())
+	}
+	if lo, hi := next.Segment(2); lo != hi {
+		t.Fatalf("dead part 2 still owns [%d, %d)", lo, hi)
+	}
+	// Migration decomposes as dead-owned cells plus survivor rebalance slack.
+	fromDead, fromAlive := MigrationSplit(pt, next, dead)
+	if fromDead != pt.DeadCells(dead) {
+		t.Fatalf("fromDead = %d, dead parts owned %d", fromDead, pt.DeadCells(dead))
+	}
+	if mig.MovedCells != fromDead+fromAlive {
+		t.Fatalf("migration %d != fromDead %d + fromAlive %d", mig.MovedCells, fromDead, fromAlive)
+	}
+	// The survivor loads are those of the 3-way weighted partition, so the
+	// imbalance must match it.
+	ref, err := Weighted(pt.c, 3, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refLoads := ref.Loads(w)
+	var gotLoads []float64
+	for j := 0; j < next.Parts(); j++ {
+		if lo, hi := next.Segment(j); lo != hi {
+			gotLoads = append(gotLoads, next.Loads(w)[j])
+		}
+	}
+	if !reflect.DeepEqual(gotLoads, refLoads) {
+		t.Fatalf("survivor loads %v, want %v", gotLoads, refLoads)
+	}
+}
+
+func TestFailPartsWeightedNilIsUniform(t *testing.T) {
+	pt := failTestPartition(t, 5)
+	dead := []int{1, 3}
+	next, _, err := pt.FailPartsWeighted(dead, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Survivors split the domain evenly: 256 cells over 3 parts.
+	var sizes []uint64
+	for j := 0; j < next.Parts(); j++ {
+		lo, hi := next.Segment(j)
+		if hi > lo {
+			sizes = append(sizes, hi-lo)
+		}
+	}
+	if len(sizes) != 3 {
+		t.Fatalf("%d nonempty survivors, want 3", len(sizes))
+	}
+	var total uint64
+	for _, s := range sizes {
+		if s < 85 || s > 86 {
+			t.Fatalf("survivor sizes %v not near-uniform", sizes)
+		}
+		total += s
+	}
+	if total != 256 {
+		t.Fatalf("survivors cover %d of 256 cells", total)
+	}
+}

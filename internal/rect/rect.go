@@ -57,7 +57,11 @@ func New(ks ...int) (*Universe, error) {
 	return u, nil
 }
 
-// MustNew is New for known-good shapes; it panics on error.
+// MustNew is New for known-good shapes. It panics iff New would return an
+// error (no dimensions, a negative exponent, or a total cell count
+// overflowing uint64), so it is safe exactly for literal shape lists in
+// tests and examples; code handling caller-supplied shapes must use New and
+// propagate the error.
 func MustNew(ks ...int) *Universe {
 	u, err := New(ks...)
 	if err != nil {

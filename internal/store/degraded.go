@@ -1,0 +1,130 @@
+package store
+
+import (
+	"sort"
+
+	"repro/internal/query"
+)
+
+// DegradedResult is the outcome of RangeQueryDegraded: every record the
+// store could read, plus an explicit description of the part of the query
+// it could not serve.
+type DegradedResult struct {
+	// Records holds the readable records inside the box, in curve-interval
+	// scan order (the same order RangeQuery returns).
+	Records []Record
+	// Unavailable lists the curve-index intervals the store could not
+	// serve: sorted, disjoint, merged, and each contained in the query
+	// box's curve footprint. Together with Records it tiles the query
+	// exactly: a record of the box is in Records iff its curve key lies
+	// outside every unavailable interval. On a proximity-preserving curve
+	// a dead page owns a contiguous curve segment, so this report stays
+	// short — its length is itself a locality metric.
+	Unavailable []query.Interval
+}
+
+// Complete reports whether the whole query was served.
+func (r DegradedResult) Complete() bool { return len(r.Unavailable) == 0 }
+
+// RangeQueryDegraded answers a box query on a best-effort basis. Pages that
+// stay unavailable after the retry budget do not fail the query: their key
+// spans are subtracted from the result and reported as dark curve
+// intervals. With the default in-memory device (or a fault injector that
+// injects nothing) it returns byte-identical records and identical Stats to
+// RangeQuery — degraded mode costs nothing when nothing fails.
+func (st *Store) RangeQueryDegraded(b query.Box) DegradedResult {
+	cache := newPageCache(st)
+	type span struct {
+		iv     query.Interval
+		lo, hi int // slot range [lo, hi) of records inside iv
+	}
+	ivs := query.DecomposeBox(st.c, b)
+	spans := make([]span, 0, len(ivs))
+	for _, iv := range ivs {
+		lo := st.descend(iv.Lo)
+		hi := lo + sort.Search(len(st.keys)-lo, func(i int) bool { return st.keys[lo+i] >= iv.Hi })
+		spans = append(spans, span{iv: iv, lo: lo, hi: hi})
+	}
+	// Pass 1: fetch every page the query touches, in the same order
+	// RangeQuery would, and collect the dark key spans of failed pages.
+	var dark []query.Interval
+	for _, sp := range spans {
+		if sp.lo == sp.hi {
+			continue
+		}
+		for page := sp.lo / st.pageSize; page <= (sp.hi-1)/st.pageSize; page++ {
+			if _, err := cache.get(page); err == nil {
+				continue
+			}
+			ks := st.pageKeySpan(page)
+			if ks.Lo < sp.iv.Lo {
+				ks.Lo = sp.iv.Lo
+			}
+			if ks.Hi > sp.iv.Hi {
+				ks.Hi = sp.iv.Hi
+			}
+			if ks.Lo < ks.Hi {
+				dark = append(dark, ks)
+			}
+		}
+	}
+	dark = mergeSorted(dark)
+	// Pass 2: collect records, skipping dark pages and any record whose key
+	// falls in a dark interval (duplicate keys straddling a page boundary
+	// are only partially readable, so the whole key goes dark).
+	var out []Record
+	cur := -1 // memoize the scan's current page: pages arrive consecutively
+	var pg Page
+	var pgErr error
+	for _, sp := range spans {
+		for i := sp.lo; i < sp.hi; i++ {
+			if id := i / st.pageSize; id != cur {
+				pg, pgErr = cache.get(id)
+				cur = id
+			}
+			if pgErr != nil || inIntervals(dark, st.keys[i]) {
+				continue
+			}
+			out = append(out, pg.Records[i%st.pageSize])
+		}
+	}
+	return DegradedResult{Records: out, Unavailable: dark}
+}
+
+// pageKeySpan returns the half-open curve-key range [first, last+1] covered
+// by the records of the given page.
+func (st *Store) pageKeySpan(page int) query.Interval {
+	lo := page * st.pageSize
+	hi := lo + st.pageSize
+	if hi > len(st.keys) {
+		hi = len(st.keys)
+	}
+	return query.Interval{Lo: st.keys[lo], Hi: st.keys[hi-1] + 1}
+}
+
+// mergeSorted sorts and coalesces touching or overlapping intervals.
+func mergeSorted(ivs []query.Interval) []query.Interval {
+	if len(ivs) <= 1 {
+		return ivs
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].Lo < ivs[j].Lo })
+	out := ivs[:1]
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.Lo <= last.Hi {
+			if iv.Hi > last.Hi {
+				last.Hi = iv.Hi
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// inIntervals reports whether key lies in any of the sorted, disjoint
+// intervals.
+func inIntervals(ivs []query.Interval, key uint64) bool {
+	i := sort.Search(len(ivs), func(i int) bool { return ivs[i].Hi > key })
+	return i < len(ivs) && ivs[i].Lo <= key
+}

@@ -1,0 +1,209 @@
+package store_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/curve"
+	"repro/internal/faultio"
+	"repro/internal/grid"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+func buildStore(t *testing.T, u *grid.Universe, name string, n int, seed int64, cfg store.Config) (curve.Curve, []store.Record, *store.Store) {
+	t.Helper()
+	c, err := curve.ByName(name, u, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]store.Record, n)
+	for i := range recs {
+		p := u.NewPoint()
+		for j := range p {
+			p[j] = uint32(rng.Intn(int(u.Side())))
+		}
+		recs[i] = store.Record{Point: p, Payload: uint64(i)}
+	}
+	st, err := store.Bulkload(c, recs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, recs, st
+}
+
+// TestDegradedZeroOverheadProperty is the zero-overhead guarantee: with the
+// injector disabled (and with no injector at all), RangeQueryDegraded
+// returns byte-identical records and identical Stats to RangeQuery, across
+// curves, page geometries and query boxes.
+func TestDegradedZeroOverheadProperty(t *testing.T) {
+	u := grid.MustNew(2, 5)
+	rng := rand.New(rand.NewSource(99))
+	for _, name := range curve.Names() {
+		for _, ps := range []int{2, 8, 64} {
+			_, _, st := buildStore(t, u, name, 1500, 17, store.Config{PageSize: ps, Fanout: 4})
+			// Half the configurations also get a disabled injector in the
+			// read path, so the wrapper itself is covered.
+			if ps != 8 {
+				inj, err := faultio.Wrap(st.DefaultDevice(), faultio.Config{Seed: 5})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := st.SetDevice(inj); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for q := 0; q < 8; q++ {
+				b := randomTestBox(rng, u)
+				st.ResetStats()
+				strict, err := st.RangeQuery(b)
+				if err != nil {
+					t.Fatalf("%s ps=%d: strict query failed without faults: %v", name, ps, err)
+				}
+				strictStats := st.Stats()
+				st.ResetStats()
+				deg := st.RangeQueryDegraded(b)
+				if !deg.Complete() {
+					t.Fatalf("%s ps=%d: %d dark intervals without faults", name, ps, len(deg.Unavailable))
+				}
+				if !reflect.DeepEqual(strict, deg.Records) {
+					t.Fatalf("%s ps=%d: degraded records differ from strict", name, ps)
+				}
+				if got := st.Stats(); got != strictStats {
+					t.Fatalf("%s ps=%d: degraded stats %+v, strict %+v", name, ps, got, strictStats)
+				}
+			}
+		}
+	}
+}
+
+func randomTestBox(rng *rand.Rand, u *grid.Universe) query.Box {
+	lo := u.NewPoint()
+	hi := u.NewPoint()
+	for j := range lo {
+		a := uint32(rng.Intn(int(u.Side())))
+		b := uint32(rng.Intn(int(u.Side())))
+		if a > b {
+			a, b = b, a
+		}
+		lo[j], hi[j] = a, b
+	}
+	b, err := query.NewBox(u, lo, hi)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// TestDegradedLostPages kills explicit pages and checks the degraded
+// report: returned records plus dark intervals exactly cover the box, and
+// the dark intervals stay within the box's curve footprint.
+func TestDegradedLostPages(t *testing.T) {
+	u := grid.MustNew(2, 5)
+	c, recs, st := buildStore(t, u, "hilbert", 2000, 3, store.Config{PageSize: 8, Fanout: 4})
+	lost := []int{0, 7, 8, 31, st.NumPages() - 1}
+	inj, err := faultio.Wrap(st.DefaultDevice(), faultio.Config{Seed: 1, LostPages: lost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetDevice(inj); err != nil {
+		t.Fatal(err)
+	}
+	full, err := query.NewBox(u, u.NewPoint(), u.MustPoint(u.Side()-1, u.Side()-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.RangeQuery(full); err == nil {
+		t.Fatal("strict query succeeded over lost pages")
+	}
+	st.ResetStats()
+	res := st.RangeQueryDegraded(full)
+	if res.Complete() {
+		t.Fatal("query over lost pages reported complete")
+	}
+	dark := func(key uint64) bool {
+		for _, iv := range res.Unavailable {
+			if key >= iv.Lo && key < iv.Hi {
+				return true
+			}
+		}
+		return false
+	}
+	want := 0
+	for _, r := range recs {
+		if !dark(c.Index(r.Point)) {
+			want++
+		}
+	}
+	if len(res.Records) != want {
+		t.Fatalf("served %d records, want %d (ground truth minus dark intervals)", len(res.Records), want)
+	}
+	for _, r := range res.Records {
+		if dark(c.Index(r.Point)) {
+			t.Fatalf("record %v returned from a dark interval", r.Point)
+		}
+	}
+	// Each lost page's key span must be dark.
+	for _, iv := range res.Unavailable {
+		if iv.Lo >= iv.Hi {
+			t.Fatalf("degenerate dark interval %+v", iv)
+		}
+	}
+	if st.Stats().PagesUnavailable != len(lost) {
+		t.Fatalf("PagesUnavailable = %d, lost %d pages", st.Stats().PagesUnavailable, len(lost))
+	}
+}
+
+// TestChecksumCatchesCorruption forces corruption on every read and checks
+// that the store never returns a corrupted record: reads are rejected,
+// retried, and ultimately reported unavailable rather than served wrong.
+func TestChecksumCatchesCorruption(t *testing.T) {
+	u := grid.MustNew(2, 4)
+	_, _, st := buildStore(t, u, "z", 600, 9, store.Config{PageSize: 8, Fanout: 4})
+	inj, err := faultio.Wrap(st.DefaultDevice(), faultio.Config{Seed: 2, CorruptProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetDevice(inj); err != nil {
+		t.Fatal(err)
+	}
+	full, err := query.NewBox(u, u.NewPoint(), u.MustPoint(u.Side()-1, u.Side()-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := st.RangeQueryDegraded(full)
+	if len(res.Records) != 0 {
+		t.Fatalf("%d records served despite always-corrupting device", len(res.Records))
+	}
+	stats := st.Stats()
+	if got, want := uint64(stats.ChecksumFailures), inj.Counters().Corruptions; got != want {
+		t.Fatalf("detected %d corruptions, injected %d", got, want)
+	}
+	if stats.Retries == 0 || stats.Backoff == 0 {
+		t.Fatalf("corrupted reads should retry with backoff, stats %+v", stats)
+	}
+}
+
+// TestSetDeviceValidation covers the device plumbing error paths.
+func TestSetDeviceValidation(t *testing.T) {
+	u := grid.MustNew(2, 3)
+	_, _, st := buildStore(t, u, "z", 100, 1, store.Config{PageSize: 4, Fanout: 4})
+	if err := st.SetDevice(nil); err == nil {
+		t.Fatal("nil device accepted")
+	}
+	_, _, other := buildStore(t, u, "z", 10, 1, store.Config{PageSize: 4, Fanout: 4})
+	if err := st.SetDevice(other.DefaultDevice()); err == nil {
+		t.Fatal("mismatched device accepted")
+	}
+	if err := st.SetDevice(st.DefaultDevice()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetRetryPolicy(store.RetryPolicy{MaxAttempts: -1}); err == nil {
+		t.Fatal("negative MaxAttempts accepted")
+	}
+	if err := st.SetRetryPolicy(store.RetryPolicy{MaxAttempts: 2}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,11 +10,22 @@
 // the locality properties the paper studies: fragmented decompositions
 // (many intervals → many descents) and stretched neighborhoods (related
 // records scattered across pages) both inflate it.
+//
+// Leaf pages are fetched through a pluggable PageDevice. The default device
+// is infallible RAM; installing a fallible device (see internal/faultio)
+// turns on per-page checksum verification and bounded retry with
+// exponential backoff, and RangeQueryDegraded answers queries even when
+// pages stay dark — returning the records it could read plus the exact
+// curve intervals it could not serve. On a proximity-preserving curve a
+// lost page owns a contiguous curve segment, so that report stays short;
+// its size is itself a locality metric.
 package store
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/curve"
 	"repro/internal/grid"
@@ -27,14 +38,23 @@ type Record struct {
 	Payload uint64
 }
 
-// Stats counts simulated I/O.
+// Stats counts simulated I/O. LeafReads and InnerReads count *logical* page
+// fetches (one per distinct page per operation, as in the classic cost
+// model); the remaining fields account for the physical device traffic
+// behind them, which diverges from the logical counts only under faults.
 type Stats struct {
 	LeafReads  int // leaf pages fetched
 	InnerReads int // inner (index) pages fetched
 	Descents   int // root-to-leaf searches performed
+
+	DeviceReads      int           // physical ReadPage attempts, incl. retries
+	Retries          int           // failed attempts that were retried
+	ChecksumFailures int           // reads rejected by the per-page checksum
+	PagesUnavailable int           // fetches abandoned after the retry budget
+	Backoff          time.Duration // simulated retry backoff accrued
 }
 
-// Total returns total page reads.
+// Total returns total logical page reads.
 func (s Stats) Total() int { return s.LeafReads + s.InnerReads }
 
 // Store is a bulk-loaded, read-only B+-tree over curve keys.
@@ -42,14 +62,22 @@ type Store struct {
 	c        curve.Curve
 	pageSize int
 
-	// Leaves: records sorted by key, chopped into pages of pageSize.
+	// Leaves: records sorted by key, chopped into pages of pageSize. The
+	// key column doubles as the in-RAM leaf index; record *content* is only
+	// reachable through the device.
 	keys    []uint64 // one per record, sorted
-	records []Record // aligned with keys
+	records []Record // aligned with keys; backs the default MemDevice
 
 	// Inner levels, bottom-up: level[l][i] is the smallest key of node i's
 	// subtree at level l; fanout children per node. level 0 indexes leaves.
 	levels [][]uint64
 	fanout int
+
+	device PageDevice
+	mem    *MemDevice // the trusted default device
+	sums   []uint64   // per-page checksums, computed at bulkload
+	verify bool       // verify checksums (on iff a non-default device is set)
+	retry  RetryPolicy
 
 	stats Stats
 }
@@ -79,6 +107,7 @@ func Bulkload(c curve.Curve, recs []Record, cfg Config) (*Store, error) {
 		fanout:   cfg.Fanout,
 		keys:     make([]uint64, len(recs)),
 		records:  make([]Record, len(recs)),
+		retry:    RetryPolicy{}.withDefaults(),
 	}
 	order := make([]int, len(recs))
 	tmp := make([]uint64, len(recs))
@@ -111,6 +140,13 @@ func Bulkload(c curve.Curve, recs []Record, cfg Config) (*Store, error) {
 	if len(cur) == 1 {
 		st.levels = append(st.levels, cur)
 	}
+	st.mem = &MemDevice{pageSize: cfg.PageSize, keys: st.keys, records: st.records}
+	st.device = st.mem
+	st.sums = make([]uint64, numLeaves)
+	for id := range st.sums {
+		pg, _ := st.mem.ReadPage(id)
+		st.sums[id] = pageChecksum(pg)
+	}
 	return st, nil
 }
 
@@ -120,11 +156,111 @@ func (st *Store) Len() int { return len(st.records) }
 // Height returns the number of inner levels (0 for an empty store).
 func (st *Store) Height() int { return len(st.levels) }
 
+// PageSize returns the leaf page capacity in records.
+func (st *Store) PageSize() int { return st.pageSize }
+
+// NumPages returns the number of leaf pages.
+func (st *Store) NumPages() int { return len(st.sums) }
+
 // Stats returns the accumulated I/O counters.
 func (st *Store) Stats() Stats { return st.stats }
 
 // ResetStats clears the I/O counters.
 func (st *Store) ResetStats() { st.stats = Stats{} }
+
+// Device returns the page device leaf reads currently go through.
+func (st *Store) Device() PageDevice { return st.device }
+
+// DefaultDevice returns the trusted in-memory device built at bulkload, so
+// a fallible device installed with SetDevice can be removed again.
+func (st *Store) DefaultDevice() PageDevice { return st.mem }
+
+// SetDevice routes leaf reads through dev. Installing any device other than
+// DefaultDevice() turns on checksum verification: every page fetched is
+// checked against the bulkload-time checksum and rejected (and retried) on
+// mismatch, so bit corruption on the I/O path can never surface silently.
+func (st *Store) SetDevice(dev PageDevice) error {
+	if dev == nil {
+		return errors.New("store: nil device")
+	}
+	if dev.NumPages() != st.NumPages() {
+		return fmt.Errorf("store: device holds %d pages, store has %d", dev.NumPages(), st.NumPages())
+	}
+	st.device = dev
+	st.verify = dev != PageDevice(st.mem)
+	return nil
+}
+
+// SetRetryPolicy replaces the retry policy used for fallible devices.
+// Zero fields take their defaults.
+func (st *Store) SetRetryPolicy(rp RetryPolicy) error {
+	rp = rp.withDefaults()
+	if rp.MaxAttempts < 1 {
+		return fmt.Errorf("store: retry MaxAttempts %d < 1", rp.MaxAttempts)
+	}
+	st.retry = rp
+	return nil
+}
+
+// fetchPage reads one leaf page through the device, retrying transient
+// failures and checksum rejections up to the retry budget with simulated
+// exponential backoff. Errors wrapping ErrPermanent short-circuit the loop.
+func (st *Store) fetchPage(id int) (Page, error) {
+	var lastErr error
+	for attempt := 1; attempt <= st.retry.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			st.stats.Retries++
+			st.stats.Backoff += st.retry.backoff(id, attempt-1)
+		}
+		st.stats.DeviceReads++
+		pg, err := st.device.ReadPage(id)
+		if err != nil {
+			lastErr = err
+			if errors.Is(err, ErrPermanent) {
+				break
+			}
+			continue
+		}
+		if st.verify && pageChecksum(pg) != st.sums[id] {
+			st.stats.ChecksumFailures++
+			lastErr = fmt.Errorf("store: checksum mismatch on page %d", id)
+			continue
+		}
+		return pg, nil
+	}
+	st.stats.PagesUnavailable++
+	return Page{}, fmt.Errorf("store: page %d unavailable: %w", id, lastErr)
+}
+
+// pageCache memoizes page fetches (including failed ones) for the duration
+// of one query, preserving the classic cost model: LeafReads charges each
+// distinct page once per operation regardless of physical retries.
+type pageCache struct {
+	st     *Store
+	pages  map[int]Page
+	failed map[int]error
+}
+
+func newPageCache(st *Store) *pageCache {
+	return &pageCache{st: st, pages: map[int]Page{}, failed: map[int]error{}}
+}
+
+func (pc *pageCache) get(id int) (Page, error) {
+	if pg, ok := pc.pages[id]; ok {
+		return pg, nil
+	}
+	if err, ok := pc.failed[id]; ok {
+		return Page{}, err
+	}
+	pc.st.stats.LeafReads++
+	pg, err := pc.st.fetchPage(id)
+	if err != nil {
+		pc.failed[id] = err
+		return Page{}, err
+	}
+	pc.pages[id] = pg
+	return pg, nil
+}
 
 // descend simulates a root-to-leaf search for key, charging one inner read
 // per level, and returns the index of the first record with key >= target.
@@ -137,42 +273,67 @@ func (st *Store) descend(target uint64) int {
 	return sort.Search(len(st.keys), func(i int) bool { return st.keys[i] >= target })
 }
 
-// BoxQuery returns all records inside the box and charges I/O: one descent
-// per curve interval and one leaf read per distinct leaf page touched.
-func (st *Store) BoxQuery(b query.Box) []Record {
+// RangeQuery returns all records inside the box, charging one descent per
+// curve interval and one leaf read per distinct leaf page touched. It is
+// strict: the first page that stays unavailable after the retry budget
+// fails the whole query. Use RangeQueryDegraded to get partial results with
+// an explicit report of the unserved curve intervals instead.
+func (st *Store) RangeQuery(b query.Box) ([]Record, error) {
+	cache := newPageCache(st)
 	var out []Record
-	touched := map[int]bool{}
+	cur := -1 // memoize the scan's current page: pages arrive consecutively
+	var pg Page
 	for _, iv := range query.DecomposeBox(st.c, b) {
 		lo := st.descend(iv.Lo)
 		for i := lo; i < len(st.keys) && st.keys[i] < iv.Hi; i++ {
-			page := i / st.pageSize
-			if !touched[page] {
-				touched[page] = true
-				st.stats.LeafReads++
+			if id := i / st.pageSize; id != cur {
+				var err error
+				if pg, err = cache.get(id); err != nil {
+					return nil, err
+				}
+				cur = id
 			}
-			out = append(out, st.records[i])
+			out = append(out, pg.Records[i%st.pageSize])
 		}
 	}
-	return out
+	return out, nil
+}
+
+// BoxQuery is the historical entry point: it answers the box query in
+// degraded mode and returns just the records. With the default in-memory
+// device reads cannot fail and BoxQuery is exactly RangeQuery; with a
+// fallible device, records on dark pages are omitted — callers that need
+// to know *which* curve intervals went dark must use RangeQueryDegraded.
+func (st *Store) BoxQuery(b query.Box) []Record {
+	return st.RangeQueryDegraded(b).Records
 }
 
 // PointQuery returns the records stored exactly at p, charging one descent
 // and one leaf read per distinct page holding matches (or one read for a
-// miss — the page that would hold the key is still fetched).
+// miss — the page that would hold the key is still fetched). With a
+// fallible device, records on unavailable pages are omitted and show up in
+// Stats.PagesUnavailable.
 func (st *Store) PointQuery(p grid.Point) []Record {
 	target := st.c.Index(p)
 	i := st.descend(target)
+	cache := newPageCache(st)
 	var out []Record
-	lastPage := -1
+	touched := false
 	for ; i < len(st.keys) && st.keys[i] == target; i++ {
-		if page := i / st.pageSize; page != lastPage {
-			lastPage = page
-			st.stats.LeafReads++
+		touched = true
+		pg, err := cache.get(i / st.pageSize)
+		if err != nil {
+			continue
 		}
-		out = append(out, st.records[i])
+		out = append(out, pg.Records[i%st.pageSize])
 	}
-	if lastPage == -1 && len(st.keys) > 0 {
-		st.stats.LeafReads++
+	if !touched && len(st.keys) > 0 {
+		// Miss: fetch the page that would hold the key.
+		slot := i
+		if slot == len(st.keys) {
+			slot--
+		}
+		cache.get(slot / st.pageSize)
 	}
 	return out
 }
@@ -182,7 +343,8 @@ func (st *Store) PointQuery(p grid.Point) []Record {
 // straight off the store — and returns the I/O charged. Page reads are
 // charged against an LRU cache of cachePages pages, so the result measures
 // locality: a curve that keeps neighbor cells on nearby pages hits the
-// cache, a stretched one faults.
+// cache, a stretched one faults. The sweep is strict: it fails on the first
+// page the device cannot serve.
 func (st *Store) NeighborSweep(cachePages int) (Stats, error) {
 	if cachePages < 1 {
 		return Stats{}, fmt.Errorf("store: cache of %d pages", cachePages)
@@ -190,20 +352,45 @@ func (st *Store) NeighborSweep(cachePages int) (Stats, error) {
 	st.ResetStats()
 	u := st.c.Universe()
 	cache := newLRU(cachePages)
-	readPage := func(page int) {
-		if !cache.access(page) {
-			st.stats.LeafReads++
+	resident := map[int]Page{} // content of pages currently in the LRU
+	readPage := func(page int) (Page, error) {
+		hit, evicted := cache.access(page)
+		if evicted >= 0 {
+			delete(resident, evicted)
 		}
+		if hit {
+			return resident[page], nil
+		}
+		st.stats.LeafReads++
+		pg, err := st.fetchPage(page)
+		if err != nil {
+			return Page{}, err
+		}
+		resident[page] = pg
+		return pg, nil
 	}
-	for i := range st.records {
-		readPage(i / st.pageSize)
-		u.Neighbors(st.records[i].Point, func(_ int, nb grid.Point) {
+	var sweepErr error
+	for i := range st.keys {
+		pg, err := readPage(i / st.pageSize)
+		if err != nil {
+			return st.stats, err
+		}
+		u.Neighbors(pg.Records[i%st.pageSize].Point, func(_ int, nb grid.Point) {
+			if sweepErr != nil {
+				return
+			}
 			target := st.c.Index(nb)
 			j := sort.Search(len(st.keys), func(k int) bool { return st.keys[k] >= target })
 			for ; j < len(st.keys) && st.keys[j] == target; j++ {
-				readPage(j / st.pageSize)
+				if _, err := readPage(j / st.pageSize); err != nil {
+					sweepErr = err
+					return
+				}
 			}
 		})
+		if sweepErr != nil {
+			return st.stats, sweepErr
+		}
 	}
 	return st.stats, nil
 }
@@ -217,8 +404,9 @@ type lru struct {
 
 func newLRU(cap int) *lru { return &lru{cap: cap, in: map[int]bool{}} }
 
-// access touches a page, returning true on a hit.
-func (l *lru) access(page int) bool {
+// access touches a page, reporting a hit and the page evicted to admit it
+// (-1 when nothing was evicted).
+func (l *lru) access(page int) (hit bool, evicted int) {
 	if l.in[page] {
 		// Move to back.
 		for i, p := range l.order {
@@ -227,7 +415,7 @@ func (l *lru) access(page int) bool {
 				break
 			}
 		}
-		return true
+		return true, -1
 	}
 	l.in[page] = true
 	l.order = append(l.order, page)
@@ -235,6 +423,7 @@ func (l *lru) access(page int) bool {
 		evict := l.order[0]
 		l.order = l.order[1:]
 		delete(l.in, evict)
+		return false, evict
 	}
-	return false
+	return false, -1
 }

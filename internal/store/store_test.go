@@ -213,21 +213,24 @@ func TestNeighborSweepLocalityOrdering(t *testing.T) {
 
 func TestLRU(t *testing.T) {
 	l := newLRU(2)
-	if l.access(1) {
+	hit := func(page int) bool { h, _ := l.access(page); return h }
+	if hit(1) {
 		t.Fatal("cold hit")
 	}
-	if !l.access(1) {
+	if !hit(1) {
 		t.Fatal("warm miss")
 	}
-	l.access(2)
-	l.access(3) // evicts 1
-	if l.access(1) {
+	hit(2)
+	if _, evicted := l.access(3); evicted != 1 {
+		t.Fatalf("admitting 3 evicted %d, want 1", evicted)
+	}
+	if hit(1) {
 		t.Fatal("evicted page hit")
 	}
-	if !l.access(3) || !l.access(1) {
+	if !hit(3) || !hit(1) {
 		t.Fatal("resident pages missed")
 	}
-	if l.access(2) {
+	if hit(2) {
 		t.Fatal("page 2 should have been evicted by re-admitting 1")
 	}
 }
