@@ -1,0 +1,125 @@
+// Command sfcconform runs the conformance engine: every registered curve ×
+// every stretch engine × invariant/differential/metamorphic check layers,
+// and prints the per-curve conformance matrix. It exits nonzero iff any
+// check fails, so CI can gate on it directly.
+//
+// Usage:
+//
+//	sfcconform                  # full sweep, d ∈ {1,2,3}, n ≤ 2^16
+//	sfcconform -quick           # the -short budget (n ≤ 2^12)
+//	sfcconform -d 2,3 -maxn 14  # custom dimensions / size cap
+//	sfcconform -csv matrix.csv  # also write every check instance as CSV
+//	sfcconform -failures        # list each failing instance
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/conformance"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sfcconform", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		quick    = fs.Bool("quick", false, "use the quick (-short) sweep budget")
+		dims     = fs.String("d", "", "comma-separated dimensions to sweep (default 1,2,3)")
+		maxN     = fs.Int("maxn", 0, "log2 cap on universe size for exact sweeps (default 16; 12 with -quick)")
+		pairsN   = fs.Int("pairsn", 0, "log2 cap on universe size for O(n²) all-pairs checks")
+		samples  = fs.Int("sample", 0, "Monte-Carlo sample budget for convergence checks")
+		seed     = fs.Int64("seed", 0, "sweep seed (random curve + samplers); 0 keeps the default")
+		workers  = fs.String("workers", "", "comma-separated worker counts for determinism checks")
+		zscore   = fs.Float64("z", 0, "confidence multiplier for sampler convergence")
+		csvPath  = fs.String("csv", "", "write every check instance to this CSV file")
+		listFail = fs.Bool("failures", false, "list each failing check instance")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := conformance.Full()
+	if *quick {
+		cfg = conformance.Quick()
+	}
+	if *dims != "" {
+		ds, err := parseInts(*dims)
+		if err != nil {
+			fmt.Fprintln(stderr, "sfcconform: -d:", err)
+			return 2
+		}
+		cfg.Dims = ds
+	}
+	if *maxN > 0 {
+		cfg.MaxExactN = 1 << uint(*maxN)
+	}
+	if *pairsN > 0 {
+		cfg.MaxPairsN = 1 << uint(*pairsN)
+	}
+	if *samples > 0 {
+		cfg.Samples = *samples
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *workers != "" {
+		ws, err := parseInts(*workers)
+		if err != nil {
+			fmt.Fprintln(stderr, "sfcconform: -workers:", err)
+			return 2
+		}
+		cfg.Workers = ws
+	}
+	if *zscore > 0 {
+		cfg.SampleZ = *zscore
+	}
+
+	rep, err := conformance.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "sfcconform:", err)
+		return 2
+	}
+
+	fmt.Fprint(stdout, rep.Matrix())
+	fmt.Fprintln(stdout)
+	if *listFail || !rep.OK() {
+		for _, f := range rep.Failures() {
+			fmt.Fprintf(stdout, "FAIL %s: [%s] %s: %s\n", f.Case(), f.Layer, f.Check, f.Detail)
+		}
+	}
+	fmt.Fprintln(stdout, rep.Summary())
+
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(rep.CSV()), 0o644); err != nil {
+			fmt.Fprintln(stderr, "sfcconform:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *csvPath)
+	}
+
+	if !rep.OK() {
+		return 1
+	}
+	return 0
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/curve"
+)
+
+func TestRunQuickTinySweepIsGreen(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-quick", "-d", "1,2", "-maxn", "6", "-sample", "4096"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "conformance GREEN") {
+		t.Errorf("missing GREEN summary:\n%s", got)
+	}
+	for _, name := range curve.Names() {
+		if !strings.Contains(got, name) {
+			t.Errorf("matrix lacks curve %q", name)
+		}
+	}
+	if strings.Contains(got, "FAIL") {
+		t.Errorf("unexpected failures:\n%s", got)
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "matrix.csv")
+	var out, errb strings.Builder
+	code := run([]string{"-quick", "-d", "1", "-maxn", "4", "-sample", "1024", "-csv", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s%s", code, out.String(), errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "curve,d,k,layer,check,status,detail\n") {
+		t.Errorf("CSV header missing:\n%.120s", data)
+	}
+	if len(strings.Split(strings.TrimSpace(string(data)), "\n")) < 10 {
+		t.Error("CSV suspiciously short")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-d", "zero,1"},
+		{"-workers", "x"},
+		{"-d", "0"}, // rejected by Config.Validate
+		{"-nosuchflag"},
+	} {
+		var out, errb strings.Builder
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}

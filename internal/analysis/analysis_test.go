@@ -73,7 +73,7 @@ func TestKSweep(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	es := Experiments()
-	if len(es) != 34 {
+	if len(es) != 35 {
 		t.Fatalf("%d experiments", len(es))
 	}
 	seen := map[string]bool{}

@@ -51,6 +51,7 @@ func Experiments() []Experiment {
 		{"ext-knn", "Extension: nearest-neighbor search work (Chen & Chang)", ExtKNN},
 		{"ext-octree", "Extension: Morton-keyed Barnes–Hut tree (Warren & Salmon)", ExtOctree},
 		{"ext-constants", "Extension: asymptotic stretch constants per curve", ExtConstants},
+		{"ext-conform", "Extension: cross-engine conformance matrix for every curve", ExtConform},
 	}
 }
 

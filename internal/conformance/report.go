@@ -1,0 +1,165 @@
+package conformance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report collects every Result of a sweep.
+type Report struct {
+	Config  Config
+	Results []Result
+}
+
+// Failures returns the failed results, in sweep order.
+func (r *Report) Failures() []Result {
+	var out []Result
+	for _, res := range r.Results {
+		if res.Status == Fail {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// Counts returns the number of passed, failed and skipped check instances.
+func (r *Report) Counts() (pass, fail, skip int) {
+	for _, res := range r.Results {
+		switch res.Status {
+		case Pass:
+			pass++
+		case Fail:
+			fail++
+		case Skip:
+			skip++
+		}
+	}
+	return pass, fail, skip
+}
+
+// OK reports whether no check instance failed.
+func (r *Report) OK() bool {
+	_, fail, _ := r.Counts()
+	return fail == 0
+}
+
+// cell is one aggregated matrix entry: the outcome of one check across all
+// (d, k) cases of one curve.
+func (r *Report) cell(curveName, check string) string {
+	pass, fail, skip := 0, 0, 0
+	for _, res := range r.Results {
+		if res.Curve != curveName || res.Check != check {
+			continue
+		}
+		switch res.Status {
+		case Pass:
+			pass++
+		case Fail:
+			fail++
+		case Skip:
+			skip++
+		}
+	}
+	switch {
+	case fail > 0:
+		return fmt.Sprintf("FAIL:%d", fail)
+	case pass > 0:
+		return fmt.Sprintf("ok:%d", pass)
+	case skip > 0:
+		return "—"
+	default:
+		return "?"
+	}
+}
+
+// Curves returns the curve names appearing in the report, sorted.
+func (r *Report) Curves() []string {
+	seen := map[string]bool{}
+	for _, res := range r.Results {
+		seen[res.Curve] = true
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Matrix renders the per-curve × per-check conformance matrix as aligned
+// text. Each cell aggregates every (d, k) case of the curve: "ok:N" for N
+// passing instances, "FAIL:N" for N failures (any failure dominates), "—"
+// when the check never applied.
+func (r *Report) Matrix() string {
+	checks := Checks()
+	curves := r.Curves()
+	header := make([]string, 0, len(checks)+1)
+	header = append(header, "curve")
+	for _, ch := range checks {
+		header = append(header, ch.Name)
+	}
+	rows := [][]string{header}
+	for _, name := range curves {
+		row := make([]string, 0, len(checks)+1)
+		row = append(row, name)
+		for _, ch := range checks {
+			row = append(row, r.cell(name, ch.Name))
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cellv := range row {
+			if w := len([]rune(cellv)); w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, row := range rows {
+		for i, cellv := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cellv)
+			for pad := len([]rune(cellv)); pad < widths[i]; pad++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", w))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// CSV renders every individual check instance as comma-separated rows —
+// the machine-readable artifact uploaded by CI.
+func (r *Report) CSV() string {
+	var b strings.Builder
+	b.WriteString("curve,d,k,layer,check,status,detail\n")
+	for _, res := range r.Results {
+		detail := strings.NewReplacer(",", ";", "\n", " ").Replace(res.Detail)
+		fmt.Fprintf(&b, "%s,%d,%d,%s,%s,%s,%s\n", res.Curve, res.D, res.K, res.Layer, res.Check, res.Status, detail)
+	}
+	return b.String()
+}
+
+// Summary renders the one-line outcome.
+func (r *Report) Summary() string {
+	pass, fail, skip := r.Counts()
+	verdict := "GREEN"
+	if fail > 0 {
+		verdict = "RED"
+	}
+	return fmt.Sprintf("conformance %s: %d checks passed, %d failed, %d skipped (%d curves, dims %v, n ≤ %d)",
+		verdict, pass, fail, skip, len(r.Curves()), r.Config.Dims, r.Config.MaxExactN)
+}

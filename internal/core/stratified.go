@@ -52,15 +52,21 @@ func StratifiedNNStretch(c curve.Curve, samplesPerStratum int, seed int64) (Stra
 			kappaChoices := uint64(1) << uint(k-j)
 			stratumCount := float64(kappaChoices) * math.Pow(float64(u.Side()), float64(d-1))
 			samples := samplesPerStratum
-			if uint64(samples) > kappaChoices && d == 1 {
-				// Tiny strata on a line: don't oversample beyond the
-				// population (harmless elsewhere, where other coordinates
-				// provide variety).
+			// On a line the stratum population IS the set of κ choices; when
+			// the budget covers it, enumerate each pair exactly once instead
+			// of sampling with replacement (which can miss pairs and leaves
+			// residual variance). The stratum mean then becomes exact, so at
+			// d=1 a sufficient budget makes the whole estimate exact.
+			exhaustive := d == 1 && uint64(samples) >= kappaChoices
+			if exhaustive {
 				samples = int(kappaChoices)
 			}
 			var sum, comp float64
 			for s := 0; s < samples; s++ {
-				t := uint64(rng.Int63n(int64(kappaChoices)))
+				t := uint64(s)
+				if !exhaustive {
+					t = uint64(rng.Int63n(int64(kappaChoices)))
+				}
 				kappa := t<<uint(j) | (1<<uint(j-1) - 1)
 				for i := 0; i < d; i++ {
 					if i == dim {

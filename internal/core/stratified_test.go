@@ -84,16 +84,47 @@ func TestStratifiedGuards(t *testing.T) {
 }
 
 func TestStratifiedOneDimensional(t *testing.T) {
-	// d=1 simple curve: Davg is exactly 1; the estimator (which samples
-	// strata with replacement) must land close. Boundary cells give the
-	// only within-stratum variance, so a moderate sample suffices.
+	// d=1 simple curve: Davg is exactly 1, and with the per-stratum budget
+	// covering every κ choice the estimator enumerates each pair once, so
+	// the estimate is exact, not merely close.
 	u := grid.MustNew(1, 6)
 	s := curve.NewSimple(u)
 	est, err := StratifiedNNStretch(s, 500, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(est.DAvg-1) > 0.03 {
-		t.Fatalf("1-d simple stratified Davg = %v, want ≈ 1", est.DAvg)
+	if est.DAvg != 1 {
+		t.Fatalf("1-d simple stratified Davg = %v, want exactly 1", est.DAvg)
+	}
+}
+
+func TestStratifiedExhaustiveOnLine(t *testing.T) {
+	// Regression pinned by the conformance engine: at d=1 the estimator
+	// used to clip the per-stratum budget to the population but still drew
+	// WITH replacement, so it could miss pairs entirely — on a random
+	// bijection over side=4 it returned Davg estimates off by >35%. With a
+	// budget ≥ the largest stratum it now enumerates every nearest-neighbor
+	// pair exactly once, so the estimate equals the exact sequential sweep
+	// up to summation-order rounding (the estimator groups per pair, the
+	// exact engine per cell) — for any curve, any seed.
+	for _, k := range []int{1, 2, 5} {
+		u := grid.MustNew(1, k)
+		for _, name := range curve.Names() {
+			c, err := curve.ByName(name, u, 99)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact := DAvg(c, 2)
+			for _, seed := range []int64{1, 2, 20120523} {
+				est, err := StratifiedNNStretch(c, 1<<uint(k), seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(est.DAvg-exact) > 1e-12*exact {
+					t.Errorf("%s d=1 k=%d seed=%d: stratified %v, exact %v",
+						name, k, seed, est.DAvg, exact)
+				}
+			}
+		}
 	}
 }

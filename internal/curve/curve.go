@@ -17,6 +17,9 @@
 //   - Bit-reversal curve — deterministic worst-case baseline (Θ(n) stretch)
 //   - Random curve — a seeded uniformly random bijection, the natural
 //     worst-case baseline
+//   - Table curve — the Z order materialized into an explicit lookup table,
+//     a standing differential check of the table machinery (it must agree
+//     with "z" everywhere)
 //
 // plus axis-permutation and reflection wrappers used to test invariance of
 // the stretch metrics under grid symmetries.
@@ -119,6 +122,11 @@ var registry = map[string]Factory{
 	"bitrev":   func(u *grid.Universe, _ int64) (Curve, error) { return NewBitReversal(u), nil },
 	"hilbert":  func(u *grid.Universe, _ int64) (Curve, error) { return NewHilbert(u), nil },
 	"random":   func(u *grid.Universe, seed int64) (Curve, error) { return NewRandom(u, seed) },
+	// The table-backed curve: the Z order materialized into an explicit
+	// lookup table. Metrically identical to "z", but exercises the Table
+	// code path everywhere a registry sweep runs — a standing differential
+	// check of the table machinery against the bit-interleaving arithmetic.
+	"table": func(u *grid.Universe, _ int64) (Curve, error) { return TableFromCurve(NewZ(u), "table") },
 }
 
 // Names returns the registered curve names in sorted order.

@@ -40,7 +40,7 @@ func TestRegistryUnknown(t *testing.T) {
 
 func TestNames(t *testing.T) {
 	names := Names()
-	want := map[string]bool{"z": true, "simple": true, "snake": true, "gray": true, "hilbert": true, "random": true, "diagonal": true, "bitrev": true}
+	want := map[string]bool{"z": true, "simple": true, "snake": true, "gray": true, "hilbert": true, "random": true, "diagonal": true, "bitrev": true, "table": true}
 	if len(names) != len(want) {
 		t.Fatalf("Names() = %v", names)
 	}

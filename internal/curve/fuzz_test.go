@@ -6,31 +6,40 @@ import (
 	"repro/internal/grid"
 )
 
-// FuzzCurveRoundTrip fuzzes every registered deterministic curve's
-// Index/Point pair over arbitrary universe shapes and cells.
+// FuzzCurveRoundTrip fuzzes both compositions of every registered curve's
+// Index/Point pair over arbitrary universe shapes, cells and positions:
+// Point(Index(p)) = p for a fuzzed cell p, and Index(Point(i)) = i for a
+// fuzzed position i. Table-backed curves (random, table) cost O(n) to build,
+// so they join the sweep only on universes small enough to keep the fuzzer
+// fast; their bijection structure is additionally covered by Validate tests.
 func FuzzCurveRoundTrip(f *testing.F) {
 	f.Add(uint8(2), uint8(4), uint64(7))
 	f.Add(uint8(3), uint8(3), uint64(0))
 	f.Add(uint8(1), uint8(10), uint64(999))
+	f.Add(uint8(4), uint8(1), uint64(1<<40))
 	f.Fuzz(func(t *testing.T, dRaw, kRaw uint8, seed uint64) {
 		d := 1 + int(dRaw)%5
 		k := 1 + int(kRaw)%4
 		u := grid.MustNew(d, k)
+		const tableCap = 1 << 12
 		p := u.NewPoint()
 		s := seed
 		for i := range p {
 			s = s*6364136223846793005 + 1442695040888963407
 			p[i] = uint32(s>>32) % u.Side()
 		}
+		s = s*6364136223846793005 + 1442695040888963407
+		pos := s % u.N()
 		q := u.NewPoint()
 		for _, name := range Names() {
-			if name == "random" {
-				continue // table-backed; covered by Validate tests
+			if (name == "random" || name == "table") && u.N() > tableCap {
+				continue
 			}
-			c, err := ByName(name, u, 1)
+			c, err := ByName(name, u, int64(seed%1024)+1)
 			if err != nil {
 				t.Fatal(err)
 			}
+			// Composition 1: Point ∘ Index = id on cells.
 			idx := c.Index(p)
 			if idx >= u.N() {
 				t.Fatalf("%s: Index(%v) = %d out of range on %v", name, p, idx, u)
@@ -38,6 +47,16 @@ func FuzzCurveRoundTrip(f *testing.F) {
 			c.Point(idx, q)
 			if !q.Equal(p) {
 				t.Fatalf("%s: Point(Index(%v)) = %v on %v", name, p, q, u)
+			}
+			// Composition 2: Index ∘ Point = id on positions.
+			c.Point(pos, q)
+			for i, v := range q {
+				if v >= u.Side() {
+					t.Fatalf("%s: Point(%d)[%d] = %d out of range on %v", name, pos, i, v, u)
+				}
+			}
+			if got := c.Index(q); got != pos {
+				t.Fatalf("%s: Index(Point(%d)) = %d on %v", name, pos, got, u)
 			}
 		}
 	})

@@ -76,6 +76,28 @@ func FromOrder(u *grid.Universe, name string, order []uint64) (*Table, error) {
 	return NewTable(u, name, perm)
 }
 
+// TableFromCurve materializes src into an explicit lookup table with the
+// given name. The result is pointwise identical to src but answers every
+// query through the table code path — the conformance engine uses such
+// shadows as a differential oracle against the arithmetic implementations,
+// and the registry's "table" curve is the Z curve materialized this way.
+// Universes larger than MaxRandomCells cells are rejected (the table costs
+// 16 bytes per cell).
+func TableFromCurve(src Curve, name string) (*Table, error) {
+	u := src.Universe()
+	n := u.N()
+	if n > MaxRandomCells {
+		return nil, fmt.Errorf("curve: table over %d cells exceeds limit %d", n, MaxRandomCells)
+	}
+	perm := make([]uint64, n)
+	p := u.NewPoint()
+	for lin := uint64(0); lin < n; lin++ {
+		u.FromLinear(lin, p)
+		perm[lin] = src.Index(p)
+	}
+	return NewTable(u, name, perm)
+}
+
 // Universe implements Curve.
 func (t *Table) Universe() *grid.Universe { return t.u }
 

@@ -1,0 +1,203 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+// TestDecomposeSingleCell: a 1-cell box decomposes, for every curve, into
+// exactly one interval of length 1 located at that cell's curve index.
+func TestDecomposeSingleCell(t *testing.T) {
+	u := grid.MustNew(2, 3)
+	for _, c := range allCurves(t, u) {
+		u.Cells(func(_ uint64, p grid.Point) bool {
+			b, err := NewBox(u, p, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ivs := DecomposeBox(c, b)
+			if len(ivs) != 1 || ivs[0].Len() != 1 || ivs[0].Lo != c.Index(p) {
+				t.Fatalf("%s: single cell %v decomposes to %v, index %d",
+					c.Name(), p, ivs, c.Index(p))
+			}
+			return true
+		})
+	}
+}
+
+// TestDecomposeBoundaryBoxes exercises boxes hugging the universe boundary:
+// faces, edges, corners, and one-cell-thick slabs through the middle. These
+// are the shapes where off-by-one errors in the subcube and row-run
+// decompositions would hide.
+func TestDecomposeBoundaryBoxes(t *testing.T) {
+	for _, dk := range [][2]int{{2, 3}, {3, 2}} {
+		u := grid.MustNew(dk[0], dk[1])
+		d := u.D()
+		max := uint32(u.Side() - 1)
+		var boxes []Box
+		add := func(lo, hi grid.Point) {
+			b, err := NewBox(u, lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			boxes = append(boxes, b)
+		}
+		full := func(v uint32) grid.Point {
+			p := u.NewPoint()
+			for i := range p {
+				p[i] = v
+			}
+			return p
+		}
+		// Corner cells.
+		add(full(0), full(0))
+		add(full(max), full(max))
+		// Each face: one-cell-thick slab pinned at either wall.
+		for i := 0; i < d; i++ {
+			for _, wall := range []uint32{0, max} {
+				lo, hi := full(0), full(max)
+				lo[i], hi[i] = wall, wall
+				add(lo, hi)
+			}
+			// Interior slab through the middle.
+			lo, hi := full(0), full(max)
+			lo[i], hi[i] = max/2, max/2
+			add(lo, hi)
+			// Edge along dimension i: all other dims pinned to the far wall.
+			lo, hi = full(max), full(max)
+			lo[i] = 0
+			add(lo, hi)
+		}
+		// Box touching opposite corners minus one cell.
+		add(full(0), full(max-1))
+		add(full(1), full(max))
+		for _, c := range allCurves(t, u) {
+			for _, b := range boxes {
+				intervalsCover(t, c, b, DecomposeBox(c, b))
+			}
+		}
+	}
+}
+
+// TestRowDecomposePredictedCounts pins the analytic interval count of the
+// row-major curves: a full-width box is a single contiguous run, and a box
+// excluding BOTH walls of dimension 1 yields exactly one interval per
+// (higher-coordinate) row — no run reaches its strip boundary, so runs from
+// different rows cannot touch. (A snake box touching a turning wall merges
+// adjacent reversed rows, so wall exclusion is the precise precondition.)
+func TestRowDecomposePredictedCounts(t *testing.T) {
+	u := grid.MustNew(2, 3)
+	for _, name := range []string{"simple", "snake"} {
+		c, err := curveByName(t, name, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Full-width rows y ∈ [2, 5]: one interval.
+		b, err := NewBox(u, u.MustPoint(0, 2), u.MustPoint(7, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ivs := DecomposeBox(c, b); len(ivs) != 1 {
+			t.Errorf("%s full-width: %v", name, ivs)
+		}
+		// Width-3 box over 4 rows: exactly 4 intervals of length 3.
+		b, err = NewBox(u, u.MustPoint(2, 1), u.MustPoint(4, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ivs := DecomposeBox(c, b)
+		if len(ivs) != 4 {
+			t.Fatalf("%s width-3: %d intervals %v", name, len(ivs), ivs)
+		}
+		for _, iv := range ivs {
+			if iv.Len() != 3 {
+				t.Errorf("%s: row interval %v has length %d", name, iv, iv.Len())
+			}
+		}
+	}
+	// In 3 dimensions the count is the product of the higher-dimension
+	// extents when the box excludes both walls of dimension 1.
+	u3 := grid.MustNew(3, 2)
+	for _, name := range []string{"simple", "snake"} {
+		c, err := curveByName(t, name, u3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewBox(u3, u3.MustPoint(1, 1, 0), u3.MustPoint(2, 3, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ivs := DecomposeBox(c, b); len(ivs) != 3*3 {
+			t.Errorf("%s 3-d: %d intervals, want 9", name, len(ivs))
+		}
+	}
+	// And the snake wall-merge itself, pinned: a box including the turning
+	// wall x=0 over r reversed-adjacent rows merges every left-wall turn.
+	cSnake, err := curveByName(t, "snake", u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBox(u, u.MustPoint(0, 2), u.MustPoint(2, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows 2..5; turns at x=0 happen between rows (3,4) and (5,6) — only
+	// the (3,4) turn is interior to the box, merging one pair: 3 intervals.
+	if ivs := DecomposeBox(cSnake, b); len(ivs) != 3 {
+		t.Errorf("snake wall box: %d intervals %v, want 3", len(ivs), ivs)
+	}
+}
+
+// TestIndexEdgeCases drives the point index through the degenerate shapes:
+// empty index, duplicate points, single-cell and full-universe queries.
+func TestIndexEdgeCases(t *testing.T) {
+	u := grid.MustNew(2, 3)
+	for _, c := range allCurves(t, u) {
+		// Empty index: every query answers empty, no panic.
+		ix, err := Build(c, nil)
+		if err != nil {
+			t.Fatalf("%s: empty build: %v", c.Name(), err)
+		}
+		whole, err := NewBox(u, u.MustPoint(0, 0), u.MustPoint(7, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := ix.Range(whole); len(got) != 0 {
+			t.Fatalf("%s: empty index returned %v", c.Name(), got)
+		}
+		if n := ix.Count(whole); n != 0 {
+			t.Fatalf("%s: empty index count %d", c.Name(), n)
+		}
+		// Duplicates: all copies are returned.
+		p := u.MustPoint(3, 4)
+		ix, err = Build(c, []grid.Point{p, p, p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cellBox, err := NewBox(u, p, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := ix.Range(cellBox); len(got) != 3 {
+			t.Fatalf("%s: %d duplicates returned", c.Name(), len(got))
+		}
+		if n := ix.Count(whole); n != 3 {
+			t.Fatalf("%s: full-universe count %d", c.Name(), n)
+		}
+		// A disjoint single cell finds nothing.
+		other, err := NewBox(u, u.MustPoint(0, 0), u.MustPoint(0, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := ix.Range(other); len(got) != 0 {
+			t.Fatalf("%s: disjoint cell returned %v", c.Name(), got)
+		}
+	}
+}
+
+func curveByName(t *testing.T, name string, u *grid.Universe) (curve.Curve, error) {
+	t.Helper()
+	return curve.ByName(name, u, 13)
+}

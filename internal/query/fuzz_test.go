@@ -1,0 +1,84 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+// FuzzDecompose fuzzes DecomposeBox over arbitrary universe shapes, boxes
+// and curves, asserting the defining property of a decomposition: the
+// returned intervals are sorted, disjoint, non-touching (minimal), and their
+// union is EXACTLY the set of curve indices of the box's cells — every cell
+// inside the box is covered and every index outside the box is not. This
+// cross-checks all three decomposition strategies (hierarchical subcube,
+// row-run, brute-force) against the same oracle.
+func FuzzDecompose(f *testing.F) {
+	f.Add(uint8(2), uint8(3), uint64(7), uint64(99))
+	f.Add(uint8(3), uint8(2), uint64(0), uint64(0))
+	f.Add(uint8(1), uint8(6), uint64(41), uint64(12345))
+	f.Fuzz(func(t *testing.T, dRaw, kRaw uint8, loRaw, hiRaw uint64) {
+		d := 1 + int(dRaw)%3
+		k := 1 + int(kRaw)%3
+		u := grid.MustNew(d, k)
+		lo := u.NewPoint()
+		hi := u.NewPoint()
+		a, b := loRaw, hiRaw
+		for i := 0; i < d; i++ {
+			x := uint32(a % uint64(u.Side()))
+			y := uint32(b % uint64(u.Side()))
+			a /= uint64(u.Side())
+			b = b/uint64(u.Side()) + 0x9e3779b9
+			if x > y {
+				x, y = y, x
+			}
+			lo[i], hi[i] = x, y
+		}
+		box, err := NewBox(u, lo, hi)
+		if err != nil {
+			t.Fatalf("NewBox(%v, %v): %v", lo, hi, err)
+		}
+		p := u.NewPoint()
+		for _, name := range curve.Names() {
+			c, err := curve.ByName(name, u, int64(loRaw%64)+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ivs := DecomposeBox(c, box)
+			// Structure: sorted, disjoint, with gaps between intervals.
+			var total uint64
+			for i, iv := range ivs {
+				if iv.Lo >= iv.Hi || iv.Hi > u.N() {
+					t.Fatalf("%s box %v-%v: bad interval %+v", name, lo, hi, iv)
+				}
+				if i > 0 && iv.Lo <= ivs[i-1].Hi {
+					t.Fatalf("%s box %v-%v: intervals %+v, %+v not separated", name, lo, hi, ivs[i-1], iv)
+				}
+				total += iv.Len()
+			}
+			if total != box.Volume() {
+				t.Fatalf("%s box %v-%v: intervals cover %d indices, box has %d cells",
+					name, lo, hi, total, box.Volume())
+			}
+			// Exact tiling: index ∈ intervals ⇔ cell ∈ box, every index.
+			for idx := uint64(0); idx < u.N(); idx++ {
+				c.Point(idx, p)
+				if got, want := covered(ivs, idx), box.Contains(p); got != want {
+					t.Fatalf("%s box %v-%v: index %d (cell %v) covered=%v inBox=%v",
+						name, lo, hi, idx, p, got, want)
+				}
+			}
+		}
+	})
+}
+
+// covered reports whether idx lies in one of the sorted intervals.
+func covered(ivs []Interval, idx uint64) bool {
+	for _, iv := range ivs {
+		if idx >= iv.Lo && idx < iv.Hi {
+			return true
+		}
+	}
+	return false
+}
