@@ -1,0 +1,275 @@
+// Command sfcserve replays a synthetic box-query trace against the sharded
+// query service and prints its metrics report and a throughput line — the
+// serving-side counterpart of sfcstretch's analytical metrics.
+//
+// The trace is zipf-skewed over a fixed population of random boxes, the
+// access pattern the decomposition cache is built for: a hot minority of
+// boxes dominates, so most queries reuse a cached decomposition.
+//
+// Usage:
+//
+//	sfcserve -curve hilbert -d 2 -k 6 -records 50000 -queries 10000 -shards 8
+//	sfcserve -shards 8 -compare            # also run 1 shard, print speedup
+//	sfcserve -json BENCH_service.json      # write the machine-readable summary
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+	"repro/internal/query"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+type config struct {
+	curveName string
+	d, k      int
+	records   int
+	queries   int
+	shards    int
+	workers   int
+	clients   int
+	cache     int
+	distinct  int
+	zipfS     float64
+	boxSide   int
+	seed      int64
+	trace     string
+	compare   bool
+	jsonPath  string
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.curveName, "curve", "hilbert", fmt.Sprintf("curve name %v", curve.Names()))
+	flag.IntVar(&cfg.d, "d", 2, "dimensions")
+	flag.IntVar(&cfg.k, "k", 6, "log2 side length (n = 2^(d·k) cells)")
+	flag.IntVar(&cfg.records, "records", 50_000, "records bulkloaded into the shards")
+	flag.IntVar(&cfg.queries, "queries", 10_000, "queries replayed")
+	flag.IntVar(&cfg.shards, "shards", 8, "store shards")
+	flag.IntVar(&cfg.workers, "workers", 0, "service worker pool size (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.clients, "clients", 4, "concurrent client goroutines")
+	flag.IntVar(&cfg.cache, "cache", 0, "decomposition cache entries (0 = default, negative = off)")
+	flag.IntVar(&cfg.distinct, "distinct", 512, "distinct boxes in the trace population")
+	flag.Float64Var(&cfg.zipfS, "zipf", 1.2, "zipf exponent of the box popularity (s > 1)")
+	flag.IntVar(&cfg.boxSide, "box", 12, "maximum box side length in cells")
+	flag.Int64Var(&cfg.seed, "seed", 1, "seed for records, boxes, and the trace")
+	flag.StringVar(&cfg.trace, "trace", "synthetic", "trace kind (only \"synthetic\")")
+	flag.BoolVar(&cfg.compare, "compare", false, "also replay against 1 shard and print the speedup")
+	flag.StringVar(&cfg.jsonPath, "json", "", "write a JSON summary to this file")
+	flag.Parse()
+
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sfcserve:", err)
+		os.Exit(1)
+	}
+}
+
+// replayResult is one trace replay's outcome.
+type replayResult struct {
+	Shards     int     `json:"shards"`
+	Queries    int     `json:"queries"`
+	Elapsed    float64 `json:"elapsed_sec"`
+	Throughput float64 `json:"throughput_qps"`
+	HitRate    float64 `json:"cache_hit_rate"`
+	Coalesced  float64 `json:"coalesce_rate"`
+	Degraded   float64 `json:"degraded_fraction"`
+	PagesRead  int64   `json:"pages_leaf_read"`
+}
+
+func run(cfg config, w io.Writer) error {
+	if cfg.trace != "synthetic" {
+		return fmt.Errorf("unknown trace kind %q (only \"synthetic\")", cfg.trace)
+	}
+	if cfg.queries < 1 || cfg.clients < 1 || cfg.distinct < 1 {
+		return fmt.Errorf("need positive -queries, -clients, -distinct")
+	}
+	if cfg.zipfS <= 1 {
+		return fmt.Errorf("-zipf must be > 1")
+	}
+	u, err := grid.New(cfg.d, cfg.k)
+	if err != nil {
+		return err
+	}
+	c, err := curve.ByName(cfg.curveName, u, cfg.seed)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.seed))
+	recs := make([]store.Record, cfg.records)
+	for i := range recs {
+		p := u.NewPoint()
+		for d := range p {
+			p[d] = rng.Uint32() % u.Side()
+		}
+		recs[i] = store.Record{Point: p, Payload: uint64(i)}
+	}
+	boxes, err := syntheticBoxes(u, cfg.distinct, cfg.boxSide, rng)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "curve=%s universe=%v records=%d queries=%d distinct=%d zipf=%.2f clients=%d\n",
+		c.Name(), u, cfg.records, cfg.queries, cfg.distinct, cfg.zipfS, cfg.clients)
+
+	res, rep, err := replay(c, recs, boxes, cfg, cfg.shards)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nshards=%d metrics:\n%s", cfg.shards, rep)
+	fmt.Fprintf(w, "derived: cache_hit_rate=%.3f coalesce_rate=%.3f degraded_fraction=%.3f pages/query=%.1f\n",
+		res.HitRate, res.Coalesced, res.Degraded, float64(res.PagesRead)/float64(res.Queries))
+	fmt.Fprintf(w, "throughput: %d queries in %.3fs = %.0f queries/s (%d shards)\n",
+		res.Queries, res.Elapsed, res.Throughput, cfg.shards)
+
+	out := map[string]any{"config": cfg.public(), "sharded": res}
+	if cfg.compare && cfg.shards != 1 {
+		base, _, err := replay(c, recs, boxes, cfg, 1)
+		if err != nil {
+			return err
+		}
+		speedup := res.Throughput / base.Throughput
+		fmt.Fprintf(w, "baseline:   %d queries in %.3fs = %.0f queries/s (1 shard)\n",
+			base.Queries, base.Elapsed, base.Throughput)
+		fmt.Fprintf(w, "speedup: %.2fx (%d shards vs 1)\n", speedup, cfg.shards)
+		out["baseline"] = base
+		out["speedup"] = speedup
+	}
+	if cfg.jsonPath != "" {
+		if err := writeJSON(cfg.jsonPath, out); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", cfg.jsonPath)
+	}
+	return nil
+}
+
+// public strips the non-serializable bits of the config for the JSON dump.
+func (cfg config) public() map[string]any {
+	return map[string]any{
+		"curve": cfg.curveName, "d": cfg.d, "k": cfg.k,
+		"records": cfg.records, "queries": cfg.queries,
+		"shards": cfg.shards, "clients": cfg.clients,
+		"distinct": cfg.distinct, "zipf": cfg.zipfS,
+		"box": cfg.boxSide, "seed": cfg.seed,
+	}
+}
+
+// replay runs the full trace against a fresh service with the given shard
+// count and returns the measured result plus the metrics report.
+func replay(c curve.Curve, recs []store.Record, boxes []query.Box, cfg config, shards int) (replayResult, string, error) {
+	svc, err := service.New(c, recs, service.Config{
+		Shards:    shards,
+		Workers:   cfg.workers,
+		CacheSize: cfg.cache,
+	})
+	if err != nil {
+		return replayResult{}, "", err
+	}
+	defer svc.Close()
+
+	ctx := context.Background()
+	perClient := cfg.queries / cfg.clients
+	extra := cfg.queries % cfg.clients
+	var wg sync.WaitGroup
+	errc := make(chan error, cfg.clients)
+	start := time.Now()
+	for g := 0; g < cfg.clients; g++ {
+		n := perClient
+		if g < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(g, n int) {
+			defer wg.Done()
+			// Per-client zipf stream, seeded distinctly but deterministically.
+			lr := rand.New(rand.NewSource(cfg.seed + int64(g)*7919))
+			zipf := rand.NewZipf(lr, cfg.zipfS, 1, uint64(len(boxes)-1))
+			for i := 0; i < n; i++ {
+				if _, err := svc.Range(ctx, boxes[zipf.Uint64()]); err != nil {
+					errc <- err
+					return
+				}
+			}
+			errc <- nil
+		}(g, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			return replayResult{}, "", err
+		}
+	}
+
+	reg := svc.Metrics()
+	hits := reg.Counter("cache.hits").Value()
+	misses := reg.Counter("cache.misses").Value()
+	shared := reg.Counter("coalesce.shared").Value()
+	total := reg.Counter("queries.total").Value()
+	res := replayResult{
+		Shards:     shards,
+		Queries:    cfg.queries,
+		Elapsed:    elapsed.Seconds(),
+		Throughput: float64(cfg.queries) / elapsed.Seconds(),
+		PagesRead:  reg.Counter("pages.leaf_read").Value(),
+	}
+	if lookups := hits + misses + shared; lookups > 0 {
+		res.HitRate = float64(hits) / float64(lookups)
+		res.Coalesced = float64(shared) / float64(lookups)
+	}
+	if total > 0 {
+		res.Degraded = float64(reg.Counter("queries.degraded").Value()) / float64(total)
+	}
+	return res, reg.Report(), nil
+}
+
+// syntheticBoxes builds the trace's box population: random corners, sides
+// capped at maxSide cells per dimension.
+func syntheticBoxes(u *grid.Universe, n, maxSide int, rng *rand.Rand) ([]query.Box, error) {
+	if maxSide < 1 {
+		return nil, fmt.Errorf("-box must be >= 1")
+	}
+	boxes := make([]query.Box, n)
+	for i := range boxes {
+		lo, hi := u.NewPoint(), u.NewPoint()
+		for d := range lo {
+			a := rng.Uint32() % u.Side()
+			side := uint32(1 + rng.Intn(maxSide))
+			b := a + side - 1
+			if b >= u.Side() {
+				b = u.Side() - 1
+			}
+			lo[d], hi[d] = a, b
+		}
+		b, err := query.NewBox(u, lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		boxes[i] = b
+	}
+	return boxes, nil
+}
+
+// writeJSON marshals v with encoding/json and writes it to path.
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

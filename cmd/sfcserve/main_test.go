@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSyntheticTrace replays a small trace end-to-end and checks the
+// report prints every metric family plus the throughput line, and that the
+// JSON summary round-trips.
+func TestRunSyntheticTrace(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	cfg := config{
+		curveName: "hilbert", d: 2, k: 5,
+		records: 3000, queries: 800, shards: 4, clients: 2,
+		distinct: 64, zipfS: 1.2, boxSide: 6, seed: 1,
+		trace: "synthetic", compare: true, jsonPath: jsonPath,
+	}
+	var sb strings.Builder
+	if err := run(cfg, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"queries.total", "queries.degraded", "queries.errors", // query family
+		"cache.hits", "cache.misses", "cache.evictions", // cache family
+		"coalesce.leader", "coalesce.shared", // coalescing family
+		"pages.leaf_read",        // page I/O family
+		"shard.0.latency_us",     // per-shard latency family
+		"shard.3.latency_us",     //
+		"throughput:", "speedup", // summary lines
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("summary is not valid JSON: %v", err)
+	}
+	sharded := doc["sharded"].(map[string]any)
+	if sharded["queries"].(float64) != 800 {
+		t.Fatalf("summary queries = %v", sharded["queries"])
+	}
+	if sharded["throughput_qps"].(float64) <= 0 {
+		t.Fatal("non-positive throughput in summary")
+	}
+	if _, ok := doc["speedup"]; !ok {
+		t.Fatal("compare run missing speedup in summary")
+	}
+}
+
+// TestRunRejectsBadFlags covers the validation paths.
+func TestRunRejectsBadFlags(t *testing.T) {
+	base := config{
+		curveName: "z", d: 2, k: 4, records: 10, queries: 10,
+		shards: 1, clients: 1, distinct: 4, zipfS: 1.5, boxSide: 2,
+		trace: "synthetic",
+	}
+	for name, mut := range map[string]func(*config){
+		"trace":   func(c *config) { c.trace = "replay.log" },
+		"zipf":    func(c *config) { c.zipfS = 1.0 },
+		"queries": func(c *config) { c.queries = 0 },
+		"curve":   func(c *config) { c.curveName = "no-such-curve" },
+		"box":     func(c *config) { c.boxSide = 0 },
+	} {
+		cfg := base
+		mut(&cfg)
+		if err := run(cfg, &strings.Builder{}); err == nil {
+			t.Fatalf("%s: bad config accepted", name)
+		}
+	}
+}

@@ -57,15 +57,15 @@ func main() {
 		fmt.Printf("Z/S asymptote   = %.6g   (Davg/asym  = %.4f)\n", asym, est.DAvg/asym)
 		return
 	}
-	avg, max := core.NNStretch(c, *workers)
-	fmt.Printf("Davg            = %.6g\n", avg)
-	fmt.Printf("Dmax            = %.6g\n", max)
-	fmt.Printf("Thm1 bound      = %.6g   (Davg/bound = %.4f)\n", lb, avg/lb)
-	fmt.Printf("Z/S asymptote   = %.6g   (Davg/asym  = %.4f)\n", asym, avg/asym)
+	nn := core.NNStretchResult(c, *workers)
+	fmt.Printf("Davg            = %.6g\n", nn.DAvg)
+	fmt.Printf("Dmax            = %.6g\n", nn.DMax)
+	fmt.Printf("Thm1 bound      = %.6g   (Davg/bound = %.4f)\n", lb, nn.DAvg/lb)
+	fmt.Printf("Z/S asymptote   = %.6g   (Davg/asym  = %.4f)\n", asym, nn.DAvg/asym)
 	if *torus {
-		tAvg, tMax := core.NNStretchTorus(c, *workers)
-		fmt.Printf("Davg (torus)    = %.6g   (torus/open = %.4f)\n", tAvg, tAvg/avg)
-		fmt.Printf("Dmax (torus)    = %.6g\n", tMax)
+		tnn := core.NNStretchTorusResult(c, *workers)
+		fmt.Printf("Davg (torus)    = %.6g   (torus/open = %.4f)\n", tnn.DAvg, tnn.DAvg/nn.DAvg)
+		fmt.Printf("Dmax (torus)    = %.6g\n", tnn.DMax)
 	}
 	if *dist {
 		dd, err := core.DeltaAvgDistribution(c, *workers)

@@ -85,8 +85,8 @@ func ExtTorus(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			open, _ := core.NNStretch(c, cfg.Workers)
-			torus, _ := core.NNStretchTorus(c, cfg.Workers)
+			open := core.NNStretchResult(c, cfg.Workers).DAvg
+			torus := core.NNStretchTorusResult(c, cfg.Workers).DAvg
 			t.AddRow(fi(d), fi(k), fu(u.N()), name, ff(open), ff(torus), fr(torus/open), fr(torus/lb))
 			if torus < open-1e-9 {
 				return t, fmt.Errorf("%s k=%d: torus Davg %v below open %v", name, k, torus, open)

@@ -50,12 +50,12 @@ func Fig1(cfg Config) (*Table, error) {
 		{pi2, 2.0, 2.5},
 	}
 	for _, tc := range cases {
-		avg, max := core.NNStretch(tc.c, cfg.Workers)
-		ok := math.Abs(avg-tc.wantAvg) < 1e-12 && math.Abs(max-tc.wantMax) < 1e-12
-		t.AddRow(tc.c.Name(), ff(avg), ff(tc.wantAvg), ff(max), ff(tc.wantMax), yes(ok))
+		nn := core.NNStretchResult(tc.c, cfg.Workers)
+		ok := math.Abs(nn.DAvg-tc.wantAvg) < 1e-12 && math.Abs(nn.DMax-tc.wantMax) < 1e-12
+		t.AddRow(tc.c.Name(), ff(nn.DAvg), ff(tc.wantAvg), ff(nn.DMax), ff(tc.wantMax), yes(ok))
 		if !ok {
 			return t, fmt.Errorf("measured (%v, %v) != paper (%v, %v) for %s",
-				avg, max, tc.wantAvg, tc.wantMax, tc.c.Name())
+				nn.DAvg, nn.DMax, tc.wantAvg, tc.wantMax, tc.c.Name())
 		}
 	}
 	return t, nil

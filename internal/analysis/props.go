@@ -28,11 +28,11 @@ func Prop1(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		for _, c := range cs {
-			avg, max := core.NNStretch(c, cfg.Workers)
-			ok := max >= avg-1e-9 && max >= lb-1e-9
-			t.AddRow(fi(d), fi(k), fu(u.N()), c.Name(), ff(max), ff(avg), ff(lb), fr(max/lb), yes(ok))
+			nn := core.NNStretchResult(c, cfg.Workers)
+			ok := nn.DMax >= nn.DAvg-1e-9 && nn.DMax >= lb-1e-9
+			t.AddRow(fi(d), fi(k), fu(u.N()), c.Name(), ff(nn.DMax), ff(nn.DAvg), ff(lb), fr(nn.DMax/lb), yes(ok))
 			if !ok {
-				return t, fmt.Errorf("%s on %v: Dmax %v vs Davg %v vs bound %v", c.Name(), u, max, avg, lb)
+				return t, fmt.Errorf("%s on %v: Dmax %v vs Davg %v vs bound %v", c.Name(), u, nn.DMax, nn.DAvg, lb)
 			}
 		}
 	}

@@ -74,15 +74,15 @@ func checkInverse(cx *caseCtx) (Status, string) {
 // demands bit-for-bit identical results.
 func checkDeterminism(cx *caseCtx) (Status, string) {
 	w := cx.cfg.Workers[len(cx.cfg.Workers)-1]
-	a1, m1 := core.NNStretch(cx.c, w)
-	a2, m2 := core.NNStretch(cx.c, w)
-	if a1 != a2 || m1 != m2 {
-		return Fail, fmt.Sprintf("NNStretch(workers=%d) not reproducible: (%.17g, %.17g) then (%.17g, %.17g)", w, a1, m1, a2, m2)
+	r1 := core.NNStretchResult(cx.c, w)
+	r2 := core.NNStretchResult(cx.c, w)
+	if r1 != r2 {
+		return Fail, fmt.Sprintf("NNStretchResult(workers=%d) not reproducible: (%.17g, %.17g) then (%.17g, %.17g)", w, r1.DAvg, r1.DMax, r2.DAvg, r2.DMax)
 	}
-	ta1, tm1 := core.NNStretchTorus(cx.c, w)
-	ta2, tm2 := core.NNStretchTorus(cx.c, w)
-	if ta1 != ta2 || tm1 != tm2 {
-		return Fail, fmt.Sprintf("NNStretchTorus(workers=%d) not reproducible", w)
+	t1 := core.NNStretchTorusResult(cx.c, w)
+	t2 := core.NNStretchTorusResult(cx.c, w)
+	if t1 != t2 {
+		return Fail, fmt.Sprintf("NNStretchTorusResult(workers=%d) not reproducible", w)
 	}
 	return Pass, ""
 }
@@ -91,13 +91,13 @@ func checkDeterminism(cx *caseCtx) (Status, string) {
 // configured worker counts: Dmax (integer-valued) must match exactly, Davg
 // within the worker-sweep ulp budget.
 func checkWorkerSweep(cx *caseCtx) (Status, string) {
-	baseAvg, baseMax := core.NNStretch(cx.c, cx.cfg.Workers[0])
+	base := core.NNStretchResult(cx.c, cx.cfg.Workers[0])
 	for _, w := range cx.cfg.Workers[1:] {
-		avg, max := core.NNStretch(cx.c, w)
-		if max != baseMax {
-			return Fail, fmt.Sprintf("Dmax(workers=%d) = %.17g, workers=%d gives %.17g", w, max, cx.cfg.Workers[0], baseMax)
+		nn := core.NNStretchResult(cx.c, w)
+		if nn.DMax != base.DMax {
+			return Fail, fmt.Sprintf("Dmax(workers=%d) = %.17g, workers=%d gives %.17g", w, nn.DMax, cx.cfg.Workers[0], base.DMax)
 		}
-		if st, msg := cmpULP(fmt.Sprintf("Davg(workers=%d vs %d)", w, cx.cfg.Workers[0]), avg, baseAvg, ulpsWorkerSweep); st != Pass {
+		if st, msg := cmpULP(fmt.Sprintf("Davg(workers=%d vs %d)", w, cx.cfg.Workers[0]), nn.DAvg, base.DAvg, ulpsWorkerSweep); st != Pass {
 			return st, msg
 		}
 	}
@@ -135,18 +135,18 @@ func checkUnitStep(cx *caseCtx) (Status, string) {
 // accumulation order), within the worker-sweep budget at full parallelism.
 func checkSequentialOracle(cx *caseCtx) (Status, string) {
 	refAvg, refMax := refNNStretch(cx.c)
-	avg1, max1 := core.NNStretch(cx.c, 1)
-	if st, msg := cmpULP("Davg oracle vs workers=1", avg1, refAvg, ulpsExact); st != Pass {
+	nn1 := core.NNStretchResult(cx.c, 1)
+	if st, msg := cmpULP("Davg oracle vs workers=1", nn1.DAvg, refAvg, ulpsExact); st != Pass {
 		return st, msg
 	}
-	if st, msg := cmpULP("Dmax oracle vs workers=1", max1, refMax, ulpsExact); st != Pass {
+	if st, msg := cmpULP("Dmax oracle vs workers=1", nn1.DMax, refMax, ulpsExact); st != Pass {
 		return st, msg
 	}
-	avgP, maxP := cx.exact()
-	if st, msg := cmpULP("Davg oracle vs parallel", avgP, refAvg, ulpsWorkerSweep); st != Pass {
+	ex := cx.exact()
+	if st, msg := cmpULP("Davg oracle vs parallel", ex.DAvg, refAvg, ulpsWorkerSweep); st != Pass {
 		return st, msg
 	}
-	return cmpULP("Dmax oracle vs parallel", maxP, refMax, ulpsExact)
+	return cmpULP("Dmax oracle vs parallel", ex.DMax, refMax, ulpsExact)
 }
 
 // checkTorusOracle does the same for the periodic-boundary engine, and at
@@ -154,26 +154,26 @@ func checkSequentialOracle(cx *caseCtx) (Status, string) {
 // torus and open-grid engines to agree on the same numbers.
 func checkTorusOracle(cx *caseCtx) (Status, string) {
 	refAvg, refMax := refNNStretchTorus(cx.c)
-	avg1, max1 := core.NNStretchTorus(cx.c, 1)
-	if st, msg := cmpULP("torus Davg oracle vs workers=1", avg1, refAvg, ulpsExact); st != Pass {
+	nn1 := core.NNStretchTorusResult(cx.c, 1)
+	if st, msg := cmpULP("torus Davg oracle vs workers=1", nn1.DAvg, refAvg, ulpsExact); st != Pass {
 		return st, msg
 	}
-	if st, msg := cmpULP("torus Dmax oracle vs workers=1", max1, refMax, ulpsExact); st != Pass {
+	if st, msg := cmpULP("torus Dmax oracle vs workers=1", nn1.DMax, refMax, ulpsExact); st != Pass {
 		return st, msg
 	}
-	avgP, maxP := core.NNStretchTorus(cx.c, 0)
-	if st, msg := cmpULP("torus Davg oracle vs parallel", avgP, refAvg, ulpsWorkerSweep); st != Pass {
+	nnP := core.NNStretchTorusResult(cx.c, 0)
+	if st, msg := cmpULP("torus Davg oracle vs parallel", nnP.DAvg, refAvg, ulpsWorkerSweep); st != Pass {
 		return st, msg
 	}
-	if st, msg := cmpULP("torus Dmax oracle vs parallel", maxP, refMax, ulpsExact); st != Pass {
+	if st, msg := cmpULP("torus Dmax oracle vs parallel", nnP.DMax, refMax, ulpsExact); st != Pass {
 		return st, msg
 	}
 	if cx.u.K() == 1 {
-		openAvg, openMax := cx.exact()
-		if st, msg := cmpULP("torus vs open Davg at k=1", avg1, openAvg, ulpsWorkerSweep); st != Pass {
+		open := cx.exact()
+		if st, msg := cmpULP("torus vs open Davg at k=1", nn1.DAvg, open.DAvg, ulpsWorkerSweep); st != Pass {
 			return st, msg
 		}
-		return cmpULP("torus vs open Dmax at k=1", max1, openMax, ulpsExact)
+		return cmpULP("torus vs open Dmax at k=1", nn1.DMax, open.DMax, ulpsExact)
 	}
 	return Pass, ""
 }
@@ -205,12 +205,12 @@ func checkTableShadow(cx *caseCtx) (Status, string) {
 			return Fail, fmt.Sprintf("shadow Point(%d) = %v, curve gives %v", idx, q, p)
 		}
 	}
-	sAvg, sMax := core.NNStretch(shadow, 0)
-	avg, max := cx.exact()
-	if st, msg := cmpULP("shadow Davg", sAvg, avg, ulpsExact); st != Pass {
+	sh := core.NNStretchResult(shadow, 0)
+	ex := cx.exact()
+	if st, msg := cmpULP("shadow Davg", sh.DAvg, ex.DAvg, ulpsExact); st != Pass {
 		return st, msg
 	}
-	return cmpULP("shadow Dmax", sMax, max, ulpsExact)
+	return cmpULP("shadow Dmax", sh.DMax, ex.DMax, ulpsExact)
 }
 
 // checkSampledNN verifies the uniform Monte-Carlo estimator converges to
@@ -227,7 +227,7 @@ func checkSampledNN(cx *caseCtx) (Status, string) {
 	if err != nil {
 		return Fail, err.Error()
 	}
-	davg, _ := cx.exact()
+	davg := cx.exact().DAvg
 	tol := cx.cfg.SampleZ*est.DAvgStdErr + relEps*(1+davg)
 	if diff := math.Abs(est.DAvg - davg); diff > tol {
 		return Fail, fmt.Sprintf("sampled Davg %.9g vs exact %.9g: |diff| %.3g > %.1f·stderr %.3g",
@@ -255,7 +255,7 @@ func checkStratifiedNN(cx *caseCtx) (Status, string) {
 	if err != nil {
 		return Fail, err.Error()
 	}
-	davg, _ := cx.exact()
+	davg := cx.exact().DAvg
 	tol := stratifiedRelTol*davg + relEps
 	if d == 1 {
 		// Exhaustive on a line: exact up to summation-order rounding.
@@ -299,13 +299,13 @@ func checkSimpleClosedForm(cx *caseCtx) (Status, string) {
 	if cx.c.Name() != "simple" {
 		return Skip, "closed form applies to the simple curve"
 	}
-	davg, dmax := cx.exact()
+	ex := cx.exact()
 	d, k := cx.u.D(), cx.u.K()
 	closedAvg := bounds.SimpleDAvgExact(d, k)
-	if diff := math.Abs(davg - closedAvg); diff > relEps*(1+closedAvg) {
-		return Fail, fmt.Sprintf("Davg measured %.17g, closed form %.17g", davg, closedAvg)
+	if diff := math.Abs(ex.DAvg - closedAvg); diff > relEps*(1+closedAvg) {
+		return Fail, fmt.Sprintf("Davg measured %.17g, closed form %.17g", ex.DAvg, closedAvg)
 	}
-	return cmpULP("Dmax vs Proposition 2", dmax, bounds.SimpleDMaxExact(d, k), ulpsExact)
+	return cmpULP("Dmax vs Proposition 2", ex.DMax, bounds.SimpleDMaxExact(d, k), ulpsExact)
 }
 
 // checkZLambdaClosedForm compares the measured per-dimension sums Λ_i
@@ -355,7 +355,7 @@ func checkSAPrimeIdentity(cx *caseCtx) (Status, string) {
 // sum: ΣΛ/(n·d) ≤ Davg ≤ 2·ΣΛ/(n·d).
 func checkLemma3Sandwich(cx *caseCtx) (Status, string) {
 	lo, hi := core.Lemma3Bounds(cx.c, 0)
-	davg, _ := cx.exact()
+	davg := cx.exact().DAvg
 	eps := relEps * (1 + davg)
 	if davg < lo-eps || davg > hi+eps {
 		return Fail, fmt.Sprintf("Davg %.9g outside Lemma 3 sandwich [%.9g, %.9g]", davg, lo, hi)
@@ -382,24 +382,24 @@ func checkAxisPermutation(cx *caseCtx) (Status, string) {
 	if err != nil {
 		return Fail, err.Error()
 	}
-	wAvg, wMax := core.NNStretch(wrapped, 0)
-	avg, max := cx.exact()
-	if st, msg := cmpULP("Dmax under axis permutation", wMax, max, ulpsExact); st != Pass {
+	w := core.NNStretchResult(wrapped, 0)
+	ex := cx.exact()
+	if st, msg := cmpULP("Dmax under axis permutation", w.DMax, ex.DMax, ulpsExact); st != Pass {
 		return st, msg
 	}
-	return cmpULP("Davg under axis permutation", wAvg, avg, ulpsIsometry)
+	return cmpULP("Davg under axis permutation", w.DAvg, ex.DAvg, ulpsIsometry)
 }
 
 // checkReflection verifies stretch invariance under reflecting every axis.
 func checkReflection(cx *caseCtx) (Status, string) {
 	mask := uint64(1)<<uint(cx.u.D()) - 1
 	wrapped := curve.NewReflected(cx.c, mask)
-	wAvg, wMax := core.NNStretch(wrapped, 0)
-	avg, max := cx.exact()
-	if st, msg := cmpULP("Dmax under reflection", wMax, max, ulpsExact); st != Pass {
+	w := core.NNStretchResult(wrapped, 0)
+	ex := cx.exact()
+	if st, msg := cmpULP("Dmax under reflection", w.DMax, ex.DMax, ulpsExact); st != Pass {
 		return st, msg
 	}
-	return cmpULP("Davg under reflection", wAvg, avg, ulpsIsometry)
+	return cmpULP("Davg under reflection", w.DAvg, ex.DAvg, ulpsIsometry)
 }
 
 // checkReversal verifies stretch invariance under index reversal
@@ -407,12 +407,12 @@ func checkReflection(cx *caseCtx) (Status, string) {
 // in the same enumeration order — so the agreement must be bit-for-bit.
 func checkReversal(cx *caseCtx) (Status, string) {
 	wrapped := curve.NewReversed(cx.c)
-	wAvg, wMax := core.NNStretch(wrapped, 0)
-	avg, max := cx.exact()
-	if st, msg := cmpULP("Dmax under reversal", wMax, max, ulpsExact); st != Pass {
+	w := core.NNStretchResult(wrapped, 0)
+	ex := cx.exact()
+	if st, msg := cmpULP("Dmax under reversal", w.DMax, ex.DMax, ulpsExact); st != Pass {
 		return st, msg
 	}
-	return cmpULP("Davg under reversal", wAvg, avg, ulpsExact)
+	return cmpULP("Davg under reversal", w.DAvg, ex.DAvg, ulpsExact)
 }
 
 // checkRefinementMonotone verifies Davg does not decrease under grid
@@ -423,7 +423,7 @@ func checkRefinementMonotone(cx *caseCtx) (Status, string) {
 	if !cx.prevOK {
 		return Skip, "no coarser grid in sweep"
 	}
-	davg, _ := cx.exact()
+	davg := cx.exact().DAvg
 	if davg < cx.prevDAvg-relEps*(1+davg) {
 		return Fail, fmt.Sprintf("Davg %.9g at k=%d below %.9g at k=%d", davg, cx.u.K(), cx.prevDAvg, cx.u.K()-1)
 	}
@@ -433,7 +433,7 @@ func checkRefinementMonotone(cx *caseCtx) (Status, string) {
 // checkTheorem1Bound verifies the paper's universal lower bound at this
 // finite n: Davg(π) ≥ (2/3d)(n^(1−1/d) − n^(−1−1/d)) for every bijection.
 func checkTheorem1Bound(cx *caseCtx) (Status, string) {
-	davg, _ := cx.exact()
+	davg := cx.exact().DAvg
 	lb := bounds.NNAvgLowerBound(cx.u.D(), cx.u.K())
 	if davg < lb-relEps*(1+lb) {
 		return Fail, fmt.Sprintf("Davg %.9g violates Theorem 1 bound %.9g", davg, lb)
@@ -443,9 +443,9 @@ func checkTheorem1Bound(cx *caseCtx) (Status, string) {
 
 // checkDMaxGeDAvg verifies Dmax ≥ Davg, the relation behind Proposition 1.
 func checkDMaxGeDAvg(cx *caseCtx) (Status, string) {
-	davg, dmax := cx.exact()
-	if dmax < davg-relEps*(1+davg) {
-		return Fail, fmt.Sprintf("Dmax %.9g < Davg %.9g", dmax, davg)
+	ex := cx.exact()
+	if ex.DMax < ex.DAvg-relEps*(1+ex.DAvg) {
+		return Fail, fmt.Sprintf("Dmax %.9g < Davg %.9g", ex.DMax, ex.DAvg)
 	}
 	return Pass, ""
 }

@@ -43,6 +43,7 @@ import (
 	"sort"
 
 	"repro/internal/bits"
+	"repro/internal/core"
 	"repro/internal/curve"
 	"repro/internal/grid"
 )
@@ -191,8 +192,7 @@ type caseCtx struct {
 	cfg       Config
 	c         curve.Curve
 	u         *grid.Universe
-	davg      float64
-	dmax      float64
+	nn        core.NN
 	haveExact bool
 	// prevDAvg is Davg of the same curve name at (d, k−1), for the
 	// refinement-monotonicity check; prevOK reports whether it is set.
@@ -200,13 +200,14 @@ type caseCtx struct {
 	prevOK   bool
 }
 
-// exact returns the cached exact (Davg, Dmax), computing them on first use.
-func (cx *caseCtx) exact() (float64, float64) {
+// exact returns the cached exact stretch metrics, computing them on first
+// use.
+func (cx *caseCtx) exact() core.NN {
 	if !cx.haveExact {
-		cx.davg, cx.dmax = nnStretchEngine(cx.c, 0)
+		cx.nn = nnStretchEngine(cx.c, 0)
 		cx.haveExact = true
 	}
-	return cx.davg, cx.dmax
+	return cx.nn
 }
 
 // Check is one named conformance check.
@@ -284,8 +285,7 @@ func Run(cfg Config) (*Report, error) {
 						Status: status, Detail: detail,
 					})
 				}
-				davg, _ := cx.exact()
-				next[name] = davg
+				next[name] = cx.exact().DAvg
 			}
 			prev = next
 		}

@@ -9,8 +9,8 @@ import (
 )
 
 // nnStretchEngine is the production parallel engine under test.
-func nnStretchEngine(c curve.Curve, workers int) (float64, float64) {
-	return core.NNStretch(c, workers)
+func nnStretchEngine(c curve.Curve, workers int) core.NN {
+	return core.NNStretchResult(c, workers)
 }
 
 // refNNStretch is the sequential brute-force oracle for (Davg, Dmax): an

@@ -57,27 +57,45 @@ func DeltaMaxAt(c curve.Curve, p grid.Point) uint64 {
 	return max
 }
 
+// NN bundles the two nearest-neighbor stretch metrics of one curve — the
+// paper's Davg (Definition 2) and Dmax (Definition 4) — as a single value,
+// so result plumbing never has to carry a bare (davg, dmax) pair.
+type NN struct {
+	DAvg float64 // average-average nearest-neighbor stretch Davg(π)
+	DMax float64 // average-maximum nearest-neighbor stretch Dmax(π)
+}
+
 // DAvg returns the average-average nearest-neighbor stretch Davg(π)
 // (Definition 2), computed exactly in parallel.
 func DAvg(c curve.Curve, workers int) float64 {
-	avg, _ := NNStretch(c, workers)
-	return avg
+	return NNStretchResult(c, workers).DAvg
 }
 
 // DMax returns the average-maximum nearest-neighbor stretch Dmax(π)
 // (Definition 4), computed exactly in parallel.
 func DMax(c curve.Curve, workers int) float64 {
-	_, max := NNStretch(c, workers)
-	return max
+	return NNStretchResult(c, workers).DMax
 }
 
 // NNStretch computes Davg(π) and Dmax(π) in a single parallel sweep over
 // all cells.
+//
+// Deprecated: use NNStretchResult, which returns the same values as a
+// core.NN instead of a bare pair.
 func NNStretch(c curve.Curve, workers int) (davg, dmax float64) {
+	r := NNStretchResult(c, workers)
+	return r.DAvg, r.DMax
+}
+
+// NNStretchResult computes Davg(π) and Dmax(π) in a single parallel sweep
+// over all cells. The arithmetic (Kahan-compensated per-chunk accumulation,
+// chunk-ordered reduction) is specified exactly; the conformance suite
+// checks it bit-for-bit against a sequential oracle.
+func NNStretchResult(c curve.Curve, workers int) NN {
 	u := c.Universe()
 	n := u.N()
 	if n == 1 {
-		return 0, 0 // a single cell has no neighbors
+		return NN{} // a single cell has no neighbors
 	}
 	type acc struct{ avg, max float64 }
 	partial := func(lo, hi uint64) acc {
@@ -140,7 +158,7 @@ func NNStretch(c curve.Curve, workers int) (davg, dmax float64) {
 		cMax = (t - sumMax) - y
 		sumMax = t
 	}
-	return sumAvg / float64(n), sumMax / float64(n)
+	return NN{DAvg: sumAvg / float64(n), DMax: sumMax / float64(n)}
 }
 
 // absDiff returns |a − b| for curve indices.

@@ -19,10 +19,18 @@ import (
 // still holds a fortiori (the periodic neighbor set contains the open one,
 // and wrap distances only add weight).
 func NNStretchTorus(c curve.Curve, workers int) (davg, dmax float64) {
+	r := NNStretchTorusResult(c, workers)
+	return r.DAvg, r.DMax
+}
+
+// NNStretchTorusResult is NNStretchTorus returning a core.NN instead of a
+// bare pair. NNStretchTorus delegates to it; internal callers should prefer
+// this form.
+func NNStretchTorusResult(c curve.Curve, workers int) NN {
 	u := c.Universe()
 	n := u.N()
 	if n == 1 {
-		return 0, 0
+		return NN{}
 	}
 	side := u.Side()
 	d := u.D()
@@ -71,5 +79,5 @@ func NNStretchTorus(c curve.Curve, workers int) (davg, dmax float64) {
 		sumAvg += a.avg
 		sumMax += a.max
 	}
-	return sumAvg / float64(n), sumMax / float64(n)
+	return NN{DAvg: sumAvg / float64(n), DMax: sumMax / float64(n)}
 }

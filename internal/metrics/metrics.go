@@ -1,0 +1,257 @@
+// Package metrics provides the lock-free instrumentation primitives behind
+// the query-serving layer (internal/service): atomic counters, power-of-two
+// bucketed histograms, and a registry that renders everything as an aligned
+// text report or an expvar-style JSON document.
+//
+// The design goal is zero contention on the hot path: observing a value is
+// one or two atomic adds, never a lock. Reads (Report, JSON, Snapshot) are
+// approximate under concurrent writes — each field is loaded atomically but
+// the set of loads is not a consistent cut — which is the standard contract
+// for serving metrics.
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing (or explicitly reset) atomic count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n may be negative, e.g. to correct an over-count).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Reset sets the counter to zero.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// numBuckets covers int64: bucket i counts values v with bits.Len64(v) == i,
+// i.e. bucket 0 holds v = 0 and bucket i ≥ 1 holds v in [2^(i−1), 2^i).
+const numBuckets = 64
+
+// Histogram is a fixed power-of-two-bucket histogram of nonnegative int64
+// observations (negative values clamp to zero). Bucket boundaries double,
+// so quantile estimates carry at most a 2× resolution error — plenty for
+// latency distributions — while Observe stays allocation- and lock-free.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest observed value (0 when empty).
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Mean returns the mean observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Quantile returns an upper bound on the q-quantile (q in [0, 1]): the
+// upper edge of the first bucket at which the cumulative count reaches
+// q·Count. The bound is within 2× of the true quantile by construction.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(n))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			if i >= 63 {
+				return h.max.Load() // 2^63−1 would overflow the edge arithmetic
+			}
+			hi := int64(1)<<uint(i) - 1 // upper edge of bucket i
+			if m := h.max.Load(); m < hi {
+				return m
+			}
+			return hi
+		}
+	}
+	return h.max.Load()
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// Registry is a named collection of counters and histograms. Lookups
+// get-or-create under a mutex (cold path); the returned metric is then used
+// lock-free. Names render in sorted order.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the histogram with the given name, creating it on first
+// use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// names returns the sorted names of both metric kinds.
+func (r *Registry) names() (counters, histograms []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name := range r.counters {
+		counters = append(counters, name)
+	}
+	for name := range r.histograms {
+		histograms = append(histograms, name)
+	}
+	sort.Strings(counters)
+	sort.Strings(histograms)
+	return counters, histograms
+}
+
+// Report renders every metric as aligned text: one `name value` line per
+// counter, one `name count/mean/p50/p95/max` line per histogram.
+func (r *Registry) Report() string {
+	cs, hs := r.names()
+	var b strings.Builder
+	width := 0
+	for _, name := range cs {
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	for _, name := range hs {
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	for _, name := range cs {
+		fmt.Fprintf(&b, "%-*s %d\n", width, name, r.Counter(name).Value())
+	}
+	for _, name := range hs {
+		h := r.Histogram(name)
+		fmt.Fprintf(&b, "%-*s count=%d mean=%.1f p50<=%d p95<=%d max=%d\n",
+			width, name, h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Max())
+	}
+	return b.String()
+}
+
+// JSON renders every metric as an expvar-style JSON object: counters as
+// numbers, histograms as {count, sum, mean, p50, p95, max} objects. Keys are
+// sorted, so the output is deterministic for a quiescent registry.
+func (r *Registry) JSON() string {
+	cs, hs := r.names()
+	var b strings.Builder
+	b.WriteString("{")
+	first := true
+	for _, name := range cs {
+		if !first {
+			b.WriteString(",")
+		}
+		first = false
+		fmt.Fprintf(&b, "%q: %d", name, r.Counter(name).Value())
+	}
+	for _, name := range hs {
+		if !first {
+			b.WriteString(",")
+		}
+		first = false
+		h := r.Histogram(name)
+		fmt.Fprintf(&b, "%q: {\"count\": %d, \"sum\": %d, \"mean\": %.3f, \"p50\": %d, \"p95\": %d, \"max\": %d}",
+			name, h.Count(), h.Sum(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Max())
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Reset clears every registered metric (the metrics stay registered).
+func (r *Registry) Reset() {
+	cs, hs := r.names()
+	for _, name := range cs {
+		r.Counter(name).Reset()
+	}
+	for _, name := range hs {
+		r.Histogram(name).Reset()
+	}
+}

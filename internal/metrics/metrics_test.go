@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+	c.Reset()
+	if got := c.Value(); got != 0 {
+		t.Fatalf("after Reset Value = %d", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 100 || h.Sum() != 5050 || h.Max() != 100 {
+		t.Fatalf("count/sum/max = %d/%d/%d", h.Count(), h.Sum(), h.Max())
+	}
+	if m := h.Mean(); m != 50.5 {
+		t.Fatalf("mean = %v", m)
+	}
+	// Power-of-two buckets bound every quantile q by the bucket edge above
+	// the true quantile: true p50 is 50 → bucket [32,64) → bound 63.
+	if q := h.Quantile(0.50); q < 50 || q > 63 {
+		t.Fatalf("p50 bound = %d, want in [50, 63]", q)
+	}
+	// The top bucket's bound is clamped to the observed max.
+	if q := h.Quantile(1); q != 100 {
+		t.Fatalf("p100 = %d, want 100", q)
+	}
+	h.Observe(-7) // clamps to 0
+	if q := h.Quantile(0.001); q != 0 {
+		t.Fatalf("p0.1 after a zero observation = %d, want 0", q)
+	}
+}
+
+func TestHistogramLargeValues(t *testing.T) {
+	var h Histogram
+	h.Observe(1 << 62)
+	if q := h.Quantile(0.99); q != 1<<62 {
+		t.Fatalf("quantile of single huge value = %d", q)
+	}
+}
+
+func TestRegistryReportAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cache.hits").Add(7)
+	r.Counter("cache.misses").Add(3)
+	r.Histogram("shard.0.latency_us").Observe(120)
+	if c := r.Counter("cache.hits"); c.Value() != 7 {
+		t.Fatal("Counter must return the same instance on re-lookup")
+	}
+	rep := r.Report()
+	for _, want := range []string{"cache.hits", "cache.misses", "shard.0.latency_us", "count=1"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("Report missing %q:\n%s", want, rep)
+		}
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(r.JSON()), &doc); err != nil {
+		t.Fatalf("JSON dump is not valid JSON: %v\n%s", err, r.JSON())
+	}
+	if doc["cache.hits"].(float64) != 7 {
+		t.Fatalf("JSON cache.hits = %v", doc["cache.hits"])
+	}
+	hist := doc["shard.0.latency_us"].(map[string]any)
+	if hist["count"].(float64) != 1 || hist["sum"].(float64) != 120 {
+		t.Fatalf("JSON histogram = %v", hist)
+	}
+	r.Reset()
+	if r.Counter("cache.hits").Value() != 0 || r.Histogram("shard.0.latency_us").Count() != 0 {
+		t.Fatal("Reset must clear all metrics")
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("n").Inc()
+				r.Histogram("h").Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("n").Value() != 8000 || r.Histogram("h").Count() != 8000 {
+		t.Fatalf("lost updates: n=%d h=%d", r.Counter("n").Value(), r.Histogram("h").Count())
+	}
+	if r.Histogram("h").Max() != 999 {
+		t.Fatalf("max = %d", r.Histogram("h").Max())
+	}
+}

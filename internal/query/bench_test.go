@@ -30,7 +30,7 @@ func BenchmarkDecomposeAblation(b *testing.B) {
 		})
 		b.Run("brute/"+name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				sinkIvs = mergeIntervals(bruteDecompose(c, box))
+				sinkIvs = MergeIntervals(bruteDecompose(c, box))
 			}
 		})
 	}

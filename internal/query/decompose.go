@@ -81,7 +81,7 @@ func DecomposeBox(c curve.Curve, b Box) []Interval {
 	default:
 		ivs = bruteDecompose(c, b)
 	}
-	return mergeIntervals(ivs)
+	return MergeIntervals(ivs)
 }
 
 // hierarchicalDecompose recursively splits the universe into aligned
@@ -206,8 +206,11 @@ func bruteDecompose(c curve.Curve, b Box) []Interval {
 	return out
 }
 
-// mergeIntervals sorts and coalesces touching or overlapping intervals.
-func mergeIntervals(ivs []Interval) []Interval {
+// MergeIntervals sorts and coalesces touching or overlapping intervals in
+// place, returning the canonical sorted disjoint form. It is the shared
+// normalizer for decompositions, degraded-query dark spans, and the
+// service layer's cross-shard merges.
+func MergeIntervals(ivs []Interval) []Interval {
 	if len(ivs) <= 1 {
 		return ivs
 	}
@@ -224,4 +227,11 @@ func mergeIntervals(ivs []Interval) []Interval {
 		out = append(out, iv)
 	}
 	return out
+}
+
+// IntervalsContain reports whether key lies in any of the sorted, disjoint
+// intervals, by binary search.
+func IntervalsContain(ivs []Interval, key uint64) bool {
+	i := sort.Search(len(ivs), func(i int) bool { return ivs[i].Hi > key })
+	return i < len(ivs) && ivs[i].Lo <= key
 }

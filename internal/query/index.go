@@ -1,6 +1,7 @@
 package query
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -8,6 +9,10 @@ import (
 	"repro/internal/curve"
 	"repro/internal/grid"
 )
+
+// ErrEmptyIndex is the sentinel wrapped by every query that cannot be
+// answered because no points are indexed; test with errors.Is.
+var ErrEmptyIndex = errors.New("query: empty index")
 
 // Index is a static spatial index: points sorted by their curve key.
 // Multiple points may share a cell.
@@ -95,7 +100,7 @@ func (ix *Index) Count(b Box) int {
 // by the searched radius.
 func (ix *Index) KNearest(q grid.Point, k int) ([]grid.Point, []float64, error) {
 	if ix.Len() == 0 {
-		return nil, nil, fmt.Errorf("query: k-nearest on empty index")
+		return nil, nil, fmt.Errorf("k-nearest: %w", ErrEmptyIndex)
 	}
 	if k < 1 {
 		return nil, nil, fmt.Errorf("query: k = %d", k)
@@ -175,7 +180,7 @@ func (ix *Index) Nearest(q grid.Point) (grid.Point, float64, error) {
 
 func (ix *Index) nearest(q grid.Point, st *NearestStats) (grid.Point, float64, error) {
 	if ix.Len() == 0 {
-		return nil, 0, fmt.Errorf("query: nearest on empty index")
+		return nil, 0, fmt.Errorf("nearest: %w", ErrEmptyIndex)
 	}
 	u := ix.c.Universe()
 	d := u.D()

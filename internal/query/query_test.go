@@ -1,6 +1,7 @@
 package query
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -120,7 +121,7 @@ func TestDecomposeMatchesBruteForAllCurves(t *testing.T) {
 	}
 	for _, c := range allCurves(t, u) {
 		fast := DecomposeBox(c, b)
-		brute := mergeIntervals(bruteDecompose(c, b))
+		brute := MergeIntervals(bruteDecompose(c, b))
 		if len(fast) != len(brute) {
 			t.Fatalf("%s: %d intervals, brute %d", c.Name(), len(fast), len(brute))
 		}
@@ -167,7 +168,7 @@ func TestIntervalCountMatchesClusteringMetric(t *testing.T) {
 }
 
 func TestMergeIntervals(t *testing.T) {
-	got := mergeIntervals([]Interval{{5, 7}, {0, 2}, {2, 4}, {6, 9}, {12, 13}})
+	got := MergeIntervals([]Interval{{5, 7}, {0, 2}, {2, 4}, {6, 9}, {12, 13}})
 	want := []Interval{{0, 4}, {5, 9}, {12, 13}}
 	if len(got) != len(want) {
 		t.Fatalf("merged = %v", got)
@@ -177,7 +178,7 @@ func TestMergeIntervals(t *testing.T) {
 			t.Fatalf("merged = %v, want %v", got, want)
 		}
 	}
-	if out := mergeIntervals(nil); len(out) != 0 {
+	if out := MergeIntervals(nil); len(out) != 0 {
 		t.Fatal("merge nil")
 	}
 }
@@ -357,8 +358,8 @@ func TestKNearestClampsAndValidates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := empty.KNearest(u.MustPoint(0, 0), 1); err == nil {
-		t.Fatal("empty index accepted")
+	if _, _, err := empty.KNearest(u.MustPoint(0, 0), 1); !errors.Is(err, ErrEmptyIndex) {
+		t.Fatalf("empty index: err = %v, want ErrEmptyIndex", err)
 	}
 }
 
@@ -376,8 +377,8 @@ func TestNearestEmpty(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := ix.Nearest(u.MustPoint(0, 0)); err == nil {
-		t.Fatal("nearest on empty index succeeded")
+	if _, _, err := ix.Nearest(u.MustPoint(0, 0)); !errors.Is(err, ErrEmptyIndex) {
+		t.Fatalf("nearest on empty index: err = %v, want ErrEmptyIndex", err)
 	}
 }
 

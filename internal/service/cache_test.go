@@ -1,0 +1,139 @@
+package service
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/metrics"
+	"repro/internal/query"
+)
+
+func boxAt(u *grid.Universe, x uint32) query.Box {
+	b, err := query.NewBox(u, u.MustPoint(x, 0), u.MustPoint(x, 0))
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// TestCacheLRUEviction checks hit/miss accounting and that eviction is
+// least-recently-used, with recency refreshed by hits.
+func TestCacheLRUEviction(t *testing.T) {
+	u := grid.MustNew(2, 3)
+	var calls atomic.Int64
+	reg := metrics.NewRegistry()
+	dc := newDecompCache(2, func(b query.Box) []query.Interval {
+		calls.Add(1)
+		return []query.Interval{{Lo: uint64(b.Lo[0]), Hi: uint64(b.Lo[0]) + 1}}
+	}, reg)
+
+	a, b, c := boxAt(u, 0), boxAt(u, 1), boxAt(u, 2)
+	dc.get(a) // miss
+	dc.get(b) // miss
+	dc.get(a) // hit, refreshes a's recency
+	dc.get(c) // miss → evicts b (LRU), not a
+	if calls.Load() != 3 {
+		t.Fatalf("decompose calls = %d, want 3", calls.Load())
+	}
+	dc.get(a) // must still be cached
+	if calls.Load() != 3 {
+		t.Fatal("a was evicted although b was least recently used")
+	}
+	dc.get(b) // must have been evicted
+	if calls.Load() != 4 {
+		t.Fatal("b survived eviction in a cache of capacity 2")
+	}
+	if got := dc.len(); got != 2 {
+		t.Fatalf("cache len = %d, want 2", got)
+	}
+	if hits := reg.Counter("cache.hits").Value(); hits != 2 {
+		t.Fatalf("cache.hits = %d, want 2", hits)
+	}
+	if misses := reg.Counter("cache.misses").Value(); misses != 4 {
+		t.Fatalf("cache.misses = %d, want 4", misses)
+	}
+	if ev := reg.Counter("cache.evictions").Value(); ev != 2 {
+		t.Fatalf("cache.evictions = %d, want 2", ev)
+	}
+	// Cached and recomputed decompositions agree.
+	iv := dc.get(a)
+	if len(iv) != 1 || iv[0].Lo != 0 {
+		t.Fatalf("cached decomposition corrupted: %v", iv)
+	}
+}
+
+// TestCacheDisabled: capacity 0 retains nothing but still answers
+// correctly.
+func TestCacheDisabled(t *testing.T) {
+	u := grid.MustNew(2, 3)
+	var calls atomic.Int64
+	dc := newDecompCache(0, func(b query.Box) []query.Interval {
+		calls.Add(1)
+		return nil
+	}, metrics.NewRegistry())
+	a := boxAt(u, 1)
+	dc.get(a)
+	dc.get(a)
+	if calls.Load() != 2 {
+		t.Fatalf("disabled cache computed %d times, want 2", calls.Load())
+	}
+	if dc.len() != 0 {
+		t.Fatal("disabled cache retained an entry")
+	}
+}
+
+// TestCacheSingleflight: concurrent identical requests share one
+// computation — one leader computes, the rest block and reuse its result.
+func TestCacheSingleflight(t *testing.T) {
+	u := grid.MustNew(2, 3)
+	var calls atomic.Int64
+	enter := make(chan struct{})
+	release := make(chan struct{})
+	reg := metrics.NewRegistry()
+	dc := newDecompCache(4, func(b query.Box) []query.Interval {
+		calls.Add(1)
+		close(enter) // signal: leader is inside decompose
+		<-release    // hold the flight open while waiters pile up
+		return []query.Interval{{Lo: 7, Hi: 9}}
+	}, reg)
+
+	a := boxAt(u, 2)
+	const waiters = 5
+	var wg sync.WaitGroup
+	results := make([][]query.Interval, waiters+1)
+	wg.Add(1)
+	go func() { defer wg.Done(); results[0] = dc.get(a) }()
+	<-enter // leader is committed; everyone else must coalesce
+	for i := 1; i <= waiters; i++ {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); results[i] = dc.get(a) }(i)
+	}
+	// Wait until every follower is registered as shared before releasing.
+	for reg.Counter("coalesce.shared").Value() < waiters {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("decompose ran %d times for %d concurrent callers", calls.Load(), waiters+1)
+	}
+	for i, r := range results {
+		if len(r) != 1 || r[0] != (query.Interval{Lo: 7, Hi: 9}) {
+			t.Fatalf("caller %d got %v", i, r)
+		}
+	}
+	if l := reg.Counter("coalesce.leader").Value(); l != 1 {
+		t.Fatalf("coalesce.leader = %d", l)
+	}
+	if s := reg.Counter("coalesce.shared").Value(); s != waiters {
+		t.Fatalf("coalesce.shared = %d, want %d", s, waiters)
+	}
+	// The completed flight is now cached: one more get is a pure hit.
+	dc.get(a)
+	if h := reg.Counter("cache.hits").Value(); h != 1 {
+		t.Fatalf("cache.hits after flight = %d, want 1", h)
+	}
+}

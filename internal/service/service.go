@@ -1,0 +1,331 @@
+// Package service is the concurrent query-serving layer over the paged
+// store: it shards a record set across P stores by contiguous curve-index
+// segments (the cuts of internal/partition), routes each box query to
+// exactly the shards whose segment intersects the query's curve
+// decomposition, and runs the per-shard scans on a bounded worker pool.
+//
+// The decomposition — the expensive, curve-dependent part of a query — is
+// computed once per distinct box and shared three ways: across the shards of
+// one query (each shard scans a clipped view of the same interval list),
+// across concurrent identical queries (singleflight coalescing), and across
+// repeated queries (a size-bounded LRU). Everything is context-first:
+// cancellation and deadlines are honored between page reads inside each
+// shard, and a canceled query returns the context's error rather than a
+// fabricated partial result.
+//
+// Because shard segments are contiguous and ascending in curve order and
+// each shard returns records in curve order, concatenating per-shard
+// results in shard order reproduces the single-store scan order exactly —
+// the property test in service_test.go proves this, dark intervals
+// included.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/curve"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// ErrShuttingDown is returned (wrapped) by queries submitted after Close.
+var ErrShuttingDown = errors.New("service: shutting down")
+
+// Config parameterizes New. The zero value is usable: one shard, one worker
+// per CPU, the default cache size and page size.
+type Config struct {
+	// Shards is the number of store shards; 0 means 1.
+	Shards int
+	// Workers bounds the pool executing per-shard scans; 0 means
+	// GOMAXPROCS.
+	Workers int
+	// CacheSize is the decomposition cache capacity in entries: 0 means
+	// DefaultCacheSize, negative disables retention (coalescing of
+	// concurrent identical decompositions is kept).
+	CacheSize int
+	// PageSize is the leaf page size of every shard store; 0 means the
+	// store default.
+	PageSize int
+	// Registry receives the service metrics; nil means a private registry
+	// (readable through Metrics).
+	Registry *metrics.Registry
+	// ShardOptions, when non-nil, supplies extra bulkload options for shard
+	// j — the hook fault-injection tests use to wrap each shard's device.
+	ShardOptions func(j int) []store.Option
+}
+
+// Service serves box queries over a sharded store. Methods are safe for
+// concurrent use; Close drains the worker pool.
+type Service struct {
+	c      curve.Curve
+	pt     *partition.Partition
+	shards []*store.Store
+	cache  *decompCache
+	reg    *metrics.Registry
+
+	mu     sync.RWMutex // guards closed and the right to send on tasks
+	closed bool
+	tasks  chan func()
+	wg     sync.WaitGroup
+
+	qTotal    *metrics.Counter
+	qDegraded *metrics.Counter
+	qErrors   *metrics.Counter
+	pagesRead *metrics.Counter
+	shardLat  []*metrics.Histogram
+}
+
+// Result is the outcome of one sharded query, mirroring
+// store.DegradedResult: the readable records in curve order plus the merged
+// dark curve intervals from every shard.
+type Result struct {
+	// Records holds the readable records inside the box, in curve order —
+	// identical to what a single unsharded store would return.
+	Records []store.Record
+	// Unavailable lists the curve intervals no shard could serve: sorted,
+	// disjoint, merged across shards.
+	Unavailable []query.Interval
+	// ShardsQueried counts the shards whose segment intersected the
+	// query's decomposition.
+	ShardsQueried int
+}
+
+// Complete reports whether the whole query was served.
+func (r Result) Complete() bool { return len(r.Unavailable) == 0 }
+
+// New shards recs across cfg.Shards stores by uniform curve-index cuts and
+// starts the worker pool. The input records are not retained.
+func New(c curve.Curve, recs []store.Record, cfg Config) (*Service, error) {
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("service: %d shards", shards)
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("service: %d workers", workers)
+	}
+	pt, err := partition.Uniform(c, shards)
+	if err != nil {
+		return nil, fmt.Errorf("service: partitioning: %w", err)
+	}
+	// Deal records to their owning shard; Bulkload sorts each shard's deal
+	// by curve key, and the segments are ascending, so the concatenation of
+	// shard contents is the globally sorted record set.
+	dealt := make([][]store.Record, shards)
+	for _, r := range recs {
+		j := pt.OwnerOfPosition(c.Index(r.Point))
+		dealt[j] = append(dealt[j], r)
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s := &Service{
+		c:         c,
+		pt:        pt,
+		shards:    make([]*store.Store, shards),
+		reg:       reg,
+		tasks:     make(chan func(), 2*workers),
+		qTotal:    reg.Counter("queries.total"),
+		qDegraded: reg.Counter("queries.degraded"),
+		qErrors:   reg.Counter("queries.errors"),
+		pagesRead: reg.Counter("pages.leaf_read"),
+		shardLat:  make([]*metrics.Histogram, shards),
+	}
+	for j := range s.shards {
+		opts := []store.Option{}
+		if cfg.PageSize != 0 {
+			opts = append(opts, store.WithPageSize(cfg.PageSize))
+		}
+		if cfg.ShardOptions != nil {
+			opts = append(opts, cfg.ShardOptions(j)...)
+		}
+		st, err := store.Bulkload(c, dealt[j], opts...)
+		if err != nil {
+			return nil, fmt.Errorf("service: shard %d: %w", j, err)
+		}
+		s.shards[j] = st
+		s.shardLat[j] = reg.Histogram(fmt.Sprintf("shard.%d.latency_us", j))
+	}
+	capacity := cfg.CacheSize
+	switch {
+	case capacity == 0:
+		capacity = DefaultCacheSize
+	case capacity < 0:
+		capacity = 0
+	}
+	s.cache = newDecompCache(capacity, func(b query.Box) []query.Interval {
+		return query.DecomposeBox(c, b)
+	}, reg)
+	for w := 0; w < workers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for t := range s.tasks {
+				t()
+			}
+		}()
+	}
+	return s, nil
+}
+
+// Curve returns the service's curve.
+func (s *Service) Curve() curve.Curve { return s.c }
+
+// Shards returns the shard count.
+func (s *Service) Shards() int { return len(s.shards) }
+
+// Shard returns shard j's store, e.g. to inject device faults in tests.
+func (s *Service) Shard(j int) *store.Store { return s.shards[j] }
+
+// Partition returns the curve-index partition that defines shard ownership.
+func (s *Service) Partition() *partition.Partition { return s.pt }
+
+// Metrics returns the service's metric registry.
+func (s *Service) Metrics() *metrics.Registry { return s.reg }
+
+// Range answers the box query, fanning out to every shard whose curve
+// segment intersects the query's decomposition and merging the results in
+// curve order. Pages that stay unreadable degrade the result (dark
+// intervals in Result.Unavailable) rather than failing it; a canceled or
+// expired context fails the query with the context's error.
+func (s *Service) Range(ctx context.Context, b query.Box) (Result, error) {
+	ivs := s.cache.get(b)
+	type job struct {
+		shard int
+		ivs   []query.Interval
+	}
+	jobs := make([]job, 0, len(s.shards))
+	for j := range s.shards {
+		lo, hi := s.pt.Segment(j)
+		if clipped := clipIntervals(ivs, lo, hi); len(clipped) > 0 {
+			jobs = append(jobs, job{shard: j, ivs: clipped})
+		}
+	}
+	s.qTotal.Inc()
+	if len(jobs) == 0 {
+		return Result{}, nil
+	}
+	type shardRes struct {
+		pos int
+		res store.DegradedResult
+		err error
+	}
+	resc := make(chan shardRes, len(jobs))
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		s.qErrors.Inc()
+		return Result{}, fmt.Errorf("service: range: %w", ErrShuttingDown)
+	}
+	for pos, jb := range jobs {
+		pos, jb := pos, jb
+		s.tasks <- func() {
+			start := time.Now()
+			r, err := s.shards[jb.shard].RangeIntervalsDegraded(ctx, jb.ivs)
+			s.shardLat[jb.shard].Observe(time.Since(start).Microseconds())
+			resc <- shardRes{pos: pos, res: r, err: err}
+		}
+	}
+	s.mu.RUnlock()
+
+	ordered := make([]store.DegradedResult, len(jobs))
+	var firstErr error
+	for range jobs {
+		sr := <-resc
+		if sr.err != nil && firstErr == nil {
+			firstErr = sr.err
+		}
+		ordered[sr.pos] = sr.res
+	}
+	if firstErr != nil {
+		s.qErrors.Inc()
+		return Result{}, fmt.Errorf("service: range: %w", firstErr)
+	}
+	out := Result{ShardsQueried: len(jobs)}
+	var dark []query.Interval
+	pages := 0
+	for _, r := range ordered {
+		out.Records = append(out.Records, r.Records...)
+		dark = append(dark, r.Unavailable...)
+		pages += r.PagesRead
+	}
+	// Per-shard dark lists are sorted and confined to disjoint ascending
+	// segments, so the concatenation is already sorted; MergeIntervals
+	// coalesces abutting spans across a shard boundary.
+	out.Unavailable = query.MergeIntervals(dark)
+	s.pagesRead.Add(int64(pages))
+	if !out.Complete() {
+		s.qDegraded.Inc()
+	}
+	return out, nil
+}
+
+// RangeBatch answers the boxes in order, reusing the decomposition cache
+// across them, and stops at the first error (context cancellation or
+// shutdown). Results align with the prefix of boxes served.
+func (s *Service) RangeBatch(ctx context.Context, boxes []query.Box) ([]Result, error) {
+	out := make([]Result, 0, len(boxes))
+	for _, b := range boxes {
+		r, err := s.Range(ctx, b)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// CacheLen returns the number of retained decompositions.
+func (s *Service) CacheLen() int { return s.cache.len() }
+
+// Close stops the worker pool and waits for in-flight shard scans to
+// finish. Queries submitted after Close fail with ErrShuttingDown. Close is
+// idempotent.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.tasks)
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// clipIntervals restricts sorted disjoint intervals to the half-open
+// segment [lo, hi).
+func clipIntervals(ivs []query.Interval, lo, hi uint64) []query.Interval {
+	var out []query.Interval
+	for _, iv := range ivs {
+		if iv.Lo >= hi {
+			break // sorted: nothing further intersects
+		}
+		a, b := iv.Lo, iv.Hi
+		if a < lo {
+			a = lo
+		}
+		if b > hi {
+			b = hi
+		}
+		if a < b {
+			out = append(out, query.Interval{Lo: a, Hi: b})
+		}
+	}
+	return out
+}

@@ -22,7 +22,7 @@ func (st *Store) boxQuerySeedPath(b query.Box) []Record {
 			page := i / st.pageSize
 			if !touched[page] {
 				touched[page] = true
-				st.stats.LeafReads++
+				st.stats.leafReads.Add(1)
 			}
 			out = append(out, st.records[i])
 		}

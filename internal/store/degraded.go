@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/query"
@@ -21,6 +22,11 @@ type DegradedResult struct {
 	// a dead page owns a contiguous curve segment, so this report stays
 	// short — its length is itself a locality metric.
 	Unavailable []query.Interval
+	// PagesRead counts the distinct leaf pages this call touched,
+	// including pages that stayed dark. The service layer aggregates it
+	// into its pages-read metric without having to diff cumulative store
+	// stats under concurrency.
+	PagesRead int
 }
 
 // Complete reports whether the whole query was served.
@@ -33,12 +39,28 @@ func (r DegradedResult) Complete() bool { return len(r.Unavailable) == 0 }
 // injects nothing) it returns byte-identical records and identical Stats to
 // RangeQuery — degraded mode costs nothing when nothing fails.
 func (st *Store) RangeQueryDegraded(b query.Box) DegradedResult {
+	res, _ := st.RangeDegradedContext(context.Background(), b)
+	return res
+}
+
+// RangeDegradedContext is RangeQueryDegraded honoring a context: the
+// context is checked between leaf page reads and a cancellation aborts the
+// query with the context's error (a canceled query is not "degraded" — no
+// dark intervals are fabricated for the part it never attempted).
+func (st *Store) RangeDegradedContext(ctx context.Context, b query.Box) (DegradedResult, error) {
+	return st.RangeIntervalsDegraded(ctx, query.DecomposeBox(st.c, b))
+}
+
+// RangeIntervalsDegraded answers a pre-decomposed degraded query over
+// sorted, disjoint curve intervals (as produced by query.DecomposeBox or a
+// shared decomposition cache). The service layer uses it to reuse one
+// cached decomposition across every shard a query routes to.
+func (st *Store) RangeIntervalsDegraded(ctx context.Context, ivs []query.Interval) (DegradedResult, error) {
 	cache := newPageCache(st)
 	type span struct {
 		iv     query.Interval
 		lo, hi int // slot range [lo, hi) of records inside iv
 	}
-	ivs := query.DecomposeBox(st.c, b)
 	spans := make([]span, 0, len(ivs))
 	for _, iv := range ivs {
 		lo := st.descend(iv.Lo)
@@ -53,6 +75,9 @@ func (st *Store) RangeQueryDegraded(b query.Box) DegradedResult {
 			continue
 		}
 		for page := sp.lo / st.pageSize; page <= (sp.hi-1)/st.pageSize; page++ {
+			if err := ctx.Err(); err != nil {
+				return DegradedResult{}, err
+			}
 			if _, err := cache.get(page); err == nil {
 				continue
 			}
@@ -68,7 +93,7 @@ func (st *Store) RangeQueryDegraded(b query.Box) DegradedResult {
 			}
 		}
 	}
-	dark = mergeSorted(dark)
+	dark = query.MergeIntervals(dark)
 	// Pass 2: collect records, skipping dark pages and any record whose key
 	// falls in a dark interval (duplicate keys straddling a page boundary
 	// are only partially readable, so the whole key goes dark).
@@ -82,13 +107,17 @@ func (st *Store) RangeQueryDegraded(b query.Box) DegradedResult {
 				pg, pgErr = cache.get(id)
 				cur = id
 			}
-			if pgErr != nil || inIntervals(dark, st.keys[i]) {
+			if pgErr != nil || query.IntervalsContain(dark, st.keys[i]) {
 				continue
 			}
 			out = append(out, pg.Records[i%st.pageSize])
 		}
 	}
-	return DegradedResult{Records: out, Unavailable: dark}
+	return DegradedResult{
+		Records:     out,
+		Unavailable: dark,
+		PagesRead:   len(cache.pages) + len(cache.failed),
+	}, nil
 }
 
 // pageKeySpan returns the half-open curve-key range [first, last+1] covered
@@ -100,31 +129,4 @@ func (st *Store) pageKeySpan(page int) query.Interval {
 		hi = len(st.keys)
 	}
 	return query.Interval{Lo: st.keys[lo], Hi: st.keys[hi-1] + 1}
-}
-
-// mergeSorted sorts and coalesces touching or overlapping intervals.
-func mergeSorted(ivs []query.Interval) []query.Interval {
-	if len(ivs) <= 1 {
-		return ivs
-	}
-	sort.Slice(ivs, func(i, j int) bool { return ivs[i].Lo < ivs[j].Lo })
-	out := ivs[:1]
-	for _, iv := range ivs[1:] {
-		last := &out[len(out)-1]
-		if iv.Lo <= last.Hi {
-			if iv.Hi > last.Hi {
-				last.Hi = iv.Hi
-			}
-			continue
-		}
-		out = append(out, iv)
-	}
-	return out
-}
-
-// inIntervals reports whether key lies in any of the sorted, disjoint
-// intervals.
-func inIntervals(ivs []query.Interval, key uint64) bool {
-	i := sort.Search(len(ivs), func(i int) bool { return ivs[i].Hi > key })
-	return i < len(ivs) && ivs[i].Lo <= key
 }

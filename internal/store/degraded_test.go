@@ -1,6 +1,7 @@
 package store_test
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -115,8 +116,8 @@ func TestDegradedLostPages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := st.RangeQuery(full); err == nil {
-		t.Fatal("strict query succeeded over lost pages")
+	if _, err := st.RangeQuery(full); !errors.Is(err, store.ErrPageUnavailable) {
+		t.Fatalf("strict query over lost pages: err = %v, want ErrPageUnavailable", err)
 	}
 	st.ResetStats()
 	res := st.RangeQueryDegraded(full)

@@ -22,15 +22,21 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/curve"
 	"repro/internal/grid"
 	"repro/internal/query"
 )
+
+// ErrPageUnavailable is the sentinel wrapped by every error reporting a leaf
+// page that stayed unreadable after the retry budget; test with errors.Is.
+var ErrPageUnavailable = errors.New("store: page unavailable")
 
 // Record is a stored multi-dimensional point with an application payload.
 type Record struct {
@@ -57,6 +63,48 @@ type Stats struct {
 // Total returns total logical page reads.
 func (s Stats) Total() int { return s.LeafReads + s.InnerReads }
 
+// counters is the store's live accounting. Every field is atomic so that
+// concurrent queries against one store — the normal mode under the service
+// layer — accumulate without tearing, and Stats()/ResetStats are safe to
+// call while queries are in flight.
+type counters struct {
+	leafReads        atomic.Int64
+	innerReads       atomic.Int64
+	descents         atomic.Int64
+	deviceReads      atomic.Int64
+	retries          atomic.Int64
+	checksumFailures atomic.Int64
+	pagesUnavailable atomic.Int64
+	backoff          atomic.Int64 // nanoseconds
+}
+
+// snapshot reads each counter once. Concurrent writers may land between
+// loads, so a snapshot taken mid-query is approximate; one taken while the
+// store is quiescent is exact.
+func (c *counters) snapshot() Stats {
+	return Stats{
+		LeafReads:        int(c.leafReads.Load()),
+		InnerReads:       int(c.innerReads.Load()),
+		Descents:         int(c.descents.Load()),
+		DeviceReads:      int(c.deviceReads.Load()),
+		Retries:          int(c.retries.Load()),
+		ChecksumFailures: int(c.checksumFailures.Load()),
+		PagesUnavailable: int(c.pagesUnavailable.Load()),
+		Backoff:          time.Duration(c.backoff.Load()),
+	}
+}
+
+func (c *counters) reset() {
+	c.leafReads.Store(0)
+	c.innerReads.Store(0)
+	c.descents.Store(0)
+	c.deviceReads.Store(0)
+	c.retries.Store(0)
+	c.checksumFailures.Store(0)
+	c.pagesUnavailable.Store(0)
+	c.backoff.Store(0)
+}
+
 // Store is a bulk-loaded, read-only B+-tree over curve keys.
 type Store struct {
 	c        curve.Curve
@@ -79,32 +127,32 @@ type Store struct {
 	verify bool       // verify checksums (on iff a non-default device is set)
 	retry  RetryPolicy
 
-	stats Stats
-}
-
-// Config tunes the store geometry.
-type Config struct {
-	PageSize int // records per leaf page (default 64)
-	Fanout   int // children per inner node (default 64)
+	stats counters
 }
 
 // Bulkload builds a store over the records through the given curve. The
-// input is not retained; records may share cells.
-func Bulkload(c curve.Curve, recs []Record, cfg Config) (*Store, error) {
-	if cfg.PageSize == 0 {
-		cfg.PageSize = 64
+// input is not retained; records may share cells. Geometry, device and retry
+// policy are set by functional options (WithPageSize, WithFanout,
+// WithDevice, WithDeviceWrapper, WithRetryPolicy); the legacy Config struct
+// also satisfies Option, so pre-option call sites compile unchanged.
+func Bulkload(c curve.Curve, recs []Record, opts ...Option) (*Store, error) {
+	cfg := buildConfig{pageSize: 64, fanout: 64}
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt.apply(&cfg); err != nil {
+			return nil, err
+		}
 	}
-	if cfg.Fanout == 0 {
-		cfg.Fanout = 64
-	}
-	if cfg.PageSize < 2 || cfg.Fanout < 2 {
-		return nil, fmt.Errorf("store: page size %d / fanout %d too small", cfg.PageSize, cfg.Fanout)
+	if cfg.pageSize < 2 || cfg.fanout < 2 {
+		return nil, fmt.Errorf("store: page size %d / fanout %d too small", cfg.pageSize, cfg.fanout)
 	}
 	u := c.Universe()
 	st := &Store{
 		c:        c,
-		pageSize: cfg.PageSize,
-		fanout:   cfg.Fanout,
+		pageSize: cfg.pageSize,
+		fanout:   cfg.fanout,
 		keys:     make([]uint64, len(recs)),
 		records:  make([]Record, len(recs)),
 		retry:    RetryPolicy{}.withDefaults(),
@@ -124,28 +172,47 @@ func Bulkload(c curve.Curve, recs []Record, cfg Config) (*Store, error) {
 		st.records[slot] = Record{Point: recs[i].Point.Clone(), Payload: recs[i].Payload}
 	}
 	// Build inner levels over leaf pages.
-	numLeaves := (len(recs) + cfg.PageSize - 1) / cfg.PageSize
+	numLeaves := (len(recs) + cfg.pageSize - 1) / cfg.pageSize
 	cur := make([]uint64, numLeaves)
 	for i := range cur {
-		cur[i] = st.keys[i*cfg.PageSize]
+		cur[i] = st.keys[i*cfg.pageSize]
 	}
 	for len(cur) > 1 {
 		st.levels = append(st.levels, cur)
-		next := make([]uint64, (len(cur)+cfg.Fanout-1)/cfg.Fanout)
+		next := make([]uint64, (len(cur)+cfg.fanout-1)/cfg.fanout)
 		for i := range next {
-			next[i] = cur[i*cfg.Fanout]
+			next[i] = cur[i*cfg.fanout]
 		}
 		cur = next
 	}
 	if len(cur) == 1 {
 		st.levels = append(st.levels, cur)
 	}
-	st.mem = &MemDevice{pageSize: cfg.PageSize, keys: st.keys, records: st.records}
+	st.mem = &MemDevice{pageSize: cfg.pageSize, keys: st.keys, records: st.records}
 	st.device = st.mem
 	st.sums = make([]uint64, numLeaves)
 	for id := range st.sums {
 		pg, _ := st.mem.ReadPage(id)
 		st.sums[id] = pageChecksum(pg)
+	}
+	if cfg.retry != nil {
+		if err := st.setRetryPolicy(*cfg.retry); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.device != nil {
+		if err := st.setDevice(cfg.device); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.wrap != nil {
+		dev, err := cfg.wrap(st.device)
+		if err != nil {
+			return nil, fmt.Errorf("store: device wrapper: %w", err)
+		}
+		if err := st.setDevice(dev); err != nil {
+			return nil, err
+		}
 	}
 	return st, nil
 }
@@ -162,24 +229,27 @@ func (st *Store) PageSize() int { return st.pageSize }
 // NumPages returns the number of leaf pages.
 func (st *Store) NumPages() int { return len(st.sums) }
 
-// Stats returns the accumulated I/O counters.
-func (st *Store) Stats() Stats { return st.stats }
+// Stats returns a snapshot of the accumulated I/O counters. It is safe to
+// call concurrently with queries; a snapshot taken mid-query is approximate.
+func (st *Store) Stats() Stats { return st.stats.snapshot() }
 
-// ResetStats clears the I/O counters.
-func (st *Store) ResetStats() { st.stats = Stats{} }
+// ResetStats clears the I/O counters. It is safe to call concurrently with
+// queries (each counter is zeroed atomically).
+func (st *Store) ResetStats() { st.stats.reset() }
 
 // Device returns the page device leaf reads currently go through.
 func (st *Store) Device() PageDevice { return st.device }
 
 // DefaultDevice returns the trusted in-memory device built at bulkload, so
-// a fallible device installed with SetDevice can be removed again.
+// a fallible device installed with WithDevice/SetDevice can be removed
+// again.
 func (st *Store) DefaultDevice() PageDevice { return st.mem }
 
-// SetDevice routes leaf reads through dev. Installing any device other than
+// setDevice routes leaf reads through dev. Installing any device other than
 // DefaultDevice() turns on checksum verification: every page fetched is
 // checked against the bulkload-time checksum and rejected (and retried) on
 // mismatch, so bit corruption on the I/O path can never surface silently.
-func (st *Store) SetDevice(dev PageDevice) error {
+func (st *Store) setDevice(dev PageDevice) error {
 	if dev == nil {
 		return errors.New("store: nil device")
 	}
@@ -191,9 +261,16 @@ func (st *Store) SetDevice(dev PageDevice) error {
 	return nil
 }
 
-// SetRetryPolicy replaces the retry policy used for fallible devices.
+// SetDevice routes leaf reads through dev. Not safe to call concurrently
+// with queries — install devices before serving.
+//
+// Deprecated: prefer the WithDevice or WithDeviceWrapper Bulkload options,
+// which configure the device before the store is ever queried.
+func (st *Store) SetDevice(dev PageDevice) error { return st.setDevice(dev) }
+
+// setRetryPolicy replaces the retry policy used for fallible devices.
 // Zero fields take their defaults.
-func (st *Store) SetRetryPolicy(rp RetryPolicy) error {
+func (st *Store) setRetryPolicy(rp RetryPolicy) error {
 	rp = rp.withDefaults()
 	if rp.MaxAttempts < 1 {
 		return fmt.Errorf("store: retry MaxAttempts %d < 1", rp.MaxAttempts)
@@ -202,6 +279,12 @@ func (st *Store) SetRetryPolicy(rp RetryPolicy) error {
 	return nil
 }
 
+// SetRetryPolicy replaces the retry policy used for fallible devices. Not
+// safe to call concurrently with queries.
+//
+// Deprecated: prefer the WithRetryPolicy Bulkload option.
+func (st *Store) SetRetryPolicy(rp RetryPolicy) error { return st.setRetryPolicy(rp) }
+
 // fetchPage reads one leaf page through the device, retrying transient
 // failures and checksum rejections up to the retry budget with simulated
 // exponential backoff. Errors wrapping ErrPermanent short-circuit the loop.
@@ -209,10 +292,10 @@ func (st *Store) fetchPage(id int) (Page, error) {
 	var lastErr error
 	for attempt := 1; attempt <= st.retry.MaxAttempts; attempt++ {
 		if attempt > 1 {
-			st.stats.Retries++
-			st.stats.Backoff += st.retry.backoff(id, attempt-1)
+			st.stats.retries.Add(1)
+			st.stats.backoff.Add(int64(st.retry.backoff(id, attempt-1)))
 		}
-		st.stats.DeviceReads++
+		st.stats.deviceReads.Add(1)
 		pg, err := st.device.ReadPage(id)
 		if err != nil {
 			lastErr = err
@@ -222,14 +305,14 @@ func (st *Store) fetchPage(id int) (Page, error) {
 			continue
 		}
 		if st.verify && pageChecksum(pg) != st.sums[id] {
-			st.stats.ChecksumFailures++
+			st.stats.checksumFailures.Add(1)
 			lastErr = fmt.Errorf("store: checksum mismatch on page %d", id)
 			continue
 		}
 		return pg, nil
 	}
-	st.stats.PagesUnavailable++
-	return Page{}, fmt.Errorf("store: page %d unavailable: %w", id, lastErr)
+	st.stats.pagesUnavailable.Add(1)
+	return Page{}, fmt.Errorf("%w: page %d: %w", ErrPageUnavailable, id, lastErr)
 }
 
 // pageCache memoizes page fetches (including failed ones) for the duration
@@ -252,7 +335,7 @@ func (pc *pageCache) get(id int) (Page, error) {
 	if err, ok := pc.failed[id]; ok {
 		return Page{}, err
 	}
-	pc.st.stats.LeafReads++
+	pc.st.stats.leafReads.Add(1)
 	pg, err := pc.st.fetchPage(id)
 	if err != nil {
 		pc.failed[id] = err
@@ -265,28 +348,48 @@ func (pc *pageCache) get(id int) (Page, error) {
 // descend simulates a root-to-leaf search for key, charging one inner read
 // per level, and returns the index of the first record with key >= target.
 func (st *Store) descend(target uint64) int {
-	st.stats.Descents++
+	st.stats.descents.Add(1)
 	// Walk levels top-down; each is one page read. (Node-granular charging
 	// is a refinement; level-granular matches the classic analysis where
 	// fanout is large and the path touches one node per level.)
-	st.stats.InnerReads += len(st.levels)
+	st.stats.innerReads.Add(int64(len(st.levels)))
 	return sort.Search(len(st.keys), func(i int) bool { return st.keys[i] >= target })
 }
 
 // RangeQuery returns all records inside the box, charging one descent per
 // curve interval and one leaf read per distinct leaf page touched. It is
 // strict: the first page that stays unavailable after the retry budget
-// fails the whole query. Use RangeQueryDegraded to get partial results with
-// an explicit report of the unserved curve intervals instead.
+// fails the whole query (errors.Is(err, ErrPageUnavailable)). Use
+// RangeQueryDegraded to get partial results with an explicit report of the
+// unserved curve intervals instead.
 func (st *Store) RangeQuery(b query.Box) ([]Record, error) {
+	return st.RangeContext(context.Background(), b)
+}
+
+// RangeContext is RangeQuery honoring a context: cancellation and deadline
+// are checked between leaf page reads, so a query over many pages stops
+// within one page fetch of the context ending.
+func (st *Store) RangeContext(ctx context.Context, b query.Box) ([]Record, error) {
+	return st.RangeIntervals(ctx, query.DecomposeBox(st.c, b))
+}
+
+// RangeIntervals answers a pre-decomposed query: it scans the given sorted,
+// disjoint curve intervals (as produced by query.DecomposeBox or a shared
+// decomposition cache) and returns the records whose keys they contain, in
+// curve order. The service layer uses it to reuse one cached decomposition
+// across every shard the query routes to.
+func (st *Store) RangeIntervals(ctx context.Context, ivs []query.Interval) ([]Record, error) {
 	cache := newPageCache(st)
 	var out []Record
 	cur := -1 // memoize the scan's current page: pages arrive consecutively
 	var pg Page
-	for _, iv := range query.DecomposeBox(st.c, b) {
+	for _, iv := range ivs {
 		lo := st.descend(iv.Lo)
 		for i := lo; i < len(st.keys) && st.keys[i] < iv.Hi; i++ {
 			if id := i / st.pageSize; id != cur {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				var err error
 				if pg, err = cache.get(id); err != nil {
 					return nil, err
@@ -361,7 +464,7 @@ func (st *Store) NeighborSweep(cachePages int) (Stats, error) {
 		if hit {
 			return resident[page], nil
 		}
-		st.stats.LeafReads++
+		st.stats.leafReads.Add(1)
 		pg, err := st.fetchPage(page)
 		if err != nil {
 			return Page{}, err
@@ -373,7 +476,7 @@ func (st *Store) NeighborSweep(cachePages int) (Stats, error) {
 	for i := range st.keys {
 		pg, err := readPage(i / st.pageSize)
 		if err != nil {
-			return st.stats, err
+			return st.Stats(), err
 		}
 		u.Neighbors(pg.Records[i%st.pageSize].Point, func(_ int, nb grid.Point) {
 			if sweepErr != nil {
@@ -389,10 +492,10 @@ func (st *Store) NeighborSweep(cachePages int) (Stats, error) {
 			}
 		})
 		if sweepErr != nil {
-			return st.stats, sweepErr
+			return st.Stats(), sweepErr
 		}
 	}
-	return st.stats, nil
+	return st.Stats(), nil
 }
 
 // lru is a minimal LRU set of page ids.
