@@ -1,0 +1,266 @@
+// Command sfcbench measures the throughput of the curve-evaluation kernel
+// layer against the scalar baseline: per-key encode/decode cost and the
+// end-to-end nearest-neighbor stretch sweep, per curve and universe. Every
+// measurement carries an embedded self-check — the kernel path must
+// bit-match the scalar path on the data being timed — and the process exits
+// nonzero on any disagreement, so the CI smoke job doubles as a correctness
+// gate.
+//
+// The committed BENCH_core.json at the repository root is the output of a
+// full run (-out BENCH_core.json); refresh it after kernel work and eyeball
+// the speedup column (see docs/PERF.md).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+// benchCase is one (d, k) universe of the sweep.
+type benchCase struct {
+	D int `json:"d"`
+	K int `json:"k"`
+}
+
+// fullCases include the acceptance-bar universes (z at d=2 k=10 and
+// d=3 k=7); quickCases keep the CI smoke job inside a few seconds.
+var (
+	fullCases  = []benchCase{{2, 10}, {3, 7}}
+	quickCases = []benchCase{{2, 7}, {3, 5}}
+)
+
+// Row is one benchmark measurement: the scalar and kernel cost of one
+// operation, normalized per key (encode/decode) or per cell (nnsweep).
+type Row struct {
+	Curve         string  `json:"curve"`
+	D             int     `json:"d"`
+	K             int     `json:"k"`
+	N             uint64  `json:"n"`
+	Op            string  `json:"op"`
+	ScalarNsPerOp float64 `json:"scalar_ns_per_op"`
+	KernelNsPerOp float64 `json:"kernel_ns_per_op"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// Report is the JSON document sfcbench emits.
+type Report struct {
+	Tool      string `json:"tool"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	Quick     bool   `json:"quick"`
+	SelfCheck string `json:"self_check"` // "ok" — a run that fails never writes a report
+	Rows      []Row  `json:"rows"`
+}
+
+type config struct {
+	quick   bool
+	curves  []string
+	minTime time.Duration
+	log     func(format string, args ...any)
+}
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "use the small CI smoke universes")
+		out     = flag.String("out", "", "write the JSON report to this file (default stdout)")
+		curvesF = flag.String("curves", "z,simple,snake,gray,hilbert", "comma-separated curves to bench")
+		minTime = flag.Duration("mintime", 200*time.Millisecond, "minimum sampling time per measurement")
+	)
+	flag.Parse()
+
+	cfg := config{
+		quick:   *quick,
+		curves:  strings.Split(*curvesF, ","),
+		minTime: *minTime,
+		log:     func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+	}
+	rep, err := run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sfcbench: %v\n", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sfcbench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "sfcbench: %v\n", err)
+		os.Exit(1)
+	}
+	cfg.log("wrote %s (%d rows)", *out, len(rep.Rows))
+}
+
+// run executes the sweep. It returns an error — and no report — as soon as
+// any kernel result disagrees with its scalar counterpart.
+func run(cfg config) (*Report, error) {
+	cases := fullCases
+	if cfg.quick {
+		cases = quickCases
+	}
+	if cfg.log == nil {
+		cfg.log = func(string, ...any) {}
+	}
+	rep := &Report{
+		Tool:      "sfcbench",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Quick:     cfg.quick,
+		SelfCheck: "ok",
+	}
+	for _, bc := range cases {
+		u, err := grid.New(bc.D, bc.K)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range cfg.curves {
+			name = strings.TrimSpace(name)
+			c, err := curve.ByName(name, u, 1)
+			if err != nil {
+				return nil, err
+			}
+			cfg.log("bench %-8s d=%d k=%d (n=%d)", name, bc.D, bc.K, u.N())
+			rows, err := benchCurve(c, cfg.minTime)
+			if err != nil {
+				return nil, fmt.Errorf("%s d=%d k=%d: %w", name, bc.D, bc.K, err)
+			}
+			rep.Rows = append(rep.Rows, rows...)
+		}
+	}
+	return rep, nil
+}
+
+// sampleSize bounds the point block used by the encode/decode measurements.
+const sampleSize = 1 << 15
+
+func benchCurve(c curve.Curve, minTime time.Duration) ([]Row, error) {
+	u := c.Universe()
+	d := u.D()
+	n := u.N()
+	m := int(n)
+	if m > sampleSize {
+		m = sampleSize
+	}
+
+	// Sample points spread over the universe (stride through the Linear
+	// order so boundary and interior cells both appear).
+	coords := make([]uint32, m*d)
+	stride := n / uint64(m)
+	if stride == 0 {
+		stride = 1
+	}
+	p := u.NewPoint()
+	for i := 0; i < m; i++ {
+		u.FromLinear(uint64(i)*stride%n, p)
+		copy(coords[i*d:], p)
+	}
+
+	b := curve.NewBatcher(c)
+	keysScalar := make([]uint64, m)
+	keysKernel := make([]uint64, m)
+	for i := 0; i < m; i++ {
+		keysScalar[i] = c.Index(grid.Point(coords[i*d : (i+1)*d]))
+	}
+	b.IndexBatch(coords, keysKernel)
+	for i := 0; i < m; i++ {
+		if keysKernel[i] != keysScalar[i] {
+			return nil, fmt.Errorf("self-check: IndexBatch[%d] = %d, scalar Index = %d", i, keysKernel[i], keysScalar[i])
+		}
+	}
+	encScalar := measure(minTime, func() {
+		for i := 0; i < m; i++ {
+			keysScalar[i] = c.Index(grid.Point(coords[i*d : (i+1)*d]))
+		}
+	}) / float64(m)
+	encKernel := measure(minTime, func() {
+		b.IndexBatch(coords, keysKernel)
+	}) / float64(m)
+
+	ptsScalar := make([]uint32, m*d)
+	ptsKernel := make([]uint32, m*d)
+	for i := 0; i < m; i++ {
+		c.Point(keysScalar[i], grid.Point(ptsScalar[i*d:(i+1)*d]))
+	}
+	b.PointBatch(keysScalar, ptsKernel)
+	for i := range ptsScalar {
+		if ptsKernel[i] != ptsScalar[i] {
+			return nil, fmt.Errorf("self-check: PointBatch disagrees with scalar Point at flat offset %d", i)
+		}
+	}
+	decScalar := measure(minTime, func() {
+		for i := 0; i < m; i++ {
+			c.Point(keysScalar[i], grid.Point(ptsScalar[i*d:(i+1)*d]))
+		}
+	}) / float64(m)
+	decKernel := measure(minTime, func() {
+		b.PointBatch(keysScalar, ptsKernel)
+	}) / float64(m)
+
+	// End-to-end NN stretch sweep at workers=1: the kernelized engine
+	// against the same engine with the kernel hidden (the pre-kernel scalar
+	// path). Results must be bit-identical.
+	ref := curve.ScalarOnly(c)
+	nnKernel := core.NNStretchResult(c, 1)
+	nnScalar := core.NNStretchResult(ref, 1)
+	if nnKernel != nnScalar {
+		return nil, fmt.Errorf("self-check: kernel NN sweep %+v, scalar %+v", nnKernel, nnScalar)
+	}
+	sweepKernel := measure(minTime, func() {
+		nnKernel = core.NNStretchResult(c, 1)
+	}) / float64(n)
+	sweepScalar := measure(minTime, func() {
+		nnScalar = core.NNStretchResult(ref, 1)
+	}) / float64(n)
+
+	mk := func(op string, scalar, kernel float64) Row {
+		return Row{
+			Curve: c.Name(), D: u.D(), K: u.K(), N: n, Op: op,
+			ScalarNsPerOp: scalar, KernelNsPerOp: kernel,
+			Speedup: scalar / kernel,
+		}
+	}
+	return []Row{
+		mk("encode", encScalar, encKernel),
+		mk("decode", decScalar, decKernel),
+		mk("nnsweep", sweepScalar, sweepKernel),
+	}, nil
+}
+
+// measure returns the mean wall time of f in nanoseconds, repeating it
+// until minTime has been sampled.
+func measure(minTime time.Duration, f func()) float64 {
+	reps := 1
+	for {
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			f()
+		}
+		elapsed := time.Since(start)
+		if elapsed >= minTime {
+			return float64(elapsed.Nanoseconds()) / float64(reps)
+		}
+		next := reps * 16
+		if elapsed > 0 {
+			if scale := int(int64(minTime)/int64(elapsed)) + 1; scale < 16 {
+				next = reps * scale
+			}
+		}
+		reps = next
+	}
+}

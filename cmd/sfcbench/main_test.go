@@ -1,0 +1,63 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestRunQuick drives the full sweep logic on tiny universes: every
+// configured curve must produce all three ops, every self-check must pass,
+// and the report must round-trip through JSON.
+func TestRunQuick(t *testing.T) {
+	cfg := config{
+		quick:   true,
+		curves:  []string{"z", "simple", "snake", "gray", "hilbert"},
+		minTime: time.Microsecond, // one rep per measurement; timings are junk but checks run in full
+	}
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.SelfCheck != "ok" {
+		t.Fatalf("SelfCheck = %q, want ok", rep.SelfCheck)
+	}
+	wantRows := len(cfg.curves) * len(quickCases) * 3
+	if len(rep.Rows) != wantRows {
+		t.Fatalf("got %d rows, want %d", len(rep.Rows), wantRows)
+	}
+	ops := map[string]int{}
+	for _, r := range rep.Rows {
+		ops[r.Op]++
+		if r.ScalarNsPerOp <= 0 || r.KernelNsPerOp <= 0 {
+			t.Errorf("%s %s d=%d: non-positive timing %+v", r.Curve, r.Op, r.D, r)
+		}
+		if r.N == 0 {
+			t.Errorf("%s %s: N = 0", r.Curve, r.Op)
+		}
+	}
+	for _, op := range []string{"encode", "decode", "nnsweep"} {
+		if ops[op] != len(cfg.curves)*len(quickCases) {
+			t.Errorf("op %s: %d rows, want %d", op, ops[op], len(cfg.curves)*len(quickCases))
+		}
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(back.Rows) != len(rep.Rows) {
+		t.Fatalf("round-trip lost rows: %d != %d", len(back.Rows), len(rep.Rows))
+	}
+}
+
+// TestRunRejectsUnknownCurve pins the error path.
+func TestRunRejectsUnknownCurve(t *testing.T) {
+	cfg := config{quick: true, curves: []string{"nope"}, minTime: time.Microsecond}
+	if _, err := run(cfg); err == nil {
+		t.Fatal("run accepted an unknown curve")
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/curve"
 	"repro/internal/grid"
+	"repro/internal/profiling"
 	"repro/internal/query"
 	"repro/internal/service"
 	"repro/internal/store"
@@ -51,6 +52,8 @@ type config struct {
 
 func main() {
 	var cfg config
+	var prof profiling.Config
+	prof.AddFlags(flag.CommandLine)
 	flag.StringVar(&cfg.curveName, "curve", "hilbert", fmt.Sprintf("curve name %v", curve.Names()))
 	flag.IntVar(&cfg.d, "d", 2, "dimensions")
 	flag.IntVar(&cfg.k, "k", 6, "log2 side length (n = 2^(d·k) cells)")
@@ -69,7 +72,16 @@ func main() {
 	flag.StringVar(&cfg.jsonPath, "json", "", "write a JSON summary to this file")
 	flag.Parse()
 
-	if err := run(cfg, os.Stdout); err != nil {
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sfcserve:", err)
+		os.Exit(1)
+	}
+	err = run(cfg, os.Stdout)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sfcserve:", err)
 		os.Exit(1)
 	}

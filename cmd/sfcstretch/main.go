@@ -17,9 +17,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/curve"
 	"repro/internal/grid"
+	"repro/internal/profiling"
 )
 
 func main() {
+	var prof profiling.Config
+	prof.AddFlags(flag.CommandLine)
 	var (
 		name     = flag.String("curve", "z", fmt.Sprintf("curve name %v", curve.Names()))
 		d        = flag.Int("d", 2, "dimensions")
@@ -34,6 +37,16 @@ func main() {
 		torus    = flag.Bool("torus", false, "also compute the stretch under periodic boundaries")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fail(err)
+		}
+	}()
 
 	u, err := grid.New(*d, *k)
 	if err != nil {

@@ -1,0 +1,181 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDilatedMasksPartitionKey checks that the d masks are disjoint and
+// together cover exactly the d·k key bits, with the lowest set bit of mask i
+// at position d−1−i (the dilated one for that dimension).
+func TestDilatedMasksPartitionKey(t *testing.T) {
+	for d := 1; d <= 8; d++ {
+		for k := 0; d*k <= MaxKeyBits && k <= 16; k++ {
+			masks := DilatedMasks(d, k)
+			var union uint64
+			for i, m := range masks {
+				if union&m != 0 {
+					t.Fatalf("d=%d k=%d: mask %d overlaps earlier masks", d, k, i)
+				}
+				union |= m
+				if k > 0 {
+					if lsb := m & (-m); lsb != 1<<uint(d-1-i) {
+						t.Fatalf("d=%d k=%d: mask %d lsb %#x, want bit %d", d, k, i, lsb, d-1-i)
+					}
+				}
+			}
+			var want uint64
+			if d*k < 64 {
+				want = 1<<uint(d*k) - 1
+			} else {
+				want = ^uint64(0)
+			}
+			if union != want {
+				t.Fatalf("d=%d k=%d: masks cover %#x, want %#x", d, k, union, want)
+			}
+		}
+	}
+}
+
+// dilatedOracle computes DilatedAdd/DilatedSub the slow way: deinterleave
+// both keys, do the per-coordinate arithmetic mod 2^k, reinterleave, and
+// mask. It is the independent reference the fuzz targets check against.
+func dilatedOracle(a, b uint64, d, k, dim int, sub bool) uint64 {
+	// Coordinates are uint32, so the oracle is defined for k <= 31.
+	xa := make([]uint32, d)
+	xb := make([]uint32, d)
+	Deinterleave(a, k, xa)
+	Deinterleave(b, k, xb)
+	var mod uint32 = 1 << uint(k)
+	var v uint32
+	if sub {
+		v = (xa[dim] - xb[dim]) & (mod - 1)
+	} else {
+		v = (xa[dim] + xb[dim]) & (mod - 1)
+	}
+	x := make([]uint32, d)
+	x[dim] = v
+	return Interleave(x, k)
+}
+
+func TestDilatedAddSubMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 20000; iter++ {
+		d := 1 + rng.Intn(8)
+		k := 1 + rng.Intn(oracleMaxK(d))
+		var lim uint64 = 1
+		if d*k < 64 {
+			lim = 1 << uint(d*k)
+		}
+		a := rng.Uint64()
+		b := rng.Uint64()
+		if lim > 1 {
+			a %= lim
+			b %= lim
+		}
+		dim := rng.Intn(d)
+		mask := DilatedMasks(d, k)[dim]
+		if got, want := DilatedAdd(a, b, mask), dilatedOracle(a, b, d, k, dim, false); got != want {
+			t.Fatalf("DilatedAdd d=%d k=%d dim=%d a=%#x b=%#x: got %#x want %#x", d, k, dim, a, b, got, want)
+		}
+		if got, want := DilatedSub(a, b, mask), dilatedOracle(a, b, d, k, dim, true); got != want {
+			t.Fatalf("DilatedSub d=%d k=%d dim=%d a=%#x b=%#x: got %#x want %#x", d, k, dim, a, b, got, want)
+		}
+	}
+}
+
+// oracleMaxK bounds k so that a coordinate fits in uint32.
+func oracleMaxK(d int) int {
+	k := MaxKeyBits / d
+	if k > 31 {
+		k = 31
+	}
+	return k
+}
+
+// TestDilatedWraparound pins the torus semantics: adding one at side−1 wraps
+// to 0, subtracting one at 0 wraps to side−1.
+func TestDilatedWraparound(t *testing.T) {
+	for d := 1; d <= 4; d++ {
+		for k := 1; k <= 6; k++ {
+			masks := DilatedMasks(d, k)
+			for dim := 0; dim < d; dim++ {
+				m := masks[dim]
+				lsb := m & (-m)
+				if got := DilatedAdd(m, lsb, m); got != 0 {
+					t.Fatalf("d=%d k=%d dim=%d: side-1 + 1 = %#x, want 0", d, k, dim, got)
+				}
+				if got := DilatedSub(0, lsb, m); got != m {
+					t.Fatalf("d=%d k=%d dim=%d: 0 - 1 = %#x, want %#x", d, k, dim, got, m)
+				}
+			}
+		}
+	}
+}
+
+func TestDeinterleave2LUTMatchesMagic(t *testing.T) {
+	f := func(key uint64) bool {
+		key &= 1<<62 - 1
+		xl, yl := Deinterleave2LUT(key)
+		xm, ym := Deinterleave2(key)
+		return xl == xm && yl == ym
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeinterleave3LUTMatchesMagic(t *testing.T) {
+	f := func(key uint64) bool {
+		key &= 1<<60 - 1
+		xl, yl, zl := Deinterleave3LUT(key)
+		xm, ym, zm := Deinterleave3(key)
+		return xl == xm && yl == ym && zl == zm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzDilatedAdd fuzzes DilatedAdd against the deinterleave-add-reinterleave
+// oracle over arbitrary (d, k) splits and dimensions.
+func FuzzDilatedAdd(f *testing.F) {
+	f.Add(uint8(2), uint8(10), uint8(0), uint64(0xDEADBEEF), uint64(5))
+	f.Add(uint8(3), uint8(7), uint8(2), uint64(1)<<20, uint64(1)<<21)
+	f.Add(uint8(1), uint8(30), uint8(0), uint64(1<<29), uint64(1))
+	f.Fuzz(func(t *testing.T, dRaw, kRaw, dimRaw uint8, a, b uint64) {
+		d := 1 + int(dRaw)%8
+		k := 1 + int(kRaw)%oracleMaxK(d)
+		dim := int(dimRaw) % d
+		if d*k < 64 {
+			lim := uint64(1) << uint(d*k)
+			a %= lim
+			b %= lim
+		}
+		mask := DilatedMasks(d, k)[dim]
+		if got, want := DilatedAdd(a, b, mask), dilatedOracle(a, b, d, k, dim, false); got != want {
+			t.Fatalf("DilatedAdd d=%d k=%d dim=%d a=%#x b=%#x: got %#x want %#x", d, k, dim, a, b, got, want)
+		}
+	})
+}
+
+// FuzzDilatedSub fuzzes DilatedSub against the same oracle.
+func FuzzDilatedSub(f *testing.F) {
+	f.Add(uint8(2), uint8(10), uint8(1), uint64(0xCAFEBABE), uint64(3))
+	f.Add(uint8(4), uint8(5), uint8(3), uint64(0), uint64(1))
+	f.Fuzz(func(t *testing.T, dRaw, kRaw, dimRaw uint8, a, b uint64) {
+		d := 1 + int(dRaw)%8
+		k := 1 + int(kRaw)%oracleMaxK(d)
+		dim := int(dimRaw) % d
+		if d*k < 64 {
+			lim := uint64(1) << uint(d*k)
+			a %= lim
+			b %= lim
+		}
+		mask := DilatedMasks(d, k)[dim]
+		if got, want := DilatedSub(a, b, mask), dilatedOracle(a, b, d, k, dim, true); got != want {
+			t.Fatalf("DilatedSub d=%d k=%d dim=%d a=%#x b=%#x: got %#x want %#x", d, k, dim, a, b, got, want)
+		}
+	})
+}

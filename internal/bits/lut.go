@@ -8,22 +8,41 @@ package bits
 
 // lut2 and lut3 hold the spread of every byte value for d=2 and d=3:
 // lut2[b] has the bits of b at positions 0,2,4,…,14; lut3[b] at 0,3,6,…,21.
+// unlut2 and unlut3 are the matching compaction tables for byte-at-a-time
+// decode: unlut2[b] collects bits 0,2,4,6 of the byte b into a nibble, and
+// unlut3[w] collects bits 0,3,6 of the 9-bit chunk w into three bits.
 var (
-	lut2 [256]uint32
-	lut3 [256]uint32
+	lut2   [256]uint32
+	lut3   [256]uint32
+	unlut2 [256]uint8
+	unlut3 [512]uint8
 )
 
 func init() {
 	for b := 0; b < 256; b++ {
 		var s2, s3 uint32
+		var c2 uint8
 		for bit := 0; bit < 8; bit++ {
 			if b&(1<<uint(bit)) != 0 {
 				s2 |= 1 << uint(2*bit)
 				s3 |= 1 << uint(3*bit)
+				if bit%2 == 0 {
+					c2 |= 1 << uint(bit/2)
+				}
 			}
 		}
 		lut2[b] = s2
 		lut3[b] = s3
+		unlut2[b] = c2
+	}
+	for w := 0; w < 512; w++ {
+		var c3 uint8
+		for bit := 0; bit < 9; bit += 3 {
+			if w&(1<<uint(bit)) != 0 {
+				c3 |= 1 << uint(bit/3)
+			}
+		}
+		unlut3[w] = c3
 	}
 }
 
@@ -50,4 +69,32 @@ func spread3LUT(v uint32) uint64 {
 	return uint64(lut3[v&0xFF]) |
 		uint64(lut3[v>>8&0xFF])<<24 |
 		uint64(lut3[v>>16&0xF])<<48
+}
+
+// Deinterleave2LUT is Deinterleave2 implemented byte-at-a-time: each key
+// byte holds four bits of each coordinate, compacted with one table lookup
+// per coordinate. The loop exits as soon as the remaining key bits are zero,
+// so narrow keys (small d·k) cost proportionally less.
+func Deinterleave2LUT(key uint64) (x, y uint32) {
+	for sh := uint(0); key != 0; sh += 4 {
+		b := uint8(key)
+		x |= uint32(unlut2[b>>1]) << sh
+		y |= uint32(unlut2[b]) << sh
+		key >>= 8
+	}
+	return x, y
+}
+
+// Deinterleave3LUT is Deinterleave3 implemented nine-bits-at-a-time: each
+// 9-bit chunk holds three bits of each coordinate, compacted with one
+// 512-entry table lookup per coordinate.
+func Deinterleave3LUT(key uint64) (x, y, z uint32) {
+	for sh := uint(0); key != 0; sh += 3 {
+		w := uint32(key) & 0x1FF
+		x |= uint32(unlut3[w>>2]) << sh
+		y |= uint32(unlut3[w>>1]) << sh
+		z |= uint32(unlut3[w]) << sh
+		key >>= 9
+	}
+	return x, y, z
 }

@@ -213,6 +213,151 @@ func checkTableShadow(cx *caseCtx) (Status, string) {
 	return cmpULP("shadow Dmax", sh.DMax, ex.DMax, ulpsExact)
 }
 
+// checkKernelBatch drives the curve's kernel layer — IndexBatch, PointBatch,
+// NeighborKeys and NeighborKeysTorus — pointwise against the scalar
+// Index/Point at every cell. It runs for every curve: curves without native
+// kernels exercise the generic adapters, which carry the same bit-identity
+// contract.
+func checkKernelBatch(cx *caseCtx) (Status, string) {
+	u, c := cx.u, cx.c
+	d := u.D()
+	n := int(u.N())
+	side := u.Side()
+
+	coords := make([]uint32, n*d)
+	u.Cells(func(lin uint64, p grid.Point) bool {
+		copy(coords[int(lin)*d:], p)
+		return true
+	})
+	keys := make([]uint64, n)
+	curve.NewBatcher(c).IndexBatch(coords, keys)
+	for lin := 0; lin < n; lin++ {
+		p := grid.Point(coords[lin*d : (lin+1)*d])
+		if want := c.Index(p); keys[lin] != want {
+			return Fail, fmt.Sprintf("IndexBatch(%v) = %d, scalar Index = %d", p, keys[lin], want)
+		}
+	}
+	back := make([]uint32, n*d)
+	curve.NewBatcher(c).PointBatch(keys, back)
+	q := u.NewPoint()
+	for lin := 0; lin < n; lin++ {
+		c.Point(keys[lin], q)
+		if !q.Equal(grid.Point(back[lin*d : (lin+1)*d])) {
+			return Fail, fmt.Sprintf("PointBatch(%d) = %v, scalar Point = %v", keys[lin], back[lin*d:(lin+1)*d], q)
+		}
+	}
+
+	nk := curve.NewNeighborKeyer(c)
+	got := make([]uint64, 2*d)
+	want := make([]uint64, 2*d)
+	var failure string
+	u.Cells(func(lin uint64, p grid.Point) bool {
+		base := keys[lin]
+		for dim := 0; dim < d; dim++ {
+			want[2*dim] = curve.InvalidKey
+			want[2*dim+1] = curve.InvalidKey
+		}
+		nk.NeighborKeys(p, base, got)
+		u.NeighborsInto(p, q, func(dim int, nb grid.Point) {
+			slot := 2 * dim
+			if nb[dim] == p[dim]+1 {
+				slot++
+			}
+			want[slot] = c.Index(nb)
+		})
+		for i := range want {
+			if got[i] != want[i] {
+				failure = fmt.Sprintf("NeighborKeys(%v)[%d] = %#x, scalar gives %#x", p, i, got[i], want[i])
+				return false
+			}
+		}
+		for dim := 0; dim < d; dim++ {
+			want[2*dim] = curve.InvalidKey
+			want[2*dim+1] = curve.InvalidKey
+		}
+		nk.NeighborKeysTorus(p, base, got)
+		u.NeighborsTorusInto(p, q, func(dim int, nb grid.Point) {
+			slot := 2 * dim
+			if nb[dim] == (p[dim]+1)&(side-1) {
+				slot++
+			}
+			want[slot] = c.Index(nb)
+		})
+		for i := range want {
+			if got[i] != want[i] {
+				failure = fmt.Sprintf("NeighborKeysTorus(%v)[%d] = %#x, scalar gives %#x", p, i, got[i], want[i])
+				return false
+			}
+		}
+		return true
+	})
+	if failure != "" {
+		return Fail, failure
+	}
+
+	// The block forms must reproduce the per-cell forms over the whole
+	// universe in one call.
+	blk := make([]uint64, n*2*d)
+	nk.NeighborKeysBlock(coords, keys, blk)
+	for lin := 0; lin < n; lin++ {
+		p := grid.Point(coords[lin*d : (lin+1)*d])
+		nk.NeighborKeys(p, keys[lin], got)
+		for i := range got {
+			if blk[lin*2*d+i] != got[i] {
+				return Fail, fmt.Sprintf("NeighborKeysBlock(%v)[%d] = %#x, per-cell gives %#x",
+					p, i, blk[lin*2*d+i], got[i])
+			}
+		}
+	}
+	nk.NeighborKeysTorusBlock(coords, keys, blk)
+	for lin := 0; lin < n; lin++ {
+		p := grid.Point(coords[lin*d : (lin+1)*d])
+		nk.NeighborKeysTorus(p, keys[lin], got)
+		for i := range got {
+			if blk[lin*2*d+i] != got[i] {
+				return Fail, fmt.Sprintf("NeighborKeysTorusBlock(%v)[%d] = %#x, per-cell gives %#x",
+					p, i, blk[lin*2*d+i], got[i])
+			}
+		}
+	}
+	return Pass, ""
+}
+
+// checkKernelSweep requires the kernelized stretch engines (batched NN,
+// torus and Λ sweeps) to reproduce the legacy scalar sweeps bit-for-bit,
+// forcing the scalar path via curve.ScalarOnly. Curves without a native
+// kernel skip: both sides would take the identical scalar path.
+func checkKernelSweep(cx *caseCtx) (Status, string) {
+	if !curve.HasKernel(cx.c) {
+		return Skip, "curve has no kernel fast path"
+	}
+	ref := curve.ScalarOnly(cx.c)
+	kn := core.NNStretchResult(cx.c, 0)
+	sn := core.NNStretchResult(ref, 0)
+	if st, msg := cmpULP("kernel Davg vs scalar sweep", kn.DAvg, sn.DAvg, ulpsExact); st != Pass {
+		return st, msg
+	}
+	if st, msg := cmpULP("kernel Dmax vs scalar sweep", kn.DMax, sn.DMax, ulpsExact); st != Pass {
+		return st, msg
+	}
+	kt := core.NNStretchTorusResult(cx.c, 0)
+	st := core.NNStretchTorusResult(ref, 0)
+	if s, msg := cmpULP("kernel torus Davg vs scalar sweep", kt.DAvg, st.DAvg, ulpsExact); s != Pass {
+		return s, msg
+	}
+	if s, msg := cmpULP("kernel torus Dmax vs scalar sweep", kt.DMax, st.DMax, ulpsExact); s != Pass {
+		return s, msg
+	}
+	kl := core.Lambdas(cx.c, 0)
+	sl := core.Lambdas(ref, 0)
+	for i := range sl {
+		if kl[i] != sl[i] {
+			return Fail, fmt.Sprintf("kernel Λ_%d = %d, scalar sweep gives %d", i+1, kl[i], sl[i])
+		}
+	}
+	return Pass, ""
+}
+
 // checkSampledNN verifies the uniform Monte-Carlo estimator converges to
 // the exact Davg within its own computed confidence bound. It applies only
 // when the sample budget covers the universe (samples ≥ n), where the

@@ -229,6 +229,8 @@ func Checks() []Check {
 		{"seq-oracle", Differential, checkSequentialOracle},
 		{"torus-oracle", Differential, checkTorusOracle},
 		{"table-shadow", Differential, checkTableShadow},
+		{"kernel-batch", Differential, checkKernelBatch},
+		{"kernel-sweep", Differential, checkKernelSweep},
 		{"sampled-nn", Differential, checkSampledNN},
 		{"stratified-nn", Differential, checkStratifiedNN},
 		{"sampled-pairs", Differential, checkSampledAllPairs},

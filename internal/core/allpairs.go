@@ -39,19 +39,17 @@ func (m Metric) String() string {
 }
 
 // flatUniverse materializes the curve as flat arrays for O(1) pair access:
-// for each Linear cell index, its curve index and its coordinates.
+// for each Linear cell index, its curve index and its coordinates. The
+// coordinate block is generated incrementally and the keys come from one
+// batched encode, which takes the kernel fast path when the curve has one.
 func flatUniverse(c curve.Curve) (idxOf []uint64, coords []uint32) {
 	u := c.Universe()
 	n := u.N()
 	d := u.D()
 	idxOf = make([]uint64, n)
 	coords = make([]uint32, n*uint64(d))
-	p := u.NewPoint()
-	for lin := uint64(0); lin < n; lin++ {
-		u.FromLinear(lin, p)
-		idxOf[lin] = c.Index(p)
-		copy(coords[lin*uint64(d):(lin+1)*uint64(d)], p)
-	}
+	fillBlockCoords(u, 0, int(n), coords)
+	curve.NewBatcher(c).IndexBatch(coords, idxOf)
 	return idxOf, coords
 }
 

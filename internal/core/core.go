@@ -30,14 +30,7 @@ import (
 // DeltaAvgAt returns δavg_π(α) (Definition 1): the mean curve distance from
 // cell p to its nearest neighbors.
 func DeltaAvgAt(c curve.Curve, p grid.Point) float64 {
-	u := c.Universe()
-	base := c.Index(p)
-	var sum uint64
-	deg := 0
-	u.Neighbors(p, func(_ int, q grid.Point) {
-		sum += absDiff(base, c.Index(q))
-		deg++
-	})
+	sum, _, deg := deltaAt(c, p, c.Universe().NewPoint())
 	if deg == 0 {
 		return 0
 	}
@@ -47,14 +40,25 @@ func DeltaAvgAt(c curve.Curve, p grid.Point) float64 {
 // DeltaMaxAt returns δmax_π(α) (Definition 3): the maximum curve distance
 // from cell p to a nearest neighbor.
 func DeltaMaxAt(c curve.Curve, p grid.Point) uint64 {
-	base := c.Index(p)
-	var max uint64
-	c.Universe().Neighbors(p, func(_ int, q grid.Point) {
-		if d := absDiff(base, c.Index(q)); d > max {
-			max = d
-		}
-	})
+	_, max, _ := deltaAt(c, p, c.Universe().NewPoint())
 	return max
+}
+
+// deltaAt computes the per-cell neighbor aggregates behind δavg and δmax in
+// one pass — the sum and max of Δπ(p, ·) over N(p), and |N(p)| — using
+// caller-provided scratch q so sampled and distribution sweeps can hoist
+// the allocation out of their loops.
+func deltaAt(c curve.Curve, p, q grid.Point) (sum, max uint64, deg int) {
+	base := c.Index(p)
+	c.Universe().NeighborsInto(p, q, func(_ int, nb grid.Point) {
+		dd := absDiff(base, c.Index(nb))
+		sum += dd
+		if dd > max {
+			max = dd
+		}
+		deg++
+	})
+	return sum, max, deg
 }
 
 // NN bundles the two nearest-neighbor stretch metrics of one curve — the
@@ -90,20 +94,23 @@ func NNStretch(c curve.Curve, workers int) (davg, dmax float64) {
 // NNStretchResult computes Davg(π) and Dmax(π) in a single parallel sweep
 // over all cells. The arithmetic (Kahan-compensated per-chunk accumulation,
 // chunk-ordered reduction) is specified exactly; the conformance suite
-// checks it bit-for-bit against a sequential oracle.
+// checks it bit-for-bit against a sequential oracle. Curves with a kernel
+// fast path (curve.HasKernel) are swept with batched key evaluation — the
+// same per-cell integer aggregates in the same order, so the result is
+// bit-identical to the scalar sweep (the conformance kernel-sweep column
+// enforces this).
 func NNStretchResult(c curve.Curve, workers int) NN {
 	u := c.Universe()
 	n := u.N()
 	if n == 1 {
 		return NN{} // a single cell has no neighbors
 	}
-	type acc struct{ avg, max float64 }
-	partial := func(lo, hi uint64) acc {
+	partial := func(lo, hi uint64) nnAcc {
 		p := u.NewPoint()
 		q := u.NewPoint()
 		side := u.Side()
 		d := u.D()
-		var a acc
+		var a nnAcc
 		var kahanAvgC, kahanMaxC float64
 		for idx := lo; idx < hi; idx++ {
 			u.FromLinear(idx, p)
@@ -145,6 +152,9 @@ func NNStretchResult(c curve.Curve, workers int) NN {
 			a.max = t
 		}
 		return a
+	}
+	if curve.HasKernel(c) {
+		partial = nnKernelPartial(c, u)
 	}
 	var sumAvg, sumMax, cAvg, cMax float64
 	for _, a := range parallel.MapRanges(n, workers, partial) {

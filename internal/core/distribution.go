@@ -39,9 +39,13 @@ func DeltaAvgDistribution(c curve.Curve, workers int) (Distribution, error) {
 	values := make([]float64, n)
 	parallel.ForChunked(n, workers, func(lo, hi uint64) {
 		p := u.NewPoint()
+		q := u.NewPoint()
 		for lin := lo; lin < hi; lin++ {
 			u.FromLinear(lin, p)
-			values[lin] = DeltaAvgAt(c, p)
+			sum, _, deg := deltaAt(c, p, q)
+			if deg > 0 {
+				values[lin] = float64(sum) / float64(deg)
+			}
 		}
 	})
 	sort.Float64s(values)

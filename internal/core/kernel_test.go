@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+)
+
+func TestFillBlockCoords(t *testing.T) {
+	for _, tc := range []struct{ d, k int }{{1, 0}, {1, 3}, {2, 2}, {3, 2}, {2, 5}} {
+		u := grid.MustNew(tc.d, tc.k)
+		n := int(u.N())
+		for _, lo := range []int{0, 1, n / 3, n - 1} {
+			if lo < 0 || lo >= n {
+				continue
+			}
+			cnt := n - lo
+			if cnt > 300 {
+				cnt = 300
+			}
+			coords := make([]uint32, cnt*tc.d)
+			fillBlockCoords(u, uint64(lo), cnt, coords)
+			p := u.NewPoint()
+			for j := 0; j < cnt; j++ {
+				u.FromLinear(uint64(lo+j), p)
+				if !p.Equal(grid.Point(coords[j*tc.d : (j+1)*tc.d])) {
+					t.Fatalf("d=%d k=%d lo=%d: row %d = %v, want %v",
+						tc.d, tc.k, lo, j, coords[j*tc.d:(j+1)*tc.d], p)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelSweepsBitIdentical pins the acceptance criterion of the kernel
+// layer: for every registered curve, the kernelized NN, torus and Λ sweeps
+// return exactly the bits of the legacy scalar sweeps (forced via
+// curve.ScalarOnly).
+func TestKernelSweepsBitIdentical(t *testing.T) {
+	for _, tc := range []struct{ d, k int }{{1, 5}, {2, 3}, {2, 4}, {3, 2}, {3, 3}} {
+		u := grid.MustNew(tc.d, tc.k)
+		for _, name := range curve.Names() {
+			c, err := curve.ByName(name, u, 11)
+			if err != nil {
+				t.Fatalf("d=%d k=%d %s: %v", tc.d, tc.k, name, err)
+			}
+			ref := curve.ScalarOnly(c)
+			for _, workers := range []int{1, 3} {
+				got, want := NNStretchResult(c, workers), NNStretchResult(ref, workers)
+				if got != want {
+					t.Errorf("d=%d k=%d %s workers=%d: kernel NN %+v, scalar %+v",
+						tc.d, tc.k, name, workers, got, want)
+				}
+				got, want = NNStretchTorusResult(c, workers), NNStretchTorusResult(ref, workers)
+				if got != want {
+					t.Errorf("d=%d k=%d %s workers=%d: kernel torus %+v, scalar %+v",
+						tc.d, tc.k, name, workers, got, want)
+				}
+				gl, wl := Lambdas(c, workers), Lambdas(ref, workers)
+				for i := range wl {
+					if gl[i] != wl[i] {
+						t.Errorf("d=%d k=%d %s workers=%d: kernel Λ_%d = %d, scalar %d",
+							tc.d, tc.k, name, workers, i+1, gl[i], wl[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaAtMatchesPublic pins deltaAt against the public per-cell
+// accessors it now backs.
+func TestDeltaAtMatchesPublic(t *testing.T) {
+	u := grid.MustNew(2, 3)
+	c, err := curve.ByName("hilbert", u, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := u.NewPoint()
+	u.Cells(func(_ uint64, p grid.Point) bool {
+		sum, max, deg := deltaAt(c, p, q)
+		if deg != u.Degree(p) {
+			t.Fatalf("deltaAt(%v) deg = %d, want %d", p, deg, u.Degree(p))
+		}
+		if got := DeltaAvgAt(c, p); got != float64(sum)/float64(deg) {
+			t.Fatalf("DeltaAvgAt(%v) = %v, deltaAt gives %v", p, got, float64(sum)/float64(deg))
+		}
+		if got := DeltaMaxAt(c, p); got != max {
+			t.Fatalf("DeltaMaxAt(%v) = %d, deltaAt gives %d", p, got, max)
+		}
+		return true
+	})
+}

@@ -53,6 +53,9 @@ func Lambdas(c curve.Curve, workers int) []uint64 {
 		}
 		return sums
 	}
+	if curve.HasKernel(c) {
+		partial = lambdasKernelPartial(c, u)
+	}
 	total := make([]uint64, d)
 	for _, part := range parallel.MapRanges(u.N(), workers, partial) {
 		for i, v := range part {

@@ -42,15 +42,23 @@ func SampledNNStretch(c curve.Curve, samples int, seed int64) (SampledNN, error)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	p := u.NewPoint()
+	q := u.NewPoint()
 	var sum, sumSq, maxSum float64
 	for s := 0; s < samples; s++ {
 		for i := range p {
 			p[i] = uint32(rng.Int63n(int64(u.Side())))
 		}
-		v := DeltaAvgAt(c, p)
+		// One deltaAt pass per sample yields both δavg and δmax (the old
+		// DeltaAvgAt + DeltaMaxAt pair evaluated every neighbor twice); q is
+		// hoisted scratch. Values and RNG stream are unchanged.
+		cellSum, cellMax, deg := deltaAt(c, p, q)
+		var v float64
+		if deg > 0 {
+			v = float64(cellSum) / float64(deg)
+		}
 		sum += v
 		sumSq += v * v
-		maxSum += float64(DeltaMaxAt(c, p))
+		maxSum += float64(cellMax)
 	}
 	mean := sum / float64(samples)
 	variance := (sumSq - sum*mean) / float64(samples-1)
@@ -225,14 +233,15 @@ func UnitStepDilation(c curve.Curve, workers int) (float64, error) {
 	if n < 2 {
 		return 0, fmt.Errorf("core: dilation undefined for n=%d", n)
 	}
-	// Here pairs range over curve indices, so decode the curve once.
+	// Here pairs range over curve indices, so decode the curve once with a
+	// single batched decode (kernel fast path when the curve has one).
 	d := u.D()
 	coords := make([]uint32, n*uint64(d))
-	p := u.NewPoint()
-	for idx := uint64(0); idx < n; idx++ {
-		c.Point(idx, p)
-		copy(coords[idx*uint64(d):(idx+1)*uint64(d)], p)
+	indices := make([]uint64, n)
+	for idx := range indices {
+		indices[idx] = uint64(idx)
 	}
+	curve.NewBatcher(c).PointBatch(indices, coords)
 	dd := float64(d)
 	return maxPairsFloat(n, workers, func(a, b uint64) float64 {
 		var md uint64

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/curve"
+	"repro/internal/grid"
 	"repro/internal/parallel"
 )
 
@@ -32,40 +33,26 @@ func NNStretchTorusResult(c curve.Curve, workers int) NN {
 	if n == 1 {
 		return NN{}
 	}
-	side := u.Side()
-	d := u.D()
-	// On a 2-cycle the +1 and −1 neighbors coincide; count each distinct
-	// neighbor once (simple-graph convention).
-	deltas := []uint32{1}
-	if side > 2 {
-		deltas = append(deltas, side-1)
-	}
-	type acc struct{ avg, max float64 }
-	partial := func(lo, hi uint64) acc {
+	partial := func(lo, hi uint64) nnAcc {
 		p := u.NewPoint()
 		q := u.NewPoint()
-		var a acc
+		var a nnAcc
 		for idx := lo; idx < hi; idx++ {
 			u.FromLinear(idx, p)
 			base := c.Index(p)
 			var sum, max uint64
 			deg := 0
-			copy(q, p)
-			for dim := 0; dim < d; dim++ {
-				for _, delta := range deltas {
-					q[dim] = (p[dim] + delta) & (side - 1)
-					if q[dim] == p[dim] {
-						continue // side == 1
-					}
-					dd := absDiff(base, c.Index(q))
-					sum += dd
-					if dd > max {
-						max = dd
-					}
-					deg++
+			// NeighborsTorusInto applies the simple-graph convention: on a
+			// 2-cycle the +1 and −1 neighbors coincide and are counted once,
+			// on a 1-cycle the cell has no neighbors.
+			u.NeighborsTorusInto(p, q, func(_ int, nb grid.Point) {
+				dd := absDiff(base, c.Index(nb))
+				sum += dd
+				if dd > max {
+					max = dd
 				}
-				q[dim] = p[dim]
-			}
+				deg++
+			})
 			if deg == 0 {
 				continue
 			}
@@ -73,6 +60,9 @@ func NNStretchTorusResult(c curve.Curve, workers int) NN {
 			a.max += float64(max)
 		}
 		return a
+	}
+	if curve.HasKernel(c) {
+		partial = nnTorusKernelPartial(c, u)
 	}
 	var sumAvg, sumMax float64
 	for _, a := range parallel.MapRanges(n, workers, partial) {

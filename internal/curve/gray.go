@@ -16,11 +16,14 @@ import (
 // steps are axis-parallel but may jump a power-of-two distance; the curve is
 // not unit-step, but is a bijection and hence an SFC in the paper's sense.
 type Gray struct {
-	u *grid.Universe
+	u     *grid.Universe
+	masks []uint64 // dilated mask per dimension of the underlying Z key
 }
 
 // NewGray returns the Gray-code curve over u.
-func NewGray(u *grid.Universe) *Gray { return &Gray{u: u} }
+func NewGray(u *grid.Universe) *Gray {
+	return &Gray{u: u, masks: bits.DilatedMasks(u.D(), u.K())}
+}
 
 // Universe implements Curve.
 func (g *Gray) Universe() *grid.Universe { return g.u }
@@ -38,4 +41,112 @@ func (g *Gray) Point(idx uint64, dst grid.Point) {
 	bits.Deinterleave(bits.GrayEncode(idx), g.u.K(), dst)
 }
 
-var _ Curve = (*Gray)(nil)
+// IndexBatch implements Batcher: byte-LUT Morton spread followed by the
+// Gray-rank cascade, for d=2,3; generic interleave otherwise.
+func (g *Gray) IndexBatch(coords []uint32, dst []uint64) {
+	switch g.u.D() {
+	case 2:
+		for i := range dst {
+			dst[i] = bits.GrayDecode(bits.Interleave2LUT(coords[2*i], coords[2*i+1]))
+		}
+	case 3:
+		if g.u.K() <= 20 {
+			for i := range dst {
+				dst[i] = bits.GrayDecode(bits.Interleave3LUT(coords[3*i], coords[3*i+1], coords[3*i+2]))
+			}
+			return
+		}
+		fallthrough
+	default:
+		d, k := g.u.D(), g.u.K()
+		for i := range dst {
+			dst[i] = bits.GrayDecode(bits.Interleave(grid.Point(coords[i*d:(i+1)*d:(i+1)*d]), k))
+		}
+	}
+}
+
+// PointBatch implements Batcher.
+func (g *Gray) PointBatch(indices []uint64, dst []uint32) {
+	switch g.u.D() {
+	case 2:
+		for i, idx := range indices {
+			dst[2*i], dst[2*i+1] = bits.Deinterleave2LUT(bits.GrayEncode(idx))
+		}
+	case 3:
+		if g.u.K() <= 20 {
+			for i, idx := range indices {
+				dst[3*i], dst[3*i+1], dst[3*i+2] = bits.Deinterleave3LUT(bits.GrayEncode(idx))
+			}
+			return
+		}
+		fallthrough
+	default:
+		d, k := g.u.D(), g.u.K()
+		for i, idx := range indices {
+			bits.Deinterleave(bits.GrayEncode(idx), k, grid.Point(dst[i*d:(i+1)*d:(i+1)*d]))
+		}
+	}
+}
+
+// NeighborKeys implements NeighborKeyer: lift the curve position to the
+// underlying Z key (one Gray encode), step x_i ± 1 by dilated arithmetic
+// there, and take the Gray rank of each neighbor key. Stateless, safe to
+// share across goroutines.
+func (g *Gray) NeighborKeys(p grid.Point, base uint64, keys []uint64) {
+	zbase := bits.GrayEncode(base)
+	for i, m := range g.masks {
+		lsb := m & -m
+		cb := zbase & m
+		if cb != 0 {
+			keys[2*i] = bits.GrayDecode((zbase &^ m) | bits.DilatedSub(zbase, lsb, m))
+		} else {
+			keys[2*i] = InvalidKey
+		}
+		if cb != m {
+			keys[2*i+1] = bits.GrayDecode((zbase &^ m) | bits.DilatedAdd(zbase, lsb, m))
+		} else {
+			keys[2*i+1] = InvalidKey
+		}
+	}
+}
+
+// NeighborKeysTorus implements NeighborKeyer.
+func (g *Gray) NeighborKeysTorus(p grid.Point, base uint64, keys []uint64) {
+	zbase := bits.GrayEncode(base)
+	side := g.u.Side()
+	for i, m := range g.masks {
+		lsb := m & -m
+		if side > 2 {
+			keys[2*i] = bits.GrayDecode((zbase &^ m) | bits.DilatedSub(zbase, lsb, m))
+		} else {
+			keys[2*i] = InvalidKey
+		}
+		if side > 1 {
+			keys[2*i+1] = bits.GrayDecode((zbase &^ m) | bits.DilatedAdd(zbase, lsb, m))
+		} else {
+			keys[2*i+1] = InvalidKey
+		}
+	}
+}
+
+// NeighborKeysBlock implements NeighborKeyer.
+func (g *Gray) NeighborKeysBlock(_ []uint32, bases []uint64, keys []uint64) {
+	nd := 2 * len(g.masks)
+	for j, base := range bases {
+		g.NeighborKeys(nil, base, keys[j*nd:(j+1)*nd])
+	}
+}
+
+// NeighborKeysTorusBlock implements NeighborKeyer.
+func (g *Gray) NeighborKeysTorusBlock(_ []uint32, bases []uint64, keys []uint64) {
+	nd := 2 * len(g.masks)
+	for j, base := range bases {
+		g.NeighborKeysTorus(nil, base, keys[j*nd:(j+1)*nd])
+	}
+}
+
+var (
+	_ Curve         = (*Gray)(nil)
+	_ Batcher       = (*Gray)(nil)
+	_ NeighborKeyer = (*Gray)(nil)
+)

@@ -15,11 +15,14 @@ import (
 // "ext-hilbert") and finds it in the same Θ(n^(1−1/d)) regime as the Z
 // curve.
 type Hilbert struct {
-	u *grid.Universe
+	u   *grid.Universe
+	tab *hilbertTable // derived state table, nil when unavailable
 }
 
 // NewHilbert returns the Hilbert curve over u.
-func NewHilbert(u *grid.Universe) *Hilbert { return &Hilbert{u: u} }
+func NewHilbert(u *grid.Universe) *Hilbert {
+	return &Hilbert{u: u, tab: hilbertTableFor(u.D())}
+}
 
 // Universe implements Curve.
 func (h *Hilbert) Universe() *grid.Universe { return h.u }
@@ -61,7 +64,66 @@ func (h *Hilbert) Point(idx uint64, dst grid.Point) {
 	transposeToAxes(dst, k)
 }
 
-var _ Curve = (*Hilbert)(nil)
+// IndexBatch implements Batcher: LUT Morton spread of the coordinates
+// followed by the per-level state-machine walk, replacing the scalar path's
+// bit-serial rotate/reflect loop. Falls back to the scalar method when the
+// state table is unavailable.
+func (h *Hilbert) IndexBatch(coords []uint32, dst []uint64) {
+	d, k := h.u.D(), h.u.K()
+	tab := h.tab
+	if tab == nil {
+		for i := range dst {
+			dst[i] = h.Index(grid.Point(coords[i*d : (i+1)*d : (i+1)*d]))
+		}
+		return
+	}
+	switch {
+	case d == 2:
+		for i := range dst {
+			dst[i] = tab.encode(bits.Interleave2LUT(coords[2*i], coords[2*i+1]), k)
+		}
+	case d == 3 && k <= 20:
+		for i := range dst {
+			dst[i] = tab.encode(bits.Interleave3LUT(coords[3*i], coords[3*i+1], coords[3*i+2]), k)
+		}
+	default:
+		for i := range dst {
+			dst[i] = tab.encode(bits.Interleave(grid.Point(coords[i*d:(i+1)*d:(i+1)*d]), k), k)
+		}
+	}
+}
+
+// PointBatch implements Batcher: state-machine walk back to the Morton key,
+// then a LUT compaction into coordinates.
+func (h *Hilbert) PointBatch(indices []uint64, dst []uint32) {
+	d, k := h.u.D(), h.u.K()
+	tab := h.tab
+	if tab == nil {
+		for i, idx := range indices {
+			h.Point(idx, grid.Point(dst[i*d:(i+1)*d:(i+1)*d]))
+		}
+		return
+	}
+	switch {
+	case d == 2:
+		for i, idx := range indices {
+			dst[2*i], dst[2*i+1] = bits.Deinterleave2LUT(tab.decode(idx, k))
+		}
+	case d == 3 && k <= 20:
+		for i, idx := range indices {
+			dst[3*i], dst[3*i+1], dst[3*i+2] = bits.Deinterleave3LUT(tab.decode(idx, k))
+		}
+	default:
+		for i, idx := range indices {
+			bits.Deinterleave(tab.decode(idx, k), k, grid.Point(dst[i*d:(i+1)*d:(i+1)*d]))
+		}
+	}
+}
+
+var (
+	_ Curve   = (*Hilbert)(nil)
+	_ Batcher = (*Hilbert)(nil)
+)
 
 // axesToTranspose converts grid coordinates (k bits each) into Skilling's
 // transposed Hilbert representation, in place.

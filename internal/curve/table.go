@@ -12,10 +12,11 @@ import (
 // and is used for the hand-constructed curves of Figure 1 and for random
 // bijections in property tests.
 type Table struct {
-	u    *grid.Universe
-	name string
-	perm []uint64
-	inv  []uint64
+	u     *grid.Universe
+	name  string
+	perm  []uint64
+	inv   []uint64
+	masks []uint64 // contiguous per-dimension masks of the linear index
 }
 
 // NewTable builds a table curve. perm[linearIndex] = curve index; it must be
@@ -37,7 +38,7 @@ func NewTable(u *grid.Universe, name string, perm []uint64) (*Table, error) {
 		seen[idx] = true
 		inv[idx] = uint64(lin)
 	}
-	return &Table{u: u, name: name, perm: perm, inv: inv}, nil
+	return &Table{u: u, name: name, perm: perm, inv: inv, masks: linearMasks(u)}, nil
 }
 
 // MustTable is NewTable for known-good tables. It panics iff NewTable would
@@ -110,4 +111,80 @@ func (t *Table) Index(p grid.Point) uint64 { return t.perm[t.u.Linear(p)] }
 // Point implements Curve.
 func (t *Table) Point(idx uint64, dst grid.Point) { t.u.FromLinear(t.inv[idx], dst) }
 
-var _ Curve = (*Table)(nil)
+// IndexBatch implements Batcher: inline row-major linearization (the side is
+// a power of two, so it is a bit concatenation) followed by the permutation
+// lookup.
+func (t *Table) IndexBatch(coords []uint32, dst []uint64) {
+	d, k := t.u.D(), uint(t.u.K())
+	for i := range dst {
+		row := coords[i*d : (i+1)*d : (i+1)*d]
+		var lin uint64
+		for j := d - 1; j >= 0; j-- {
+			lin = lin<<k | uint64(row[j])
+		}
+		dst[i] = t.perm[lin]
+	}
+}
+
+// PointBatch implements Batcher.
+func (t *Table) PointBatch(indices []uint64, dst []uint32) {
+	d, k := t.u.D(), uint(t.u.K())
+	mask := uint64(t.u.Side()) - 1
+	for i, idx := range indices {
+		row := dst[i*d : (i+1)*d : (i+1)*d]
+		lin := t.inv[idx]
+		for j := 0; j < d; j++ {
+			row[j] = uint32(lin & mask)
+			lin >>= k
+		}
+	}
+}
+
+// NeighborKeys implements NeighborKeyer: recover the linear index through
+// the inverse table, step it with dilated arithmetic on the contiguous
+// per-dimension masks, and map each neighbor back through the permutation.
+// Stateless, safe to share across goroutines.
+func (t *Table) NeighborKeys(p grid.Point, base uint64, keys []uint64) {
+	lin := t.inv[base]
+	d := t.u.D()
+	neighborKeysDilated(lin, t.masks, keys)
+	for i := 0; i < 2*d; i++ {
+		if keys[i] != InvalidKey {
+			keys[i] = t.perm[keys[i]]
+		}
+	}
+}
+
+// NeighborKeysTorus implements NeighborKeyer.
+func (t *Table) NeighborKeysTorus(p grid.Point, base uint64, keys []uint64) {
+	lin := t.inv[base]
+	d := t.u.D()
+	neighborKeysDilatedTorus(lin, t.masks, keys, t.u.Side())
+	for i := 0; i < 2*d; i++ {
+		if keys[i] != InvalidKey {
+			keys[i] = t.perm[keys[i]]
+		}
+	}
+}
+
+// NeighborKeysBlock implements NeighborKeyer.
+func (t *Table) NeighborKeysBlock(_ []uint32, bases []uint64, keys []uint64) {
+	nd := 2 * t.u.D()
+	for j, base := range bases {
+		t.NeighborKeys(nil, base, keys[j*nd:(j+1)*nd])
+	}
+}
+
+// NeighborKeysTorusBlock implements NeighborKeyer.
+func (t *Table) NeighborKeysTorusBlock(_ []uint32, bases []uint64, keys []uint64) {
+	nd := 2 * t.u.D()
+	for j, base := range bases {
+		t.NeighborKeysTorus(nil, base, keys[j*nd:(j+1)*nd])
+	}
+}
+
+var (
+	_ Curve         = (*Table)(nil)
+	_ Batcher       = (*Table)(nil)
+	_ NeighborKeyer = (*Table)(nil)
+)

@@ -218,7 +218,15 @@ func (u *Universe) BoundaryDims(p Point) int {
 // exactly 1), passing the dimension along which the neighbor differs. The
 // Point passed to visit is a reused scratch buffer; clone it to retain it.
 func (u *Universe) Neighbors(p Point, visit func(dim int, q Point)) {
-	q := p.Clone()
+	u.NeighborsInto(p, p.Clone(), visit)
+}
+
+// NeighborsInto is Neighbors with caller-provided scratch: q (length d, not
+// aliasing p) is overwritten with each neighbor in turn and passed to visit.
+// Hot sweeps use it to hoist the per-call allocation out of their cell
+// loops. Visit order is dimensions ascending, −1 before +1 within each.
+func (u *Universe) NeighborsInto(p, q Point, visit func(dim int, q Point)) {
+	copy(q, p)
 	for i := 0; i < u.d; i++ {
 		if p[i] > 0 {
 			q[i] = p[i] - 1
@@ -230,6 +238,27 @@ func (u *Universe) Neighbors(p Point, visit func(dim int, q Point)) {
 			visit(i, q)
 			q[i] = p[i]
 		}
+	}
+}
+
+// NeighborsTorusInto enumerates the periodic (wraparound) neighbors of p
+// into the caller-provided scratch q, following the torus engine's
+// simple-graph convention: per dimension the +1 neighbor first, then the −1
+// neighbor, each counted once — so on a 2-cycle only +1 is visited (the two
+// coincide) and on a 1-cycle nothing is. q must not alias p.
+func (u *Universe) NeighborsTorusInto(p, q Point, visit func(dim int, q Point)) {
+	side := u.side
+	copy(q, p)
+	for i := 0; i < u.d; i++ {
+		if side > 1 {
+			q[i] = (p[i] + 1) & (side - 1)
+			visit(i, q)
+		}
+		if side > 2 {
+			q[i] = (p[i] + side - 1) & (side - 1)
+			visit(i, q)
+		}
+		q[i] = p[i]
 	}
 }
 

@@ -1,0 +1,63 @@
+// Package profiling wires the conventional -cpuprofile / -memprofile flags
+// into the repository's CLIs so kernel and serving work can be profiled with
+// `go tool pprof` without ad-hoc patches.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Config holds the output paths of the standard profiling flags. The zero
+// value (no paths) is valid and makes Start a no-op.
+type Config struct {
+	CPUPath string
+	MemPath string
+}
+
+// AddFlags registers -cpuprofile and -memprofile on fs.
+func (c *Config) AddFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.CPUPath, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&c.MemPath, "memprofile", "", "write a heap profile to this file on exit")
+}
+
+// Start begins CPU profiling if -cpuprofile was given. It returns a stop
+// function that finishes the CPU profile and, if -memprofile was given,
+// writes a heap profile; call Start after flag parsing and invoke stop on
+// every exit path that should produce profiles.
+func (c *Config) Start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if c.CPUPath != "" {
+		cpuFile, err = os.Create(c.CPUPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+		}
+		if c.MemPath != "" {
+			f, err := os.Create(c.MemPath)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // flush recently-freed objects out of the heap profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}
