@@ -6,26 +6,37 @@
 // access pattern the decomposition cache is built for: a hot minority of
 // boxes dominates, so most queries reuse a cached decomposition.
 //
+// With -remote the same trace is replayed over the wire against a live
+// sfcserved daemon through internal/client instead of an in-process
+// service: client-side latency quantiles, throughput, and the shed rate
+// (429 responses per attempt) are reported, and -maxshed turns an excessive
+// shed rate into a nonzero exit for CI gates.
+//
 // Usage:
 //
 //	sfcserve -curve hilbert -d 2 -k 6 -records 50000 -queries 10000 -shards 8
 //	sfcserve -shards 8 -compare            # also run 1 shard, print speedup
 //	sfcserve -json BENCH_service.json      # write the machine-readable summary
+//	sfcserve -remote http://127.0.0.1:7171 -queries 2000 -maxshed 0 -json BENCH_server.json
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/curve"
 	"repro/internal/grid"
+	"repro/internal/metrics"
 	"repro/internal/profiling"
 	"repro/internal/query"
 	"repro/internal/service"
@@ -48,6 +59,10 @@ type config struct {
 	trace     string
 	compare   bool
 	jsonPath  string
+
+	remote   string
+	rtimeout time.Duration
+	maxShed  float64
 }
 
 func main() {
@@ -70,6 +85,9 @@ func main() {
 	flag.StringVar(&cfg.trace, "trace", "synthetic", "trace kind (only \"synthetic\")")
 	flag.BoolVar(&cfg.compare, "compare", false, "also replay against 1 shard and print the speedup")
 	flag.StringVar(&cfg.jsonPath, "json", "", "write a JSON summary to this file")
+	flag.StringVar(&cfg.remote, "remote", "", "replay against a live sfcserved daemon at this base URL instead of in-process")
+	flag.DurationVar(&cfg.rtimeout, "rtimeout", 0, "per-request ?timeout sent to the remote daemon (0 = none)")
+	flag.Float64Var(&cfg.maxShed, "maxshed", 1, "fail (exit nonzero) if the remote shed rate exceeds this fraction")
 	flag.Parse()
 
 	stopProf, err := prof.Start()
@@ -108,6 +126,9 @@ func run(cfg config, w io.Writer) error {
 	}
 	if cfg.zipfS <= 1 {
 		return fmt.Errorf("-zipf must be > 1")
+	}
+	if cfg.remote != "" {
+		return runRemote(cfg, w)
 	}
 	u, err := grid.New(cfg.d, cfg.k)
 	if err != nil {
@@ -245,6 +266,131 @@ func replay(c curve.Curve, recs []store.Record, boxes []query.Box, cfg config, s
 		res.Degraded = float64(reg.Counter("queries.degraded").Value()) / float64(total)
 	}
 	return res, reg.Report(), nil
+}
+
+// remoteResult is one over-the-wire replay's outcome. Shed counts 429
+// responses observed (including ones a retry later served); ShedRate is
+// sheds per HTTP attempt; Failed counts queries whose retry budget was
+// exhausted by shedding.
+type remoteResult struct {
+	Queries    int     `json:"queries"`
+	Served     int64   `json:"served"`
+	Failed     int64   `json:"failed"`
+	Attempts   int64   `json:"attempts"`
+	Retries    int64   `json:"retries"`
+	Shed       int64   `json:"shed"`
+	ShedRate   float64 `json:"shed_rate"`
+	Elapsed    float64 `json:"elapsed_sec"`
+	Throughput float64 `json:"throughput_qps"`
+	P50US      int64   `json:"p50_us"`
+	P99US      int64   `json:"p99_us"`
+	MaxUS      int64   `json:"max_us"`
+}
+
+// runRemote replays the zipf trace over the wire against a live sfcserved
+// daemon. The -d/-k/-distinct/-box/-seed flags must describe the same
+// universe the daemon was started with, or every query 400s.
+func runRemote(cfg config, w io.Writer) error {
+	u, err := grid.New(cfg.d, cfg.k)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.seed))
+	boxes, err := syntheticBoxes(u, cfg.distinct, cfg.boxSide, rng)
+	if err != nil {
+		return err
+	}
+	cl := client.New(cfg.remote)
+	ctx := context.Background()
+	if ok, err := cl.Readyz(ctx); err != nil {
+		return fmt.Errorf("remote %s unreachable: %w", cfg.remote, err)
+	} else if !ok {
+		return fmt.Errorf("remote %s is not ready (draining?)", cfg.remote)
+	}
+
+	fmt.Fprintf(w, "remote=%s universe=%v queries=%d distinct=%d zipf=%.2f clients=%d\n",
+		cfg.remote, u, cfg.queries, cfg.distinct, cfg.zipfS, cfg.clients)
+
+	reg := metrics.NewRegistry()
+	lat := reg.Histogram("remote.latency_us")
+	var served, failed atomic.Int64
+	perClient := cfg.queries / cfg.clients
+	extra := cfg.queries % cfg.clients
+	var wg sync.WaitGroup
+	errc := make(chan error, cfg.clients)
+	start := time.Now()
+	for g := 0; g < cfg.clients; g++ {
+		n := perClient
+		if g < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(g, n int) {
+			defer wg.Done()
+			// Per-client zipf stream, seeded exactly like the in-process replay.
+			lr := rand.New(rand.NewSource(cfg.seed + int64(g)*7919))
+			zipf := rand.NewZipf(lr, cfg.zipfS, 1, uint64(len(boxes)-1))
+			for i := 0; i < n; i++ {
+				t0 := time.Now()
+				_, err := cl.Query(ctx, boxes[zipf.Uint64()], cfg.rtimeout)
+				switch {
+				case err == nil:
+					lat.Observe(time.Since(t0).Microseconds())
+					served.Add(1)
+				case errors.Is(err, client.ErrOverloaded):
+					// Shed past the retry budget: load-test data, not fatal.
+					failed.Add(1)
+				default:
+					errc <- err
+					return
+				}
+			}
+			errc <- nil
+		}(g, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			return err
+		}
+	}
+
+	st := cl.Stats()
+	res := remoteResult{
+		Queries:    cfg.queries,
+		Served:     served.Load(),
+		Failed:     failed.Load(),
+		Attempts:   st.Attempts,
+		Retries:    st.Retries,
+		Shed:       st.Shed,
+		Elapsed:    elapsed.Seconds(),
+		Throughput: float64(served.Load()) / elapsed.Seconds(),
+		P50US:      lat.Quantile(0.50),
+		P99US:      lat.Quantile(0.99),
+		MaxUS:      lat.Max(),
+	}
+	if st.Attempts > 0 {
+		res.ShedRate = float64(st.Shed) / float64(st.Attempts)
+	}
+	fmt.Fprintf(w, "served=%d failed=%d attempts=%d retries=%d shed=%d shed_rate=%.4f\n",
+		res.Served, res.Failed, res.Attempts, res.Retries, res.Shed, res.ShedRate)
+	fmt.Fprintf(w, "latency: p50=%dus p99=%dus max=%dus\n", res.P50US, res.P99US, res.MaxUS)
+	fmt.Fprintf(w, "throughput: %d served in %.3fs = %.0f queries/s\n",
+		res.Served, res.Elapsed, res.Throughput)
+
+	if cfg.jsonPath != "" {
+		out := map[string]any{"config": cfg.public(), "remote": res}
+		if err := writeJSON(cfg.jsonPath, out); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", cfg.jsonPath)
+	}
+	if res.ShedRate > cfg.maxShed {
+		return fmt.Errorf("shed rate %.4f exceeds -maxshed %.4f", res.ShedRate, cfg.maxShed)
+	}
+	return nil
 }
 
 // syntheticBoxes builds the trace's box population: random corners, sides

@@ -2,10 +2,19 @@ package main
 
 import (
 	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+	"repro/internal/server"
+	"repro/internal/service"
+	"repro/internal/store"
 )
 
 // TestRunSyntheticTrace replays a small trace end-to-end and checks the
@@ -54,6 +63,94 @@ func TestRunSyntheticTrace(t *testing.T) {
 	}
 	if _, ok := doc["speedup"]; !ok {
 		t.Fatal("compare run missing speedup in summary")
+	}
+}
+
+// TestRunRemoteReplay replays the trace over the wire against an
+// in-process daemon: every query is served, nothing sheds at this load, and
+// the BENCH summary carries the remote block.
+func TestRunRemoteReplay(t *testing.T) {
+	u := grid.MustNew(2, 5)
+	c, err := curve.ByName("hilbert", u, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	recs := make([]store.Record, 3000)
+	for i := range recs {
+		p := u.NewPoint()
+		for d := range p {
+			p[d] = rng.Uint32() % u.Side()
+		}
+		recs[i] = store.Record{Point: p, Payload: uint64(i)}
+	}
+	svc, err := service.New(c, recs, service.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer svc.Close()
+
+	jsonPath := filepath.Join(t.TempDir(), "bench_server.json")
+	cfg := config{
+		curveName: "hilbert", d: 2, k: 5,
+		queries: 400, clients: 2, distinct: 64, zipfS: 1.2, boxSide: 6, seed: 1,
+		trace: "synthetic", jsonPath: jsonPath,
+		remote: ts.URL, maxShed: 0,
+	}
+	var sb strings.Builder
+	if err := run(cfg, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"served=400", "shed_rate=0.0000", "throughput:", "latency: p50="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("remote report missing %q:\n%s", want, out)
+		}
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("summary is not valid JSON: %v", err)
+	}
+	remote := doc["remote"].(map[string]any)
+	if remote["served"].(float64) != 400 || remote["shed"].(float64) != 0 {
+		t.Fatalf("remote summary: %v", remote)
+	}
+	if remote["throughput_qps"].(float64) <= 0 {
+		t.Fatal("non-positive remote throughput")
+	}
+}
+
+// TestRunRemoteMaxShedGate: a daemon shedding everything drives the shed
+// rate over -maxshed and run exits nonzero — the CI gate.
+func TestRunRemoteMaxShedGate(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	cfg := config{
+		curveName: "hilbert", d: 2, k: 5,
+		queries: 4, clients: 1, distinct: 8, zipfS: 1.5, boxSide: 4, seed: 1,
+		trace: "synthetic", remote: ts.URL, maxShed: 0,
+	}
+	var sb strings.Builder
+	err := run(cfg, &sb)
+	if err == nil || !strings.Contains(err.Error(), "shed rate") {
+		t.Fatalf("err = %v, want shed-rate gate failure", err)
 	}
 }
 

@@ -1,0 +1,171 @@
+// Command sfcserved is the networked query daemon: it bulkloads a
+// synthetic record set into the sharded query service and serves it over
+// HTTP/JSON (internal/server) until SIGTERM/SIGINT, at which point it
+// drains — stops accepting, finishes inflight queries up to the drain
+// deadline — and exits 0 on a clean drain.
+//
+// Usage:
+//
+//	sfcserved -addr 127.0.0.1:7171 -curve hilbert -d 2 -k 6 -records 50000
+//	sfcserved -max-inflight 16 -queue-wait 50ms -drain-timeout 10s -pprof
+//
+// Query it with cmd/sfcserve's -remote mode or any HTTP client:
+//
+//	curl 'http://127.0.0.1:7171/query?lo=3,4&hi=9,12&timeout=250ms'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+	"repro/internal/server"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+type config struct {
+	addr      string
+	curveName string
+	d, k      int
+	records   int
+	shards    int
+	workers   int
+	cache     int
+	page      int
+	seed      int64
+
+	maxInflight  int
+	queueWait    time.Duration
+	timeout      time.Duration
+	maxTimeout   time.Duration
+	drainTimeout time.Duration
+	pprof        bool
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:7171", "listen address")
+	flag.StringVar(&cfg.curveName, "curve", "hilbert", fmt.Sprintf("curve name %v", curve.Names()))
+	flag.IntVar(&cfg.d, "d", 2, "dimensions")
+	flag.IntVar(&cfg.k, "k", 6, "log2 side length (n = 2^(d·k) cells)")
+	flag.IntVar(&cfg.records, "records", 50_000, "records bulkloaded into the shards")
+	flag.IntVar(&cfg.shards, "shards", 4, "store shards")
+	flag.IntVar(&cfg.workers, "workers", 0, "service worker pool size (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.cache, "cache", 0, "decomposition cache entries (0 = default, negative = off)")
+	flag.IntVar(&cfg.page, "page", 0, "leaf page size in records (0 = store default)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "seed for the synthetic records")
+	flag.IntVar(&cfg.maxInflight, "max-inflight", 0, "concurrent query bound (0 = 4×GOMAXPROCS)")
+	flag.DurationVar(&cfg.queueWait, "queue-wait", server.DefaultQueueWait, "admission queue-wait budget before shedding with 429")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "default per-request deadline when ?timeout is absent (0 = none)")
+	flag.DurationVar(&cfg.maxTimeout, "max-timeout", server.DefaultMaxTimeout, "cap on the per-request ?timeout parameter")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "how long a drain waits for inflight queries")
+	flag.BoolVar(&cfg.pprof, "pprof", false, "serve net/http/pprof under /debug/pprof/")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, nil, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sfcserved:", err)
+		os.Exit(1)
+	}
+}
+
+// run builds the service, binds the listener, reports the bound address via
+// ready (tests listen on :0), and serves until ctx is canceled — then
+// drains. A clean drain returns nil.
+func run(ctx context.Context, cfg config, ready func(addr string), w io.Writer) error {
+	u, err := grid.New(cfg.d, cfg.k)
+	if err != nil {
+		return err
+	}
+	c, err := curve.ByName(cfg.curveName, u, cfg.seed)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.seed))
+	recs := make([]store.Record, cfg.records)
+	for i := range recs {
+		p := u.NewPoint()
+		for d := range p {
+			p[d] = rng.Uint32() % u.Side()
+		}
+		recs[i] = store.Record{Point: p, Payload: uint64(i)}
+	}
+
+	svcOpts := []service.Option{
+		service.WithShards(cfg.shards),
+		service.WithCacheSize(cfg.cache),
+	}
+	if cfg.workers > 0 {
+		svcOpts = append(svcOpts, service.WithWorkers(cfg.workers))
+	}
+	if cfg.page > 0 {
+		svcOpts = append(svcOpts, service.WithPageSize(cfg.page))
+	}
+	svc, err := service.New(c, recs, svcOpts...)
+	if err != nil {
+		return err
+	}
+
+	srvOpts := []server.Option{
+		server.WithQueueWait(cfg.queueWait),
+		server.WithMaxTimeout(cfg.maxTimeout),
+	}
+	if cfg.maxInflight > 0 {
+		srvOpts = append(srvOpts, server.WithMaxInflight(cfg.maxInflight))
+	}
+	if cfg.timeout > 0 {
+		srvOpts = append(srvOpts, server.WithDefaultTimeout(cfg.timeout))
+	}
+	if cfg.pprof {
+		srvOpts = append(srvOpts, server.WithPprof())
+	}
+	srv, err := server.New(svc, srvOpts...)
+	if err != nil {
+		svc.Close()
+		return err
+	}
+
+	l, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		svc.Close()
+		return err
+	}
+	fmt.Fprintf(w, "sfcserved: serving curve=%s universe=%v records=%d shards=%d on %s\n",
+		c.Name(), u, cfg.records, cfg.shards, l.Addr())
+	if ready != nil {
+		ready(l.Addr().String())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+	select {
+	case err := <-serveErr:
+		// The listener died without a signal; Drain still closes the service.
+		srv.Drain(context.Background())
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(w, "sfcserved: signal received, draining (up to %v)\n", cfg.drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-serveErr; err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	fmt.Fprintln(w, "sfcserved: drained cleanly")
+	return nil
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"context"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/grid"
+	"repro/internal/query"
+	"repro/internal/server"
+)
+
+func testConfig() config {
+	return config{
+		addr:      "127.0.0.1:0",
+		curveName: "hilbert",
+		d:         2,
+		k:         5,
+		records:   2000,
+		shards:    2,
+		seed:      7,
+		queueWait: server.DefaultQueueWait,
+
+		maxTimeout:   server.DefaultMaxTimeout,
+		drainTimeout: 10 * time.Second,
+	}
+}
+
+// TestRunServesAndDrainsCleanly is the daemon lifecycle end to end: run
+// binds :0, answers a query over the wire, and returns nil — the process's
+// exit-0 path — once the signal context is canceled.
+func TestRunServesAndDrainsCleanly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	addrc := make(chan string, 1)
+	done := make(chan error, 1)
+	var out strings.Builder
+	go func() {
+		done <- run(ctx, testConfig(), func(a string) { addrc <- a }, &out)
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrc:
+	case err := <-done:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	cl := client.New("http://" + addr)
+	if ok, err := cl.Readyz(context.Background()); err != nil || !ok {
+		t.Fatalf("readyz: ok=%v err=%v", ok, err)
+	}
+	u := grid.MustNew(2, 5)
+	b, err := query.NewBox(u, u.MustPoint(0, 0), u.MustPoint(31, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.Query(context.Background(), b, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Records) != 2000 || !resp.Complete {
+		t.Fatalf("full-universe box returned %d records (complete=%v), want all 2000",
+			len(resp.Records), resp.Complete)
+	}
+
+	cancel() // the SIGTERM path
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+	if !strings.Contains(out.String(), "drained cleanly") {
+		t.Fatalf("output missing drain confirmation:\n%s", out.String())
+	}
+}
+
+// TestRunRejectsBadConfig: configuration errors surface before the
+// listener binds.
+func TestRunRejectsBadConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.curveName = "nonesuch"
+	if err := run(context.Background(), cfg, nil, io.Discard); err == nil {
+		t.Fatal("unknown curve accepted")
+	}
+	cfg = testConfig()
+	cfg.shards = -3
+	if err := run(context.Background(), cfg, nil, io.Discard); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/curve"
@@ -27,20 +28,24 @@ func storeRun(cfg Config, run int, rng *rand.Rand, rep *Report) error {
 		return err
 	}
 
-	// Fault-free baseline: strict and degraded must agree exactly.
+	// Fault-free baseline: strict and degraded scans must agree exactly.
+	ctx := context.Background()
 	base := randomBox(rng, u)
 	st.ResetStats()
-	strict, err := st.RangeQuery(base)
+	strict, err := st.ScanBox(ctx, base, store.ScanStrict())
 	if err != nil {
-		rep.violate(run, "fault-free-strict", "RangeQuery failed on the default device: %v", err)
+		rep.violate(run, "fault-free-strict", "strict scan failed on the default device: %v", err)
 	}
 	strictStats := st.Stats()
 	st.ResetStats()
-	deg := st.RangeQueryDegraded(base)
-	if !deg.Complete() {
-		rep.violate(run, "zero-overhead", "degraded query reported %d dark intervals on the default device", len(deg.Unavailable))
+	deg, err := st.ScanBox(ctx, base)
+	if err != nil {
+		rep.violate(run, "zero-overhead", "degraded scan failed on the default device: %v", err)
 	}
-	if !sameRecords(strict, deg.Records) {
+	if !deg.Complete() {
+		rep.violate(run, "zero-overhead", "degraded scan reported %d dark intervals on the default device", len(deg.Unavailable))
+	}
+	if !sameRecords(strict.Records, deg.Records) {
 		rep.violate(run, "zero-overhead", "degraded records differ from strict on the default device")
 	}
 	if st.Stats() != strictStats {
@@ -66,7 +71,10 @@ func storeRun(cfg Config, run int, rng *rand.Rand, rep *Report) error {
 
 	for q := 0; q < cfg.QueriesPerRun; q++ {
 		b := randomBox(rng, u)
-		res := st.RangeQueryDegraded(b)
+		res, err := st.ScanBox(ctx, b)
+		if err != nil {
+			return err
+		}
 		rep.Queries++
 		rep.RecordsServed += uint64(len(res.Records))
 		rep.UnavailableIntervals += uint64(len(res.Unavailable))
@@ -88,7 +96,7 @@ func storeRun(cfg Config, run int, rng *rand.Rand, rep *Report) error {
 
 // checkDegraded verifies the no-loss/no-duplication and tiling invariants
 // of one degraded query against the ground-truth record set.
-func checkDegraded(run int, rep *Report, c curve.Curve, recs []store.Record, b query.Box, res store.DegradedResult) {
+func checkDegraded(run int, rep *Report, c curve.Curve, recs []store.Record, b query.Box, res store.ScanResult) {
 	u := c.Universe()
 	// Dark intervals: sorted, disjoint, nonempty, and inside the box's
 	// curve footprint (every index maps to a cell of the box).

@@ -1,0 +1,305 @@
+// Package client is the Go client for the sfcserved query daemon
+// (internal/server): it speaks the daemon's HTTP/JSON protocol and folds
+// the serving-side backpressure signals into a bounded retry loop.
+//
+// Retry semantics mirror the store's RetryPolicy shape — bounded attempts,
+// exponential backoff with deterministic jitter — with the network-side
+// refinements: a 429/503 Retry-After hint overrides the computed backoff,
+// and a response whose body was only partially read is NEVER retried (the
+// bytes already consumed cannot be unconsumed, so the client reports the
+// truncation instead of silently re-reading).
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/query"
+	"repro/internal/server"
+)
+
+// ErrOverloaded is the sentinel wrapped by errors reporting that the server
+// shed the request (429) on every attempt; test with errors.Is.
+var ErrOverloaded = errors.New("client: server overloaded")
+
+// ErrUnavailable is the sentinel wrapped by errors reporting that the
+// server was draining or down (503) on every attempt.
+var ErrUnavailable = errors.New("client: server unavailable")
+
+// RetryPolicy bounds the per-query retry loop, mirroring the shape of
+// store.RetryPolicy. Backoff here is real (the goroutine sleeps), because
+// the client faces a real network, not a simulated device.
+type RetryPolicy struct {
+	MaxAttempts int           // total attempts per query (default 4)
+	BaseBackoff time.Duration // backoff after the first failed attempt (default 20ms)
+	MaxBackoff  time.Duration // exponential cap (default 1s)
+	JitterSeed  int64         // seeds the deterministic ±25% jitter
+}
+
+func (rp RetryPolicy) withDefaults() RetryPolicy {
+	if rp.MaxAttempts == 0 {
+		rp.MaxAttempts = 4
+	}
+	if rp.BaseBackoff == 0 {
+		rp.BaseBackoff = 20 * time.Millisecond
+	}
+	if rp.MaxBackoff == 0 {
+		rp.MaxBackoff = time.Second
+	}
+	return rp
+}
+
+// backoff returns the wait before retry number `retry` (1-based) of query
+// number q: exponential in the retry count, capped at MaxBackoff, with a
+// deterministic ±25% jitter so retries across clients decorrelate
+// reproducibly.
+func (rp RetryPolicy) backoff(q uint64, retry int) time.Duration {
+	d := rp.BaseBackoff
+	for i := 1; i < retry && d < rp.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > rp.MaxBackoff {
+		d = rp.MaxBackoff
+	}
+	h := splitmix64(uint64(rp.JitterSeed) ^ q*0x9e3779b97f4a7c15 ^ uint64(retry)<<48)
+	jitter := 0.75 + 0.5*float64(h>>11)/float64(1<<53)
+	return time.Duration(float64(d) * jitter)
+}
+
+// splitmix64 is the SplitMix64 finalizer — a cheap, well-mixed hash used
+// for deterministic jitter.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Stats counts the client's traffic; every field is atomic, so one Client
+// is safe to share across goroutines.
+type Stats struct {
+	Queries  int64 // Query calls
+	Attempts int64 // HTTP requests issued
+	Retries  int64 // attempts beyond the first
+	Shed     int64 // 429 responses observed (retried or not)
+}
+
+// Client queries one sfcserved daemon. Methods are safe for concurrent use.
+type Client struct {
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
+
+	// sleep is swapped by tests to observe requested backoff without
+	// waiting it out.
+	sleep func(ctx context.Context, d time.Duration) error
+
+	queries  atomic.Int64
+	attempts atomic.Int64
+	retries  atomic.Int64
+	shed     atomic.Int64
+}
+
+// Option configures New.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying http.Client (default:
+// http.DefaultClient).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetryPolicy replaces the retry policy; zero fields take defaults.
+func WithRetryPolicy(rp RetryPolicy) Option {
+	return func(c *Client) { c.retry = rp.withDefaults() }
+}
+
+// New builds a client for the daemon at base (e.g.
+// "http://127.0.0.1:7171").
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:  strings.TrimRight(base, "/"),
+		hc:    http.DefaultClient,
+		retry: RetryPolicy{}.withDefaults(),
+		sleep: sleepCtx,
+	}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(c)
+		}
+	}
+	return c
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Queries:  c.queries.Load(),
+		Attempts: c.attempts.Load(),
+		Retries:  c.retries.Load(),
+		Shed:     c.shed.Load(),
+	}
+}
+
+// Query answers the box query against the daemon. A timeout > 0 is passed
+// to the server as its per-request deadline; ctx bounds the whole retry
+// loop on the client side. Retryable failures — transport errors before
+// any response, 429, 503 — are retried within the policy's budget,
+// honoring a Retry-After hint over the computed backoff. A 200 whose body
+// cannot be fully read fails immediately: bytes were consumed, so the
+// attempt is not repeatable.
+func (c *Client) Query(ctx context.Context, b query.Box, timeout time.Duration) (server.QueryResponse, error) {
+	q := uint64(c.queries.Add(1))
+	v := url.Values{}
+	v.Set("lo", joinCoords(b.Lo))
+	v.Set("hi", joinCoords(b.Hi))
+	if timeout > 0 {
+		v.Set("timeout", timeout.String())
+	}
+	reqURL := c.base + "/query?" + v.Encode()
+
+	var lastErr error
+	var delay time.Duration
+	for attempt := 1; attempt <= c.retry.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			c.retries.Add(1)
+			if err := c.sleep(ctx, delay); err != nil {
+				return server.QueryResponse{}, fmt.Errorf("client: giving up while backing off: %w (last failure: %w)", err, lastErr)
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, reqURL, nil)
+		if err != nil {
+			return server.QueryResponse{}, fmt.Errorf("client: %w", err)
+		}
+		c.attempts.Add(1)
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			// No response at all: nothing was consumed, safe to retry —
+			// unless the caller's context is what ended the attempt.
+			if ctx.Err() != nil {
+				return server.QueryResponse{}, fmt.Errorf("client: %w", ctx.Err())
+			}
+			lastErr = err
+			delay = c.retry.backoff(q, attempt)
+			continue
+		}
+		body, readErr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			if readErr != nil {
+				// Partial body: never retried.
+				return server.QueryResponse{}, fmt.Errorf("client: response truncated after %d bytes (not retried): %w", len(body), readErr)
+			}
+			var out server.QueryResponse
+			if err := json.Unmarshal(body, &out); err != nil {
+				return server.QueryResponse{}, fmt.Errorf("client: decoding response: %w", err)
+			}
+			return out, nil
+		case http.StatusTooManyRequests:
+			c.shed.Add(1)
+			lastErr = fmt.Errorf("%w: %s", ErrOverloaded, errorBody(body))
+			delay = c.retryDelay(resp, q, attempt)
+		case http.StatusServiceUnavailable:
+			lastErr = fmt.Errorf("%w: %s", ErrUnavailable, errorBody(body))
+			delay = c.retryDelay(resp, q, attempt)
+		default:
+			// Complete non-retryable answer (400 bad box, 504 deadline,
+			// 500): repeating it would repeat the failure.
+			return server.QueryResponse{}, fmt.Errorf("client: server returned %d: %s", resp.StatusCode, errorBody(body))
+		}
+	}
+	return server.QueryResponse{}, fmt.Errorf("client: %d attempts exhausted: %w", c.retry.MaxAttempts, lastErr)
+}
+
+// Readyz reports whether the daemon is ready for traffic.
+func (c *Client) Readyz(ctx context.Context) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return false, fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK, nil
+}
+
+// MetricsJSON fetches the daemon's /metrics document in JSON form.
+func (c *Client) MetricsJSON(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics?format=json", nil)
+	if err != nil {
+		return "", fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("client: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("client: /metrics returned %d", resp.StatusCode)
+	}
+	return string(body), nil
+}
+
+// retryDelay picks the wait before the next attempt: the server's
+// Retry-After hint when present (the server knows its own queue), the
+// policy's backoff otherwise.
+func (c *Client) retryDelay(resp *http.Response, q uint64, attempt int) time.Duration {
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if sec, err := strconv.Atoi(ra); err == nil && sec >= 0 {
+			return time.Duration(sec) * time.Second
+		}
+	}
+	return c.retry.backoff(q, attempt)
+}
+
+// errorBody extracts the server's JSON error message, falling back to the
+// raw bytes.
+func errorBody(body []byte) string {
+	var er server.ErrorResponse
+	if err := json.Unmarshal(body, &er); err == nil && er.Error != "" {
+		return er.Error
+	}
+	return strings.TrimSpace(string(body))
+}
+
+// joinCoords renders a point as the wire's comma-separated coordinates.
+func joinCoords(p []uint32) string {
+	var sb strings.Builder
+	for i, v := range p {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.FormatUint(uint64(v), 10))
+	}
+	return sb.String()
+}
+
+// sleepCtx sleeps for d or until ctx ends, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -218,28 +218,46 @@ func (r *Registry) Report() string {
 }
 
 // JSON renders every metric as an expvar-style JSON object: counters as
-// numbers, histograms as {count, sum, mean, p50, p95, max} objects. Keys are
-// sorted, so the output is deterministic for a quiescent registry.
+// numbers, histograms as {count, sum, mean, p50, p95, p99, max} objects.
+// Keys are emitted in one globally sorted order — counters and histograms
+// interleaved by name, not grouped by kind — so the output is deterministic
+// for a quiescent registry and byte-diffable across runs (BENCH_*.json
+// baselines, the daemon's /metrics endpoint).
 func (r *Registry) JSON() string {
 	cs, hs := r.names()
-	var b strings.Builder
-	b.WriteString("{")
-	first := true
+	type item struct {
+		name string
+		hist bool
+	}
+	items := make([]item, 0, len(cs)+len(hs))
 	for _, name := range cs {
-		if !first {
-			b.WriteString(",")
-		}
-		first = false
-		fmt.Fprintf(&b, "%q: %d", name, r.Counter(name).Value())
+		items = append(items, item{name: name})
 	}
 	for _, name := range hs {
-		if !first {
+		items = append(items, item{name: name, hist: true})
+	}
+	// names() returns each kind sorted; one global order needs the merged
+	// list re-sorted. A name registered as both kinds (discouraged) renders
+	// the counter first, deterministically.
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].name != items[j].name {
+			return items[i].name < items[j].name
+		}
+		return !items[i].hist && items[j].hist
+	})
+	var b strings.Builder
+	b.WriteString("{")
+	for i, it := range items {
+		if i > 0 {
 			b.WriteString(",")
 		}
-		first = false
-		h := r.Histogram(name)
-		fmt.Fprintf(&b, "%q: {\"count\": %d, \"sum\": %d, \"mean\": %.3f, \"p50\": %d, \"p95\": %d, \"max\": %d}",
-			name, h.Count(), h.Sum(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Max())
+		if it.hist {
+			h := r.Histogram(it.name)
+			fmt.Fprintf(&b, "%q: {\"count\": %d, \"sum\": %d, \"mean\": %.3f, \"p50\": %d, \"p95\": %d, \"p99\": %d, \"max\": %d}",
+				it.name, h.Count(), h.Sum(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max())
+		} else {
+			fmt.Fprintf(&b, "%q: %d", it.name, r.Counter(it.name).Value())
+		}
 	}
 	b.WriteString("}")
 	return b.String()

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -107,5 +108,40 @@ func TestConcurrentObserve(t *testing.T) {
 	}
 	if r.Histogram("h").Max() != 999 {
 		t.Fatalf("max = %d", r.Histogram("h").Max())
+	}
+}
+
+// TestJSONGlobalKeyOrder: JSON emits one globally sorted key order with
+// counters and histograms interleaved by name — not counters first — so
+// /metrics responses and committed BENCH_*.json files diff cleanly.
+func TestJSONGlobalKeyOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("alpha.latency_us").Observe(3)
+	r.Counter("zulu.count").Inc()
+	r.Counter("mike.count").Inc()
+	r.Histogram("november.latency_us").Observe(7)
+	out := r.JSON()
+	var keys []string
+	for _, name := range []string{"alpha.latency_us", "mike.count", "november.latency_us", "zulu.count"} {
+		keys = append(keys, fmt.Sprintf("%q", name))
+	}
+	pos := -1
+	for _, k := range keys {
+		i := strings.Index(out, k)
+		if i < 0 {
+			t.Fatalf("key %s missing from JSON: %s", k, out)
+		}
+		if i < pos {
+			t.Fatalf("key %s out of global sorted order in JSON: %s", k, out)
+		}
+		pos = i
+	}
+	if !json.Valid([]byte(out)) {
+		t.Fatalf("invalid JSON: %s", out)
+	}
+	// Deterministic: a second render is byte-identical on a quiescent
+	// registry.
+	if again := r.JSON(); again != out {
+		t.Fatalf("JSON not deterministic:\n%s\n%s", out, again)
 	}
 }

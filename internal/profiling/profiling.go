@@ -6,6 +6,8 @@ package profiling
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -22,6 +24,18 @@ type Config struct {
 func (c *Config) AddFlags(fs *flag.FlagSet) {
 	fs.StringVar(&c.CPUPath, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&c.MemPath, "memprofile", "", "write a heap profile to this file on exit")
+}
+
+// AttachPprof registers the standard net/http/pprof handlers under
+// /debug/pprof/ on mux. The daemon calls it only when profiling is
+// explicitly enabled, so the endpoints never leak onto a mux by the side
+// effect of an import.
+func AttachPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 }
 
 // Start begins CPU profiling if -cpuprofile was given. It returns a stop

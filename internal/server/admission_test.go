@@ -1,0 +1,102 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLimiterNeverExceedsBound is the -race stress on the inflight
+// limiter: many goroutines hammering acquire/release must never observe
+// more than max concurrent holders, and every acquire must resolve to
+// exactly one of {held, shed, ctx}.
+func TestLimiterNeverExceedsBound(t *testing.T) {
+	const (
+		maxInflight = 8
+		goroutines  = 64
+		iterations  = 200
+	)
+	l := newLimiter(maxInflight, 2*time.Millisecond)
+	var cur, high, held, shedCount atomic.Int64
+	var wg sync.WaitGroup
+	ctx := context.Background()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				_, err := l.acquire(ctx)
+				if err != nil {
+					if !errors.Is(err, errShed) {
+						t.Errorf("acquire: %v", err)
+						return
+					}
+					shedCount.Add(1)
+					continue
+				}
+				held.Add(1)
+				n := cur.Add(1)
+				for {
+					h := high.Load()
+					if n <= h || high.CompareAndSwap(h, n) {
+						break
+					}
+				}
+				if n > maxInflight {
+					t.Errorf("inflight %d > bound %d", n, maxInflight)
+				}
+				cur.Add(-1)
+				l.release()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := high.Load(); got > maxInflight {
+		t.Fatalf("high-water inflight %d > bound %d", got, maxInflight)
+	}
+	if l.inflight() != 0 {
+		t.Fatalf("%d slots leaked", l.inflight())
+	}
+	if held.Load()+shedCount.Load() != goroutines*iterations {
+		t.Fatalf("held %d + shed %d != %d attempts", held.Load(), shedCount.Load(), goroutines*iterations)
+	}
+	t.Logf("held=%d shed=%d high-water=%d", held.Load(), shedCount.Load(), high.Load())
+}
+
+// TestLimiterShedsWhenSaturated: with every slot held, acquire either
+// sheds within roughly the queue-wait budget or returns the context's
+// error when the caller's deadline is shorter.
+func TestLimiterShedsWhenSaturated(t *testing.T) {
+	l := newLimiter(1, 10*time.Millisecond)
+	if _, err := l.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := l.acquire(context.Background())
+	if !errors.Is(err, errShed) {
+		t.Fatalf("err = %v, want errShed", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("shed took %v, budget was 10ms", waited)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	lslow := newLimiter(1, time.Hour)
+	if _, err := lslow.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lslow.acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// Zero budget sheds immediately instead of arming a timer.
+	lzero := newLimiter(1, 0)
+	if _, err := lzero.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lzero.acquire(context.Background()); !errors.Is(err, errShed) {
+		t.Fatalf("err = %v, want errShed with zero budget", err)
+	}
+}

@@ -1,0 +1,62 @@
+package server
+
+import (
+	"repro/internal/service"
+)
+
+// The wire types are the daemon's JSON vocabulary, shared with
+// internal/client so both ends marshal the same shapes.
+
+// WireRecord is one stored record on the wire.
+type WireRecord struct {
+	Point   []uint32 `json:"point"`
+	Payload uint64   `json:"payload"`
+}
+
+// WireInterval is one half-open curve-index interval [Lo, Hi) on the wire.
+type WireInterval struct {
+	Lo uint64 `json:"lo"`
+	Hi uint64 `json:"hi"`
+}
+
+// QueryResponse is the body of a successful /query response.
+type QueryResponse struct {
+	// Records holds the readable records inside the box, in curve order.
+	Records []WireRecord `json:"records"`
+	// Unavailable lists the curve intervals no shard could serve (sorted,
+	// disjoint, merged). Empty means the answer is complete.
+	Unavailable []WireInterval `json:"unavailable,omitempty"`
+	// ShardsQueried counts the shards the query fanned out to.
+	ShardsQueried int `json:"shards_queried"`
+	// Complete mirrors len(Unavailable) == 0 for clients that do not want
+	// to reason about intervals.
+	Complete bool `json:"complete"`
+	// ElapsedUS is the server-side service time in microseconds, admission
+	// queueing excluded.
+	ElapsedUS int64 `json:"elapsed_us"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// toResponse converts a service result to its wire form.
+func toResponse(res service.Result, elapsedUS int64) QueryResponse {
+	out := QueryResponse{
+		Records:       make([]WireRecord, len(res.Records)),
+		ShardsQueried: res.ShardsQueried,
+		Complete:      res.Complete(),
+		ElapsedUS:     elapsedUS,
+	}
+	for i, r := range res.Records {
+		out.Records[i] = WireRecord{Point: r.Point, Payload: r.Payload}
+	}
+	if len(res.Unavailable) > 0 {
+		out.Unavailable = make([]WireInterval, len(res.Unavailable))
+		for i, iv := range res.Unavailable {
+			out.Unavailable[i] = WireInterval{Lo: iv.Lo, Hi: iv.Hi}
+		}
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/store"
+)
+
+// buildConfig is the resolved New configuration after every Option has been
+// applied.
+type buildConfig struct {
+	shards    int
+	workers   int
+	cacheSize int
+	pageSize  int
+	registry  *metrics.Registry
+	shardOpts func(j int) []store.Option
+}
+
+// Option configures New, mirroring the store's Bulkload options. Options
+// are applied in order; later options override earlier ones. The legacy
+// Config struct satisfies Option, so old New(c, recs, cfg) call sites
+// compile unchanged.
+type Option interface {
+	apply(*buildConfig) error
+}
+
+// optionFunc adapts a function to the Option interface.
+type optionFunc func(*buildConfig) error
+
+func (f optionFunc) apply(b *buildConfig) error { return f(b) }
+
+// WithShards sets the number of store shards (default 1).
+func WithShards(n int) Option {
+	return optionFunc(func(b *buildConfig) error {
+		if n < 1 {
+			return fmt.Errorf("service: %d shards", n)
+		}
+		b.shards = n
+		return nil
+	})
+}
+
+// WithWorkers bounds the pool executing per-shard scans (default
+// GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return optionFunc(func(b *buildConfig) error {
+		if n < 1 {
+			return fmt.Errorf("service: %d workers", n)
+		}
+		b.workers = n
+		return nil
+	})
+}
+
+// WithCacheSize sets the decomposition cache capacity in entries: 0 means
+// DefaultCacheSize, negative disables retention (coalescing of concurrent
+// identical decompositions is kept).
+func WithCacheSize(n int) Option {
+	return optionFunc(func(b *buildConfig) error {
+		b.cacheSize = n
+		return nil
+	})
+}
+
+// WithPageSize sets the leaf page size of every shard store (default: the
+// store default).
+func WithPageSize(n int) Option {
+	return optionFunc(func(b *buildConfig) error {
+		if n < 2 {
+			return fmt.Errorf("service: page size %d too small", n)
+		}
+		b.pageSize = n
+		return nil
+	})
+}
+
+// WithMetrics routes the service metrics into reg — e.g. the registry a
+// network daemon already exposes on /metrics — instead of a private one.
+func WithMetrics(reg *metrics.Registry) Option {
+	return optionFunc(func(b *buildConfig) error {
+		if reg == nil {
+			return fmt.Errorf("service: WithMetrics(nil)")
+		}
+		b.registry = reg
+		return nil
+	})
+}
+
+// WithShardStoreOptions supplies extra bulkload options for shard j — the
+// hook fault-injection tests use to wrap each shard's device.
+func WithShardStoreOptions(f func(j int) []store.Option) Option {
+	return optionFunc(func(b *buildConfig) error {
+		if f == nil {
+			return fmt.Errorf("service: WithShardStoreOptions(nil)")
+		}
+		b.shardOpts = f
+		return nil
+	})
+}
+
+// Config parameterizes New. The zero value is usable: one shard, one worker
+// per CPU, the default cache size and page size. It satisfies Option so
+// that the pre-functional-options New signature keeps compiling; zero
+// fields leave the defaults in place.
+//
+// Deprecated: pass WithShards / WithWorkers / WithCacheSize / WithPageSize
+// / WithMetrics / WithShardStoreOptions instead.
+type Config struct {
+	// Shards is the number of store shards; 0 means 1.
+	Shards int
+	// Workers bounds the pool executing per-shard scans; 0 means
+	// GOMAXPROCS.
+	Workers int
+	// CacheSize is the decomposition cache capacity in entries: 0 means
+	// DefaultCacheSize, negative disables retention (coalescing of
+	// concurrent identical decompositions is kept).
+	CacheSize int
+	// PageSize is the leaf page size of every shard store; 0 means the
+	// store default.
+	PageSize int
+	// Registry receives the service metrics; nil means a private registry
+	// (readable through Metrics).
+	Registry *metrics.Registry
+	// ShardOptions, when non-nil, supplies extra bulkload options for shard
+	// j — the hook fault-injection tests use to wrap each shard's device.
+	ShardOptions func(j int) []store.Option
+}
+
+func (cfg Config) apply(b *buildConfig) error {
+	if cfg.Shards != 0 {
+		b.shards = cfg.Shards
+	}
+	if cfg.Workers != 0 {
+		b.workers = cfg.Workers
+	}
+	if cfg.CacheSize != 0 {
+		b.cacheSize = cfg.CacheSize
+	}
+	if cfg.PageSize != 0 {
+		b.pageSize = cfg.PageSize
+	}
+	if cfg.Registry != nil {
+		b.registry = cfg.Registry
+	}
+	if cfg.ShardOptions != nil {
+		b.shardOpts = cfg.ShardOptions
+	}
+	return nil
+}

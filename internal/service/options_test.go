@@ -1,0 +1,120 @@
+package service_test
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+func optionTestData(t *testing.T) (curve.Curve, []store.Record, []query.Box) {
+	t.Helper()
+	u := grid.MustNew(2, 5)
+	c := curve.NewHilbert(u)
+	rng := rand.New(rand.NewSource(5))
+	recs := make([]store.Record, 3000)
+	for i := range recs {
+		recs[i] = store.Record{
+			Point:   u.MustPoint(rng.Uint32()%u.Side(), rng.Uint32()%u.Side()),
+			Payload: uint64(i),
+		}
+	}
+	boxes := make([]query.Box, 8)
+	for i := range boxes {
+		lo := u.MustPoint(rng.Uint32()%24, rng.Uint32()%24)
+		hi := u.MustPoint(lo[0]+uint32(rng.Intn(8)), lo[1]+uint32(rng.Intn(8)))
+		b, err := query.NewBox(u, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		boxes[i] = b
+	}
+	return c, recs, boxes
+}
+
+// TestOptionsEquivalentToConfig: a service built with functional options
+// answers queries identically to one built with the legacy Config literal,
+// and both forms keep compiling against the same New.
+func TestOptionsEquivalentToConfig(t *testing.T) {
+	c, recs, boxes := optionTestData(t)
+	reg := metrics.NewRegistry()
+	viaOpts, err := service.New(c, recs,
+		service.WithShards(4),
+		service.WithWorkers(2),
+		service.WithCacheSize(16),
+		service.WithPageSize(8),
+		service.WithMetrics(reg),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer viaOpts.Close()
+	viaConfig, err := service.New(c, recs, service.Config{
+		Shards: 4, Workers: 2, CacheSize: 16, PageSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer viaConfig.Close()
+
+	if viaOpts.Shards() != 4 || viaConfig.Shards() != 4 {
+		t.Fatalf("shards: opts %d, config %d, want 4", viaOpts.Shards(), viaConfig.Shards())
+	}
+	if viaOpts.Metrics() != reg {
+		t.Fatal("WithMetrics registry not adopted")
+	}
+	ctx := context.Background()
+	for _, b := range boxes {
+		ro, err := viaOpts.Range(ctx, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, err := viaConfig.Range(ctx, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ro.Records, rc.Records) {
+			t.Fatal("option-built and config-built services disagree")
+		}
+	}
+	if reg.Counter("queries.total").Value() != int64(len(boxes)) {
+		t.Fatalf("metrics not routed into supplied registry: queries.total = %d",
+			reg.Counter("queries.total").Value())
+	}
+}
+
+// TestOptionsValidate: out-of-range options fail New instead of silently
+// clamping, and a later option overrides an earlier one (Config included).
+func TestOptionsValidate(t *testing.T) {
+	c, recs, _ := optionTestData(t)
+	for _, tc := range []struct {
+		name string
+		opt  service.Option
+	}{
+		{"shards", service.WithShards(0)},
+		{"workers", service.WithWorkers(-1)},
+		{"pagesize", service.WithPageSize(1)},
+		{"metrics", service.WithMetrics(nil)},
+		{"shardopts", service.WithShardStoreOptions(nil)},
+	} {
+		if _, err := service.New(c, recs, tc.opt); err == nil {
+			t.Errorf("%s: invalid option accepted", tc.name)
+		}
+	}
+	// Later options win: Config sets 2 shards, WithShards overrides to 3.
+	svc, err := service.New(c, recs, service.Config{Shards: 2}, service.WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if svc.Shards() != 3 {
+		t.Fatalf("override: %d shards, want 3", svc.Shards())
+	}
+}

@@ -38,29 +38,6 @@ import (
 // ErrShuttingDown is returned (wrapped) by queries submitted after Close.
 var ErrShuttingDown = errors.New("service: shutting down")
 
-// Config parameterizes New. The zero value is usable: one shard, one worker
-// per CPU, the default cache size and page size.
-type Config struct {
-	// Shards is the number of store shards; 0 means 1.
-	Shards int
-	// Workers bounds the pool executing per-shard scans; 0 means
-	// GOMAXPROCS.
-	Workers int
-	// CacheSize is the decomposition cache capacity in entries: 0 means
-	// DefaultCacheSize, negative disables retention (coalescing of
-	// concurrent identical decompositions is kept).
-	CacheSize int
-	// PageSize is the leaf page size of every shard store; 0 means the
-	// store default.
-	PageSize int
-	// Registry receives the service metrics; nil means a private registry
-	// (readable through Metrics).
-	Registry *metrics.Registry
-	// ShardOptions, when non-nil, supplies extra bulkload options for shard
-	// j — the hook fault-injection tests use to wrap each shard's device.
-	ShardOptions func(j int) []store.Option
-}
-
 // Service serves box queries over a sharded store. Methods are safe for
 // concurrent use; Close drains the worker pool.
 type Service struct {
@@ -82,9 +59,9 @@ type Service struct {
 	shardLat  []*metrics.Histogram
 }
 
-// Result is the outcome of one sharded query, mirroring
-// store.DegradedResult: the readable records in curve order plus the merged
-// dark curve intervals from every shard.
+// Result is the outcome of one sharded query, mirroring store.ScanResult:
+// the readable records in curve order plus the merged dark curve intervals
+// from every shard.
 type Result struct {
 	// Records holds the readable records inside the box, in curve order —
 	// identical to what a single unsharded store would return.
@@ -100,17 +77,30 @@ type Result struct {
 // Complete reports whether the whole query was served.
 func (r Result) Complete() bool { return len(r.Unavailable) == 0 }
 
-// New shards recs across cfg.Shards stores by uniform curve-index cuts and
-// starts the worker pool. The input records are not retained.
-func New(c curve.Curve, recs []store.Record, cfg Config) (*Service, error) {
-	shards := cfg.Shards
+// New shards recs across the configured number of stores by uniform
+// curve-index cuts and starts the worker pool. The input records are not
+// retained. Configuration is by functional options mirroring the store's
+// (WithShards, WithWorkers, WithCacheSize, WithPageSize, WithMetrics,
+// WithShardStoreOptions); the legacy Config struct also satisfies Option,
+// so pre-option call sites compile unchanged.
+func New(c curve.Curve, recs []store.Record, opts ...Option) (*Service, error) {
+	var cfg buildConfig
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt.apply(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	shards := cfg.shards
 	if shards == 0 {
 		shards = 1
 	}
 	if shards < 1 {
 		return nil, fmt.Errorf("service: %d shards", shards)
 	}
-	workers := cfg.Workers
+	workers := cfg.workers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -129,7 +119,7 @@ func New(c curve.Curve, recs []store.Record, cfg Config) (*Service, error) {
 		j := pt.OwnerOfPosition(c.Index(r.Point))
 		dealt[j] = append(dealt[j], r)
 	}
-	reg := cfg.Registry
+	reg := cfg.registry
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
@@ -146,21 +136,21 @@ func New(c curve.Curve, recs []store.Record, cfg Config) (*Service, error) {
 		shardLat:  make([]*metrics.Histogram, shards),
 	}
 	for j := range s.shards {
-		opts := []store.Option{}
-		if cfg.PageSize != 0 {
-			opts = append(opts, store.WithPageSize(cfg.PageSize))
+		sOpts := []store.Option{}
+		if cfg.pageSize != 0 {
+			sOpts = append(sOpts, store.WithPageSize(cfg.pageSize))
 		}
-		if cfg.ShardOptions != nil {
-			opts = append(opts, cfg.ShardOptions(j)...)
+		if cfg.shardOpts != nil {
+			sOpts = append(sOpts, cfg.shardOpts(j)...)
 		}
-		st, err := store.Bulkload(c, dealt[j], opts...)
+		st, err := store.Bulkload(c, dealt[j], sOpts...)
 		if err != nil {
 			return nil, fmt.Errorf("service: shard %d: %w", j, err)
 		}
 		s.shards[j] = st
 		s.shardLat[j] = reg.Histogram(fmt.Sprintf("shard.%d.latency_us", j))
 	}
-	capacity := cfg.CacheSize
+	capacity := cfg.cacheSize
 	switch {
 	case capacity == 0:
 		capacity = DefaultCacheSize
@@ -221,7 +211,7 @@ func (s *Service) Range(ctx context.Context, b query.Box) (Result, error) {
 	}
 	type shardRes struct {
 		pos int
-		res store.DegradedResult
+		res store.ScanResult
 		err error
 	}
 	resc := make(chan shardRes, len(jobs))
@@ -235,14 +225,14 @@ func (s *Service) Range(ctx context.Context, b query.Box) (Result, error) {
 		pos, jb := pos, jb
 		s.tasks <- func() {
 			start := time.Now()
-			r, err := s.shards[jb.shard].RangeIntervalsDegraded(ctx, jb.ivs)
+			r, err := s.shards[jb.shard].Scan(ctx, jb.ivs)
 			s.shardLat[jb.shard].Observe(time.Since(start).Microseconds())
 			resc <- shardRes{pos: pos, res: r, err: err}
 		}
 	}
 	s.mu.RUnlock()
 
-	ordered := make([]store.DegradedResult, len(jobs))
+	ordered := make([]store.ScanResult, len(jobs))
 	var firstErr error
 	for range jobs {
 		sr := <-resc

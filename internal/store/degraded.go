@@ -2,14 +2,14 @@ package store
 
 import (
 	"context"
-	"sort"
 
 	"repro/internal/query"
 )
 
-// DegradedResult is the outcome of RangeQueryDegraded: every record the
-// store could read, plus an explicit description of the part of the query
-// it could not serve.
+// DegradedResult is the outcome of the deprecated RangeQueryDegraded family:
+// every record the store could read, plus an explicit description of the
+// part of the query it could not serve. It mirrors ScanResult field for
+// field; new callers use Scan and ScanResult directly.
 type DegradedResult struct {
 	// Records holds the readable records inside the box, in curve-interval
 	// scan order (the same order RangeQuery returns).
@@ -23,9 +23,7 @@ type DegradedResult struct {
 	// short — its length is itself a locality metric.
 	Unavailable []query.Interval
 	// PagesRead counts the distinct leaf pages this call touched,
-	// including pages that stayed dark. The service layer aggregates it
-	// into its pages-read metric without having to diff cumulative store
-	// stats under concurrency.
+	// including pages that stayed dark.
 	PagesRead int
 }
 
@@ -38,6 +36,8 @@ func (r DegradedResult) Complete() bool { return len(r.Unavailable) == 0 }
 // intervals. With the default in-memory device (or a fault injector that
 // injects nothing) it returns byte-identical records and identical Stats to
 // RangeQuery — degraded mode costs nothing when nothing fails.
+//
+// Deprecated: use ScanBox (degraded is Scan's default mode).
 func (st *Store) RangeQueryDegraded(b query.Box) DegradedResult {
 	res, _ := st.RangeDegradedContext(context.Background(), b)
 	return res
@@ -47,76 +47,26 @@ func (st *Store) RangeQueryDegraded(b query.Box) DegradedResult {
 // context is checked between leaf page reads and a cancellation aborts the
 // query with the context's error (a canceled query is not "degraded" — no
 // dark intervals are fabricated for the part it never attempted).
+//
+// Deprecated: use ScanBox.
 func (st *Store) RangeDegradedContext(ctx context.Context, b query.Box) (DegradedResult, error) {
 	return st.RangeIntervalsDegraded(ctx, query.DecomposeBox(st.c, b))
 }
 
 // RangeIntervalsDegraded answers a pre-decomposed degraded query over
 // sorted, disjoint curve intervals (as produced by query.DecomposeBox or a
-// shared decomposition cache). The service layer uses it to reuse one
-// cached decomposition across every shard a query routes to.
+// shared decomposition cache).
+//
+// Deprecated: use Scan.
 func (st *Store) RangeIntervalsDegraded(ctx context.Context, ivs []query.Interval) (DegradedResult, error) {
-	cache := newPageCache(st)
-	type span struct {
-		iv     query.Interval
-		lo, hi int // slot range [lo, hi) of records inside iv
-	}
-	spans := make([]span, 0, len(ivs))
-	for _, iv := range ivs {
-		lo := st.descend(iv.Lo)
-		hi := lo + sort.Search(len(st.keys)-lo, func(i int) bool { return st.keys[lo+i] >= iv.Hi })
-		spans = append(spans, span{iv: iv, lo: lo, hi: hi})
-	}
-	// Pass 1: fetch every page the query touches, in the same order
-	// RangeQuery would, and collect the dark key spans of failed pages.
-	var dark []query.Interval
-	for _, sp := range spans {
-		if sp.lo == sp.hi {
-			continue
-		}
-		for page := sp.lo / st.pageSize; page <= (sp.hi-1)/st.pageSize; page++ {
-			if err := ctx.Err(); err != nil {
-				return DegradedResult{}, err
-			}
-			if _, err := cache.get(page); err == nil {
-				continue
-			}
-			ks := st.pageKeySpan(page)
-			if ks.Lo < sp.iv.Lo {
-				ks.Lo = sp.iv.Lo
-			}
-			if ks.Hi > sp.iv.Hi {
-				ks.Hi = sp.iv.Hi
-			}
-			if ks.Lo < ks.Hi {
-				dark = append(dark, ks)
-			}
-		}
-	}
-	dark = query.MergeIntervals(dark)
-	// Pass 2: collect records, skipping dark pages and any record whose key
-	// falls in a dark interval (duplicate keys straddling a page boundary
-	// are only partially readable, so the whole key goes dark).
-	var out []Record
-	cur := -1 // memoize the scan's current page: pages arrive consecutively
-	var pg Page
-	var pgErr error
-	for _, sp := range spans {
-		for i := sp.lo; i < sp.hi; i++ {
-			if id := i / st.pageSize; id != cur {
-				pg, pgErr = cache.get(id)
-				cur = id
-			}
-			if pgErr != nil || query.IntervalsContain(dark, st.keys[i]) {
-				continue
-			}
-			out = append(out, pg.Records[i%st.pageSize])
-		}
+	res, err := st.Scan(ctx, ivs)
+	if err != nil {
+		return DegradedResult{}, err
 	}
 	return DegradedResult{
-		Records:     out,
-		Unavailable: dark,
-		PagesRead:   len(cache.pages) + len(cache.failed),
+		Records:     res.Records,
+		Unavailable: res.Unavailable,
+		PagesRead:   res.PagesRead,
 	}, nil
 }
 

@@ -1,0 +1,158 @@
+package store_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/faultio"
+	"repro/internal/grid"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// TestScanStrictEqualsDegradedFaultFree: on the default device, strict and
+// degraded Scan return byte-identical records, identical Stats, identical
+// PagesRead — the unified entry point keeps the zero-overhead guarantee.
+func TestScanStrictEqualsDegradedFaultFree(t *testing.T) {
+	u := grid.MustNew(2, 5)
+	rng := rand.New(rand.NewSource(41))
+	_, _, st := buildStore(t, u, "hilbert", 1500, 17, store.Config{PageSize: 8, Fanout: 4})
+	ctx := context.Background()
+	for q := 0; q < 16; q++ {
+		b := randomTestBox(rng, u)
+		st.ResetStats()
+		strict, err := st.ScanBox(ctx, b, store.ScanStrict())
+		if err != nil {
+			t.Fatalf("strict scan failed without faults: %v", err)
+		}
+		strictStats := st.Stats()
+		st.ResetStats()
+		deg, err := st.ScanBox(ctx, b)
+		if err != nil {
+			t.Fatalf("degraded scan failed: %v", err)
+		}
+		if !deg.Complete() {
+			t.Fatalf("%d dark intervals without faults", len(deg.Unavailable))
+		}
+		if !reflect.DeepEqual(strict.Records, deg.Records) {
+			t.Fatal("degraded records differ from strict")
+		}
+		if strict.PagesRead != deg.PagesRead {
+			t.Fatalf("PagesRead: strict %d, degraded %d", strict.PagesRead, deg.PagesRead)
+		}
+		if got := st.Stats(); got != strictStats {
+			t.Fatalf("degraded stats %+v, strict %+v", got, strictStats)
+		}
+		if got := st.Stats().LeafReads; got != strict.PagesRead {
+			t.Fatalf("PagesRead %d, Stats.LeafReads %d", strict.PagesRead, got)
+		}
+	}
+}
+
+// TestScanWrappersDelegate: the deprecated Range* wrappers return results
+// bit-identical to Scan's, dark intervals included.
+func TestScanWrappersDelegate(t *testing.T) {
+	u := grid.MustNew(2, 5)
+	rng := rand.New(rand.NewSource(42))
+	c, _, st := buildStore(t, u, "z", 2000, 23, store.Config{PageSize: 4, Fanout: 4})
+	inj, err := faultio.Wrap(st.DefaultDevice(), faultio.Config{Seed: 9, LostFrac: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetDevice(inj); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for q := 0; q < 16; q++ {
+		b := randomTestBox(rng, u)
+		ivs := query.DecomposeBox(c, b)
+		res, err := st.Scan(ctx, ivs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deg, err := st.RangeIntervalsDegraded(ctx, ivs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Records, deg.Records) ||
+			!reflect.DeepEqual(res.Unavailable, deg.Unavailable) ||
+			res.PagesRead != deg.PagesRead {
+			t.Fatal("RangeIntervalsDegraded diverges from Scan")
+		}
+		wrap := st.RangeQueryDegraded(b)
+		if !reflect.DeepEqual(res.Records, wrap.Records) ||
+			!reflect.DeepEqual(res.Unavailable, wrap.Unavailable) {
+			t.Fatal("RangeQueryDegraded diverges from Scan")
+		}
+		strict, strictErr := st.Scan(ctx, ivs, store.ScanStrict())
+		old, oldErr := st.RangeIntervals(ctx, ivs)
+		if (strictErr == nil) != (oldErr == nil) {
+			t.Fatalf("strict error mismatch: Scan %v, RangeIntervals %v", strictErr, oldErr)
+		}
+		if strictErr == nil && !reflect.DeepEqual(strict.Records, old) {
+			t.Fatal("RangeIntervals diverges from strict Scan")
+		}
+	}
+}
+
+// TestScanStrictFailsOnDarkPage: with a permanently lost page, a strict
+// scan fails with ErrPageUnavailable while a degraded scan of the same
+// intervals reports the loss as dark intervals and keeps the tiling
+// contract.
+func TestScanStrictFailsOnDarkPage(t *testing.T) {
+	u := grid.MustNew(2, 5)
+	c, recs, st := buildStore(t, u, "hilbert", 1200, 7, store.Config{PageSize: 8, Fanout: 4})
+	inj, err := faultio.Wrap(st.DefaultDevice(), faultio.Config{Seed: 3, LostPages: []int{2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetDevice(inj); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	full := []query.Interval{{Lo: 0, Hi: u.N()}}
+	if _, err := st.Scan(ctx, full, store.ScanStrict()); !errors.Is(err, store.ErrPageUnavailable) {
+		t.Fatalf("strict scan over a lost page: err = %v, want ErrPageUnavailable", err)
+	}
+	res, err := st.Scan(ctx, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete() {
+		t.Fatal("degraded scan over lost pages reported no dark intervals")
+	}
+	dark := func(key uint64) bool { return query.IntervalsContain(res.Unavailable, key) }
+	want := 0
+	for _, r := range recs {
+		if !dark(c.Index(r.Point)) {
+			want++
+		}
+	}
+	if len(res.Records) != want {
+		t.Fatalf("served %d records, want %d (outside dark intervals)", len(res.Records), want)
+	}
+	for _, r := range res.Records {
+		if dark(c.Index(r.Point)) {
+			t.Fatalf("record %v lies in a dark interval", r.Point)
+		}
+	}
+}
+
+// TestScanContextCanceled: a canceled context aborts the scan with the
+// context's error and no fabricated partial result.
+func TestScanContextCanceled(t *testing.T) {
+	u := grid.MustNew(2, 5)
+	_, _, st := buildStore(t, u, "z", 1200, 11, store.Config{PageSize: 4, Fanout: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := st.Scan(ctx, []query.Interval{{Lo: 0, Hi: u.N()}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(res.Records) != 0 || len(res.Unavailable) != 0 {
+		t.Fatalf("canceled scan fabricated a result: %+v", res)
+	}
+}

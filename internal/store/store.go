@@ -362,6 +362,8 @@ func (st *Store) descend(target uint64) int {
 // fails the whole query (errors.Is(err, ErrPageUnavailable)). Use
 // RangeQueryDegraded to get partial results with an explicit report of the
 // unserved curve intervals instead.
+//
+// Deprecated: use ScanBox with ScanStrict.
 func (st *Store) RangeQuery(b query.Box) ([]Record, error) {
 	return st.RangeContext(context.Background(), b)
 }
@@ -369,37 +371,23 @@ func (st *Store) RangeQuery(b query.Box) ([]Record, error) {
 // RangeContext is RangeQuery honoring a context: cancellation and deadline
 // are checked between leaf page reads, so a query over many pages stops
 // within one page fetch of the context ending.
+//
+// Deprecated: use ScanBox with ScanStrict.
 func (st *Store) RangeContext(ctx context.Context, b query.Box) ([]Record, error) {
 	return st.RangeIntervals(ctx, query.DecomposeBox(st.c, b))
 }
 
-// RangeIntervals answers a pre-decomposed query: it scans the given sorted,
-// disjoint curve intervals (as produced by query.DecomposeBox or a shared
-// decomposition cache) and returns the records whose keys they contain, in
-// curve order. The service layer uses it to reuse one cached decomposition
-// across every shard the query routes to.
+// RangeIntervals answers a pre-decomposed strict query over sorted,
+// disjoint curve intervals and returns the records whose keys they contain,
+// in curve order.
+//
+// Deprecated: use Scan with ScanStrict.
 func (st *Store) RangeIntervals(ctx context.Context, ivs []query.Interval) ([]Record, error) {
-	cache := newPageCache(st)
-	var out []Record
-	cur := -1 // memoize the scan's current page: pages arrive consecutively
-	var pg Page
-	for _, iv := range ivs {
-		lo := st.descend(iv.Lo)
-		for i := lo; i < len(st.keys) && st.keys[i] < iv.Hi; i++ {
-			if id := i / st.pageSize; id != cur {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-				var err error
-				if pg, err = cache.get(id); err != nil {
-					return nil, err
-				}
-				cur = id
-			}
-			out = append(out, pg.Records[i%st.pageSize])
-		}
+	res, err := st.Scan(ctx, ivs, ScanStrict())
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return res.Records, nil
 }
 
 // BoxQuery is the historical entry point: it answers the box query in
