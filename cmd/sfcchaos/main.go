@@ -7,14 +7,18 @@
 //  3. per-page checksums detect 100% of injected bit corruption;
 //  4. failure-driven rebalancing conserves cell ownership, with migration
 //     equal to the cells the dead parts owned (plus measured slack for the
-//     load-aware variant).
+//     load-aware variant);
+//  5. the durable write path recovers exactly its acknowledged operations
+//     after seeded kills, torn writes, and fsync failures, truncating torn
+//     WAL tails and preserving degraded tiling across restart.
 //
-// Every run is reproducible from the seed and the run index.
+// Every run is reproducible from the seed, the run index, and the campaign.
 //
 // Usage:
 //
 //	sfcchaos -seed 1 -runs 100
 //	sfcchaos -seed 7 -runs 500 -queries 8 -v
+//	sfcchaos -campaign crash -runs 50 -artifacts /tmp/chaos-artifacts
 package main
 
 import (
@@ -27,14 +31,16 @@ import (
 
 func main() {
 	var (
-		seed    = flag.Int64("seed", 1, "campaign seed")
-		runs    = flag.Int("runs", 100, "randomized runs")
-		queries = flag.Int("queries", 4, "degraded queries per run")
-		verbose = flag.Bool("v", false, "log progress")
+		seed      = flag.Int64("seed", 1, "campaign seed")
+		runs      = flag.Int("runs", 100, "randomized runs")
+		queries   = flag.Int("queries", 4, "degraded queries per run")
+		campaign  = flag.String("campaign", "all", "campaign: all, store, partition, crash")
+		artifacts = flag.String("artifacts", "", "directory to copy WAL/manifest artifacts of violating crash runs into")
+		verbose   = flag.Bool("v", false, "log progress")
 	)
 	flag.Parse()
 
-	cfg := chaos.Config{Seed: *seed, Runs: *runs, QueriesPerRun: *queries}
+	cfg := chaos.Config{Seed: *seed, Runs: *runs, QueriesPerRun: *queries, Campaign: *campaign, ArtifactDir: *artifacts}
 	if *verbose {
 		cfg.Log = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -46,12 +52,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("chaos campaign: seed=%d runs=%d\n", *seed, rep.Runs)
+	fmt.Printf("chaos campaign: seed=%d runs=%d campaign=%s\n", *seed, rep.Runs, *campaign)
 	fmt.Printf("  store     %6d degraded queries, %d records served, %d dark intervals reported\n",
 		rep.Queries, rep.RecordsServed, rep.UnavailableIntervals)
 	fmt.Printf("  faults    %6d pages lost, %d transients, %d retries, %d corruptions injected / %d detected\n",
 		rep.PagesLost, rep.TransientsInjected, rep.RetriesObserved, rep.CorruptionsInjected, rep.CorruptionsDetected)
 	fmt.Printf("  partition %6d failover checks, %d cells migrated\n", rep.PartitionChecks, rep.CellsMigrated)
+	fmt.Printf("  crash     %6d recovery checks, %d reopens, %d ops acked, %d torn tails truncated\n",
+		rep.CrashChecks, rep.Recoveries, rep.OpsAcked, rep.TornTailsTruncated)
 	if len(rep.Violations) == 0 {
 		fmt.Println("  invariants: all held — zero violations")
 		return

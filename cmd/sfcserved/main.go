@@ -4,9 +4,15 @@
 // drains — stops accepting, finishes inflight queries up to the drain
 // deadline — and exits 0 on a clean drain.
 //
+// With -data the shards are durable: each lives under <data>/shard-<j>/
+// with a write-ahead log, the synthetic records seed the directory only on
+// first start, POST /put, /delete and /flush mutate the set, and a restart
+// (clean or after a kill) recovers exactly the acknowledged writes.
+//
 // Usage:
 //
 //	sfcserved -addr 127.0.0.1:7171 -curve hilbert -d 2 -k 6 -records 50000
+//	sfcserved -data /var/lib/sfc -records 50000
 //	sfcserved -max-inflight 16 -queue-wait 50ms -drain-timeout 10s -pprof
 //
 // Query it with cmd/sfcserve's -remote mode or any HTTP client:
@@ -43,6 +49,7 @@ type config struct {
 	cache     int
 	page      int
 	seed      int64
+	data      string
 
 	maxInflight  int
 	queueWait    time.Duration
@@ -64,6 +71,7 @@ func main() {
 	flag.IntVar(&cfg.cache, "cache", 0, "decomposition cache entries (0 = default, negative = off)")
 	flag.IntVar(&cfg.page, "page", 0, "leaf page size in records (0 = store default)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "seed for the synthetic records")
+	flag.StringVar(&cfg.data, "data", "", "durable data directory (empty = in-memory, read-only)")
 	flag.IntVar(&cfg.maxInflight, "max-inflight", 0, "concurrent query bound (0 = 4×GOMAXPROCS)")
 	flag.DurationVar(&cfg.queueWait, "queue-wait", server.DefaultQueueWait, "admission queue-wait budget before shedding with 429")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "default per-request deadline when ?timeout is absent (0 = none)")
@@ -106,6 +114,9 @@ func run(ctx context.Context, cfg config, ready func(addr string), w io.Writer) 
 		service.WithShards(cfg.shards),
 		service.WithCacheSize(cfg.cache),
 	}
+	if cfg.data != "" {
+		svcOpts = append(svcOpts, service.WithDurableDir(cfg.data))
+	}
 	if cfg.workers > 0 {
 		svcOpts = append(svcOpts, service.WithWorkers(cfg.workers))
 	}
@@ -141,8 +152,12 @@ func run(ctx context.Context, cfg config, ready func(addr string), w io.Writer) 
 		svc.Close()
 		return err
 	}
-	fmt.Fprintf(w, "sfcserved: serving curve=%s universe=%v records=%d shards=%d on %s\n",
-		c.Name(), u, cfg.records, cfg.shards, l.Addr())
+	mode := "in-memory"
+	if svc.DurableMode() {
+		mode = "durable:" + cfg.data
+	}
+	fmt.Fprintf(w, "sfcserved: serving curve=%s universe=%v records=%d shards=%d mode=%s on %s\n",
+		c.Name(), u, cfg.records, cfg.shards, mode, l.Addr())
 	if ready != nil {
 		ready(l.Addr().String())
 	}

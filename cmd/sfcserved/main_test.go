@@ -2,7 +2,9 @@ package main
 
 import (
 	"context"
+	"fmt"
 	"io"
+	"net/http"
 	"strings"
 	"testing"
 	"time"
@@ -94,5 +96,72 @@ func TestRunRejectsBadConfig(t *testing.T) {
 	cfg.shards = -3
 	if err := run(context.Background(), cfg, nil, io.Discard); err == nil {
 		t.Fatal("negative shard count accepted")
+	}
+}
+
+// TestRunDurableModeSurvivesRestart: with -data the daemon seeds the
+// directory on first start, acknowledges writes over the wire, and a second
+// start over the same directory serves the recovered set instead of
+// reseeding.
+func TestRunDurableModeSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	cfg.data = dir
+
+	start := func() (string, context.CancelFunc, chan error) {
+		ctx, cancel := context.WithCancel(context.Background())
+		addrc := make(chan string, 1)
+		done := make(chan error, 1)
+		go func() { done <- run(ctx, cfg, func(a string) { addrc <- a }, io.Discard) }()
+		select {
+		case addr := <-addrc:
+			return addr, cancel, done
+		case err := <-done:
+			t.Fatalf("run exited before ready: %v", err)
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon never became ready")
+		}
+		panic("unreachable")
+	}
+	stop := func(cancel context.CancelFunc, done chan error) {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("drain exit: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("daemon did not drain")
+		}
+	}
+
+	addr, cancel, done := start()
+	for i := 0; i < 5; i++ {
+		body := fmt.Sprintf(`{"point":[%d,0],"payload":%d}`, i, 90_000+i)
+		resp, err := http.Post("http://"+addr+"/put", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("put %d: status %d", i, resp.StatusCode)
+		}
+	}
+	stop(cancel, done)
+
+	addr, cancel, done = start()
+	defer stop(cancel, done)
+	cl := client.New("http://" + addr)
+	u := grid.MustNew(2, 5)
+	b, err := query.NewBox(u, u.MustPoint(0, 0), u.MustPoint(31, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.Query(context.Background(), b, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Records) != 2005 {
+		t.Fatalf("restarted durable daemon serves %d records, want 2000 seeded + 5 put", len(resp.Records))
 	}
 }

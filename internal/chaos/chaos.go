@@ -16,8 +16,12 @@
 //     FailParts every cell has exactly one live owner, dead parts own
 //     nothing, and migration equals the cells the dead parts owned (plus,
 //     for the load-aware variant, exactly the measured rebalance slack).
+//  5. The durable write path loses nothing it acknowledged: after seeded
+//     kills — clean closes, power-loss crashes, torn writes mid-append —
+//     recovery replays exactly the acknowledged operations, truncates torn
+//     tails, and the degraded-tiling invariants hold across restart.
 //
-// Every run is reproducible from (Seed, run index) alone.
+// Every run is reproducible from (Seed, run index, campaign) alone.
 package chaos
 
 import (
@@ -37,6 +41,14 @@ type Config struct {
 	Runs          int
 	QueriesPerRun int                              // degraded queries per run (default 4)
 	Log           func(format string, args ...any) // optional progress sink
+	// Campaign selects which substrates to exercise: "all" (default),
+	// "store" (bulkloaded store under read faults), "partition"
+	// (failure-driven rebalancing), or "crash" (durable write path under
+	// kills, torn writes, and recovery).
+	Campaign string
+	// ArtifactDir, when set, receives a copy of the durable directory (WAL,
+	// manifest, run files) of every crash run that violates an invariant.
+	ArtifactDir string
 }
 
 // Violation is one failed invariant.
@@ -63,6 +75,10 @@ type Report struct {
 	RetriesObserved      uint64
 	PartitionChecks      int
 	CellsMigrated        uint64
+	CrashChecks          int    // crash-recovery runs completed
+	Recoveries           int    // successful reopen-after-kill recoveries
+	OpsAcked             uint64 // durable operations acknowledged
+	TornTailsTruncated   uint64 // torn WAL tails healed during recovery
 	Violations           []Violation
 }
 
@@ -82,14 +98,32 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.QueriesPerRun < 1 {
 		return nil, fmt.Errorf("chaos: queries per run = %d", cfg.QueriesPerRun)
 	}
+	campaign := cfg.Campaign
+	if campaign == "" {
+		campaign = "all"
+	}
+	switch campaign {
+	case "all", "store", "partition", "crash":
+	default:
+		return nil, fmt.Errorf("chaos: unknown campaign %q", campaign)
+	}
 	rep := &Report{}
 	for run := 0; run < cfg.Runs; run++ {
 		rng := rand.New(rand.NewSource(subSeed(cfg.Seed, run)))
-		if err := storeRun(cfg, run, rng, rep); err != nil {
-			return nil, fmt.Errorf("chaos: run %d: %w", run, err)
+		if campaign == "all" || campaign == "store" {
+			if err := storeRun(cfg, run, rng, rep); err != nil {
+				return nil, fmt.Errorf("chaos: run %d: %w", run, err)
+			}
 		}
-		if err := partitionRun(cfg, run, rng, rep); err != nil {
-			return nil, fmt.Errorf("chaos: run %d: %w", run, err)
+		if campaign == "all" || campaign == "partition" {
+			if err := partitionRun(cfg, run, rng, rep); err != nil {
+				return nil, fmt.Errorf("chaos: run %d: %w", run, err)
+			}
+		}
+		if campaign == "all" || campaign == "crash" {
+			if err := crashRun(cfg, run, rng, rep); err != nil {
+				return nil, fmt.Errorf("chaos: run %d: %w", run, err)
+			}
 		}
 		rep.Runs++
 		if cfg.Log != nil && (run+1)%25 == 0 {

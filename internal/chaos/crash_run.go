@@ -1,0 +1,269 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"repro/internal/faultio"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// crashRun exercises the durable write path: a seeded workload of puts,
+// deletes, flushes and compactions is cut short by a kill — a clean close,
+// a power-loss crash, or a torn write mid-append — then the store is
+// reopened and checked op-for-op against the model of acknowledged
+// operations. No acknowledged write may be lost, none may be duplicated,
+// and an unacknowledged write must never surface. The final recovered store
+// is then queried through a fault-injecting page device to verify the
+// degraded-tiling invariants hold across restart, exactly as they do for a
+// bulkloaded store.
+func crashRun(cfg Config, run int, rng *rand.Rand, rep *Report) error {
+	u := randomUniverse(rng)
+	c, err := randomCurve(rng, u)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "sfcchaos-crash-*")
+	if err != nil {
+		return err
+	}
+	violationsBefore := len(rep.Violations)
+	defer func() {
+		if len(rep.Violations) > violationsBefore && cfg.ArtifactDir != "" {
+			if err := saveArtifacts(cfg.ArtifactDir, run, dir); err != nil && cfg.Log != nil {
+				cfg.Log("chaos: run %d: saving artifacts: %v", run, err)
+			}
+		}
+		os.RemoveAll(dir)
+	}()
+
+	autoCompact := rng.Intn(2) == 0
+	baseOpts := []store.DurableOption{
+		store.WithDurablePageSize(4 << rng.Intn(3)), // 4..16
+		store.WithMemLimit(8 + rng.Intn(56)),
+		store.WithCompactThreshold(2 + rng.Intn(3)),
+		store.WithAutoCompact(autoCompact),
+	}
+	ctx := context.Background()
+	d, err := store.OpenDurable(dir, c, baseOpts...)
+	if err != nil {
+		return err
+	}
+
+	// The model: every acknowledged, surviving record instance.
+	var survivors []store.Record
+	nextPayload := uint64(0)
+	put := func() error {
+		var r store.Record
+		if len(survivors) > 0 && rng.Intn(10) == 0 {
+			r = survivors[rng.Intn(len(survivors))] // duplicate instance
+		} else {
+			r = randomRecords(rng, u, 1)[0]
+			r.Payload = nextPayload
+			nextPayload++
+		}
+		if err := d.Put(ctx, r); err != nil {
+			return err
+		}
+		survivors = append(survivors, r)
+		rep.OpsAcked++
+		return nil
+	}
+	del := func() error {
+		r := survivors[rng.Intn(len(survivors))]
+		if err := d.Delete(ctx, r); err != nil {
+			return err
+		}
+		kept := survivors[:0]
+		for _, s := range survivors {
+			if c.Index(s.Point) != c.Index(r.Point) || s.Payload != r.Payload {
+				kept = append(kept, s)
+			}
+		}
+		survivors = kept
+		rep.OpsAcked++
+		return nil
+	}
+	verify := func(d *store.Durable, label string) {
+		res, err := d.Scan(ctx, []query.Interval{{Lo: 0, Hi: u.N()}}, store.ScanStrict())
+		if err != nil {
+			rep.violate(run, "crash-recovery", "%s: strict scan after recovery failed: %v", label, err)
+			return
+		}
+		want := append([]store.Record(nil), survivors...)
+		got := append([]store.Record(nil), res.Records...)
+		sortRecords(want)
+		sortRecords(got)
+		if !sameRecords(want, got) {
+			rep.violate(run, "crash-recovery",
+				"%s: recovered store holds %d records, %d acknowledged survive the model — an acked write was lost, duplicated, or an unacked one surfaced",
+				label, len(got), len(want))
+		}
+	}
+
+	phases := 2 + rng.Intn(3)
+	for ph := 0; ph < phases; ph++ {
+		ops := 20 + rng.Intn(60)
+		for i := 0; i < ops; i++ {
+			if len(survivors) > 0 && rng.Float64() < 0.25 {
+				err = del()
+			} else {
+				err = put()
+			}
+			if err != nil {
+				return err
+			}
+		}
+		if rng.Float64() < 0.4 {
+			if err := d.Flush(ctx); err != nil {
+				return err
+			}
+		}
+		if !autoCompact && rng.Float64() < 0.3 {
+			if err := d.Compact(ctx); err != nil {
+				return err
+			}
+		}
+
+		mode := rng.Intn(3)
+		var torn bool
+		switch mode {
+		case 0:
+			err = d.Close()
+		case 1:
+			err = d.Crash()
+		case 2:
+			// Die mid-append of a put that will never be acknowledged.
+			unacked := randomRecords(rng, u, 1)[0]
+			unacked.Payload = 1 << 40 // payload space the model never uses
+			err = d.CrashMidPut(unacked, rng.Int63())
+			torn = true
+		}
+		if err != nil {
+			return fmt.Errorf("crash mode %d: %w", mode, err)
+		}
+		d, err = store.OpenDurable(dir, c, baseOpts...)
+		if err != nil {
+			rep.violate(run, "crash-recovery", "reopen after crash mode %d failed: %v", mode, err)
+			return nil
+		}
+		rep.Recoveries++
+		tornTails := uint64(d.Metrics().Counter("wal.torn_tails_truncated").Value())
+		rep.TornTailsTruncated += tornTails
+		if !torn && tornTails != 0 {
+			rep.violate(run, "crash-recovery", "clean shutdown left a torn tail (mode %d)", mode)
+		}
+		if torn && tornTails > 1 {
+			rep.violate(run, "crash-recovery", "one torn crash produced %d torn tails", tornTails)
+		}
+		verify(d, fmt.Sprintf("phase %d mode %d", ph, mode))
+	}
+	if err := d.Close(); err != nil {
+		return err
+	}
+	rep.CrashChecks++
+
+	// Normalize the on-disk layout before injecting read faults: whether a
+	// background auto-compaction committed before a kill is a race, so the
+	// run-file layout — and with it the fault schedule — would otherwise
+	// differ between identically seeded campaigns. Flush + compact collapses
+	// everything into one deterministic, curve-ordered run.
+	norm, err := store.OpenDurable(dir, c, append(append([]store.DurableOption{}, baseOpts...),
+		store.WithAutoCompact(false))...)
+	if err != nil {
+		rep.violate(run, "crash-recovery", "reopen for normalization failed: %v", err)
+		return nil
+	}
+	if err := norm.Flush(ctx); err != nil {
+		return err
+	}
+	if err := norm.Compact(ctx); err != nil {
+		return err
+	}
+	if err := norm.Close(); err != nil {
+		return err
+	}
+
+	// Degraded queries across restart: reopen with a fault-injecting page
+	// device under every run file and check the exact-tiling invariants
+	// against the surviving model — the same oracle the bulkloaded store
+	// campaign uses.
+	devSeed := rng.Int63()
+	transient := rng.Float64() * 0.3
+	lost := rng.Float64() * 0.2
+	short := rng.Float64() * 0.2
+	nDev := 0
+	wrap := func(dev store.PageDevice) (store.PageDevice, error) {
+		nDev++
+		return faultio.Wrap(dev, faultio.Config{
+			Seed:          devSeed + int64(nDev),
+			TransientProb: transient,
+			LostFrac:      lost,
+			ShortReadProb: short,
+		})
+	}
+	d2, err := store.OpenDurable(dir, c, append(append([]store.DurableOption{}, baseOpts...),
+		store.WithRunWrapper(wrap),
+		store.WithAutoCompact(false))...)
+	if err != nil {
+		return err
+	}
+	defer d2.Close()
+	for q := 0; q < cfg.QueriesPerRun; q++ {
+		b := randomBox(rng, u)
+		res, err := d2.ScanBox(ctx, b)
+		if err != nil {
+			return err
+		}
+		rep.Queries++
+		rep.RecordsServed += uint64(len(res.Records))
+		rep.UnavailableIntervals += uint64(len(res.Unavailable))
+		checkDegraded(run, rep, c, survivors, b, res)
+	}
+	return nil
+}
+
+// saveArtifacts copies the durable directory of a violating run into
+// artifactDir/run-<n>/ so the WAL, manifest, and run files can be inspected
+// after the campaign.
+func saveArtifacts(artifactDir string, run int, dir string) error {
+	dst := filepath.Join(artifactDir, fmt.Sprintf("run-%d", run))
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, ent := range ents {
+		if ent.IsDir() {
+			continue
+		}
+		if err := copyFile(filepath.Join(dir, ent.Name()), filepath.Join(dst, ent.Name())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	_, err = io.Copy(out, in)
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,157 @@
+package faultio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// OSFile is the slice of a file handle the write-path injector intercepts.
+// It structurally matches wal.File, so a *FaultFile can be returned from the
+// durable store's WithWALWrapper hook without faultio importing the wal
+// package.
+type OSFile interface {
+	io.Writer
+	io.Seeker
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
+// FileConfig selects the write-path fault schedule. Probabilities are per
+// operation and must lie in [0, 1].
+type FileConfig struct {
+	Seed int64
+	// TornWriteProb is the probability a Write persists only a prefix of its
+	// bytes and reports an error — a torn write. The short count returned is
+	// truthful, as a crashed kernel write would leave.
+	TornWriteProb float64
+	// FsyncErrProb is the probability a Sync reports failure. The data may
+	// in fact have reached the platter — the caller must treat the entry as
+	// unacknowledged either way, exactly the ambiguity real fsync failures
+	// create.
+	FsyncErrProb float64
+}
+
+// FileCounters is a snapshot of a FaultFile's accounting.
+type FileCounters struct {
+	Writes     uint64 // Write calls observed
+	TornWrites uint64 // writes torn (prefix persisted, error returned)
+	Syncs      uint64 // Sync calls observed
+	FsyncErrs  uint64 // syncs failed
+}
+
+// ErrInjectedWrite and ErrInjectedFsync mark injected write-path failures;
+// test with errors.Is.
+var (
+	ErrInjectedWrite = errors.New("faultio: injected torn write")
+	ErrInjectedFsync = errors.New("faultio: injected fsync failure")
+)
+
+// FaultFile wraps a file handle with deterministic torn-write and
+// fsync-failure injection. Decisions are pure functions of (seed, stream,
+// operation index), so a schedule is reproducible from its seed alone and
+// composes with the page-read Injector on the same store: reads and writes
+// draw from independent streams. FaultFile is safe for concurrent use,
+// though the WAL serializes writers anyway.
+type FaultFile struct {
+	mu  sync.Mutex
+	f   OSFile
+	cfg FileConfig
+
+	writes, tornWrites, syncs, fsyncErrs uint64
+}
+
+// WrapFile builds a write-path injector over f.
+func WrapFile(f OSFile, cfg FileConfig) (*FaultFile, error) {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"TornWriteProb", cfg.TornWriteProb},
+		{"FsyncErrProb", cfg.FsyncErrProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return nil, fmt.Errorf("faultio: %s = %v outside [0, 1]", p.name, p.v)
+		}
+	}
+	return &FaultFile{f: f, cfg: cfg}, nil
+}
+
+// Write-path decision streams, offset so they never collide with the
+// page-read streams of an Injector sharing the seed.
+const (
+	streamTornWrite = 0x100 + iota
+	streamTornLen
+	streamFsync
+)
+
+// Write implements OSFile. A torn write persists a strict prefix — possibly
+// zero bytes — and returns the true short count with an error wrapping
+// ErrInjectedWrite.
+func (ff *FaultFile) Write(p []byte) (int, error) {
+	ff.mu.Lock()
+	ff.writes++
+	n := ff.writes
+	torn := len(p) > 0 && u01(hash(ff.cfg.Seed, streamTornWrite, 0, n)) < ff.cfg.TornWriteProb
+	if torn {
+		ff.tornWrites++
+	}
+	ff.mu.Unlock()
+	if !torn {
+		return ff.f.Write(p)
+	}
+	keep := int(hash(ff.cfg.Seed, streamTornLen, 0, n) % uint64(len(p)))
+	wrote, err := ff.f.Write(p[:keep])
+	if err != nil {
+		return wrote, err
+	}
+	return wrote, fmt.Errorf("%w: %d of %d bytes", ErrInjectedWrite, wrote, len(p))
+}
+
+// Sync implements OSFile. An injected failure still syncs the underlying
+// file — simulating the "error reported, data durable" half of the fsync
+// ambiguity, the harder case for the caller to handle correctly.
+func (ff *FaultFile) Sync() error {
+	ff.mu.Lock()
+	ff.syncs++
+	n := ff.syncs
+	fail := u01(hash(ff.cfg.Seed, streamFsync, 0, n)) < ff.cfg.FsyncErrProb
+	if fail {
+		ff.fsyncErrs++
+	}
+	ff.mu.Unlock()
+	err := ff.f.Sync()
+	if err != nil {
+		return err
+	}
+	if fail {
+		return ErrInjectedFsync
+	}
+	return nil
+}
+
+// Seek implements OSFile, passing through untouched.
+func (ff *FaultFile) Seek(offset int64, whence int) (int64, error) {
+	return ff.f.Seek(offset, whence)
+}
+
+// Truncate implements OSFile, passing through untouched — repair must be
+// reliable or the log poisons itself, which is its own tested path.
+func (ff *FaultFile) Truncate(size int64) error { return ff.f.Truncate(size) }
+
+// Close implements OSFile.
+func (ff *FaultFile) Close() error { return ff.f.Close() }
+
+// Counters returns a snapshot of the write-path fault accounting.
+func (ff *FaultFile) Counters() FileCounters {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	return FileCounters{
+		Writes:     ff.writes,
+		TornWrites: ff.tornWrites,
+		Syncs:      ff.syncs,
+		FsyncErrs:  ff.fsyncErrs,
+	}
+}

@@ -1,8 +1,10 @@
 // Package faultio provides a deterministic, seedable fault injector for
-// store page devices. Wrapping a device adds four failure modes drawn from
-// the fault model of secondary-memory systems the paper motivates
-// (Faloutsos/Jagadish line of work): transient read errors, permanently
-// lost pages, latency spikes, and in-flight bit corruption.
+// store page devices and for the durable store's write path. Wrapping a
+// device adds failure modes drawn from the fault model of secondary-memory
+// systems the paper motivates (Faloutsos/Jagadish line of work): transient
+// read errors, permanently lost pages, latency spikes, in-flight bit
+// corruption, and short reads. Wrapping a log file handle (WrapFile) adds
+// torn writes and fsync failures, the write-side half of the same model.
 //
 // Every decision is a pure function of (seed, page, per-page attempt
 // number), computed by hashing rather than by a shared stream, so a fault
@@ -25,6 +27,7 @@ type Config struct {
 	Seed          int64
 	TransientProb float64 // probability of a transient read error
 	CorruptProb   float64 // probability of returning a bit-corrupted page
+	ShortReadProb float64 // probability of returning a truncated (short-read) page
 	SpikeProb     float64 // probability of a latency spike
 	LostFrac      float64 // fraction of pages permanently lost (chosen by seed)
 	LostPages     []int   // explicitly lost pages, in addition to LostFrac
@@ -41,6 +44,7 @@ type Counters struct {
 	Transients  uint64 // transient errors injected
 	LostReads   uint64 // reads of permanently lost pages
 	Corruptions uint64 // corrupted pages returned
+	ShortReads  uint64 // truncated pages returned
 	Spikes      uint64 // latency spikes injected
 	Latency     time.Duration
 }
@@ -54,6 +58,7 @@ type Injector struct {
 	attempts []atomic.Uint64 // per-page read counter; drives the hash stream
 
 	reads, transients, lostReads, corruptions, spikes atomic.Uint64
+	shortReads                                        atomic.Uint64
 	latency                                           atomic.Int64
 }
 
@@ -66,6 +71,7 @@ func Wrap(dev store.PageDevice, cfg Config) (*Injector, error) {
 	}{
 		{"TransientProb", cfg.TransientProb},
 		{"CorruptProb", cfg.CorruptProb},
+		{"ShortReadProb", cfg.ShortReadProb},
 		{"SpikeProb", cfg.SpikeProb},
 		{"LostFrac", cfg.LostFrac},
 	} {
@@ -121,6 +127,7 @@ func (in *Injector) Counters() Counters {
 		Transients:  in.transients.Load(),
 		LostReads:   in.lostReads.Load(),
 		Corruptions: in.corruptions.Load(),
+		ShortReads:  in.shortReads.Load(),
 		Spikes:      in.spikes.Load(),
 		Latency:     time.Duration(in.latency.Load()),
 	}
@@ -134,6 +141,7 @@ const (
 	streamSpike
 	streamCorrupt
 	streamCorruptSite
+	streamShortRead
 )
 
 // ReadPage implements store.PageDevice. Precedence per attempt: a lost page
@@ -168,6 +176,10 @@ func (in *Injector) ReadPage(id int) (store.Page, error) {
 		in.corruptions.Add(1)
 		pg = corrupt(pg, hash(in.cfg.Seed, streamCorruptSite, id, n))
 	}
+	if len(pg.Records) > 0 && u01(hash(in.cfg.Seed, streamShortRead, id, n)) < in.cfg.ShortReadProb {
+		in.shortReads.Add(1)
+		pg = shortRead(pg, hash(in.cfg.Seed, streamShortRead, id, n+1<<32))
+	}
 	return pg, nil
 }
 
@@ -181,6 +193,14 @@ func corrupt(pg store.Page, h uint64) store.Page {
 	i := int(h % uint64(len(recs)))
 	recs[i].Payload ^= 1 << ((h >> 32) % 64)
 	return store.Page{ID: pg.ID, Keys: pg.Keys, Records: recs}
+}
+
+// shortRead returns a truncated copy of the page — at least one record
+// missing, as a device that stopped reading mid-transfer would deliver. The
+// page checksum covers length, so detection must be 100%.
+func shortRead(pg store.Page, h uint64) store.Page {
+	n := int(h % uint64(len(pg.Records))) // in [0, len)
+	return store.Page{ID: pg.ID, Keys: pg.Keys[:n], Records: pg.Records[:n]}
 }
 
 // hash mixes (seed, stream, page, attempt) with SplitMix64.

@@ -39,6 +39,7 @@ import (
 	"repro/internal/profiling"
 	"repro/internal/query"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 // Config defaults.
@@ -195,6 +196,9 @@ func New(svc *service.Service, opts ...Option) (*Server, error) {
 		queueWaitH:  reg.Histogram("server.queue_wait_us"),
 	}
 	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/put", s.handleWrite((*service.Service).Put))
+	s.mux.HandleFunc("/delete", s.handleWrite((*service.Service).Delete))
+	s.mux.HandleFunc("/flush", s.handleFlush)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
@@ -315,6 +319,84 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.reqOK.Inc()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(toResponse(res, elapsed.Microseconds()))
+}
+
+// handleWrite builds the POST /put and /delete handlers: decode one record,
+// route it through the service's durable write path, acknowledge only after
+// the owning shard's WAL has synced it. On a read-only (in-memory) service
+// the endpoints answer 403.
+func (s *Server) handleWrite(op func(*service.Service, context.Context, store.Record) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.reqTotal.Inc()
+		if r.Method != http.MethodPost {
+			s.reqBad.Inc()
+			w.Header().Set("Allow", http.MethodPost)
+			s.writeError(w, http.StatusMethodNotAllowed, "POST only", false)
+			return
+		}
+		if s.draining.Load() {
+			s.reqDraining.Inc()
+			s.writeError(w, http.StatusServiceUnavailable, "draining", true)
+			return
+		}
+		var req WriteRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+			s.reqBad.Inc()
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("body: %v", err), false)
+			return
+		}
+		if err := op(s.svc, r.Context(), store.Record{Point: req.Point, Payload: req.Payload}); err != nil {
+			s.writeWriteError(w, err)
+			return
+		}
+		s.reqOK.Inc()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(WriteResponse{OK: true})
+	}
+}
+
+// handleFlush answers POST /flush: persist every shard's memtable into an
+// on-disk run.
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	s.reqTotal.Inc()
+	if r.Method != http.MethodPost {
+		s.reqBad.Inc()
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, "POST only", false)
+		return
+	}
+	if s.draining.Load() {
+		s.reqDraining.Inc()
+		s.writeError(w, http.StatusServiceUnavailable, "draining", true)
+		return
+	}
+	if err := s.svc.Flush(r.Context()); err != nil {
+		s.writeWriteError(w, err)
+		return
+	}
+	s.reqOK.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(WriteResponse{OK: true})
+}
+
+// writeWriteError maps a write-path failure to its status code.
+func (s *Server) writeWriteError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, service.ErrReadOnly):
+		s.reqBad.Inc()
+		s.writeError(w, http.StatusForbidden, "read-only: the daemon was started without -data", false)
+	case errors.Is(err, service.ErrShuttingDown), errors.Is(err, store.ErrClosed):
+		s.reqDraining.Inc()
+		s.writeError(w, http.StatusServiceUnavailable, "shutting down", true)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.reqDeadline.Inc()
+		s.writeError(w, http.StatusGatewayTimeout, "deadline exceeded", false)
+	case errors.Is(err, context.Canceled):
+		s.reqCanceled.Inc() // client disconnected; response goes nowhere
+	default:
+		s.reqErrors.Inc()
+		s.writeError(w, http.StatusBadRequest, err.Error(), false)
+	}
 }
 
 // parseQuery extracts the box corners and the effective per-request

@@ -119,10 +119,10 @@ func TestQueryEndToEnd(t *testing.T) {
 
 	// Malformed boxes are 400s, not 500s.
 	for _, bad := range []string{
-		queryURL(ts.URL, "8", "23,23", ""),          // wrong dimension count
-		queryURL(ts.URL, "8,8", "7,7", ""),          // inverted
+		queryURL(ts.URL, "8", "23,23", ""), // wrong dimension count
+		queryURL(ts.URL, "8,8", "7,7", ""), // inverted
 		queryURL(ts.URL, "8,8", "23,23", "&timeout=banana"),
-		ts.URL + "/query?hi=23,23",                  // missing lo
+		ts.URL + "/query?hi=23,23", // missing lo
 	} {
 		resp, err := http.Get(bad)
 		if err != nil {

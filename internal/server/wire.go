@@ -41,6 +41,20 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
+// WriteRequest is the body of POST /put and POST /delete: one record,
+// routed to the shard owning its curve position.
+type WriteRequest struct {
+	Point   []uint32 `json:"point"`
+	Payload uint64   `json:"payload"`
+}
+
+// WriteResponse is the body of a successful /put, /delete or /flush
+// response. A put or delete is acknowledged only after the owning shard's
+// WAL has synced it.
+type WriteResponse struct {
+	OK bool `json:"ok"`
+}
+
 // toResponse converts a service result to its wire form.
 func toResponse(res service.Result, elapsedUS int64) QueryResponse {
 	out := QueryResponse{

@@ -1,0 +1,190 @@
+package service_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+	"repro/internal/query"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// TestDurableServiceEqualsInMemory is the durable-mode counterpart of the
+// core sharding property: a durable service seeded with recs answers every
+// box exactly like the in-memory bulkloaded service — same records, same
+// curve order — across shard counts.
+func TestDurableServiceEqualsInMemory(t *testing.T) {
+	u := grid.MustNew(2, 5)
+	c, err := curve.ByName("hilbert", u, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := randomRecords(u, 1500, 17)
+	mem, err := service.New(c, recs, service.WithShards(4), service.WithPageSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	for _, shards := range []int{1, 4} {
+		dur, err := service.New(c, recs,
+			service.WithShards(shards),
+			service.WithPageSize(8),
+			service.WithDurableDir(t.TempDir()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dur.DurableMode() || dur.Durable(0) == nil || dur.Shard(0) != nil {
+			t.Fatalf("shards=%d: durable-mode accessors wrong", shards)
+		}
+		rng := rand.New(rand.NewSource(int64(shards)))
+		for q := 0; q < 30; q++ {
+			b := randomBox(u, rng)
+			want, err := mem.Range(context.Background(), b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := dur.Range(context.Background(), b)
+			if err != nil {
+				t.Fatalf("shards=%d: %v", shards, err)
+			}
+			if !reflect.DeepEqual(got.Records, want.Records) {
+				t.Fatalf("shards=%d box %v: durable served %d records, in-memory %d, or order differs",
+					shards, b, len(got.Records), len(want.Records))
+			}
+		}
+		if err := dur.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDurableServiceWriteRouteAndRecovery drives the write path: puts and
+// deletes route to the owning shard, survive Close, and a reopen over the
+// same directory ignores the seed records and serves the recovered set.
+func TestDurableServiceWriteRouteAndRecovery(t *testing.T) {
+	u := grid.MustNew(2, 4)
+	c, err := curve.ByName("z", u, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	ctx := context.Background()
+	open := func(seed []store.Record) *service.Service {
+		svc, err := service.New(c, seed,
+			service.WithShards(3),
+			service.WithDurableDir(dir),
+			service.WithDurableShardOptions(func(int) []store.DurableOption {
+				return []store.DurableOption{store.WithAutoCompact(false)}
+			}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return svc
+	}
+	seed := randomRecords(u, 200, 5)
+	svc := open(seed)
+
+	// Writes spread across shards: walk the whole side so every segment of
+	// the 3-way partition owns some of them.
+	var extra []store.Record
+	for i := 0; i < 48; i++ {
+		r := store.Record{Point: grid.Point{uint32(i % 16), uint32(i / 16)}, Payload: 1000 + uint64(i)}
+		if err := svc.Put(ctx, r); err != nil {
+			t.Fatal(err)
+		}
+		extra = append(extra, r)
+	}
+	victim := seed[7]
+	if err := svc.Delete(ctx, victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.Metrics().Counter("wal.appends").Value(); got == 0 {
+		t.Fatal("shared registry shows no wal.appends after 49 writes")
+	}
+	if got := svc.Metrics().Counter("writes.total").Value(); got != 49 {
+		t.Fatalf("writes.total = %d, want 49", got)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with a DIFFERENT seed: the directory is not fresh, so the seed
+	// must be ignored and the recovered set served.
+	svc2 := open(randomRecords(u, 10, 99))
+	defer svc2.Close()
+	lo, hi := u.NewPoint(), u.NewPoint()
+	for d := range hi {
+		hi[d] = u.Side() - 1
+	}
+	whole, err := query.NewBox(u, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc2.Range(ctx, whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64]int{}
+	for _, r := range seed {
+		if !samePoint(r.Point, victim.Point) || r.Payload != victim.Payload {
+			want[r.Payload]++
+		}
+	}
+	for _, r := range extra {
+		want[r.Payload]++
+	}
+	got := map[uint64]int{}
+	for _, r := range res.Records {
+		got[r.Payload]++
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered service serves %d records, want %d — writes lost, duplicated, or seed re-applied",
+			len(res.Records), len(seed)-1+len(extra))
+	}
+}
+
+func samePoint(a, b grid.Point) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestInMemoryServiceIsReadOnly pins the error contract: Put, Delete and
+// Flush on a service built without WithDurableDir fail with ErrReadOnly.
+func TestInMemoryServiceIsReadOnly(t *testing.T) {
+	u := grid.MustNew(2, 3)
+	c, err := curve.ByName("z", u, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := service.New(c, randomRecords(u, 20, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	r := store.Record{Point: grid.Point{1, 1}, Payload: 7}
+	ctx := context.Background()
+	for name, err := range map[string]error{
+		"put":    svc.Put(ctx, r),
+		"delete": svc.Delete(ctx, r),
+		"flush":  svc.Flush(ctx),
+	} {
+		if !errors.Is(err, service.ErrReadOnly) {
+			t.Fatalf("%s on in-memory service: got %v, want ErrReadOnly", name, err)
+		}
+	}
+	if svc.DurableMode() || svc.Durable(0) != nil {
+		t.Fatal("in-memory service claims durable mode")
+	}
+}

@@ -10,12 +10,14 @@ import (
 // buildConfig is the resolved New configuration after every Option has been
 // applied.
 type buildConfig struct {
-	shards    int
-	workers   int
-	cacheSize int
-	pageSize  int
-	registry  *metrics.Registry
-	shardOpts func(j int) []store.Option
+	shards      int
+	workers     int
+	cacheSize   int
+	pageSize    int
+	registry    *metrics.Registry
+	shardOpts   func(j int) []store.Option
+	durableDir  string
+	durableOpts func(j int) []store.DurableOption
 }
 
 // Option configures New, mirroring the store's Bulkload options. Options
@@ -89,13 +91,44 @@ func WithMetrics(reg *metrics.Registry) Option {
 }
 
 // WithShardStoreOptions supplies extra bulkload options for shard j — the
-// hook fault-injection tests use to wrap each shard's device.
+// hook fault-injection tests use to wrap each shard's device. It applies
+// only to in-memory services; durable shards take WithDurableShardOptions.
 func WithShardStoreOptions(f func(j int) []store.Option) Option {
 	return optionFunc(func(b *buildConfig) error {
 		if f == nil {
 			return fmt.Errorf("service: WithShardStoreOptions(nil)")
 		}
 		b.shardOpts = f
+		return nil
+	})
+}
+
+// WithDurableDir switches the service to durable shards: each shard is a
+// write-ahead-logged *store.Durable living under dir/shard-<j>/, recovered
+// on open, and the service gains the Put/Delete/Flush write path. The seed
+// records passed to New are bulkloaded only when every shard directory is
+// fresh; a directory that already holds data keeps it and the seed is
+// ignored — restarting a daemon over its data directory serves the
+// recovered data, not a reload.
+func WithDurableDir(dir string) Option {
+	return optionFunc(func(b *buildConfig) error {
+		if dir == "" {
+			return fmt.Errorf("service: WithDurableDir(\"\")")
+		}
+		b.durableDir = dir
+		return nil
+	})
+}
+
+// WithDurableShardOptions supplies extra open options for durable shard j —
+// the hook fault-injection tests use to wrap each shard's WAL or run
+// devices. It applies only together with WithDurableDir.
+func WithDurableShardOptions(f func(j int) []store.DurableOption) Option {
+	return optionFunc(func(b *buildConfig) error {
+		if f == nil {
+			return fmt.Errorf("service: WithDurableShardOptions(nil)")
+		}
+		b.durableOpts = f
 		return nil
 	})
 }

@@ -41,11 +41,13 @@ var ErrShuttingDown = errors.New("service: shutting down")
 // Service serves box queries over a sharded store. Methods are safe for
 // concurrent use; Close drains the worker pool.
 type Service struct {
-	c      curve.Curve
-	pt     *partition.Partition
-	shards []*store.Store
-	cache  *decompCache
-	reg    *metrics.Registry
+	c        curve.Curve
+	pt       *partition.Partition
+	scanners []shardScanner
+	stores   []*store.Store   // per-shard bulkloaded stores; nil in durable mode
+	durables []*store.Durable // per-shard durable stores; nil in in-memory mode
+	cache    *decompCache
+	reg      *metrics.Registry
 
 	mu     sync.RWMutex // guards closed and the right to send on tasks
 	closed bool
@@ -55,6 +57,7 @@ type Service struct {
 	qTotal    *metrics.Counter
 	qDegraded *metrics.Counter
 	qErrors   *metrics.Counter
+	writes    *metrics.Counter
 	pagesRead *metrics.Counter
 	shardLat  []*metrics.Histogram
 }
@@ -111,14 +114,6 @@ func New(c curve.Curve, recs []store.Record, opts ...Option) (*Service, error) {
 	if err != nil {
 		return nil, fmt.Errorf("service: partitioning: %w", err)
 	}
-	// Deal records to their owning shard; Bulkload sorts each shard's deal
-	// by curve key, and the segments are ascending, so the concatenation of
-	// shard contents is the globally sorted record set.
-	dealt := make([][]store.Record, shards)
-	for _, r := range recs {
-		j := pt.OwnerOfPosition(c.Index(r.Point))
-		dealt[j] = append(dealt[j], r)
-	}
 	reg := cfg.registry
 	if reg == nil {
 		reg = metrics.NewRegistry()
@@ -126,29 +121,48 @@ func New(c curve.Curve, recs []store.Record, opts ...Option) (*Service, error) {
 	s := &Service{
 		c:         c,
 		pt:        pt,
-		shards:    make([]*store.Store, shards),
+		scanners:  make([]shardScanner, shards),
 		reg:       reg,
 		tasks:     make(chan func(), 2*workers),
 		qTotal:    reg.Counter("queries.total"),
 		qDegraded: reg.Counter("queries.degraded"),
 		qErrors:   reg.Counter("queries.errors"),
+		writes:    reg.Counter("writes.total"),
 		pagesRead: reg.Counter("pages.leaf_read"),
 		shardLat:  make([]*metrics.Histogram, shards),
 	}
-	for j := range s.shards {
-		sOpts := []store.Option{}
-		if cfg.pageSize != 0 {
-			sOpts = append(sOpts, store.WithPageSize(cfg.pageSize))
-		}
-		if cfg.shardOpts != nil {
-			sOpts = append(sOpts, cfg.shardOpts(j)...)
-		}
-		st, err := store.Bulkload(c, dealt[j], sOpts...)
-		if err != nil {
-			return nil, fmt.Errorf("service: shard %d: %w", j, err)
-		}
-		s.shards[j] = st
+	for j := range s.shardLat {
 		s.shardLat[j] = reg.Histogram(fmt.Sprintf("shard.%d.latency_us", j))
+	}
+	if cfg.durableDir != "" {
+		if err := s.openDurableShards(cfg.durableDir, recs, &cfg); err != nil {
+			return nil, err
+		}
+	} else {
+		// Deal records to their owning shard; Bulkload sorts each shard's
+		// deal by curve key, and the segments are ascending, so the
+		// concatenation of shard contents is the globally sorted record set.
+		dealt := make([][]store.Record, shards)
+		for _, r := range recs {
+			j := pt.OwnerOfPosition(c.Index(r.Point))
+			dealt[j] = append(dealt[j], r)
+		}
+		s.stores = make([]*store.Store, shards)
+		for j := range s.stores {
+			sOpts := []store.Option{}
+			if cfg.pageSize != 0 {
+				sOpts = append(sOpts, store.WithPageSize(cfg.pageSize))
+			}
+			if cfg.shardOpts != nil {
+				sOpts = append(sOpts, cfg.shardOpts(j)...)
+			}
+			st, err := store.Bulkload(c, dealt[j], sOpts...)
+			if err != nil {
+				return nil, fmt.Errorf("service: shard %d: %w", j, err)
+			}
+			s.stores[j] = st
+			s.scanners[j] = st
+		}
 	}
 	capacity := cfg.cacheSize
 	switch {
@@ -176,10 +190,16 @@ func New(c curve.Curve, recs []store.Record, opts ...Option) (*Service, error) {
 func (s *Service) Curve() curve.Curve { return s.c }
 
 // Shards returns the shard count.
-func (s *Service) Shards() int { return len(s.shards) }
+func (s *Service) Shards() int { return len(s.scanners) }
 
-// Shard returns shard j's store, e.g. to inject device faults in tests.
-func (s *Service) Shard(j int) *store.Store { return s.shards[j] }
+// Shard returns shard j's bulkloaded store, e.g. to inject device faults in
+// tests, or nil when the service is durable (use Durable instead).
+func (s *Service) Shard(j int) *store.Store {
+	if s.stores == nil {
+		return nil
+	}
+	return s.stores[j]
+}
 
 // Partition returns the curve-index partition that defines shard ownership.
 func (s *Service) Partition() *partition.Partition { return s.pt }
@@ -198,8 +218,8 @@ func (s *Service) Range(ctx context.Context, b query.Box) (Result, error) {
 		shard int
 		ivs   []query.Interval
 	}
-	jobs := make([]job, 0, len(s.shards))
-	for j := range s.shards {
+	jobs := make([]job, 0, len(s.scanners))
+	for j := range s.scanners {
 		lo, hi := s.pt.Segment(j)
 		if clipped := clipIntervals(ivs, lo, hi); len(clipped) > 0 {
 			jobs = append(jobs, job{shard: j, ivs: clipped})
@@ -225,7 +245,7 @@ func (s *Service) Range(ctx context.Context, b query.Box) (Result, error) {
 		pos, jb := pos, jb
 		s.tasks <- func() {
 			start := time.Now()
-			r, err := s.shards[jb.shard].Scan(ctx, jb.ivs)
+			r, err := s.scanners[jb.shard].Scan(ctx, jb.ivs)
 			s.shardLat[jb.shard].Observe(time.Since(start).Microseconds())
 			resc <- shardRes{pos: pos, res: r, err: err}
 		}
@@ -295,7 +315,13 @@ func (s *Service) Close() error {
 	close(s.tasks)
 	s.mu.Unlock()
 	s.wg.Wait()
-	return nil
+	var err error
+	for _, d := range s.durables {
+		if cerr := d.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // clipIntervals restricts sorted disjoint intervals to the half-open

@@ -1,0 +1,131 @@
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/wal"
+)
+
+// DeviceWrapper intercepts a page device, typically to inject faults — the
+// signature WithDeviceWrapper and WithRunWrapper share.
+type DeviceWrapper = func(PageDevice) (PageDevice, error)
+
+// durableConfig is the resolved configuration of one durable store.
+type durableConfig struct {
+	pageSize         int
+	fanout           int
+	memLimit         int
+	compactThreshold int
+	autoCompact      bool
+	reg              *metrics.Registry
+	wrapWAL          func(wal.File) wal.File
+	wrapDev          DeviceWrapper
+	retry            *RetryPolicy
+}
+
+// DurableOption configures OpenDurable.
+type DurableOption interface {
+	applyDurable(*durableConfig) error
+}
+
+type durableOptionFunc func(*durableConfig) error
+
+func (f durableOptionFunc) applyDurable(c *durableConfig) error { return f(c) }
+
+// WithDurablePageSize sets the leaf page capacity of newly written runs
+// (default 64). Existing runs keep the page size they were written with.
+func WithDurablePageSize(n int) DurableOption {
+	return durableOptionFunc(func(c *durableConfig) error {
+		if n < 2 {
+			return fmt.Errorf("store: durable page size %d too small", n)
+		}
+		c.pageSize = n
+		return nil
+	})
+}
+
+// WithDurableFanout sets the inner-index fanout used when opening runs
+// (default 64).
+func WithDurableFanout(n int) DurableOption {
+	return durableOptionFunc(func(c *durableConfig) error {
+		if n < 2 {
+			return fmt.Errorf("store: durable fanout %d too small", n)
+		}
+		c.fanout = n
+		return nil
+	})
+}
+
+// WithMemLimit sets how many acknowledged operations the memtable may hold
+// before a Put or Delete triggers an automatic flush (default 1024).
+func WithMemLimit(n int) DurableOption {
+	return durableOptionFunc(func(c *durableConfig) error {
+		if n < 1 {
+			return fmt.Errorf("store: mem limit %d too small", n)
+		}
+		c.memLimit = n
+		return nil
+	})
+}
+
+// WithCompactThreshold sets the number of runs that triggers background
+// compaction after a flush (default 4).
+func WithCompactThreshold(n int) DurableOption {
+	return durableOptionFunc(func(c *durableConfig) error {
+		if n < 2 {
+			return fmt.Errorf("store: compact threshold %d too small", n)
+		}
+		c.compactThreshold = n
+		return nil
+	})
+}
+
+// WithAutoCompact enables or disables background compaction (default on).
+// Tests that need deterministic run layouts disable it and call Compact
+// explicitly.
+func WithAutoCompact(on bool) DurableOption {
+	return durableOptionFunc(func(c *durableConfig) error {
+		c.autoCompact = on
+		return nil
+	})
+}
+
+// WithDurableMetrics publishes the store's durability counters (wal.appends,
+// wal.replays, wal.torn_tails_truncated, durable.flushes,
+// durable.compactions, durable.flush_us) into reg — typically the registry
+// the serving daemon already exports.
+func WithDurableMetrics(reg *metrics.Registry) DurableOption {
+	return durableOptionFunc(func(c *durableConfig) error {
+		c.reg = reg
+		return nil
+	})
+}
+
+// WithWALWrapper intercepts every WAL file handle the store creates or
+// opens — the write-path fault-injection hook (see faultio.WrapFile).
+func WithWALWrapper(wrap func(wal.File) wal.File) DurableOption {
+	return durableOptionFunc(func(c *durableConfig) error {
+		c.wrapWAL = wrap
+		return nil
+	})
+}
+
+// WithRunWrapper wraps every run file's page device when it is opened — the
+// read-path fault-injection hook, mirroring WithDeviceWrapper on Bulkload.
+func WithRunWrapper(wrap DeviceWrapper) DurableOption {
+	return durableOptionFunc(func(c *durableConfig) error {
+		c.wrapDev = wrap
+		return nil
+	})
+}
+
+// WithDurableRetryPolicy sets the page-read retry policy applied to every
+// run's store.
+func WithDurableRetryPolicy(p RetryPolicy) DurableOption {
+	return durableOptionFunc(func(c *durableConfig) error {
+		cp := p
+		c.retry = &cp
+		return nil
+	})
+}

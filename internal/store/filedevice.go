@@ -1,0 +1,483 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/curve"
+)
+
+// Run file format — the immutable, curve-ordered unit of on-disk storage.
+// One file holds one sorted run of records chopped into fixed-capacity
+// pages, plus the tombstones the run carries against older runs and the
+// per-page checksums the store verifies reads with. All integers are
+// little-endian.
+//
+//	header (64 bytes):
+//	  0  magic      "SFCRUN1\n"
+//	  8  version    u32 (currently 1)
+//	  12 d          u32   dimensions per point
+//	  16 pageSize   u32   records per leaf page
+//	  20 reserved   u32
+//	  24 numRecords u64
+//	  32 numTombs   u64
+//	  40 generation u64   manifest generation that wrote the file
+//	  48 lastSeq    u64   highest WAL sequence captured by the run
+//	  56 headerSum  u64   FNV-1a/64 of bytes [0, 56)
+//	body:
+//	  numRecords × record   record = key u64 | d × coord u32 | payload u64
+//	  numTombs   × record   (same encoding; tombstones carry keys too)
+//	  numPages   × u64      per-page FNV-1a checksums (pageChecksum)
+//	  bodySum u64            FNV-1a/64 of all body bytes before it
+//
+// Records are sorted by key (ties keep writer order). The checksum table
+// lets an open trust page integrity without recomputation, and bodySum
+// catches a truncated or scribbled file wholesale.
+const (
+	runMagic      = "SFCRUN1\n"
+	runVersion    = 1
+	runHeaderSize = 64
+)
+
+var errBadRun = errors.New("store: invalid run file")
+
+// recordSize returns the per-record byte size for d dimensions.
+func recordSize(d int) int { return 8 + 4*d + 8 }
+
+// runHeader is the decoded fixed header of a run file.
+type runHeader struct {
+	d          int
+	pageSize   int
+	numRecords int
+	numTombs   int
+	generation uint64
+	lastSeq    uint64
+}
+
+func encodeRunHeader(h runHeader) []byte {
+	b := make([]byte, 0, runHeaderSize)
+	b = append(b, runMagic...)
+	b = appendU32(b, runVersion)
+	b = appendU32(b, uint32(h.d))
+	b = appendU32(b, uint32(h.pageSize))
+	b = appendU32(b, 0)
+	b = appendU64(b, uint64(h.numRecords))
+	b = appendU64(b, uint64(h.numTombs))
+	b = appendU64(b, h.generation)
+	b = appendU64(b, h.lastSeq)
+	b = appendU64(b, fnvBytes(b))
+	return b
+}
+
+func decodeRunHeader(b []byte) (runHeader, error) {
+	if len(b) < runHeaderSize {
+		return runHeader{}, fmt.Errorf("%w: %d header bytes", errBadRun, len(b))
+	}
+	if string(b[:8]) != runMagic {
+		return runHeader{}, fmt.Errorf("%w: bad magic %q", errBadRun, b[:8])
+	}
+	if fnvBytes(b[:56]) != readU64(b[56:]) {
+		return runHeader{}, fmt.Errorf("%w: header checksum mismatch", errBadRun)
+	}
+	if v := readU32(b[8:]); v != runVersion {
+		return runHeader{}, fmt.Errorf("%w: version %d", errBadRun, v)
+	}
+	h := runHeader{
+		d:          int(readU32(b[12:])),
+		pageSize:   int(readU32(b[16:])),
+		numRecords: int(readU64(b[24:])),
+		numTombs:   int(readU64(b[32:])),
+		generation: readU64(b[40:]),
+		lastSeq:    readU64(b[48:]),
+	}
+	if h.d < 1 || h.d > 64 || h.pageSize < 2 || h.numRecords < 0 || h.numTombs < 0 {
+		return runHeader{}, fmt.Errorf("%w: geometry d=%d pageSize=%d records=%d tombs=%d",
+			errBadRun, h.d, h.pageSize, h.numRecords, h.numTombs)
+	}
+	return h, nil
+}
+
+// writeRun writes one complete run file at path with crash-safe atomicity:
+// the bytes land in a same-directory temp file, are fsynced, renamed into
+// place, and the directory entry is fsynced. A crash leaves either no file
+// or a complete one, never a torn run.
+func writeRun(path string, h runHeader, keys []uint64, recs []Record, tombKeys []uint64, tombs []Record) error {
+	if len(keys) != len(recs) || len(tombKeys) != len(tombs) {
+		return fmt.Errorf("store: writeRun: misaligned columns")
+	}
+	h.numRecords = len(recs)
+	h.numTombs = len(tombs)
+	rs := recordSize(h.d)
+	numPages := (len(recs) + h.pageSize - 1) / h.pageSize
+	body := make([]byte, 0, rs*(len(recs)+len(tombs))+8*numPages+8)
+	appendRec := func(key uint64, r Record) error {
+		if len(r.Point) != h.d {
+			return fmt.Errorf("store: writeRun: record with %d dims in a %d-dim run", len(r.Point), h.d)
+		}
+		body = appendU64(body, key)
+		for _, c := range r.Point {
+			body = appendU32(body, c)
+		}
+		body = appendU64(body, r.Payload)
+		return nil
+	}
+	for i, r := range recs {
+		if i > 0 && keys[i] < keys[i-1] {
+			return fmt.Errorf("store: writeRun: keys out of order at %d", i)
+		}
+		if err := appendRec(keys[i], r); err != nil {
+			return err
+		}
+	}
+	for i, r := range tombs {
+		if err := appendRec(tombKeys[i], r); err != nil {
+			return err
+		}
+	}
+	for pg := 0; pg < numPages; pg++ {
+		lo := pg * h.pageSize
+		hi := lo + h.pageSize
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		body = appendU64(body, pageChecksum(Page{ID: pg, Keys: keys[lo:hi], Records: recs[lo:hi]}))
+	}
+	body = appendU64(body, fnvBytes(body))
+
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: writeRun: %w", err)
+	}
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(encodeRunHeader(h)); err != nil {
+		return cleanup(fmt.Errorf("store: writeRun header: %w", err))
+	}
+	if _, err := f.Write(body); err != nil {
+		return cleanup(fmt.Errorf("store: writeRun body: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("store: writeRun sync: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: writeRun close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: writeRun rename: %w", err)
+	}
+	return syncParentDir(path)
+}
+
+// runFile is a fully validated open run: the RAM-resident columns (keys,
+// tombstones, page checksums) plus the file handle page content is pread
+// from. Record content itself is *not* retained — it stays on the device,
+// which is the point.
+type runFile struct {
+	hdr      runHeader
+	keys     []uint64
+	tombKeys []uint64
+	tombs    []Record
+	sums     []uint64
+	dev      *FileDevice
+}
+
+// openRun reads and verifies a run file end to end (one sequential pass:
+// header checksum, body checksum, sortedness, and the per-page checksum
+// table against recomputed page sums), keeps the key and tombstone columns,
+// and returns a pread-backed FileDevice for the record pages.
+func openRun(path string) (*runFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: open run: %w", err)
+	}
+	hdr, err := decodeRunHeader(data)
+	if err != nil {
+		return nil, fmt.Errorf("store: open run %s: %w", filepath.Base(path), err)
+	}
+	rs := recordSize(hdr.d)
+	numPages := (hdr.numRecords + hdr.pageSize - 1) / hdr.pageSize
+	want := runHeaderSize + rs*(hdr.numRecords+hdr.numTombs) + 8*numPages + 8
+	if len(data) != want {
+		return nil, fmt.Errorf("%w: %s is %d bytes, header implies %d", errBadRun, filepath.Base(path), len(data), want)
+	}
+	body := data[runHeaderSize:]
+	if fnvBytes(body[:len(body)-8]) != readU64(body[len(body)-8:]) {
+		return nil, fmt.Errorf("%w: %s body checksum mismatch", errBadRun, filepath.Base(path))
+	}
+	rf := &runFile{hdr: hdr}
+	off := 0
+	readRec := func() (uint64, Record) {
+		key := readU64(body[off:])
+		p := make([]uint32, hdr.d)
+		for i := range p {
+			p[i] = readU32(body[off+8+4*i:])
+		}
+		payload := readU64(body[off+8+4*hdr.d:])
+		off += rs
+		return key, Record{Point: p, Payload: payload}
+	}
+	rf.keys = make([]uint64, hdr.numRecords)
+	recs := make([]Record, hdr.numRecords) // transient: only for checksum verification
+	for i := 0; i < hdr.numRecords; i++ {
+		rf.keys[i], recs[i] = readRec()
+		if i > 0 && rf.keys[i] < rf.keys[i-1] {
+			return nil, fmt.Errorf("%w: %s keys out of order at %d", errBadRun, filepath.Base(path), i)
+		}
+	}
+	rf.tombKeys = make([]uint64, hdr.numTombs)
+	rf.tombs = make([]Record, hdr.numTombs)
+	for i := 0; i < hdr.numTombs; i++ {
+		rf.tombKeys[i], rf.tombs[i] = readRec()
+	}
+	rf.sums = make([]uint64, numPages)
+	for pg := 0; pg < numPages; pg++ {
+		rf.sums[pg] = readU64(body[off:])
+		off += 8
+		lo := pg * hdr.pageSize
+		hi := lo + hdr.pageSize
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		if got := pageChecksum(Page{ID: pg, Keys: rf.keys[lo:hi], Records: recs[lo:hi]}); got != rf.sums[pg] {
+			return nil, fmt.Errorf("%w: %s page %d checksum mismatch", errBadRun, filepath.Base(path), pg)
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: open run: %w", err)
+	}
+	rf.dev = &FileDevice{
+		f:          f,
+		path:       path,
+		d:          hdr.d,
+		pageSize:   hdr.pageSize,
+		numRecords: hdr.numRecords,
+		recOff:     runHeaderSize,
+	}
+	return rf, nil
+}
+
+// FileDevice serves leaf pages from a run file with positional reads
+// (pread), so concurrent ReadPage calls never contend on a shared offset.
+// Decode failures and short reads surface as transient errors for the
+// store's retry loop; content integrity is the per-page checksum's job.
+type FileDevice struct {
+	f          *os.File
+	path       string
+	d          int
+	pageSize   int
+	numRecords int
+	recOff     int64
+}
+
+// Path returns the backing file's path.
+func (fd *FileDevice) Path() string { return fd.path }
+
+// NumPages implements PageDevice.
+func (fd *FileDevice) NumPages() int {
+	return (fd.numRecords + fd.pageSize - 1) / fd.pageSize
+}
+
+// ReadPage implements PageDevice: one pread of the page's record span,
+// decoded into a fresh Page.
+func (fd *FileDevice) ReadPage(id int) (Page, error) {
+	if id < 0 || id >= fd.NumPages() {
+		return Page{}, fmt.Errorf("store: page %d out of range [0, %d)", id, fd.NumPages())
+	}
+	lo := id * fd.pageSize
+	hi := lo + fd.pageSize
+	if hi > fd.numRecords {
+		hi = fd.numRecords
+	}
+	rs := recordSize(fd.d)
+	buf := make([]byte, (hi-lo)*rs)
+	if _, err := fd.f.ReadAt(buf, fd.recOff+int64(lo*rs)); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Page{}, fmt.Errorf("store: file device read page %d: %w", id, err)
+	}
+	n := hi - lo
+	pg := Page{ID: id, Keys: make([]uint64, n), Records: make([]Record, n)}
+	for i := 0; i < n; i++ {
+		off := i * rs
+		pg.Keys[i] = readU64(buf[off:])
+		p := make([]uint32, fd.d)
+		for j := range p {
+			p[j] = readU32(buf[off+8+4*j:])
+		}
+		pg.Records[i] = Record{Point: p, Payload: readU64(buf[off+8+4*fd.d:])}
+	}
+	return pg, nil
+}
+
+// Close releases the file handle. Reads after Close fail (and, through the
+// retry loop, surface as unavailable pages).
+func (fd *FileDevice) Close() error { return fd.f.Close() }
+
+var _ PageDevice = (*FileDevice)(nil)
+
+// WriteFile serializes the store's leaves into a run file at path — the
+// bridge from a bulkloaded in-memory store to the durable, file-backed one.
+// The write is atomic (temp file + fsync + rename). Stores whose records
+// live only on a device (e.g. opened with OpenFile) read them back through
+// it; a page the device cannot serve fails the write.
+func (st *Store) WriteFile(path string) error {
+	recs := st.records
+	if recs == nil {
+		recs = make([]Record, 0, len(st.keys))
+		for id := 0; id < st.NumPages(); id++ {
+			pg, err := st.fetchPage(id)
+			if err != nil {
+				return fmt.Errorf("store: WriteFile: %w", err)
+			}
+			recs = append(recs, pg.Records...)
+		}
+	}
+	h := runHeader{d: st.c.Universe().D(), pageSize: st.pageSize}
+	return writeRun(path, h, st.keys, recs, nil, nil)
+}
+
+// OpenFile opens a run file written by WriteFile (or a durable store's
+// flush) as a read-only Store over curve c: the key column and checksum
+// table come from the file and stay in RAM, record content is served by a
+// pread FileDevice with checksum verification on — the same Store the
+// bulkload path builds, but with the leaves on disk.
+//
+// WithFanout, WithRetryPolicy and WithDeviceWrapper apply as in Bulkload
+// (the wrapper receives the FileDevice — the fault-injection hook);
+// WithPageSize must either be absent or agree with the file, and WithDevice
+// is rejected — the file is the device.
+func OpenFile(path string, c curve.Curve, opts ...Option) (*Store, error) {
+	cfg := buildConfig{pageSize: 0, fanout: 64}
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt.apply(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.device != nil {
+		return nil, fmt.Errorf("store: OpenFile: WithDevice conflicts with the file's own device")
+	}
+	rf, err := openRun(path)
+	if err != nil {
+		return nil, err
+	}
+	if rf.hdr.numTombs != 0 {
+		rf.dev.Close()
+		return nil, fmt.Errorf("store: OpenFile: %s carries %d tombstones; open it through the durable store", filepath.Base(path), rf.hdr.numTombs)
+	}
+	st, err := storeOverRun(rf, c, cfg)
+	if err != nil {
+		rf.dev.Close()
+		return nil, err
+	}
+	return st, nil
+}
+
+// storeOverRun assembles a Store over one open run file.
+func storeOverRun(rf *runFile, c curve.Curve, cfg buildConfig) (*Store, error) {
+	u := c.Universe()
+	if rf.hdr.d != u.D() {
+		return nil, fmt.Errorf("store: run has %d dimensions, universe %v has %d", rf.hdr.d, u, u.D())
+	}
+	if cfg.pageSize != 0 && cfg.pageSize != rf.hdr.pageSize {
+		return nil, fmt.Errorf("store: WithPageSize(%d) conflicts with the file's page size %d", cfg.pageSize, rf.hdr.pageSize)
+	}
+	if n := u.N(); len(rf.keys) > 0 && rf.keys[len(rf.keys)-1] >= n {
+		return nil, fmt.Errorf("store: run key %d outside universe of %d cells", rf.keys[len(rf.keys)-1], n)
+	}
+	st := &Store{
+		c:        c,
+		pageSize: rf.hdr.pageSize,
+		fanout:   cfg.fanout,
+		keys:     rf.keys,
+		levels:   buildLevels(rf.keys, rf.hdr.pageSize, cfg.fanout),
+		device:   rf.dev,
+		sums:     rf.sums,
+		verify:   true,
+		retry:    RetryPolicy{}.withDefaults(),
+	}
+	if cfg.retry != nil {
+		if err := st.setRetryPolicy(*cfg.retry); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.wrap != nil {
+		dev, err := cfg.wrap(st.device)
+		if err != nil {
+			return nil, fmt.Errorf("store: device wrapper: %w", err)
+		}
+		if err := st.setDevice(dev); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// CloseDevice closes the store's device if it holds an OS resource (the
+// FileDevice of a store opened from disk). Stores over the in-memory
+// default device have nothing to close.
+func (st *Store) CloseDevice() error {
+	if c, ok := st.device.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// syncParentDir fsyncs the directory containing path, making a rename or
+// create durable.
+func syncParentDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("store: open dir: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("store: sync dir: %w", err)
+	}
+	return nil
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func readU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func readU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// fnvBytes is FNV-1a/64 over raw bytes, matching pageChecksum's word-wise
+// variant in spirit: any single-bit difference changes the sum.
+func fnvBytes(b []byte) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * prime
+	}
+	return h
+}

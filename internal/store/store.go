@@ -171,23 +171,8 @@ func Bulkload(c curve.Curve, recs []Record, opts ...Option) (*Store, error) {
 		st.keys[slot] = tmp[i]
 		st.records[slot] = Record{Point: recs[i].Point.Clone(), Payload: recs[i].Payload}
 	}
-	// Build inner levels over leaf pages.
+	st.levels = buildLevels(st.keys, cfg.pageSize, cfg.fanout)
 	numLeaves := (len(recs) + cfg.pageSize - 1) / cfg.pageSize
-	cur := make([]uint64, numLeaves)
-	for i := range cur {
-		cur[i] = st.keys[i*cfg.pageSize]
-	}
-	for len(cur) > 1 {
-		st.levels = append(st.levels, cur)
-		next := make([]uint64, (len(cur)+cfg.fanout-1)/cfg.fanout)
-		for i := range next {
-			next[i] = cur[i*cfg.fanout]
-		}
-		cur = next
-	}
-	if len(cur) == 1 {
-		st.levels = append(st.levels, cur)
-	}
 	st.mem = &MemDevice{pageSize: cfg.pageSize, keys: st.keys, records: st.records}
 	st.device = st.mem
 	st.sums = make([]uint64, numLeaves)
@@ -217,8 +202,34 @@ func Bulkload(c curve.Curve, recs []Record, opts ...Option) (*Store, error) {
 	return st, nil
 }
 
-// Len returns the number of stored records.
-func (st *Store) Len() int { return len(st.records) }
+// buildLevels constructs the inner index levels over a sorted key column:
+// level 0 holds the first key of each leaf page, and each further level
+// holds the first key of each fanout-sized group below, up to a single root.
+func buildLevels(keys []uint64, pageSize, fanout int) [][]uint64 {
+	var levels [][]uint64
+	numLeaves := (len(keys) + pageSize - 1) / pageSize
+	cur := make([]uint64, numLeaves)
+	for i := range cur {
+		cur[i] = keys[i*pageSize]
+	}
+	for len(cur) > 1 {
+		levels = append(levels, cur)
+		next := make([]uint64, (len(cur)+fanout-1)/fanout)
+		for i := range next {
+			next[i] = cur[i*fanout]
+		}
+		cur = next
+	}
+	if len(cur) == 1 {
+		levels = append(levels, cur)
+	}
+	return levels
+}
+
+// Len returns the number of stored records. The key column is authoritative:
+// stores opened from disk keep keys in RAM but leave record content on the
+// device.
+func (st *Store) Len() int { return len(st.keys) }
 
 // Height returns the number of inner levels (0 for an empty store).
 func (st *Store) Height() int { return len(st.levels) }

@@ -1,0 +1,271 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// File is the handle the log appends through. *os.File satisfies it; the
+// fault injector (internal/faultio) wraps one to inject torn writes and
+// fsync failures.
+type File interface {
+	io.Writer
+	io.Seeker
+	// Sync flushes written bytes to stable storage; until it returns nil
+	// the bytes are not durable and the entries they encode are unacked.
+	Sync() error
+	// Truncate discards everything past size — the log's repair primitive
+	// after a failed append.
+	Truncate(size int64) error
+	Close() error
+}
+
+// ErrPoisoned is returned by appends after the log failed to repair itself:
+// a write or sync failed and the truncate back to the last acknowledged
+// boundary failed too, so the tail state is unknown and no further append
+// can be trusted.
+var ErrPoisoned = errors.New("wal: log poisoned by unrepairable append failure")
+
+// Log is an append-only entry log. An Append that returns nil has synced
+// the entry to stable storage; an Append that returns an error has left the
+// file exactly as it was before the call (the failed bytes are truncated
+// away), unless the repair itself failed, in which case the log is poisoned
+// and every later Append fails with ErrPoisoned.
+//
+// Log is not safe for concurrent use; the durable store serializes writers.
+type Log struct {
+	f    File
+	path string
+
+	good     int64 // offset after the last acknowledged (synced) entry
+	written  int64 // offset after the last attempted write
+	lastSeq  uint64
+	poisoned bool
+	closed   bool
+}
+
+// Create creates a fresh, empty log at path (failing if it exists — log
+// names are generation-stamped, never reused) and syncs its directory entry.
+// wrap, when non-nil, intercepts the file handle — the fault-injection hook.
+func Create(path string, wrap func(File) File) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: create sync: %w", err)
+	}
+	if err := syncDir(path); err != nil {
+		f.Close()
+		return nil, err
+	}
+	var h File = f
+	if wrap != nil {
+		h = wrap(f)
+	}
+	return &Log{f: h, path: path}, nil
+}
+
+// Open opens an existing log, replays its entries, truncates any torn tail,
+// and positions the log for appends. It returns the replayed entries and
+// the number of torn bytes discarded (0 for a cleanly closed log).
+func Open(path string, wrap func(File) File) (*Log, []Entry, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("wal: open: %w", err)
+	}
+	entries, good, torn := Replay(data)
+	tornBytes := int64(len(data)) - good
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("wal: open: %w", err)
+	}
+	if torn {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("wal: syncing truncated tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("wal: seek: %w", err)
+	}
+	var h File = f
+	if wrap != nil {
+		h = wrap(f)
+	}
+	l := &Log{f: h, path: path, good: good, written: good}
+	if len(entries) > 0 {
+		l.lastSeq = entries[len(entries)-1].Seq
+	}
+	return l, entries, tornBytes, nil
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// LastSeq returns the sequence number of the last acknowledged entry (0 if
+// none).
+func (l *Log) LastSeq() uint64 { return l.lastSeq }
+
+// Size returns the acknowledged length of the log in bytes.
+func (l *Log) Size() int64 { return l.good }
+
+// Append encodes, writes, and syncs one entry. Sequence numbers must
+// strictly increase. On any failure the log repairs itself by truncating
+// back to the last acknowledged boundary and reports the entry as unacked.
+func (l *Log) Append(e Entry) error {
+	if l.closed {
+		return errors.New("wal: append on closed log")
+	}
+	if l.poisoned {
+		return ErrPoisoned
+	}
+	if e.Seq <= l.lastSeq {
+		return fmt.Errorf("wal: append seq %d <= last %d", e.Seq, l.lastSeq)
+	}
+	enc, err := Encode(e)
+	if err != nil {
+		return err
+	}
+	n, err := l.f.Write(enc)
+	l.written += int64(n)
+	if err == nil && n < len(enc) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		return l.repair(fmt.Errorf("wal: append write: %w", err))
+	}
+	if err := l.f.Sync(); err != nil {
+		return l.repair(fmt.Errorf("wal: append sync: %w", err))
+	}
+	l.good = l.written
+	l.lastSeq = e.Seq
+	return nil
+}
+
+// repair truncates the file back to the last acknowledged boundary after a
+// failed append and rewinds the write offset to match (Truncate alone
+// leaves the offset past the cut, which would punch a zero-filled hole
+// under the next append). If either step fails the log is poisoned.
+func (l *Log) repair(cause error) error {
+	if err := l.f.Truncate(l.good); err != nil {
+		l.poisoned = true
+		return fmt.Errorf("%w (repair failed: %v): %w", ErrPoisoned, err, cause)
+	}
+	if _, err := l.f.Seek(l.good, io.SeekStart); err != nil {
+		l.poisoned = true
+		return fmt.Errorf("%w (repair seek failed: %v): %w", ErrPoisoned, err, cause)
+	}
+	l.written = l.good
+	return cause
+}
+
+// Close closes the log cleanly. Every acknowledged entry is already synced,
+// so Close has nothing left to flush.
+func (l *Log) Close() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return l.f.Close()
+}
+
+// Crash simulates a process kill combined with power loss: unacknowledged
+// bytes (which live in the page cache of a real system) are discarded by
+// truncating to the acknowledged boundary, then the handle is closed without
+// any further bookkeeping. Test and chaos-campaign hook.
+func (l *Log) Crash() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	err := l.f.Truncate(l.good)
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// CrashTorn simulates dying in the middle of appending e: the acknowledged
+// prefix survives, followed by a seeded prefix of e's encoding — possibly
+// with one bit flipped, as a physically torn sector would leave — and the
+// handle is closed. Recovery must truncate the fragment and lose nothing
+// acknowledged. Test and chaos-campaign hook.
+func (l *Log) CrashTorn(e Entry, seed int64) error {
+	if l.closed {
+		return errors.New("wal: crash on closed log")
+	}
+	l.closed = true
+	enc, err := Encode(e)
+	if err != nil {
+		l.f.Close()
+		return err
+	}
+	if err := l.f.Truncate(l.good); err != nil {
+		l.f.Close()
+		return err
+	}
+	if _, err := l.f.Seek(l.good, io.SeekStart); err != nil {
+		l.f.Close()
+		return err
+	}
+	h := mix64(uint64(seed))
+	// Always drop at least one byte so the fragment can never decode as a
+	// complete, valid entry — a torn write is by definition incomplete.
+	frag := int(h % uint64(len(enc)))
+	torn := append([]byte(nil), enc[:frag]...)
+	if frag > 0 && mix64(h)&1 == 1 {
+		i := int(mix64(h^0x9e37) % uint64(frag))
+		torn[i] ^= 1 << (mix64(h^0x79b9) % 8)
+	}
+	if _, werr := l.f.Write(torn); werr != nil && err == nil {
+		err = werr
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// syncDir fsyncs the directory containing path so a freshly created or
+// renamed file's directory entry is durable.
+func syncDir(path string) error {
+	dir := "."
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			dir = path[:i]
+			if dir == "" {
+				dir = "/"
+			}
+			break
+		}
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: open dir: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}
+
+// mix64 is the SplitMix64 finalizer used for seeded crash fragments.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,120 @@
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ManifestName is the file the current manifest lives in, rewritten
+// atomically on every flush and compaction.
+const ManifestName = "MANIFEST"
+
+// Manifest names the files one durable store instance is made of. It is the
+// recovery root: open reads it first, then trusts exactly the files it
+// names — anything else in the directory is an orphan from an interrupted
+// flush or compaction and is deleted.
+type Manifest struct {
+	// Generation increases by one on every manifest rewrite. Run and WAL
+	// file names embed the generation that created them, so names are never
+	// reused and a half-written file from a crashed rewrite can never be
+	// mistaken for a live one.
+	Generation uint64 `json:"generation"`
+	// Runs lists the immutable run files, oldest first. Records in newer
+	// runs were written after records in older ones; tombstones in a run
+	// shadow matching records in strictly older runs.
+	Runs []string `json:"runs"`
+	// WAL is the live log file. Entries with Seq > FlushedSeq are replayed
+	// into the memtable on open.
+	WAL string `json:"wal"`
+	// FlushedSeq is the highest entry sequence number whose effect is
+	// already captured by the runs. Replay skips entries at or below it,
+	// which makes recovery idempotent across repeated crashes.
+	FlushedSeq uint64 `json:"flushed_seq"`
+}
+
+// manifestFile is the on-disk envelope: the manifest plus a checksum of its
+// canonical JSON encoding, so a torn manifest write is detected rather than
+// trusted.
+type manifestFile struct {
+	Manifest
+	Sum uint64 `json:"sum"`
+}
+
+// ErrNoManifest reports a directory with no manifest — a fresh store.
+var ErrNoManifest = errors.New("wal: no manifest")
+
+// ReadManifest loads and validates dir's manifest. A missing file returns
+// ErrNoManifest (via errors.Is); a checksum mismatch is an error, not a
+// silent fallback — a store with a corrupt root must not guess.
+func ReadManifest(dir string) (Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return Manifest{}, ErrNoManifest
+	}
+	if err != nil {
+		return Manifest{}, fmt.Errorf("wal: read manifest: %w", err)
+	}
+	var mf manifestFile
+	if err := json.Unmarshal(data, &mf); err != nil {
+		return Manifest{}, fmt.Errorf("wal: parse manifest: %w", err)
+	}
+	canon, err := json.Marshal(mf.Manifest)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("wal: canonicalize manifest: %w", err)
+	}
+	if fnv64(canon) != mf.Sum {
+		return Manifest{}, fmt.Errorf("wal: manifest checksum mismatch")
+	}
+	return mf.Manifest, nil
+}
+
+// WriteManifest atomically replaces dir's manifest: write to a temp file,
+// fsync it, rename over ManifestName, fsync the directory. A crash at any
+// point leaves either the old manifest or the new one, never a mixture.
+func WriteManifest(dir string, m Manifest) error {
+	canon, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("wal: encode manifest: %w", err)
+	}
+	data, err := json.MarshalIndent(manifestFile{Manifest: m, Sum: fnv64(canon)}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("wal: encode manifest: %w", err)
+	}
+	tmp := filepath.Join(dir, ManifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: write manifest: %w", err)
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: write manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: sync manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: close manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: rename manifest: %w", err)
+	}
+	return syncDir(filepath.Join(dir, ManifestName))
+}
+
+// RunFileName returns the generation-stamped name of a run file.
+func RunFileName(generation uint64) string {
+	return fmt.Sprintf("run-%06d.sfc", generation)
+}
+
+// LogFileName returns the generation-stamped name of a WAL file.
+func LogFileName(generation uint64) string {
+	return fmt.Sprintf("wal-%06d.log", generation)
+}

@@ -1,0 +1,82 @@
+package wal
+
+import "sort"
+
+// Memtable accumulates acknowledged log entries between flushes. Puts are
+// kept as pending records; a delete removes every matching pending put and
+// is additionally retained as a tombstone, because it must also shadow
+// matching records that were flushed into older runs.
+//
+// Applying the same entry sequence always yields the same memtable — the
+// property WAL replay relies on. Memtable is not safe for concurrent use;
+// the durable store serializes writers.
+type Memtable struct {
+	puts  []Entry // pending inserts, in arrival order
+	tombs []Entry // deletes to shadow older runs with, in arrival order
+}
+
+// NewMemtable returns an empty memtable.
+func NewMemtable() *Memtable { return &Memtable{} }
+
+// Apply folds one entry in. A KindDelete removes every pending put with the
+// same key, point, and payload — a put that was never flushed needs no
+// tombstone to die — and is then recorded as a tombstone for the flushed
+// runs. A put after a delete of the same record resurrects it: the put is
+// newer than the tombstone's run-shadowing effect by construction (the
+// tombstone only ever shadows strictly older runs).
+func (m *Memtable) Apply(e Entry) {
+	switch e.Kind {
+	case KindPut:
+		m.puts = append(m.puts, e)
+	case KindDelete:
+		kept := m.puts[:0]
+		for _, p := range m.puts {
+			if !sameRecord(p, e) {
+				kept = append(kept, p)
+			}
+		}
+		m.puts = kept
+		m.tombs = append(m.tombs, e)
+	}
+}
+
+// Ops returns the number of retained operations — the size a flush
+// threshold is measured against.
+func (m *Memtable) Ops() int { return len(m.puts) + len(m.tombs) }
+
+// Puts returns the number of pending inserts.
+func (m *Memtable) Puts() int { return len(m.puts) }
+
+// Tombs returns the number of retained tombstones.
+func (m *Memtable) Tombs() int { return len(m.tombs) }
+
+// Sorted returns the pending puts and tombstones sorted by curve key
+// (stable, so equal keys keep arrival order — matching the store's
+// bulkload order for duplicate keys). The returned slices are copies; the
+// memtable is unchanged.
+func (m *Memtable) Sorted() (puts, tombs []Entry) {
+	puts = append([]Entry(nil), m.puts...)
+	tombs = append([]Entry(nil), m.tombs...)
+	sort.SliceStable(puts, func(a, b int) bool { return puts[a].Key < puts[b].Key })
+	sort.SliceStable(tombs, func(a, b int) bool { return tombs[a].Key < tombs[b].Key })
+	return puts, tombs
+}
+
+// Reset empties the memtable after a flush.
+func (m *Memtable) Reset() {
+	m.puts = m.puts[:0]
+	m.tombs = m.tombs[:0]
+}
+
+// sameRecord reports whether two entries name the same record content.
+func sameRecord(a, b Entry) bool {
+	if a.Key != b.Key || a.Payload != b.Payload || len(a.Point) != len(b.Point) {
+		return false
+	}
+	for i := range a.Point {
+		if a.Point[i] != b.Point[i] {
+			return false
+		}
+	}
+	return true
+}

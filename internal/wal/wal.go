@@ -1,0 +1,222 @@
+// Package wal is the durability substrate of the store's write path: a
+// write-ahead log of curve-keyed mutations, the memtable they accumulate in
+// before being flushed into immutable curve-ordered page runs, and the
+// generation-stamped manifest that names the files a store instance is made
+// of.
+//
+// The design is LSM-on-a-curve (internal/store wires it together):
+//
+//   - Every Put/Delete is encoded as one checksummed, sequence-numbered
+//     Entry and appended to the log. An operation is acknowledged only
+//     after the entry is synced; a failed append is repaired by truncating
+//     the log back to the last acknowledged boundary, so the log on disk is
+//     always a clean prefix of acknowledged entries (plus, after a crash, at
+//     most one torn tail that recovery truncates).
+//   - Acknowledged entries are applied to a Memtable keyed by curve index.
+//     A flush freezes the memtable into an immutable run file and records
+//     the cut in the manifest (FlushedSeq); replay skips entries at or below
+//     the cut, which is what makes recovery idempotent — replaying the same
+//     log twice, or crashing between the run write and the manifest write,
+//     can never duplicate a record.
+//   - The manifest is rewritten atomically (temp file + fsync + rename) with
+//     a monotonically increasing generation; files not named by the current
+//     manifest are orphans from an interrupted flush or compaction and are
+//     deleted on open.
+//
+// Entries are pure data (curve key, coordinates, payload); the package
+// depends only on the metrics and grid layers, so internal/store can build
+// its durable store on top without an import cycle.
+package wal
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// Kind discriminates log entries.
+type Kind uint8
+
+const (
+	// KindPut inserts one record.
+	KindPut Kind = 1
+	// KindDelete removes every stored record equal to (Point, Payload).
+	KindDelete Kind = 2
+)
+
+// String renders the kind for logs and violations.
+func (k Kind) String() string {
+	switch k {
+	case KindPut:
+		return "put"
+	case KindDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Entry is one logged mutation. Key is the record's curve index — stored
+// explicitly so replay never needs the curve — and Point/Payload are the
+// record content.
+type Entry struct {
+	Seq     uint64
+	Kind    Kind
+	Key     uint64
+	Point   grid.Point
+	Payload uint64
+}
+
+// Entry wire format, little-endian:
+//
+//	length   u32  — byte length of body
+//	checksum u64  — FNV-1a/64 of body
+//	body:
+//	  seq u64 | kind u8 | d u8 | key u64 | d × coord u32 | payload u64
+//
+// The frame length is bounded by maxDims so that a corrupt length field is
+// rejected immediately instead of swallowing the rest of the file.
+const (
+	frameHeaderSize = 4 + 8
+	entryFixedSize  = 8 + 1 + 1 + 8 + 8
+	// maxDims bounds Point length on the wire; the grid universe caps d·k
+	// at 64 bits, so 64 dimensions is already unreachable in practice.
+	maxDims      = 64
+	maxEntrySize = entryFixedSize + 4*maxDims
+)
+
+// ErrTruncated reports a frame that ends past the end of the buffer: the
+// clean torn-tail case a crash mid-append leaves behind. Recovery truncates
+// the log at the frame boundary.
+var ErrTruncated = errors.New("wal: truncated entry")
+
+// ErrCorrupt reports a frame whose length, checksum, or body is malformed.
+// Appends are strictly sequential, so corruption can only be the torn tail
+// of a crashed append; recovery truncates there too, but counts it
+// separately.
+var ErrCorrupt = errors.New("wal: corrupt entry")
+
+// EncodedSize returns the on-disk size of e's frame.
+func EncodedSize(e Entry) int {
+	return frameHeaderSize + entryFixedSize + 4*len(e.Point)
+}
+
+// Encode renders e as one framed, checksummed record.
+func Encode(e Entry) ([]byte, error) {
+	if len(e.Point) == 0 || len(e.Point) > maxDims {
+		return nil, fmt.Errorf("wal: encode: %d dimensions outside [1, %d]", len(e.Point), maxDims)
+	}
+	if e.Kind != KindPut && e.Kind != KindDelete {
+		return nil, fmt.Errorf("wal: encode: bad kind %d", e.Kind)
+	}
+	body := make([]byte, 0, entryFixedSize+4*len(e.Point))
+	body = appendUint64(body, e.Seq)
+	body = append(body, byte(e.Kind), byte(len(e.Point)))
+	body = appendUint64(body, e.Key)
+	for _, c := range e.Point {
+		body = appendUint32(body, c)
+	}
+	body = appendUint64(body, e.Payload)
+	out := make([]byte, 0, frameHeaderSize+len(body))
+	out = appendUint32(out, uint32(len(body)))
+	out = appendUint64(out, fnv64(body))
+	out = append(out, body...)
+	return out, nil
+}
+
+// Decode parses the first frame of b, returning the entry and the bytes
+// consumed. An empty buffer consumes zero bytes with a nil error and a
+// false ok — the clean end of a log. ErrTruncated and ErrCorrupt both mean
+// "torn tail here": nothing after the returned offset is trustworthy.
+func Decode(b []byte) (e Entry, n int, ok bool, err error) {
+	if len(b) == 0 {
+		return Entry{}, 0, false, nil
+	}
+	if len(b) < frameHeaderSize {
+		return Entry{}, 0, false, ErrTruncated
+	}
+	bodyLen := int(readUint32(b))
+	if bodyLen < entryFixedSize || bodyLen > maxEntrySize {
+		return Entry{}, 0, false, fmt.Errorf("%w: frame length %d outside [%d, %d]", ErrCorrupt, bodyLen, entryFixedSize, maxEntrySize)
+	}
+	if len(b) < frameHeaderSize+bodyLen {
+		return Entry{}, 0, false, ErrTruncated
+	}
+	sum := readUint64(b[4:])
+	body := b[frameHeaderSize : frameHeaderSize+bodyLen]
+	if fnv64(body) != sum {
+		return Entry{}, 0, false, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	e.Seq = readUint64(body)
+	e.Kind = Kind(body[8])
+	d := int(body[9])
+	if e.Kind != KindPut && e.Kind != KindDelete {
+		return Entry{}, 0, false, fmt.Errorf("%w: bad kind %d", ErrCorrupt, body[8])
+	}
+	if d < 1 || d > maxDims || bodyLen != entryFixedSize+4*d {
+		return Entry{}, 0, false, fmt.Errorf("%w: %d dims vs body length %d", ErrCorrupt, d, bodyLen)
+	}
+	e.Key = readUint64(body[10:])
+	e.Point = make(grid.Point, d)
+	for i := 0; i < d; i++ {
+		e.Point[i] = readUint32(body[18+4*i:])
+	}
+	e.Payload = readUint64(body[18+4*d:])
+	return e, frameHeaderSize + bodyLen, true, nil
+}
+
+// Replay decodes every complete frame of data in order. It returns the
+// entries, the byte offset of the first unusable frame (== len(data) for a
+// clean log), and whether the tail past that offset was torn (truncated or
+// corrupt). A non-monotonic sequence number is treated as corruption: the
+// log is append-only, so sequence numbers must strictly increase.
+func Replay(data []byte) (entries []Entry, goodOffset int64, torn bool) {
+	off := 0
+	var lastSeq uint64
+	for {
+		e, n, ok, err := Decode(data[off:])
+		if err != nil {
+			return entries, int64(off), true
+		}
+		if !ok {
+			return entries, int64(off), false
+		}
+		if len(entries) > 0 && e.Seq <= lastSeq {
+			return entries, int64(off), true
+		}
+		lastSeq = e.Seq
+		entries = append(entries, e)
+		off += n
+	}
+}
+
+func appendUint32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendUint64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func readUint32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func readUint64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// fnv64 is FNV-1a/64, the same checksum the store uses for pages: each step
+// is a bijection in the running hash, so any single-bit difference is
+// guaranteed to change the sum.
+func fnv64(b []byte) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * prime
+	}
+	return h
+}

@@ -1,0 +1,280 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func testEntries() []Entry {
+	return []Entry{
+		{Seq: 1, Kind: KindPut, Key: 9, Point: grid.Point{1, 2}, Payload: 100},
+		{Seq: 2, Kind: KindPut, Key: 3, Point: grid.Point{0, 7}, Payload: 101},
+		{Seq: 3, Kind: KindDelete, Key: 9, Point: grid.Point{1, 2}, Payload: 100},
+		{Seq: 7, Kind: KindPut, Key: 1 << 60, Point: grid.Point{4, 5}, Payload: 1<<64 - 1},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, e := range testEntries() {
+		enc, err := Encode(e)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", e, err)
+		}
+		if len(enc) != EncodedSize(e) {
+			t.Fatalf("encoded %d bytes, EncodedSize says %d", len(enc), EncodedSize(e))
+		}
+		got, n, ok, err := Decode(enc)
+		if err != nil || !ok || n != len(enc) {
+			t.Fatalf("decode: got ok=%v n=%d err=%v", ok, n, err)
+		}
+		if !reflect.DeepEqual(got, e) {
+			t.Fatalf("round trip: got %+v want %+v", got, e)
+		}
+	}
+}
+
+func TestDecodeTruncatedAndCorrupt(t *testing.T) {
+	e := testEntries()[0]
+	enc, _ := Encode(e)
+	// Every strict prefix is a torn tail: truncated or corrupt, never a
+	// valid entry and never a panic.
+	for n := 0; n < len(enc); n++ {
+		_, _, ok, err := Decode(enc[:n])
+		if ok {
+			t.Fatalf("prefix of %d/%d bytes decoded as a valid entry", n, len(enc))
+		}
+		if n == 0 {
+			if err != nil {
+				t.Fatalf("empty buffer: err %v, want clean end", err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("prefix of %d bytes: no error", n)
+		}
+	}
+	// Any single bit flip must be rejected.
+	for i := 0; i < len(enc); i++ {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0x10
+		if _, _, ok, err := Decode(bad); ok && err == nil {
+			// The length field may grow the frame; that must then read as
+			// truncated, not as a valid entry.
+			t.Fatalf("bit flip at byte %d went undetected", i)
+		}
+	}
+}
+
+func TestReplayStopsAtTornTail(t *testing.T) {
+	var buf []byte
+	ents := testEntries()
+	for _, e := range ents {
+		enc, _ := Encode(e)
+		buf = append(buf, enc...)
+	}
+	clean, off, torn := Replay(buf)
+	if torn || off != int64(len(buf)) || len(clean) != len(ents) {
+		t.Fatalf("clean log: entries=%d off=%d torn=%v", len(clean), off, torn)
+	}
+	// Truncate mid-final-entry: the prefix must replay, the tail must be torn.
+	cut := len(buf) - 5
+	got, off, torn := Replay(buf[:cut])
+	if !torn || len(got) != len(ents)-1 {
+		t.Fatalf("torn log: entries=%d torn=%v", len(got), torn)
+	}
+	if off > int64(cut) {
+		t.Fatalf("good offset %d past buffer %d", off, cut)
+	}
+	// Non-monotonic seq reads as corruption.
+	dup, _ := Encode(ents[0])
+	bad := append(append([]byte(nil), buf...), dup...)
+	got, _, torn = Replay(bad)
+	if !torn || len(got) != len(ents) {
+		t.Fatalf("replayed %d entries past a seq regression (torn=%v)", len(got), torn)
+	}
+}
+
+func TestLogAppendReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-000001.log")
+	l, err := Create(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ents := testEntries()
+	for _, e := range ents {
+		if err := l.Append(e); err != nil {
+			t.Fatalf("append %+v: %v", e, err)
+		}
+	}
+	if l.LastSeq() != 7 {
+		t.Fatalf("lastSeq = %d", l.LastSeq())
+	}
+	if err := l.Append(Entry{Seq: 7, Kind: KindPut, Point: grid.Point{0}}); err == nil {
+		t.Fatal("duplicate seq accepted")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, replayed, tornBytes, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if tornBytes != 0 {
+		t.Fatalf("clean log reports %d torn bytes", tornBytes)
+	}
+	if !reflect.DeepEqual(replayed, ents) {
+		t.Fatalf("replayed %+v want %+v", replayed, ents)
+	}
+	if err := l2.Append(Entry{Seq: 8, Kind: KindPut, Key: 5, Point: grid.Point{1, 1}, Payload: 9}); err != nil {
+		t.Fatalf("append after reopen: %v", err)
+	}
+}
+
+func TestLogCrashTornRecovers(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		path := filepath.Join(t.TempDir(), "wal-000001.log")
+		l, err := Create(path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ents := testEntries()
+		for _, e := range ents {
+			if err := l.Append(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		next := Entry{Seq: 9, Kind: KindPut, Key: 77, Point: grid.Point{3, 3}, Payload: 42}
+		if err := l.CrashTorn(next, seed); err != nil {
+			t.Fatalf("seed %d: crash: %v", seed, err)
+		}
+		l2, replayed, tornBytes, err := Open(path, nil)
+		if err != nil {
+			t.Fatalf("seed %d: reopen: %v", seed, err)
+		}
+		if !reflect.DeepEqual(replayed, ents) {
+			t.Fatalf("seed %d: torn tail leaked into replay: got %d entries want %d", seed, len(replayed), len(ents))
+		}
+		// A fragment of zero bytes is a clean tail; anything else is torn.
+		data, _ := os.ReadFile(path)
+		if int64(len(data)) != l2.Size() {
+			t.Fatalf("seed %d: file %d bytes, acknowledged %d", seed, len(data), l2.Size())
+		}
+		_ = tornBytes
+		l2.Close()
+	}
+}
+
+func TestLogRepairAfterFailedWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-000001.log")
+	l, err := Create(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Entry{Seq: 1, Kind: KindPut, Key: 1, Point: grid.Point{1, 1}, Payload: 1}
+	if err := l.Append(good); err != nil {
+		t.Fatal(err)
+	}
+	inner := l.f
+	l.f = &flakyFile{File: inner, failWrites: 1}
+	bad := Entry{Seq: 2, Kind: KindPut, Key: 2, Point: grid.Point{2, 2}, Payload: 2}
+	if err := l.Append(bad); err == nil {
+		t.Fatal("append through failing file succeeded")
+	}
+	l.f = inner
+	// The log repaired itself: the next append lands cleanly and reopen
+	// sees exactly [good, next].
+	next := Entry{Seq: 3, Kind: KindPut, Key: 3, Point: grid.Point{3, 3}, Payload: 3}
+	if err := l.Append(next); err != nil {
+		t.Fatalf("append after repair: %v", err)
+	}
+	l.Close()
+	_, replayed, _, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Entry{good, next}
+	if !reflect.DeepEqual(replayed, want) {
+		t.Fatalf("after repair replayed %+v want %+v", replayed, want)
+	}
+}
+
+// flakyFile fails the first failWrites writes after writing a partial
+// prefix — a torn write.
+type flakyFile struct {
+	File
+	failWrites int
+}
+
+func (f *flakyFile) Write(p []byte) (int, error) {
+	if f.failWrites > 0 {
+		f.failWrites--
+		n, _ := f.File.Write(p[:len(p)/2])
+		return n, errors.New("flaky: torn write")
+	}
+	return f.File.Write(p)
+}
+
+func TestMemtableApply(t *testing.T) {
+	m := NewMemtable()
+	put := func(seq, key, payload uint64) Entry {
+		return Entry{Seq: seq, Kind: KindPut, Key: key, Point: grid.Point{uint32(key), 0}, Payload: payload}
+	}
+	del := func(seq, key, payload uint64) Entry {
+		return Entry{Seq: seq, Kind: KindDelete, Key: key, Point: grid.Point{uint32(key), 0}, Payload: payload}
+	}
+	m.Apply(put(1, 5, 100))
+	m.Apply(put(2, 3, 101))
+	m.Apply(put(3, 5, 100)) // duplicate record: two instances pending
+	m.Apply(del(4, 5, 100)) // kills both pending instances, keeps a tombstone
+	m.Apply(put(5, 5, 100)) // resurrects one
+	if m.Puts() != 2 || m.Tombs() != 1 {
+		t.Fatalf("puts=%d tombs=%d, want 2/1", m.Puts(), m.Tombs())
+	}
+	puts, tombs := m.Sorted()
+	if puts[0].Key != 3 || puts[1].Key != 5 || puts[1].Seq != 5 {
+		t.Fatalf("sorted puts wrong: %+v", puts)
+	}
+	if tombs[0].Seq != 4 {
+		t.Fatalf("sorted tombs wrong: %+v", tombs)
+	}
+	m.Reset()
+	if m.Ops() != 0 {
+		t.Fatalf("ops after reset = %d", m.Ops())
+	}
+}
+
+func TestManifestRoundTripAndAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadManifest(dir); !errors.Is(err, ErrNoManifest) {
+		t.Fatalf("empty dir: %v, want ErrNoManifest", err)
+	}
+	m := Manifest{Generation: 3, Runs: []string{RunFileName(1), RunFileName(2)}, WAL: LogFileName(3), FlushedSeq: 41}
+	if err := WriteManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("got %+v want %+v", got, m)
+	}
+	// A corrupted manifest must be rejected, not trusted.
+	path := filepath.Join(dir, ManifestName)
+	data, _ := os.ReadFile(path)
+	bad := bytes.Replace(data, []byte(`"flushed_seq": 41`), []byte(`"flushed_seq": 42`), 1)
+	if bytes.Equal(bad, data) {
+		t.Fatal("test setup: substitution failed")
+	}
+	os.WriteFile(path, bad, 0o644)
+	if _, err := ReadManifest(dir); err == nil {
+		t.Fatal("tampered manifest accepted")
+	}
+}
