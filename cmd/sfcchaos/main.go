@@ -19,6 +19,12 @@
 //	sfcchaos -seed 1 -runs 100
 //	sfcchaos -seed 7 -runs 500 -queries 8 -v
 //	sfcchaos -campaign crash -runs 50 -artifacts /tmp/chaos-artifacts
+//	sfcchaos -campaign cluster -runs 5 -serverbin ./sfcserved
+//
+// The cluster campaign spawns real sfcserved member processes (6),
+// SIGKILLs and restarts them mid-replay, and checks the distributed
+// invariants over the wire; it is excluded from -campaign all. Without
+// -serverbin it builds the daemon into a temp directory first.
 package main
 
 import (
@@ -34,13 +40,28 @@ func main() {
 		seed      = flag.Int64("seed", 1, "campaign seed")
 		runs      = flag.Int("runs", 100, "randomized runs")
 		queries   = flag.Int("queries", 4, "degraded queries per run")
-		campaign  = flag.String("campaign", "all", "campaign: all, store, partition, crash")
+		campaign  = flag.String("campaign", "all", "campaign: all, store, partition, crash, cluster")
 		artifacts = flag.String("artifacts", "", "directory to copy WAL/manifest artifacts of violating crash runs into")
+		serverbin = flag.String("serverbin", "", "sfcserved binary for the cluster campaign (empty = go build one)")
 		verbose   = flag.Bool("v", false, "log progress")
 	)
 	flag.Parse()
 
-	cfg := chaos.Config{Seed: *seed, Runs: *runs, QueriesPerRun: *queries, Campaign: *campaign, ArtifactDir: *artifacts}
+	cfg := chaos.Config{Seed: *seed, Runs: *runs, QueriesPerRun: *queries, Campaign: *campaign, ArtifactDir: *artifacts, ServerBin: *serverbin}
+	if *campaign == "cluster" && cfg.ServerBin == "" {
+		dir, err := os.MkdirTemp("", "sfcchaos-bin-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sfcchaos:", err)
+			os.Exit(2)
+		}
+		defer os.RemoveAll(dir)
+		bin, err := chaos.BuildServerBin(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sfcchaos:", err)
+			os.Exit(2)
+		}
+		cfg.ServerBin = bin
+	}
 	if *verbose {
 		cfg.Log = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -60,6 +81,10 @@ func main() {
 	fmt.Printf("  partition %6d failover checks, %d cells migrated\n", rep.PartitionChecks, rep.CellsMigrated)
 	fmt.Printf("  crash     %6d recovery checks, %d reopens, %d ops acked, %d torn tails truncated\n",
 		rep.CrashChecks, rep.Recoveries, rep.OpsAcked, rep.TornTailsTruncated)
+	if rep.ClusterChecks > 0 {
+		fmt.Printf("  cluster   %6d runs, %d routed queries (%d degraded), %d kills, %d restarts\n",
+			rep.ClusterChecks, rep.ClusterQueries, rep.ClusterDegraded, rep.NodesKilled, rep.NodesRestarted)
+	}
 	if len(rep.Violations) == 0 {
 		fmt.Println("  invariants: all held — zero violations")
 		return

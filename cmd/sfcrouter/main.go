@@ -1,0 +1,339 @@
+// Command sfcrouter is the cluster query router: it fronts N sfcserved
+// members (each started with -cluster-nodes/-cluster-node so all sides
+// derive the same placement plan from -curve/-d/-k/-seed), decomposes each
+// box query into curve intervals, clips them to per-node ownership,
+// scatter-gathers over the members with per-node deadlines and hedged
+// fallback to replicas, and merges the answers in curve order. Member
+// failures surface as exact dark intervals in the response — degraded,
+// never silently incomplete — and a background prober revives members that
+// come back. See docs/CLUSTER.md.
+//
+// The /query endpoint is wire-compatible with sfcserved's, so existing
+// clients (internal/client, cmd/sfcserve -remote) work against a router
+// unchanged. /topology reports the live ownership ledger.
+//
+// Usage:
+//
+//	sfcrouter -addr 127.0.0.1:7170 \
+//	  -nodes http://127.0.0.1:7181,http://127.0.0.1:7182,http://127.0.0.1:7183 \
+//	  -replicas 2 -curve hilbert -d 2 -k 6 -seed 1
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/curve"
+	"repro/internal/grid"
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/server"
+)
+
+type config struct {
+	addr      string
+	nodes     string
+	replicas  int
+	curveName string
+	d, k      int
+	seed      int64
+
+	nodeTimeout   time.Duration
+	hedgeDelay    time.Duration
+	probeInterval time.Duration
+	maxTimeout    time.Duration
+	drainTimeout  time.Duration
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:7170", "listen address")
+	flag.StringVar(&cfg.nodes, "nodes", "", "comma-separated member base URLs, in node-index order (required)")
+	flag.IntVar(&cfg.replicas, "replicas", 2, "replication factor R the members were started with")
+	flag.StringVar(&cfg.curveName, "curve", "hilbert", fmt.Sprintf("curve name %v", curve.Names()))
+	flag.IntVar(&cfg.d, "d", 2, "dimensions")
+	flag.IntVar(&cfg.k, "k", 6, "log2 side length (n = 2^(d·k) cells)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "placement seed — must match the members'")
+	flag.DurationVar(&cfg.nodeTimeout, "node-timeout", 2*time.Second, "per-member request deadline")
+	flag.DurationVar(&cfg.hedgeDelay, "hedge-delay", 50*time.Millisecond, "wait before racing the next replica (0 = failover only)")
+	flag.DurationVar(&cfg.probeInterval, "probe-interval", time.Second, "how often dead members are probed for revival (0 = never)")
+	flag.DurationVar(&cfg.maxTimeout, "max-timeout", server.DefaultMaxTimeout, "cap on the per-request ?timeout parameter")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "how long a drain waits for inflight queries")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, nil, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sfcrouter:", err)
+		os.Exit(1)
+	}
+}
+
+// run builds the router, binds the listener, reports the bound address via
+// ready (tests listen on :0), and serves until ctx is canceled — then
+// drains. A clean drain returns nil.
+func run(ctx context.Context, cfg config, ready func(addr string), w io.Writer) error {
+	urls := splitNodes(cfg.nodes)
+	if len(urls) == 0 {
+		return errors.New("-nodes is required (comma-separated member URLs)")
+	}
+	u, err := grid.New(cfg.d, cfg.k)
+	if err != nil {
+		return err
+	}
+	c, err := curve.ByName(cfg.curveName, u, cfg.seed)
+	if err != nil {
+		return err
+	}
+	topo, err := cluster.NewTopology(c, len(urls), cfg.replicas)
+	if err != nil {
+		return err
+	}
+	nodes := make([]cluster.Node, len(urls))
+	for i, nu := range urls {
+		// Each member gets its own client, hence its own retry budget; the
+		// policy is kept snappy so failover to a replica beats a long local
+		// retry dance.
+		nodes[i] = cluster.NewClientNode(client.New(nu, client.WithRetryPolicy(client.RetryPolicy{
+			MaxAttempts: 2,
+			BaseBackoff: 10 * time.Millisecond,
+			MaxBackoff:  50 * time.Millisecond,
+		})))
+	}
+	reg := metrics.NewRegistry()
+	rt, err := cluster.NewRouter(topo, nodes,
+		cluster.WithNodeTimeout(cfg.nodeTimeout),
+		cluster.WithHedgeDelay(cfg.hedgeDelay),
+		cluster.WithRouterMetrics(reg))
+	if err != nil {
+		return err
+	}
+
+	h := &routerHTTP{rt: rt, u: u, reg: reg, maxTimeout: cfg.maxTimeout}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", h.handleQuery)
+	mux.HandleFunc("/scan", h.handleScan)
+	mux.HandleFunc("/topology", h.handleTopology)
+	mux.HandleFunc("/metrics", h.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) { w.WriteHeader(http.StatusOK) })
+	mux.HandleFunc("/readyz", h.handleReadyz)
+
+	l, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "sfcrouter: routing curve=%s universe=%v nodes=%d replicas=%d on %s\n",
+		c.Name(), u, len(urls), cfg.replicas, l.Addr())
+	if ready != nil {
+		ready(l.Addr().String())
+	}
+
+	if cfg.probeInterval > 0 {
+		go func() {
+			t := time.NewTicker(cfg.probeInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					pctx, cancel := context.WithTimeout(ctx, cfg.probeInterval)
+					rt.Probe(pctx)
+					cancel()
+				}
+			}
+		}()
+	}
+
+	srv := &http.Server{Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(w, "sfcrouter: signal received, draining (up to %v)\n", cfg.drainTimeout)
+	h.draining.Store(true)
+	dctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("serve: %w", err)
+	}
+	fmt.Fprintln(w, "sfcrouter: drained cleanly")
+	return nil
+}
+
+// splitNodes parses the -nodes flag, dropping empty elements.
+func splitNodes(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// routerHTTP is the router daemon's HTTP surface.
+type routerHTTP struct {
+	rt         *cluster.Router
+	u          *grid.Universe
+	reg        *metrics.Registry
+	maxTimeout time.Duration
+	draining   atomic.Bool
+}
+
+// handleQuery answers box queries in sfcserved's wire format: decompose on
+// the router, scatter across the cluster, merge.
+func (h *routerHTTP) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	lo, err := server.ParsePoint(q.Get("lo"), h.u.D())
+	if err != nil {
+		h.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	hi, err := server.ParsePoint(q.Get("hi"), h.u.D())
+	if err != nil {
+		h.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	b, err := query.NewBox(h.u, lo, hi)
+	if err != nil {
+		h.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	h.serve(w, r, func(ctx context.Context) (cluster.Result, error) {
+		return h.rt.Query(ctx, b)
+	})
+}
+
+// handleScan answers raw interval scans, mirroring sfcserved's /scan.
+func (h *routerHTTP) handleScan(w http.ResponseWriter, r *http.Request) {
+	ivs, err := server.ParseIntervals(r.URL.Query().Get("ivs"))
+	if err != nil {
+		h.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	h.serve(w, r, func(ctx context.Context) (cluster.Result, error) {
+		return h.rt.Scan(ctx, ivs)
+	})
+}
+
+// serve runs one routed query with the request's deadline applied and
+// renders the result in the daemon's wire format (NodesQueried riding in
+// the shards_queried field).
+func (h *routerHTTP) serve(w http.ResponseWriter, r *http.Request, do func(context.Context) (cluster.Result, error)) {
+	if h.draining.Load() {
+		h.fail(w, http.StatusServiceUnavailable, errors.New("router draining"))
+		return
+	}
+	ctx := r.Context()
+	if t := r.URL.Query().Get("timeout"); t != "" {
+		d, err := time.ParseDuration(t)
+		if err != nil || d <= 0 {
+			h.fail(w, http.StatusBadRequest, fmt.Errorf("bad timeout %q", t))
+			return
+		}
+		if d > h.maxTimeout {
+			d = h.maxTimeout
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	start := time.Now()
+	res, err := do(ctx)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			h.fail(w, http.StatusGatewayTimeout, err)
+		case errors.Is(err, context.Canceled):
+			h.fail(w, 499, err) // client closed request
+		default:
+			h.fail(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	out := server.QueryResponse{
+		Records:       make([]server.WireRecord, len(res.Records)),
+		ShardsQueried: res.NodesQueried,
+		Complete:      res.Complete(),
+		ElapsedUS:     time.Since(start).Microseconds(),
+	}
+	for i, rec := range res.Records {
+		out.Records[i] = server.WireRecord{Point: rec.Point, Payload: rec.Payload}
+	}
+	if len(res.Unavailable) > 0 {
+		out.Unavailable = make([]server.WireInterval, len(res.Unavailable))
+		for i, iv := range res.Unavailable {
+			out.Unavailable[i] = server.WireInterval{Lo: iv.Lo, Hi: iv.Hi}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// topologyResponse is the /topology body: the per-node ownership snapshot
+// plus whether the ledger still tiles the curve exactly.
+type topologyResponse struct {
+	Nodes     []cluster.NodeStatus `json:"nodes"`
+	Conserved bool                 `json:"conserved"`
+	Error     string               `json:"error,omitempty"`
+}
+
+func (h *routerHTTP) handleTopology(w http.ResponseWriter, r *http.Request) {
+	resp := topologyResponse{Nodes: h.rt.Snapshot()}
+	if err := h.rt.Conserved(); err != nil {
+		resp.Error = err.Error()
+	} else {
+		resp.Conserved = true
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (h *routerHTTP) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, h.reg.JSON())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, h.reg.Report())
+}
+
+// fail writes the daemon's JSON error shape.
+func (h *routerHTTP) fail(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(server.ErrorResponse{Error: err.Error()})
+}
+
+// handleReadyz is ready while not draining; a fully dark cluster still
+// answers ready (queries degrade to dark intervals rather than failing).
+func (h *routerHTTP) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if h.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}

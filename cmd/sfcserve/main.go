@@ -273,18 +273,20 @@ func replay(c curve.Curve, recs []store.Record, boxes []query.Box, cfg config, s
 // sheds per HTTP attempt; Failed counts queries whose retry budget was
 // exhausted by shedding.
 type remoteResult struct {
-	Queries    int     `json:"queries"`
-	Served     int64   `json:"served"`
-	Failed     int64   `json:"failed"`
-	Attempts   int64   `json:"attempts"`
-	Retries    int64   `json:"retries"`
-	Shed       int64   `json:"shed"`
-	ShedRate   float64 `json:"shed_rate"`
-	Elapsed    float64 `json:"elapsed_sec"`
-	Throughput float64 `json:"throughput_qps"`
-	P50US      int64   `json:"p50_us"`
-	P99US      int64   `json:"p99_us"`
-	MaxUS      int64   `json:"max_us"`
+	Queries      int     `json:"queries"`
+	Served       int64   `json:"served"`
+	Failed       int64   `json:"failed"`
+	Attempts     int64   `json:"attempts"`
+	Retries      int64   `json:"retries"`
+	Shed         int64   `json:"shed"`
+	ShedRate     float64 `json:"shed_rate"`
+	Degraded     int64   `json:"degraded"`
+	DegradedRate float64 `json:"degraded_rate"`
+	Elapsed      float64 `json:"elapsed_sec"`
+	Throughput   float64 `json:"throughput_qps"`
+	P50US        int64   `json:"p50_us"`
+	P99US        int64   `json:"p99_us"`
+	MaxUS        int64   `json:"max_us"`
 }
 
 // runRemote replays the zipf trace over the wire against a live sfcserved
@@ -313,7 +315,7 @@ func runRemote(cfg config, w io.Writer) error {
 
 	reg := metrics.NewRegistry()
 	lat := reg.Histogram("remote.latency_us")
-	var served, failed atomic.Int64
+	var served, failed, degraded atomic.Int64
 	perClient := cfg.queries / cfg.clients
 	extra := cfg.queries % cfg.clients
 	var wg sync.WaitGroup
@@ -332,11 +334,17 @@ func runRemote(cfg config, w io.Writer) error {
 			zipf := rand.NewZipf(lr, cfg.zipfS, 1, uint64(len(boxes)-1))
 			for i := 0; i < n; i++ {
 				t0 := time.Now()
-				_, err := cl.Query(ctx, boxes[zipf.Uint64()], cfg.rtimeout)
+				resp, err := cl.Query(ctx, boxes[zipf.Uint64()], cfg.rtimeout)
 				switch {
 				case err == nil:
 					lat.Observe(time.Since(t0).Microseconds())
 					served.Add(1)
+					// Degraded answers (dark intervals reported) count as
+					// served but are tracked separately: against a cluster
+					// router this is the availability story, not an error.
+					if !resp.Complete {
+						degraded.Add(1)
+					}
 				case errors.Is(err, client.ErrOverloaded):
 					// Shed past the retry budget: load-test data, not fatal.
 					failed.Add(1)
@@ -365,6 +373,7 @@ func runRemote(cfg config, w io.Writer) error {
 		Attempts:   st.Attempts,
 		Retries:    st.Retries,
 		Shed:       st.Shed,
+		Degraded:   degraded.Load(),
 		Elapsed:    elapsed.Seconds(),
 		Throughput: float64(served.Load()) / elapsed.Seconds(),
 		P50US:      lat.Quantile(0.50),
@@ -374,8 +383,11 @@ func runRemote(cfg config, w io.Writer) error {
 	if st.Attempts > 0 {
 		res.ShedRate = float64(st.Shed) / float64(st.Attempts)
 	}
-	fmt.Fprintf(w, "served=%d failed=%d attempts=%d retries=%d shed=%d shed_rate=%.4f\n",
-		res.Served, res.Failed, res.Attempts, res.Retries, res.Shed, res.ShedRate)
+	if res.Served > 0 {
+		res.DegradedRate = float64(res.Degraded) / float64(res.Served)
+	}
+	fmt.Fprintf(w, "served=%d failed=%d degraded=%d attempts=%d retries=%d shed=%d shed_rate=%.4f degraded_rate=%.4f\n",
+		res.Served, res.Failed, res.Degraded, res.Attempts, res.Retries, res.Shed, res.ShedRate, res.DegradedRate)
 	fmt.Fprintf(w, "latency: p50=%dus p99=%dus max=%dus\n", res.P50US, res.P99US, res.MaxUS)
 	fmt.Fprintf(w, "throughput: %d served in %.3fs = %.0f queries/s\n",
 		res.Served, res.Elapsed, res.Throughput)

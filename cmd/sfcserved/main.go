@@ -9,11 +9,18 @@
 // first start, POST /put, /delete and /flush mutate the set, and a restart
 // (clean or after a kill) recovers exactly the acknowledged writes.
 //
+// With -cluster-nodes the daemon is one member of an N-node cluster: it
+// derives the shared placement plan (internal/cluster) from
+// -curve/-d/-k/-seed, bulkloads only the curve ranges it holds (its home
+// segment plus the R−1 predecessor segments it replicates), and serves
+// them via /scan to a cluster router (cmd/sfcrouter). See docs/CLUSTER.md.
+//
 // Usage:
 //
 //	sfcserved -addr 127.0.0.1:7171 -curve hilbert -d 2 -k 6 -records 50000
 //	sfcserved -data /var/lib/sfc -records 50000
 //	sfcserved -max-inflight 16 -queue-wait 50ms -drain-timeout 10s -pprof
+//	sfcserved -addr 127.0.0.1:7181 -cluster-nodes 3 -cluster-node 0 -cluster-replicas 2
 //
 // Query it with cmd/sfcserve's -remote mode or any HTTP client:
 //
@@ -25,18 +32,18 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
 	"net"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
+	"repro/internal/cluster"
 	"repro/internal/curve"
 	"repro/internal/grid"
 	"repro/internal/server"
 	"repro/internal/service"
-	"repro/internal/store"
 )
 
 type config struct {
@@ -50,6 +57,10 @@ type config struct {
 	page      int
 	seed      int64
 	data      string
+
+	clusterNodes    int
+	clusterNode     int
+	clusterReplicas int
 
 	maxInflight  int
 	queueWait    time.Duration
@@ -72,6 +83,9 @@ func main() {
 	flag.IntVar(&cfg.page, "page", 0, "leaf page size in records (0 = store default)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "seed for the synthetic records")
 	flag.StringVar(&cfg.data, "data", "", "durable data directory (empty = in-memory, read-only)")
+	flag.IntVar(&cfg.clusterNodes, "cluster-nodes", 0, "cluster size N (0 = standalone; nodes derive placement from -curve/-d/-k/-seed)")
+	flag.IntVar(&cfg.clusterNode, "cluster-node", 0, "this node's index in [0, cluster-nodes)")
+	flag.IntVar(&cfg.clusterReplicas, "cluster-replicas", 2, "replication factor R (1 <= R <= cluster-nodes)")
 	flag.IntVar(&cfg.maxInflight, "max-inflight", 0, "concurrent query bound (0 = 4×GOMAXPROCS)")
 	flag.DurationVar(&cfg.queueWait, "queue-wait", server.DefaultQueueWait, "admission queue-wait budget before shedding with 429")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "default per-request deadline when ?timeout is absent (0 = none)")
@@ -100,14 +114,29 @@ func run(ctx context.Context, cfg config, ready func(addr string), w io.Writer) 
 	if err != nil {
 		return err
 	}
-	rng := rand.New(rand.NewSource(cfg.seed))
-	recs := make([]store.Record, cfg.records)
-	for i := range recs {
-		p := u.NewPoint()
-		for d := range p {
-			p[d] = rng.Uint32() % u.Side()
+	// The synthetic record set is a pure function of (universe, seed): in
+	// cluster mode every node generates the identical set and keeps only
+	// its held ranges, so no seed data crosses the wire, and the chaos
+	// campaign regenerates the same set in-process as its ground truth.
+	recs := chaos.SyntheticRecords(u, cfg.seed, cfg.records)
+	var clusterInfo string
+	if cfg.clusterNodes > 0 {
+		if cfg.clusterNode < 0 || cfg.clusterNode >= cfg.clusterNodes {
+			return fmt.Errorf("-cluster-node %d outside [0, %d)", cfg.clusterNode, cfg.clusterNodes)
 		}
-		recs[i] = store.Record{Point: p, Payload: uint64(i)}
+		topo, err := cluster.NewTopology(c, cfg.clusterNodes, cfg.clusterReplicas)
+		if err != nil {
+			return err
+		}
+		held := recs[:0]
+		for _, r := range recs {
+			if topo.HoldsKey(cfg.clusterNode, c.Index(r.Point)) {
+				held = append(held, r)
+			}
+		}
+		recs = held
+		clusterInfo = fmt.Sprintf(" cluster=%d/%d replicas=%d held=%d",
+			cfg.clusterNode, cfg.clusterNodes, cfg.clusterReplicas, len(recs))
 	}
 
 	svcOpts := []service.Option{
@@ -156,8 +185,8 @@ func run(ctx context.Context, cfg config, ready func(addr string), w io.Writer) 
 	if svc.DurableMode() {
 		mode = "durable:" + cfg.data
 	}
-	fmt.Fprintf(w, "sfcserved: serving curve=%s universe=%v records=%d shards=%d mode=%s on %s\n",
-		c.Name(), u, cfg.records, cfg.shards, mode, l.Addr())
+	fmt.Fprintf(w, "sfcserved: serving curve=%s universe=%v records=%d shards=%d mode=%s%s on %s\n",
+		c.Name(), u, len(recs), cfg.shards, mode, clusterInfo, l.Addr())
 	if ready != nil {
 		ready(l.Addr().String())
 	}

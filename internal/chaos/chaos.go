@@ -43,12 +43,19 @@ type Config struct {
 	Log           func(format string, args ...any) // optional progress sink
 	// Campaign selects which substrates to exercise: "all" (default),
 	// "store" (bulkloaded store under read faults), "partition"
-	// (failure-driven rebalancing), or "crash" (durable write path under
-	// kills, torn writes, and recovery).
+	// (failure-driven rebalancing), "crash" (durable write path under
+	// kills, torn writes, and recovery), or "cluster" (over-the-wire
+	// scatter-gather with member kills and restarts). "cluster" spawns
+	// real sfcserved processes and so is excluded from "all"; it requires
+	// ServerBin.
 	Campaign string
 	// ArtifactDir, when set, receives a copy of the durable directory (WAL,
-	// manifest, run files) of every crash run that violates an invariant.
+	// manifest, run files) of every crash run that violates an invariant,
+	// and a per-run failure dump for every cluster run that does.
 	ArtifactDir string
+	// ServerBin is the sfcserved binary the cluster campaign spawns its
+	// members from; BuildServerBin compiles one when the caller has none.
+	ServerBin string
 }
 
 // Violation is one failed invariant.
@@ -79,6 +86,11 @@ type Report struct {
 	Recoveries           int    // successful reopen-after-kill recoveries
 	OpsAcked             uint64 // durable operations acknowledged
 	TornTailsTruncated   uint64 // torn WAL tails healed during recovery
+	ClusterChecks        int    // over-the-wire cluster runs completed
+	ClusterQueries       int    // routed queries checked across the cluster
+	ClusterDegraded      int    // routed queries answered with dark intervals
+	NodesKilled          int    // cluster members SIGKILLed mid-replay
+	NodesRestarted       int    // cluster members restarted and revived
 	Violations           []Violation
 }
 
@@ -103,7 +115,7 @@ func Run(cfg Config) (*Report, error) {
 		campaign = "all"
 	}
 	switch campaign {
-	case "all", "store", "partition", "crash":
+	case "all", "store", "partition", "crash", "cluster":
 	default:
 		return nil, fmt.Errorf("chaos: unknown campaign %q", campaign)
 	}
@@ -122,6 +134,11 @@ func Run(cfg Config) (*Report, error) {
 		}
 		if campaign == "all" || campaign == "crash" {
 			if err := crashRun(cfg, run, rng, rep); err != nil {
+				return nil, fmt.Errorf("chaos: run %d: %w", run, err)
+			}
+		}
+		if campaign == "cluster" {
+			if err := clusterRun(cfg, run, rng, rep); err != nil {
 				return nil, fmt.Errorf("chaos: run %d: %w", run, err)
 			}
 		}

@@ -1,0 +1,528 @@
+package chaos
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/curve"
+	"repro/internal/grid"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// The cluster campaign is the only over-the-wire substrate: each run starts
+// N real sfcserved processes in cluster mode, fronts them with an
+// in-process router, SIGKILLs and restarts members mid-replay, and checks
+// the distributed counterparts of the in-process invariants:
+//
+//	(a) record exactness — the records a routed query returns are exactly
+//	    the ground-truth content of the query's curve intervals minus the
+//	    reported dark intervals, order-exact in curve position;
+//	(b) dark exactness — the reported dark intervals are exactly the curve
+//	    ranges whose every replica is truly dead (computed from the
+//	    harness's own kill ledger, not the router's), i.e. replica fallback
+//	    recovered everything recoverable;
+//	(c) ownership conservation — after every kill is discovered, the
+//	    router's FailParts ledger still tiles the curve exactly, dead
+//	    members own nothing, and the router's liveness view agrees with
+//	    the harness's.
+//
+// Ground truth costs nothing to establish: the daemon seeds itself from
+// SyntheticRecords(universe, seed, n), a pure function the campaign calls
+// too, so both sides agree on the record set without data on the wire.
+
+// clusterNodeTimeout bounds one member request during the campaign; local
+// loopback scans over a few hundred records finish in microseconds, so this
+// only bites when a member is truly gone.
+const clusterNodeTimeout = 2 * time.Second
+
+// startTimeout bounds how long a spawned member may take to report its
+// bound address.
+const startTimeout = 30 * time.Second
+
+// clusterRun executes one over-the-wire cluster run.
+func clusterRun(cfg Config, run int, rng *rand.Rand, rep *Report) error {
+	if cfg.ServerBin == "" {
+		return errors.New("cluster campaign requires Config.ServerBin (a built sfcserved binary; see BuildServerBin)")
+	}
+
+	// Draw the run's cluster shape. N=3 keeps the process count CI-friendly
+	// while still exercising multi-hop failover; R alternates between no
+	// redundancy (kills must surface as dark) and 2-way (kills must not).
+	const n = 3
+	r := 1 + rng.Intn(2)
+	u, err := grid.New(2, 2+rng.Intn(3))
+	if err != nil {
+		return err
+	}
+	names := curve.Names()
+	curveName := names[rng.Intn(len(names))]
+	seed := subSeed(cfg.Seed, run) // the daemons' -seed: curve + records
+	c, err := curve.ByName(curveName, u, seed)
+	if err != nil {
+		return err
+	}
+	records := 200 + rng.Intn(200)
+	topo, err := cluster.NewTopology(c, n, r)
+	if err != nil {
+		return err
+	}
+
+	// Ground truth: the same pure function the daemons seed from.
+	truth := newGroundTruth(c, SyntheticRecords(u, seed, records))
+
+	h := &clusterHarness{
+		bin: cfg.ServerBin,
+		args: func(node int) []string {
+			return []string{
+				"-addr", "127.0.0.1:0",
+				"-curve", curveName,
+				"-d", "2", "-k", fmt.Sprint(u.K()),
+				"-seed", fmt.Sprint(seed),
+				"-records", fmt.Sprint(records),
+				"-shards", "2",
+				"-cluster-nodes", fmt.Sprint(n),
+				"-cluster-node", fmt.Sprint(node),
+				"-cluster-replicas", fmt.Sprint(r),
+			}
+		},
+		procs: make([]*nodeProc, n),
+		alive: make([]bool, n),
+	}
+	defer h.stopAll()
+
+	nodes := make([]cluster.Node, n)
+	for i := 0; i < n; i++ {
+		p, err := h.start(i)
+		if err != nil {
+			return fmt.Errorf("starting node %d: %w", i, err)
+		}
+		nodes[i] = clientNodeFor(p.addr)
+	}
+	// The hedge delay must exceed a dead member's full refusal chain
+	// (refused → ~12ms jittered backoff → refused): the router then learns
+	// of every kill from a completed error rather than a hedged race,
+	// which is what makes the post-discovery liveness check deterministic.
+	rt, err := cluster.NewRouter(topo, nodes,
+		cluster.WithNodeTimeout(clusterNodeTimeout),
+		cluster.WithHedgeDelay(150*time.Millisecond))
+	if err != nil {
+		return err
+	}
+
+	// The replay: a healthy phase, two kill phases, two restart phases.
+	// Each phase runs a full-curve discovery scan (forcing the router to
+	// contact every owner, so kills become ledger entries), checks the
+	// ledger, then replays QueriesPerRun random boxes under the full
+	// invariant set.
+	ck := &clusterChecker{cfg: cfg, run: run, rep: rep, rt: rt, topo: topo, truth: truth, h: h}
+	phase := func(label string) {
+		ck.discover(label)
+		ck.ledger(label)
+		for q := 0; q < cfg.QueriesPerRun; q++ {
+			ck.query(rng, fmt.Sprintf("%s/q%d", label, q))
+		}
+	}
+
+	phase("healthy")
+
+	victim1 := rng.Intn(n)
+	h.kill(victim1)
+	rep.NodesKilled++
+	phase(fmt.Sprintf("kill%d", victim1))
+
+	victim2 := h.randomLive(rng)
+	h.kill(victim2)
+	rep.NodesKilled++
+	phase(fmt.Sprintf("kill%d", victim2))
+
+	// Restarts come back on fresh ports: swap the handle, then revive.
+	for _, victim := range []int{victim1, victim2} {
+		p, err := h.start(victim)
+		if err != nil {
+			return fmt.Errorf("restarting node %d: %w", victim, err)
+		}
+		if err := rt.SetNode(victim, clientNodeFor(p.addr)); err != nil {
+			return err
+		}
+		if err := rt.Revive(victim); err != nil {
+			return err
+		}
+		rep.NodesRestarted++
+		phase(fmt.Sprintf("restart%d", victim))
+	}
+
+	rep.ClusterChecks++
+	if len(ck.failures) > 0 && cfg.ArtifactDir != "" {
+		h.dumpArtifacts(cfg.ArtifactDir, run, ck.failures)
+	}
+	return nil
+}
+
+// clientNodeFor wraps one member address with a snappy per-node retry
+// budget: failover to a replica should beat a long local retry dance, and
+// each member owning its own budget is what keeps hedges from consuming a
+// primary's attempts.
+func clientNodeFor(addr string) cluster.Node {
+	return cluster.NewClientNode(client.New("http://"+addr, client.WithRetryPolicy(client.RetryPolicy{
+		MaxAttempts: 2,
+		BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff:  50 * time.Millisecond,
+	})))
+}
+
+// groundTruth is the campaign's oracle: every record keyed by curve
+// position, sorted by (key, payload) — the tie-normalized order used for
+// exact comparison (duplicate cells are legal in the synthetic set).
+type groundTruth struct {
+	keys []uint64
+	recs []store.Record
+}
+
+func newGroundTruth(c curve.Curve, recs []store.Record) *groundTruth {
+	gt := &groundTruth{recs: append([]store.Record(nil), recs...)}
+	sort.Slice(gt.recs, func(i, j int) bool {
+		ki, kj := c.Index(gt.recs[i].Point), c.Index(gt.recs[j].Point)
+		if ki != kj {
+			return ki < kj
+		}
+		return gt.recs[i].Payload < gt.recs[j].Payload
+	})
+	gt.keys = make([]uint64, len(gt.recs))
+	for i, r := range gt.recs {
+		gt.keys[i] = c.Index(r.Point)
+	}
+	return gt
+}
+
+// expect returns the ground-truth records whose keys fall inside ivs but
+// not inside dark, in (key, payload) order.
+func (gt *groundTruth) expect(ivs, dark []query.Interval) []store.Record {
+	var out []store.Record
+	for i, k := range gt.keys {
+		if query.IntervalsContain(ivs, k) && !query.IntervalsContain(dark, k) {
+			out = append(out, gt.recs[i])
+		}
+	}
+	return out
+}
+
+// clusterChecker runs the per-phase invariant checks and collects failures.
+type clusterChecker struct {
+	cfg   Config
+	run   int
+	rep   *Report
+	rt    *cluster.Router
+	topo  *cluster.Topology
+	truth *groundTruth
+	h     *clusterHarness
+
+	failures []string
+}
+
+func (ck *clusterChecker) violate(invariant, format string, args ...any) {
+	detail := fmt.Sprintf(format, args...)
+	ck.rep.violate(ck.run, invariant, detail)
+	ck.failures = append(ck.failures, invariant+": "+detail)
+}
+
+// discover scans the full curve, which contacts every segment owner and
+// turns any undetected kill into a ledger entry, then checks the scan
+// itself against the invariants.
+func (ck *clusterChecker) discover(label string) {
+	n := ck.topo.Curve().Universe().N()
+	full := []query.Interval{{Lo: 0, Hi: n}}
+	res, err := ck.rt.Scan(ck.h.ctx(), full)
+	if err != nil {
+		ck.violate("cluster-scan", "%s: discovery scan failed: %v", label, err)
+		return
+	}
+	ck.check(label+"/discovery", full, res)
+}
+
+// ledger checks invariant (c): after discovery the router's view matches
+// the harness's kill record, and the FailParts ledger still tiles the curve
+// (skipped only when every member is dead — there is no ledger to keep).
+func (ck *clusterChecker) ledger(label string) {
+	anyAlive := false
+	for i, a := range ck.h.alive {
+		if ck.rt.Alive(i) != a {
+			ck.violate("cluster-liveness", "%s: router believes node %d alive=%v, harness says %v",
+				label, i, ck.rt.Alive(i), a)
+		}
+		anyAlive = anyAlive || a
+	}
+	if !anyAlive {
+		return
+	}
+	if err := ck.rt.Conserved(); err != nil {
+		ck.violate("cluster-conservation", "%s: %v", label, err)
+	}
+}
+
+// query replays one random box through the router and checks it.
+func (ck *clusterChecker) query(rng *rand.Rand, label string) {
+	u := ck.topo.Curve().Universe()
+	b := randomBox(rng, u)
+	ivs := query.DecomposeBox(ck.topo.Curve(), b)
+	res, err := ck.rt.Query(ck.h.ctx(), b)
+	if err != nil {
+		ck.violate("cluster-query", "%s: %v", label, err)
+		return
+	}
+	ck.check(label, ivs, res)
+}
+
+// check runs invariants (a) and (b) on one routed result.
+func (ck *clusterChecker) check(label string, ivs []query.Interval, res cluster.Result) {
+	ck.rep.ClusterQueries++
+	if !res.Complete() {
+		ck.rep.ClusterDegraded++
+	}
+
+	// (b) dark exactness against the harness's own kill ledger.
+	wantDark := ck.expectedDark(ivs)
+	if !sameIntervals(res.Unavailable, wantDark) {
+		ck.violate("cluster-dark-exact", "%s: dark %v, want %v (alive %v)",
+			label, res.Unavailable, wantDark, ck.h.alive)
+	}
+
+	// (a) record exactness: served = truth(ivs) − truth(dark), and the
+	// stream is curve-ordered. Comparison is tie-normalized by (key,
+	// payload) because duplicate cells are legal.
+	c := ck.topo.Curve()
+	got := append([]store.Record(nil), res.Records...)
+	for i := 1; i < len(got); i++ {
+		if c.Index(got[i-1].Point) > c.Index(got[i].Point) {
+			ck.violate("cluster-order", "%s: records out of curve order at %d", label, i)
+			break
+		}
+	}
+	sort.Slice(got, func(i, j int) bool {
+		ki, kj := c.Index(got[i].Point), c.Index(got[j].Point)
+		if ki != kj {
+			return ki < kj
+		}
+		return got[i].Payload < got[j].Payload
+	})
+	want := ck.truth.expect(ivs, res.Unavailable)
+	if !sameRecords(got, want) {
+		ck.violate("cluster-record-exact", "%s: %d records served, want %d (alive %v, dark %v)",
+			label, len(got), len(want), ck.h.alive, res.Unavailable)
+	}
+}
+
+// expectedDark computes, from the harness's true liveness, the exact curve
+// ranges of ivs that no live replica holds — what a loss-free router must
+// report dark after replica fallback.
+func (ck *clusterChecker) expectedDark(ivs []query.Interval) []query.Interval {
+	var dark []query.Interval
+	for j := 0; j < ck.topo.Nodes(); j++ {
+		served := false
+		for _, rep := range ck.topo.ReplicaSet(j) {
+			if ck.h.alive[rep] {
+				served = true
+				break
+			}
+		}
+		if served {
+			continue
+		}
+		lo, hi := ck.topo.Segment(j)
+		for _, iv := range ivs {
+			a, b := iv.Lo, iv.Hi
+			if a < lo {
+				a = lo
+			}
+			if b > hi {
+				b = hi
+			}
+			if a < b {
+				dark = append(dark, query.Interval{Lo: a, Hi: b})
+			}
+		}
+	}
+	return query.MergeIntervals(dark)
+}
+
+func sameIntervals(a, b []query.Interval) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// clusterHarness owns the member processes and the true liveness ledger.
+type clusterHarness struct {
+	bin   string
+	args  func(node int) []string
+	procs []*nodeProc
+	alive []bool
+}
+
+func (h *clusterHarness) ctx() context.Context { return context.Background() }
+
+// start launches (or relaunches) member i and waits for its bound address.
+func (h *clusterHarness) start(i int) (*nodeProc, error) {
+	p, err := startNode(h.bin, h.args(i))
+	if err != nil {
+		return nil, err
+	}
+	h.procs[i] = p
+	h.alive[i] = true
+	return p, nil
+}
+
+// kill SIGKILLs member i and reaps it; the ledger flips before any query
+// runs, so invariants are checked against a settled world.
+func (h *clusterHarness) kill(i int) {
+	if p := h.procs[i]; p != nil {
+		p.kill()
+	}
+	h.alive[i] = false
+}
+
+func (h *clusterHarness) stopAll() {
+	for i := range h.procs {
+		h.kill(i)
+	}
+}
+
+// randomLive picks a uniformly random live member.
+func (h *clusterHarness) randomLive(rng *rand.Rand) int {
+	var live []int
+	for i, a := range h.alive {
+		if a {
+			live = append(live, i)
+		}
+	}
+	return live[rng.Intn(len(live))]
+}
+
+// dumpArtifacts writes one text artifact per violating run: the failure
+// list plus each member's captured stderr, for CI upload.
+func (h *clusterHarness) dumpArtifacts(dir string, run int, failures []string) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cluster run %d: %d invariant failures\n\n", run, len(failures))
+	for _, f := range failures {
+		sb.WriteString(f)
+		sb.WriteByte('\n')
+	}
+	for i, p := range h.procs {
+		fmt.Fprintf(&sb, "\n--- node %d (alive=%v) stderr ---\n", i, h.alive[i])
+		if p != nil {
+			sb.WriteString(p.stderr.String())
+		}
+	}
+	os.WriteFile(filepath.Join(dir, fmt.Sprintf("cluster-run-%d.txt", run)), []byte(sb.String()), 0o644)
+}
+
+// nodeProc is one running sfcserved member.
+type nodeProc struct {
+	cmd    *exec.Cmd
+	addr   string
+	stderr *lockedBuffer
+}
+
+// startNode spawns the daemon and parses its serving line ("... on
+// HOST:PORT") for the :0-bound address; the daemon prints it only after the
+// bulkload completes, so a returned process is ready for traffic.
+func startNode(bin string, args []string) (*nodeProc, error) {
+	cmd := exec.Command(bin, args...)
+	stderr := &lockedBuffer{}
+	cmd.Stderr = stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "sfcserved: serving") {
+				if i := strings.LastIndex(line, " on "); i >= 0 {
+					select {
+					case addrc <- strings.TrimSpace(line[i+len(" on "):]):
+					default:
+					}
+				}
+			}
+		}
+		io.Copy(io.Discard, stdout)
+	}()
+	select {
+	case addr := <-addrc:
+		return &nodeProc{cmd: cmd, addr: addr, stderr: stderr}, nil
+	case <-time.After(startTimeout):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("member did not report an address within %v; stderr: %s", startTimeout, stderr.String())
+	}
+}
+
+// kill SIGKILLs the member and reaps it. Idempotent.
+func (p *nodeProc) kill() {
+	if p.cmd.Process != nil {
+		p.cmd.Process.Kill()
+	}
+	p.cmd.Wait()
+}
+
+// lockedBuffer is a mutex-guarded bytes.Buffer: os/exec writes stderr from
+// its own goroutine while the harness may read it on a violation.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// BuildServerBin compiles cmd/sfcserved into dir and returns the binary
+// path — the campaign entry point for callers (CLI, tests) that were not
+// handed a prebuilt -serverbin. It must run inside the module tree.
+func BuildServerBin(dir string) (string, error) {
+	out := filepath.Join(dir, "sfcserved")
+	cmd := exec.Command("go", "build", "-o", out, "repro/cmd/sfcserved")
+	var errb bytes.Buffer
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("building sfcserved: %w: %s", err, errb.String())
+	}
+	return out, nil
+}

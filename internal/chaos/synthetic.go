@@ -1,0 +1,28 @@
+package chaos
+
+import (
+	"math/rand"
+
+	"repro/internal/grid"
+	"repro/internal/store"
+)
+
+// SyntheticRecords generates the deterministic synthetic record set shared
+// by the sfcserved daemon and the cluster chaos campaign: n uniform random
+// cells of u with the record index as payload, a pure function of
+// (universe, seed). Cluster nodes bulkload the subset of this set they
+// hold, and the campaign regenerates the same set in-process as its ground
+// truth — both sides calling this one function is what makes over-the-wire
+// loss detection exact.
+func SyntheticRecords(u *grid.Universe, seed int64, n int) []store.Record {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]store.Record, n)
+	for i := range recs {
+		p := u.NewPoint()
+		for d := range p {
+			p[d] = rng.Uint32() % u.Side()
+		}
+		recs[i] = store.Record{Point: p, Payload: uint64(i)}
+	}
+	return recs
+}

@@ -156,15 +156,32 @@ func (c *Client) Stats() Stats {
 // cannot be fully read fails immediately: bytes were consumed, so the
 // attempt is not repeatable.
 func (c *Client) Query(ctx context.Context, b query.Box, timeout time.Duration) (server.QueryResponse, error) {
-	q := uint64(c.queries.Add(1))
 	v := url.Values{}
 	v.Set("lo", joinCoords(b.Lo))
 	v.Set("hi", joinCoords(b.Hi))
 	if timeout > 0 {
 		v.Set("timeout", timeout.String())
 	}
-	reqURL := c.base + "/query?" + v.Encode()
+	return c.get(ctx, c.base+"/query?"+v.Encode())
+}
 
+// Scan answers a raw curve-interval scan against the daemon's /scan
+// endpoint — the query form the cluster router uses, sending each node only
+// the intervals clipped to the curve ranges it holds. Intervals must be
+// non-empty, in-range, sorted, and disjoint or the server answers 400.
+// Retry semantics are identical to Query's.
+func (c *Client) Scan(ctx context.Context, ivs []query.Interval, timeout time.Duration) (server.QueryResponse, error) {
+	v := url.Values{}
+	v.Set("ivs", server.FormatIntervals(ivs))
+	if timeout > 0 {
+		v.Set("timeout", timeout.String())
+	}
+	return c.get(ctx, c.base+"/scan?"+v.Encode())
+}
+
+// get runs the bounded retry loop for one GET returning a QueryResponse.
+func (c *Client) get(ctx context.Context, reqURL string) (server.QueryResponse, error) {
+	q := uint64(c.queries.Add(1))
 	var lastErr error
 	var delay time.Duration
 	for attempt := 1; attempt <= c.retry.MaxAttempts; attempt++ {

@@ -1,0 +1,152 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/query"
+	"repro/internal/server"
+)
+
+// Hedged fans one logical request out across replica clients: the first
+// replica is tried immediately, and a slow or failed attempt brings the
+// next replica into the race — after the hedge delay without an answer, or
+// at once on a failure. The first success wins and the losing attempts are
+// canceled.
+//
+// Budget separation is the invariant this type exists to keep: every
+// replica attempt runs through that replica's own Client and therefore its
+// own retry budget. A hedged attempt against replica B is never counted as
+// a retry of replica A, and the cancelation of a losing attempt consumes
+// nothing from the loser's budget — Client's retry loop returns on a
+// canceled context before charging a retry. Without this separation a slow
+// (but healthy) primary would have its retry budget drained by every hedge,
+// turning one tail-latency event into a cascade of spurious exhaustion.
+// The regression test TestHedgedDoesNotChargePrimaryBudget pins it down.
+type Hedged struct {
+	replicas []*Client
+	delay    time.Duration
+
+	hedges    atomic.Int64
+	failovers atomic.Int64
+}
+
+// HedgedStats counts the racing decisions a Hedged has made.
+type HedgedStats struct {
+	Hedges    int64 // attempts launched by the hedge timer, primary still pending
+	Failovers int64 // attempts launched because an earlier replica failed
+}
+
+// NewHedged builds a hedged client over the replicas in preference order.
+// A delay of 0 disables time-based hedging: later replicas are tried only
+// after an earlier one fails.
+func NewHedged(delay time.Duration, replicas ...*Client) (*Hedged, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("client: hedged client needs at least one replica")
+	}
+	for i, r := range replicas {
+		if r == nil {
+			return nil, fmt.Errorf("client: hedged replica %d is nil", i)
+		}
+	}
+	if delay < 0 {
+		return nil, fmt.Errorf("client: negative hedge delay %v", delay)
+	}
+	return &Hedged{replicas: replicas, delay: delay}, nil
+}
+
+// Stats returns a snapshot of the hedging counters.
+func (h *Hedged) Stats() HedgedStats {
+	return HedgedStats{Hedges: h.hedges.Load(), Failovers: h.failovers.Load()}
+}
+
+// Query races the box query across the replicas and returns the winning
+// response plus the index of the replica that served it.
+func (h *Hedged) Query(ctx context.Context, b query.Box, timeout time.Duration) (server.QueryResponse, int, error) {
+	return h.race(ctx, func(ctx context.Context, cl *Client) (server.QueryResponse, error) {
+		return cl.Query(ctx, b, timeout)
+	})
+}
+
+// Scan races the interval scan across the replicas and returns the winning
+// response plus the index of the replica that served it.
+func (h *Hedged) Scan(ctx context.Context, ivs []query.Interval, timeout time.Duration) (server.QueryResponse, int, error) {
+	return h.race(ctx, func(ctx context.Context, cl *Client) (server.QueryResponse, error) {
+		return cl.Scan(ctx, ivs, timeout)
+	})
+}
+
+// race is the hedging engine shared by Query and Scan.
+func (h *Hedged) race(ctx context.Context, call func(context.Context, *Client) (server.QueryResponse, error)) (server.QueryResponse, int, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel() // reap the losing attempts on return
+
+	type attempt struct {
+		idx  int
+		resp server.QueryResponse
+		err  error
+	}
+	resc := make(chan attempt, len(h.replicas))
+	launched := 0
+	launch := func() {
+		idx := launched
+		launched++
+		go func() {
+			resp, err := call(ctx, h.replicas[idx])
+			resc <- attempt{idx: idx, resp: resp, err: err}
+		}()
+	}
+	launch()
+	pending := 1
+	var timer *time.Timer
+	var hedgeC <-chan time.Time
+	armHedge := func() {
+		if timer != nil {
+			timer.Stop()
+		}
+		timer, hedgeC = nil, nil
+		if h.delay > 0 && launched < len(h.replicas) {
+			timer = time.NewTimer(h.delay)
+			hedgeC = timer.C
+		}
+	}
+	armHedge()
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+
+	var lastErr error
+	for {
+		select {
+		case a := <-resc:
+			pending--
+			if a.err == nil {
+				return a.resp, a.idx, nil
+			}
+			lastErr = a.err
+			if err := ctx.Err(); err != nil {
+				// The caller's context ended; the attempt errors just echo it.
+				return server.QueryResponse{}, -1, fmt.Errorf("client: hedged request canceled: %w", err)
+			}
+			if launched < len(h.replicas) {
+				h.failovers.Add(1)
+				launch()
+				pending++
+				armHedge()
+			} else if pending == 0 {
+				return server.QueryResponse{}, -1, fmt.Errorf("client: all %d replicas failed: %w", len(h.replicas), lastErr)
+			}
+		case <-hedgeC:
+			h.hedges.Add(1)
+			launch()
+			pending++
+			armHedge()
+		case <-ctx.Done():
+			return server.QueryResponse{}, -1, fmt.Errorf("client: hedged request canceled: %w", ctx.Err())
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHedgedDoesNotChargePrimaryBudget is the retry-accounting regression
+// test: a hedged request that falls over to a replica because the primary is
+// slow must not consume the primary's per-node retry budget. The primary
+// here is seeded slow — it answers, but only after the hedge has long since
+// fired — and the replica answers immediately. After the race the primary's
+// client must show exactly one attempt and zero retries, and a direct query
+// against it must still have its full budget (observed as the same number of
+// attempts a fresh client would make).
+func TestHedgedDoesNotChargePrimaryBudget(t *testing.T) {
+	release := make(chan struct{})
+	var primaryHits atomic.Int64
+	primary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		primaryHits.Add(1)
+		select {
+		case <-release: // seeded slowness: wait until the test lets go
+		case <-r.Context().Done():
+			return
+		}
+		okBody(t, w)
+	}))
+	defer primary.Close()
+	defer close(release)
+
+	replica := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		okBody(t, w)
+	}))
+	defer replica.Close()
+
+	pc := New(primary.URL, WithRetryPolicy(RetryPolicy{MaxAttempts: 3}))
+	rc := New(replica.URL, WithRetryPolicy(RetryPolicy{MaxAttempts: 3}))
+	h, err := NewHedged(5*time.Millisecond, pc, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, winner, err := h.Query(context.Background(), testBox(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if winner != 1 {
+		t.Fatalf("winner = replica %d, want 1 (the fast replica)", winner)
+	}
+	if len(resp.Records) != 1 {
+		t.Fatalf("winning response carried %d records, want 1", len(resp.Records))
+	}
+	if got := h.Stats().Hedges; got != 1 {
+		t.Fatalf("hedges = %d, want 1", got)
+	}
+
+	// The invariant: the losing primary was asked once and charged nothing.
+	ps := pc.Stats()
+	if ps.Attempts != 1 {
+		t.Fatalf("primary attempts = %d, want 1 — the hedge loss must not re-attempt", ps.Attempts)
+	}
+	if ps.Retries != 0 {
+		t.Fatalf("primary retries = %d, want 0 — a canceled hedge loss must not be charged as a retry", ps.Retries)
+	}
+	if rs := rc.Stats(); rs.Attempts != 1 || rs.Retries != 0 {
+		t.Fatalf("replica attempts/retries = %d/%d, want 1/0", rs.Attempts, rs.Retries)
+	}
+}
+
+// TestHedgedFailoverKeepsBudgetsSeparate: a primary that fails outright
+// (terminal 500) triggers an immediate failover; the replica's budget is its
+// own — the failed primary attempt is not a replica retry, and the primary
+// burns exactly the attempts its own policy allows.
+func TestHedgedFailoverKeepsBudgetsSeparate(t *testing.T) {
+	primary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+	}))
+	defer primary.Close()
+	replica := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		okBody(t, w)
+	}))
+	defer replica.Close()
+
+	pc := New(primary.URL, WithRetryPolicy(RetryPolicy{MaxAttempts: 3}))
+	rc := New(replica.URL, WithRetryPolicy(RetryPolicy{MaxAttempts: 3}))
+	h, err := NewHedged(0, pc, rc) // no timer: replicas join only on failure
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, winner, err := h.Query(context.Background(), testBox(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if winner != 1 {
+		t.Fatalf("winner = %d, want 1", winner)
+	}
+	st := h.Stats()
+	if st.Failovers != 1 || st.Hedges != 0 {
+		t.Fatalf("failovers/hedges = %d/%d, want 1/0", st.Failovers, st.Hedges)
+	}
+	// A terminal 500 is not retryable: the primary spent one attempt, the
+	// replica one, and neither budget leaked into the other.
+	if ps := pc.Stats(); ps.Attempts != 1 || ps.Retries != 0 {
+		t.Fatalf("primary attempts/retries = %d/%d, want 1/0", ps.Attempts, ps.Retries)
+	}
+	if rs := rc.Stats(); rs.Attempts != 1 || rs.Retries != 0 {
+		t.Fatalf("replica attempts/retries = %d/%d, want 1/0", rs.Attempts, rs.Retries)
+	}
+}
+
+// TestHedgedAllReplicasFail: when every replica fails terminally the hedged
+// call reports the last failure rather than hanging.
+func TestHedgedAllReplicasFail(t *testing.T) {
+	mk := func() *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+		}))
+	}
+	a, b := mk(), mk()
+	defer a.Close()
+	defer b.Close()
+	h, err := NewHedged(0, New(a.URL), New(b.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := h.Query(context.Background(), testBox(t), 0); err == nil {
+		t.Fatal("want error when every replica fails")
+	}
+}
+
+// TestHedgedContextCancel: canceling the caller's context ends the race with
+// a context error, not a replica-failure error.
+func TestHedgedContextCancel(t *testing.T) {
+	block := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	defer block.Close()
+	h, err := NewHedged(0, New(block.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, _, err = h.Query(ctx, testBox(t), 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestHedgedConstruction: the constructor rejects empty replica sets, nil
+// replicas, and negative delays.
+func TestHedgedConstruction(t *testing.T) {
+	if _, err := NewHedged(0); err == nil {
+		t.Fatal("empty replica set accepted")
+	}
+	if _, err := NewHedged(0, nil); err == nil {
+		t.Fatal("nil replica accepted")
+	}
+	if _, err := NewHedged(-time.Millisecond, New("http://x")); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+}

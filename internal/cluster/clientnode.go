@@ -1,0 +1,49 @@
+package cluster
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/grid"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// ClientNode adapts the HTTP client for one sfcserved daemon to the
+// router's Node interface: interval scans go through the daemon's /scan
+// endpoint, readiness through /readyz. Each node keeps its own client and
+// therefore its own retry budget — a failover or hedge to another node
+// never consumes this node's attempts.
+type ClientNode struct {
+	cl *client.Client
+}
+
+// NewClientNode wraps cl as a cluster member handle.
+func NewClientNode(cl *client.Client) *ClientNode { return &ClientNode{cl: cl} }
+
+// Scan runs the interval scan against the daemon and converts the wire
+// response to the store's result shape.
+func (n *ClientNode) Scan(ctx context.Context, ivs []query.Interval, timeout time.Duration) (store.ScanResult, error) {
+	resp, err := n.cl.Scan(ctx, ivs, timeout)
+	if err != nil {
+		return store.ScanResult{}, err
+	}
+	res := store.ScanResult{Records: make([]store.Record, len(resp.Records))}
+	for i, r := range resp.Records {
+		res.Records[i] = store.Record{Point: grid.Point(r.Point), Payload: r.Payload}
+	}
+	if len(resp.Unavailable) > 0 {
+		res.Unavailable = make([]query.Interval, len(resp.Unavailable))
+		for i, iv := range resp.Unavailable {
+			res.Unavailable[i] = query.Interval{Lo: iv.Lo, Hi: iv.Hi}
+		}
+	}
+	return res, nil
+}
+
+// Ready probes the daemon's /readyz.
+func (n *ClientNode) Ready(ctx context.Context) bool {
+	ok, err := n.cl.Readyz(ctx)
+	return err == nil && ok
+}

@@ -1,0 +1,606 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/curve"
+	"repro/internal/grid"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// --- topology -------------------------------------------------------------
+
+func testCurve(t *testing.T, k int) curve.Curve {
+	t.Helper()
+	return curve.NewHilbert(grid.MustNew(2, k))
+}
+
+// TestTopologyReplicationBounds: the replication factor is confined to
+// 1 ≤ R ≤ N — R > N would demand more distinct copies than nodes exist to
+// hold, R < 1 none at all.
+func TestTopologyReplicationBounds(t *testing.T) {
+	c := testCurve(t, 3)
+	if _, err := NewTopology(c, 3, 4); err == nil {
+		t.Fatal("R > N accepted")
+	}
+	if _, err := NewTopology(c, 3, 0); err == nil {
+		t.Fatal("R = 0 accepted")
+	}
+	if _, err := NewTopology(c, 0, 1); err == nil {
+		t.Fatal("N = 0 accepted")
+	}
+	topo, err := NewTopology(c, 3, 3)
+	if err != nil {
+		t.Fatalf("R = N rejected: %v", err)
+	}
+	// Full replication: every node holds the whole index space.
+	n := c.Universe().N()
+	for node := 0; node < 3; node++ {
+		held := topo.HeldRanges(node)
+		if len(held) != 1 || held[0].Lo != 0 || held[0].Hi != n {
+			t.Fatalf("node %d holds %v, want [{0 %d}]", node, held, n)
+		}
+	}
+}
+
+// TestTopologyPlacementConsistency: Holds, HoldsKey, ReplicaSet and
+// HeldRanges tell one consistent story, and every curve position is held by
+// exactly R nodes.
+func TestTopologyPlacementConsistency(t *testing.T) {
+	c := testCurve(t, 3)
+	for _, tc := range []struct{ n, r int }{{1, 1}, {3, 1}, {3, 2}, {4, 3}, {5, 5}} {
+		topo, err := NewTopology(c, tc.n, tc.r)
+		if err != nil {
+			t.Fatalf("N=%d R=%d: %v", tc.n, tc.r, err)
+		}
+		for j := 0; j < tc.n; j++ {
+			set := topo.ReplicaSet(j)
+			if len(set) != tc.r || set[0] != j {
+				t.Fatalf("N=%d R=%d: ReplicaSet(%d) = %v", tc.n, tc.r, j, set)
+			}
+			for _, node := range set {
+				if !topo.Holds(node, j) {
+					t.Fatalf("N=%d R=%d: node %d in ReplicaSet(%d) but Holds is false", tc.n, tc.r, node, j)
+				}
+			}
+		}
+		for key := uint64(0); key < c.Universe().N(); key++ {
+			holders := 0
+			for node := 0; node < tc.n; node++ {
+				if topo.HoldsKey(node, key) {
+					holders++
+					if !query.IntervalsContain(topo.HeldRanges(node), key) {
+						t.Fatalf("N=%d R=%d: node %d holds key %d but HeldRanges omit it", tc.n, tc.r, node, key)
+					}
+				}
+			}
+			if holders != tc.r {
+				t.Fatalf("N=%d R=%d: key %d held by %d nodes, want %d", tc.n, tc.r, key, holders, tc.r)
+			}
+		}
+	}
+}
+
+// --- view -----------------------------------------------------------------
+
+func checkConserved(t *testing.T, v *View, label string) {
+	t.Helper()
+	if err := v.Conserved(); err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+}
+
+// TestViewSingleSurvivor: killing all but one node leaves the survivor
+// owning the whole index space, with conservation holding at every step.
+func TestViewSingleSurvivor(t *testing.T) {
+	c := testCurve(t, 3)
+	const nodes = 5
+	topo, err := NewTopology(c, nodes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewView(topo)
+	for _, i := range []int{1, 2, 0, 4} { // 3 survives
+		if err := v.Kill(i); err != nil {
+			t.Fatalf("kill %d: %v", i, err)
+		}
+		checkConserved(t, v, fmt.Sprintf("after kill %d", i))
+	}
+	n := c.Universe().N()
+	if lo, hi := v.Current().Segment(3); lo != 0 || hi != n {
+		t.Fatalf("survivor owns [%d, %d), want [0, %d)", lo, hi, n)
+	}
+	if got := v.NumAlive(); got != 1 {
+		t.Fatalf("NumAlive = %d, want 1", got)
+	}
+}
+
+// TestViewAllDeadAndBack: killing the last node empties the ledger;
+// reviving any node restores a conserved ledger with the revived node
+// owning everything still-dead nodes do not.
+func TestViewAllDeadAndBack(t *testing.T) {
+	topo, err := NewTopology(testCurve(t, 3), 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewView(topo)
+	for i := 0; i < 3; i++ {
+		if err := v.Kill(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v.Current() != nil {
+		t.Fatal("ledger non-nil with every node dead")
+	}
+	if err := v.Conserved(); err == nil {
+		t.Fatal("Conserved must error with every node dead")
+	}
+	if err := v.Revive(1); err != nil {
+		t.Fatal(err)
+	}
+	checkConserved(t, v, "after revive")
+	n := topo.Curve().Universe().N()
+	if lo, hi := v.Current().Segment(1); lo != 0 || hi != n {
+		t.Fatalf("sole live node owns [%d, %d), want [0, %d)", lo, hi, n)
+	}
+}
+
+// TestViewReviveRestoresBase: after every death is revived the ledger is
+// exactly the base partition again — ownership is a pure function of the
+// surviving death history.
+func TestViewReviveRestoresBase(t *testing.T) {
+	topo, err := NewTopology(testCurve(t, 3), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewView(topo)
+	for _, i := range []int{2, 0, 3} {
+		if err := v.Kill(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, i := range []int{0, 3, 2} { // revive in a different order
+		if err := v.Revive(i); err != nil {
+			t.Fatal(err)
+		}
+		checkConserved(t, v, fmt.Sprintf("after revive %d", i))
+	}
+	for j := 0; j < 4; j++ {
+		blo, bhi := topo.Segment(j)
+		lo, hi := v.Current().Segment(j)
+		if lo != blo || hi != bhi {
+			t.Fatalf("node %d owns [%d, %d) after full revival, base is [%d, %d)", j, lo, hi, blo, bhi)
+		}
+	}
+}
+
+// TestViewCascadeFuzz: random kill/revive walks keep the ledger conserved
+// whenever anyone is alive, and dead nodes never own range — the invariant
+// the chaos campaign asserts over the wire, here exercised exhaustively
+// in-process.
+func TestViewCascadeFuzz(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := 2 + rng.Intn(6)
+		r := 1 + rng.Intn(nodes)
+		topo, err := NewTopology(testCurve(t, 3), nodes, r)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		v := NewView(topo)
+		for step := 0; step < 24; step++ {
+			i := rng.Intn(nodes)
+			var op string
+			if rng.Intn(2) == 0 {
+				op = "kill"
+				err = v.Kill(i)
+			} else {
+				op = "revive"
+				err = v.Revive(i)
+			}
+			if err != nil {
+				t.Fatalf("seed %d step %d: %s %d: %v", seed, step, op, i, err)
+			}
+			if v.NumAlive() == 0 {
+				if v.Current() != nil {
+					t.Fatalf("seed %d step %d: ledger non-nil with all dead", seed, step)
+				}
+				continue
+			}
+			if err := v.Conserved(); err != nil {
+				t.Fatalf("seed %d step %d (%s %d): %v", seed, step, op, i, err)
+			}
+			for _, n := range v.LiveReplicas(rng.Intn(nodes)) {
+				if !v.Alive(n) {
+					t.Fatalf("seed %d step %d: LiveReplicas returned dead node %d", seed, step, n)
+				}
+			}
+		}
+	}
+}
+
+// --- router ---------------------------------------------------------------
+
+// stubNode serves a held subset of a record set from an in-process store,
+// with switchable failure and injectable local dark ranges — the in-memory
+// stand-in for one sfcserved member.
+type stubNode struct {
+	st   *store.Store
+	c    curve.Curve
+	fail func() bool          // when non-nil and true, Scan errors
+	dark []query.Interval     // local ranges reported unavailable
+	slow func() time.Duration // when non-nil, delay before answering
+}
+
+func (s *stubNode) Scan(ctx context.Context, ivs []query.Interval, _ time.Duration) (store.ScanResult, error) {
+	if s.fail != nil && s.fail() {
+		return store.ScanResult{}, errors.New("stub: node down")
+	}
+	if s.slow != nil {
+		select {
+		case <-time.After(s.slow()):
+		case <-ctx.Done():
+			return store.ScanResult{}, ctx.Err()
+		}
+	}
+	res, err := s.st.Scan(ctx, ivs)
+	if err != nil {
+		return store.ScanResult{}, err
+	}
+	if len(s.dark) == 0 {
+		return res, nil
+	}
+	// Inject local darkness: drop records inside the dark ranges and
+	// report the clipped ranges unavailable, as a store with lost pages
+	// would.
+	out := store.ScanResult{}
+	for _, r := range res.Records {
+		if !query.IntervalsContain(s.dark, s.c.Index(r.Point)) {
+			out.Records = append(out.Records, r)
+		}
+	}
+	var un []query.Interval
+	for _, iv := range ivs {
+		for _, d := range s.dark {
+			lo, hi := iv.Lo, iv.Hi
+			if lo < d.Lo {
+				lo = d.Lo
+			}
+			if hi > d.Hi {
+				hi = d.Hi
+			}
+			if lo < hi {
+				un = append(un, query.Interval{Lo: lo, Hi: hi})
+			}
+		}
+	}
+	out.Unavailable = query.MergeIntervals(append(res.Unavailable, un...))
+	return out, nil
+}
+
+func (s *stubNode) Ready(context.Context) bool { return s.fail == nil || !s.fail() }
+
+// buildStubCluster bulkloads each node's held subset of recs into its own
+// store — the same placement the daemon applies in cluster mode.
+func buildStubCluster(t *testing.T, topo *Topology, recs []store.Record) []*stubNode {
+	t.Helper()
+	c := topo.Curve()
+	stubs := make([]*stubNode, topo.Nodes())
+	for i := range stubs {
+		var held []store.Record
+		for _, r := range recs {
+			if topo.HoldsKey(i, c.Index(r.Point)) {
+				held = append(held, r)
+			}
+		}
+		st, err := store.Bulkload(c, held)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stubs[i] = &stubNode{st: st, c: c}
+	}
+	return stubs
+}
+
+// distinctRecords samples count distinct cells of u — distinctness makes
+// record order fully determined by curve position, so the property test can
+// demand order-exact equality rather than tie-normalizing.
+func distinctRecords(rng *rand.Rand, u *grid.Universe, count int) []store.Record {
+	perm := rng.Perm(int(u.N()))
+	recs := make([]store.Record, count)
+	for i := range recs {
+		p := u.NewPoint()
+		u.FromLinear(uint64(perm[i]), p)
+		recs[i] = store.Record{Point: p, Payload: uint64(i)}
+	}
+	return recs
+}
+
+func nodesOf(stubs []*stubNode) []Node {
+	nodes := make([]Node, len(stubs))
+	for i, s := range stubs {
+		nodes[i] = s
+	}
+	return nodes
+}
+
+// TestRouterMatchesSingleStoreScanBox is the satellite property test: for
+// every seed, a routed box query over an N-node R-replicated cluster of
+// stub stores returns byte-for-byte what a single store holding the whole
+// record set returns from ScanBox — same records, same order, zero dark
+// intervals. Run under -race this also exercises the scatter's concurrency.
+func TestRouterMatchesSingleStoreScanBox(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		u := grid.MustNew(2, 2+rng.Intn(2))
+		names := curve.Names()
+		c, err := curve.ByName(names[rng.Intn(len(names))], u, rng.Int63())
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := distinctRecords(rng, u, 1+rng.Intn(int(u.N())))
+		oracle, err := store.Bulkload(c, recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := 1 + rng.Intn(5)
+		replicas := 1 + rng.Intn(nodes)
+		topo, err := NewTopology(c, nodes, replicas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := NewRouter(topo, nodesOf(buildStubCluster(t, topo, recs)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 8; q++ {
+			b := randomBox(rng, u)
+			want, err := oracle.ScanBox(ctx, b, store.ScanStrict())
+			if err != nil {
+				t.Fatalf("seed %d: oracle: %v", seed, err)
+			}
+			got, err := rt.Query(ctx, b)
+			if err != nil {
+				t.Fatalf("seed %d: router: %v", seed, err)
+			}
+			if len(got.Unavailable) != 0 {
+				t.Fatalf("seed %d: healthy cluster reported dark %v", seed, got.Unavailable)
+			}
+			if len(got.Records) != len(want.Records) {
+				t.Fatalf("seed %d q%d (N=%d R=%d): %d records, oracle %d",
+					seed, q, nodes, replicas, len(got.Records), len(want.Records))
+			}
+			for i := range want.Records {
+				if !got.Records[i].Point.Equal(want.Records[i].Point) || got.Records[i].Payload != want.Records[i].Payload {
+					t.Fatalf("seed %d q%d: record %d = %v/%d, oracle %v/%d — order or content drift",
+						seed, q, i, got.Records[i].Point, got.Records[i].Payload,
+						want.Records[i].Point, want.Records[i].Payload)
+				}
+			}
+		}
+	}
+}
+
+func randomBox(rng *rand.Rand, u *grid.Universe) query.Box {
+	lo, hi := u.NewPoint(), u.NewPoint()
+	for j := range lo {
+		a := uint32(rng.Intn(int(u.Side())))
+		b := uint32(rng.Intn(int(u.Side())))
+		if a > b {
+			a, b = b, a
+		}
+		lo[j], hi[j] = a, b
+	}
+	b, err := query.NewBox(u, lo, hi)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// TestRouterDarkExactOnDeadReplicaSets: with R=1, killing a node makes
+// exactly its segment dark; records outside it are still served, none
+// inside leak through, and the ownership ledger stays conserved.
+func TestRouterDarkExactOnDeadReplicaSets(t *testing.T) {
+	ctx := context.Background()
+	c := testCurve(t, 3)
+	u := c.Universe()
+	rng := rand.New(rand.NewSource(42))
+	recs := distinctRecords(rng, u, int(u.N())/2)
+	topo, err := NewTopology(c, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stubs := buildStubCluster(t, topo, recs)
+	down := false
+	stubs[2].fail = func() bool { return down }
+	rt, err := NewRouter(topo, nodesOf(stubs), WithHedgeDelay(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	down = true
+
+	full := []query.Interval{{Lo: 0, Hi: u.N()}}
+	res, err := rt.Scan(ctx, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := topo.Segment(2)
+	if len(res.Unavailable) != 1 || res.Unavailable[0] != (query.Interval{Lo: lo, Hi: hi}) {
+		t.Fatalf("dark = %v, want exactly node 2's segment [%d, %d)", res.Unavailable, lo, hi)
+	}
+	for _, r := range res.Records {
+		if k := c.Index(r.Point); k >= lo && k < hi {
+			t.Fatalf("record with key %d served from inside the dark segment", k)
+		}
+	}
+	served := 0
+	for _, r := range recs {
+		if k := c.Index(r.Point); k < lo || k >= hi {
+			served++
+		}
+	}
+	if len(res.Records) != served {
+		t.Fatalf("%d records served, want every record outside the dark segment (%d)", len(res.Records), served)
+	}
+	if rt.Alive(2) {
+		t.Fatal("router still believes the failed node alive after the scan")
+	}
+	if err := rt.Conserved(); err != nil {
+		t.Fatalf("ledger after failover: %v", err)
+	}
+
+	// The node recovers: Probe revives it and the darkness lifts.
+	down = false
+	if revived := rt.Probe(ctx); len(revived) != 1 || revived[0] != 2 {
+		t.Fatalf("Probe revived %v, want [2]", revived)
+	}
+	res, err = rt.Scan(ctx, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unavailable) != 0 {
+		t.Fatalf("dark after revival = %v, want none", res.Unavailable)
+	}
+	if len(res.Records) != len(recs) {
+		t.Fatalf("%d records after revival, want all %d", len(res.Records), len(recs))
+	}
+}
+
+// TestRouterReplicaFallbackOnFailure: with R=2 the death of one node loses
+// nothing — its successor serves the segment and the result is complete.
+func TestRouterReplicaFallbackOnFailure(t *testing.T) {
+	ctx := context.Background()
+	c := testCurve(t, 3)
+	u := c.Universe()
+	rng := rand.New(rand.NewSource(7))
+	recs := distinctRecords(rng, u, int(u.N())/2)
+	topo, err := NewTopology(c, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stubs := buildStubCluster(t, topo, recs)
+	stubs[0].fail = func() bool { return true }
+	rt, err := NewRouter(topo, nodesOf(stubs), WithHedgeDelay(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Scan(ctx, []query.Interval{{Lo: 0, Hi: u.N()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unavailable) != 0 {
+		t.Fatalf("dark = %v, want none — node 1 replicates node 0's segment", res.Unavailable)
+	}
+	if len(res.Records) != len(recs) {
+		t.Fatalf("%d records, want all %d", len(res.Records), len(recs))
+	}
+	if res.Failovers == 0 {
+		t.Fatal("expected at least one failover to the surviving replica")
+	}
+}
+
+// TestRouterLocalDarkFallsBackToReplica: a node whose local store reports
+// part of its range dark (lost pages) does not darken the query — the
+// router re-asks the surviving replica for exactly the missing ranges.
+func TestRouterLocalDarkFallsBackToReplica(t *testing.T) {
+	ctx := context.Background()
+	c := testCurve(t, 3)
+	u := c.Universe()
+	rng := rand.New(rand.NewSource(11))
+	recs := distinctRecords(rng, u, int(u.N())/2)
+	topo, err := NewTopology(c, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stubs := buildStubCluster(t, topo, recs)
+	// Node 0 loses pages covering the first half of its home segment.
+	lo, hi := topo.Segment(0)
+	stubs[0].dark = []query.Interval{{Lo: lo, Hi: lo + (hi-lo)/2}}
+	rt, err := NewRouter(topo, nodesOf(stubs), WithHedgeDelay(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Scan(ctx, []query.Interval{{Lo: 0, Hi: u.N()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unavailable) != 0 {
+		t.Fatalf("dark = %v, want none — the replica holds the lost ranges", res.Unavailable)
+	}
+	if len(res.Records) != len(recs) {
+		t.Fatalf("%d records, want all %d — replica fallback lost data", len(res.Records), len(recs))
+	}
+	if !rt.Alive(0) {
+		t.Fatal("local darkness must not mark the node dead")
+	}
+	if err := rt.Conserved(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRouterHedgesSlowNode: a node slower than the hedge delay loses the
+// race to its replica but keeps its liveness and ownership.
+func TestRouterHedgesSlowNode(t *testing.T) {
+	ctx := context.Background()
+	c := testCurve(t, 3)
+	u := c.Universe()
+	rng := rand.New(rand.NewSource(3))
+	recs := distinctRecords(rng, u, int(u.N())/2)
+	topo, err := NewTopology(c, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stubs := buildStubCluster(t, topo, recs)
+	stubs[0].slow = func() time.Duration { return 200 * time.Millisecond }
+	rt, err := NewRouter(topo, nodesOf(stubs), WithHedgeDelay(5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Scan(ctx, []query.Interval{{Lo: 0, Hi: u.N()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != len(recs) || len(res.Unavailable) != 0 {
+		t.Fatalf("hedged scan: %d records, dark %v; want %d and none", len(res.Records), res.Unavailable, len(recs))
+	}
+	if res.Hedges == 0 {
+		t.Fatal("expected the hedge timer to fire against the slow node")
+	}
+	if !rt.Alive(0) {
+		t.Fatal("slow but healthy node was marked dead — hedge losses must not kill")
+	}
+}
+
+// TestRouterScanValidation: malformed interval sets are rejected before any
+// fan-out.
+func TestRouterScanValidation(t *testing.T) {
+	c := testCurve(t, 3)
+	topo, err := NewTopology(c, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRouter(topo, nodesOf(buildStubCluster(t, topo, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := c.Universe().N()
+	for _, bad := range [][]query.Interval{
+		{{Lo: 5, Hi: 5}},                  // empty
+		{{Lo: 3, Hi: 2}},                  // inverted
+		{{Lo: 0, Hi: n + 1}},              // out of range
+		{{Lo: 8, Hi: 16}, {Lo: 0, Hi: 4}}, // unsorted
+		{{Lo: 0, Hi: 8}, {Lo: 4, Hi: 12}}, // overlapping
+	} {
+		if _, err := rt.Scan(context.Background(), bad); err == nil {
+			t.Fatalf("intervals %v accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,510 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// Node is the router's handle on one cluster member: an interval scan with
+// a per-request deadline, and a readiness probe. Over the wire it is a
+// ClientNode; tests substitute in-process fakes.
+type Node interface {
+	Scan(ctx context.Context, ivs []query.Interval, timeout time.Duration) (store.ScanResult, error)
+	Ready(ctx context.Context) bool
+}
+
+// Result is the outcome of one routed query, mirroring service.Result
+// across the cluster: records in curve order plus the exact curve intervals
+// no live replica could serve.
+type Result struct {
+	// Records holds the served records in curve order — the live-tiled
+	// subset of what a single store holding everything would return.
+	Records []store.Record
+	// Unavailable lists the curve intervals unreachable after replica
+	// fallback: sorted, disjoint, merged. An interval lands here only when
+	// every replica of its segment failed or was dead, or when every
+	// replica's local store reported it dark.
+	Unavailable []query.Interval
+	// NodesQueried counts the distinct nodes that contributed an answer.
+	NodesQueried int
+	// Hedges counts attempts launched by the hedge timer, and Failovers
+	// attempts launched because an earlier replica failed.
+	Hedges, Failovers int
+}
+
+// Complete reports whether the whole query was served.
+func (r Result) Complete() bool { return len(r.Unavailable) == 0 }
+
+// Router fans box queries out over the cluster: decompose once, clip the
+// intervals to each topology segment, scatter each segment's share to a
+// live replica (hedging to further replicas on slowness, failing over on
+// errors), and merge per-segment results in curve order. Node failures
+// surface as exact dark intervals, never as silently missing records, and
+// every detected death updates the FailParts ownership ledger.
+//
+// Methods are safe for concurrent use.
+type Router struct {
+	topo  *Topology
+	nodes []Node
+
+	mu   sync.Mutex // guards view and nodes
+	view *View
+
+	nodeTimeout time.Duration
+	hedgeDelay  time.Duration
+
+	reg        *metrics.Registry
+	qTotal     *metrics.Counter
+	qDegraded  *metrics.Counter
+	hedges     *metrics.Counter
+	failovers  *metrics.Counter
+	deaths     *metrics.Counter
+	revivals   *metrics.Counter
+	darkIvs    *metrics.Counter
+	nodeErrors *metrics.Counter
+}
+
+// RouterOption configures NewRouter.
+type RouterOption func(*Router)
+
+// WithNodeTimeout sets the per-node request deadline (default 2s).
+func WithNodeTimeout(d time.Duration) RouterOption {
+	return func(rt *Router) { rt.nodeTimeout = d }
+}
+
+// WithHedgeDelay sets how long the router waits on a replica before racing
+// the next one (default 50ms; 0 disables time-based hedging — replicas are
+// then tried only on failure).
+func WithHedgeDelay(d time.Duration) RouterOption {
+	return func(rt *Router) { rt.hedgeDelay = d }
+}
+
+// WithRouterMetrics records into reg instead of a fresh registry.
+func WithRouterMetrics(reg *metrics.Registry) RouterOption {
+	return func(rt *Router) { rt.reg = reg }
+}
+
+// NewRouter builds a router over the topology's nodes; nodes[i] must be the
+// member holding node index i's ranges.
+func NewRouter(topo *Topology, nodes []Node, opts ...RouterOption) (*Router, error) {
+	if len(nodes) != topo.Nodes() {
+		return nil, fmt.Errorf("cluster: %d node handles for a %d-node topology", len(nodes), topo.Nodes())
+	}
+	for i, n := range nodes {
+		if n == nil {
+			return nil, fmt.Errorf("cluster: node handle %d is nil", i)
+		}
+	}
+	rt := &Router{
+		topo:        topo,
+		nodes:       append([]Node(nil), nodes...),
+		view:        NewView(topo),
+		nodeTimeout: 2 * time.Second,
+		hedgeDelay:  50 * time.Millisecond,
+	}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(rt)
+		}
+	}
+	if rt.nodeTimeout <= 0 {
+		return nil, fmt.Errorf("cluster: node timeout %v <= 0", rt.nodeTimeout)
+	}
+	if rt.hedgeDelay < 0 {
+		return nil, fmt.Errorf("cluster: negative hedge delay %v", rt.hedgeDelay)
+	}
+	if rt.reg == nil {
+		rt.reg = metrics.NewRegistry()
+	}
+	rt.qTotal = rt.reg.Counter("router.queries")
+	rt.qDegraded = rt.reg.Counter("router.degraded")
+	rt.hedges = rt.reg.Counter("router.hedges")
+	rt.failovers = rt.reg.Counter("router.failovers")
+	rt.deaths = rt.reg.Counter("router.node_deaths")
+	rt.revivals = rt.reg.Counter("router.node_revivals")
+	rt.darkIvs = rt.reg.Counter("router.dark_intervals")
+	rt.nodeErrors = rt.reg.Counter("router.node_errors")
+	return rt, nil
+}
+
+// Topology returns the router's placement plan.
+func (rt *Router) Topology() *Topology { return rt.topo }
+
+// Metrics returns the router's metric registry.
+func (rt *Router) Metrics() *metrics.Registry { return rt.reg }
+
+// Query answers the box query: decompose on the router once, then scatter
+// the clipped intervals across the cluster.
+func (rt *Router) Query(ctx context.Context, b query.Box) (Result, error) {
+	return rt.Scan(ctx, query.DecomposeBox(rt.topo.Curve(), b))
+}
+
+// Scan answers a raw interval scan across the cluster. Intervals must be
+// sorted, disjoint, and within the curve's index space.
+func (rt *Router) Scan(ctx context.Context, ivs []query.Interval) (Result, error) {
+	if err := service.ValidateIntervals(ivs, rt.topo.Curve().Universe().N()); err != nil {
+		return Result{}, fmt.Errorf("cluster: scan: %w", err)
+	}
+	rt.qTotal.Inc()
+
+	type job struct {
+		seg int
+		ivs []query.Interval
+	}
+	var jobs []job
+	var dark []query.Interval
+	for j := 0; j < rt.topo.Nodes(); j++ {
+		lo, hi := rt.topo.Segment(j)
+		clipped := clipIntervals(ivs, lo, hi)
+		if len(clipped) == 0 {
+			continue
+		}
+		jobs = append(jobs, job{seg: j, ivs: clipped})
+	}
+
+	results := make([]segResult, len(jobs))
+	var wg sync.WaitGroup
+	for i, jb := range jobs {
+		i, jb := i, jb
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = rt.scanSegment(ctx, jb.seg, jb.ivs)
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+
+	// Segments ascend in curve space and each segment's records ascend in
+	// curve key, so concatenation in job order is globally curve-ordered.
+	out := Result{}
+	nodesSeen := map[int]bool{}
+	for _, sr := range results {
+		out.Records = append(out.Records, sr.records...)
+		dark = append(dark, sr.dark...)
+		out.Hedges += sr.hedges
+		out.Failovers += sr.failovers
+		for _, n := range sr.servedBy {
+			nodesSeen[n] = true
+		}
+	}
+	out.NodesQueried = len(nodesSeen)
+	out.Unavailable = query.MergeIntervals(dark)
+	if !out.Complete() {
+		rt.qDegraded.Inc()
+		rt.darkIvs.Add(int64(len(out.Unavailable)))
+	}
+	return out, nil
+}
+
+// segResult is one segment's share of a scatter.
+type segResult struct {
+	records   []store.Record
+	dark      []query.Interval
+	servedBy  []int
+	hedges    int
+	failovers int
+}
+
+// scanSegment serves one segment's clipped intervals, falling through the
+// replica chain: the preferred replica answers; any intervals its local
+// store reported dark are re-asked of the remaining replicas (replica
+// fallback for partial failures); intervals still unserved when the chain
+// is exhausted are dark for this query.
+func (rt *Router) scanSegment(ctx context.Context, seg int, ivs []query.Interval) segResult {
+	var sr segResult
+	want := ivs
+	tried := map[int]bool{}
+	sources := 0
+	for len(want) > 0 {
+		prefs := rt.liveReplicasExcluding(seg, tried)
+		if len(prefs) == 0 {
+			sr.dark = append(sr.dark, want...)
+			break
+		}
+		res, winner, hedges, failovers, err := rt.race(ctx, prefs, want)
+		sr.hedges += hedges
+		sr.failovers += failovers
+		if err != nil {
+			// Every replica in the chain failed (or the caller's context
+			// ended): the remainder is unreachable for this query.
+			sr.dark = append(sr.dark, want...)
+			break
+		}
+		tried[winner] = true
+		sr.servedBy = append(sr.servedBy, winner)
+		sr.records = append(sr.records, res.Records...)
+		sources++
+		// The winner's own dark intervals go back through the chain: a
+		// replica may hold the pages this one lost.
+		want = res.Unavailable
+	}
+	if sources > 1 {
+		// Records were spliced from multiple replicas over disjoint
+		// intervals; restore curve order.
+		c := rt.topo.Curve()
+		sort.SliceStable(sr.records, func(i, j int) bool {
+			return c.Index(sr.records[i].Point) < c.Index(sr.records[j].Point)
+		})
+	}
+	return sr
+}
+
+// liveReplicasExcluding snapshots the preference-ordered live replicas of
+// seg, minus nodes already consulted for this segment scan.
+func (rt *Router) liveReplicasExcluding(seg int, tried map[int]bool) []int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	all := rt.view.LiveReplicas(seg)
+	out := all[:0]
+	for _, n := range all {
+		if !tried[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// race runs the hedged attempt chain over prefs: the first replica is asked
+// immediately, the next joins after the hedge delay without an answer or at
+// once on a failure, and the first success wins. A replica whose attempt
+// genuinely failed — any error not attributable to the race being canceled
+// from outside — is marked dead (and failed over); losers reaped because
+// somebody else won report a cancellation and are not, so a slow but
+// healthy node keeps its ownership.
+func (rt *Router) race(ctx context.Context, prefs []int, ivs []query.Interval) (store.ScanResult, int, int, int, error) {
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type attempt struct {
+		node int
+		res  store.ScanResult
+		err  error
+	}
+	resc := make(chan attempt, len(prefs))
+	launched := 0
+	launch := func() {
+		node := prefs[launched]
+		launched++
+		go func() {
+			actx, acancel := context.WithTimeout(rctx, rt.nodeTimeout)
+			defer acancel()
+			res, err := rt.nodeHandle(node).Scan(actx, ivs, rt.nodeTimeout)
+			if err != nil && ctx.Err() == nil && !errors.Is(err, context.Canceled) {
+				rt.nodeErrors.Inc()
+				rt.MarkDead(node)
+			}
+			resc <- attempt{node: node, res: res, err: err}
+		}()
+	}
+	launch()
+	pending := 1
+	hedges, failovers := 0, 0
+
+	var timer *time.Timer
+	var hedgeC <-chan time.Time
+	armHedge := func() {
+		if timer != nil {
+			timer.Stop()
+		}
+		timer, hedgeC = nil, nil
+		if rt.hedgeDelay > 0 && launched < len(prefs) {
+			timer = time.NewTimer(rt.hedgeDelay)
+			hedgeC = timer.C
+		}
+	}
+	armHedge()
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+
+	var lastErr error
+	for {
+		select {
+		case a := <-resc:
+			pending--
+			if a.err == nil {
+				return a.res, a.node, hedges, failovers, nil
+			}
+			lastErr = a.err
+			if err := ctx.Err(); err != nil {
+				return store.ScanResult{}, -1, hedges, failovers, err
+			}
+			if launched < len(prefs) {
+				failovers++
+				rt.failovers.Inc()
+				launch()
+				pending++
+				armHedge()
+			} else if pending == 0 {
+				return store.ScanResult{}, -1, hedges, failovers,
+					fmt.Errorf("cluster: all %d replicas failed: %w", len(prefs), lastErr)
+			}
+		case <-hedgeC:
+			hedges++
+			rt.hedges.Inc()
+			launch()
+			pending++
+			armHedge()
+		case <-ctx.Done():
+			return store.ScanResult{}, -1, hedges, failovers, ctx.Err()
+		}
+	}
+}
+
+// nodeHandle snapshots the current handle for node i (SetNode may swap it).
+func (rt *Router) nodeHandle(i int) Node {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.nodes[i]
+}
+
+// MarkDead records node i as dead and fails its ownership over to the
+// survivors. Idempotent.
+func (rt *Router) MarkDead(i int) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if !rt.view.Alive(i) {
+		return nil
+	}
+	rt.deaths.Inc()
+	return rt.view.Kill(i)
+}
+
+// Revive records node i as live again, rebuilding the ownership ledger.
+// Idempotent.
+func (rt *Router) Revive(i int) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.view.Alive(i) {
+		return nil
+	}
+	rt.revivals.Inc()
+	return rt.view.Revive(i)
+}
+
+// SetNode swaps node i's handle — a restarted member typically comes back
+// on a new address — without touching liveness; pair with Revive (or let
+// Probe rediscover it).
+func (rt *Router) SetNode(i int, n Node) error {
+	if n == nil {
+		return fmt.Errorf("cluster: nil node handle")
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if i < 0 || i >= len(rt.nodes) {
+		return fmt.Errorf("cluster: node %d outside [0, %d)", i, len(rt.nodes))
+	}
+	rt.nodes[i] = n
+	return nil
+}
+
+// Probe asks every dead node whether it is ready again and revives the ones
+// that answer. Returns the nodes revived.
+func (rt *Router) Probe(ctx context.Context) []int {
+	rt.mu.Lock()
+	var deadNodes []int
+	for i := 0; i < rt.topo.Nodes(); i++ {
+		if !rt.view.Alive(i) {
+			deadNodes = append(deadNodes, i)
+		}
+	}
+	handles := make([]Node, len(deadNodes))
+	for i, n := range deadNodes {
+		handles[i] = rt.nodes[n]
+	}
+	rt.mu.Unlock()
+
+	var revived []int
+	for i, n := range deadNodes {
+		if handles[i].Ready(ctx) {
+			if err := rt.Revive(n); err == nil {
+				revived = append(revived, n)
+			}
+		}
+	}
+	return revived
+}
+
+// Alive reports whether node i is currently believed live.
+func (rt *Router) Alive(i int) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.view.Alive(i)
+}
+
+// Conserved checks the ownership ledger's tiling invariant.
+func (rt *Router) Conserved() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.view.Conserved()
+}
+
+// NodeStatus is one node's row in a topology snapshot.
+type NodeStatus struct {
+	Node     int              `json:"node"`
+	Alive    bool             `json:"alive"`
+	Owns     query.Interval   `json:"owns"`     // current (failed-over) ownership
+	Home     query.Interval   `json:"home"`     // base segment
+	Replicas []int            `json:"replicas"` // replica set of the home segment
+	Held     []query.Interval `json:"held"`     // ranges stored on the node
+}
+
+// Snapshot returns the per-node topology view the /topology endpoint and
+// the chaos campaign inspect.
+func (rt *Router) Snapshot() []NodeStatus {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]NodeStatus, rt.topo.Nodes())
+	for j := range out {
+		hlo, hhi := rt.topo.Segment(j)
+		st := NodeStatus{
+			Node:     j,
+			Alive:    rt.view.Alive(j),
+			Home:     query.Interval{Lo: hlo, Hi: hhi},
+			Replicas: rt.topo.ReplicaSet(j),
+			Held:     rt.topo.HeldRanges(j),
+		}
+		if cur := rt.view.Current(); cur != nil {
+			lo, hi := cur.Segment(j)
+			st.Owns = query.Interval{Lo: lo, Hi: hi}
+		}
+		out[j] = st
+	}
+	return out
+}
+
+// clipIntervals restricts sorted disjoint intervals to the half-open
+// segment [lo, hi).
+func clipIntervals(ivs []query.Interval, lo, hi uint64) []query.Interval {
+	var out []query.Interval
+	for _, iv := range ivs {
+		if iv.Lo >= hi {
+			break // sorted: nothing further intersects
+		}
+		a, b := iv.Lo, iv.Hi
+		if a < lo {
+			a = lo
+		}
+		if b > hi {
+			b = hi
+		}
+		if a < b {
+			out = append(out, query.Interval{Lo: a, Hi: b})
+		}
+	}
+	return out
+}

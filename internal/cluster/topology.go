@@ -1,0 +1,104 @@
+package cluster
+
+// This file begins the package's second role: alongside the clustering
+// *metric* (cluster.go), it implements clustering as a *deployment* —
+// multi-node placement of curve ranges. The two meanings share more than a
+// name: contiguous curve ranges are natural units of data placement exactly
+// because a proximity-preserving order keeps box queries confined to few
+// ranges (the metric), so distributing ranges across nodes keeps scatter
+// fan-out small (the deployment).
+
+import (
+	"fmt"
+
+	"repro/internal/curve"
+	"repro/internal/partition"
+	"repro/internal/query"
+)
+
+// Topology is the static placement plan of an N-node cluster: the curve's
+// index space is cut into N contiguous segments (partition.Uniform), node j
+// is the home owner of segment j, and each segment is replicated on its
+// home node plus the R−1 successor nodes along the curve — the successor
+// replication of consistent-hashing rings, which keeps a failed node's
+// ranges adjacent to live copies.
+//
+// The topology is a pure function of (curve, nodes, replicas): every node
+// and every router derives the identical plan from the shared parameters,
+// so no placement state crosses the wire.
+type Topology struct {
+	c        curve.Curve
+	base     *partition.Partition
+	nodes    int
+	replicas int
+}
+
+// NewTopology builds the placement plan. The replication factor must
+// satisfy 1 ≤ R ≤ nodes: R > N would demand more distinct copies of a
+// segment than there are nodes to hold them.
+func NewTopology(c curve.Curve, nodes, replicas int) (*Topology, error) {
+	if nodes < 1 {
+		return nil, fmt.Errorf("cluster: %d nodes", nodes)
+	}
+	if replicas < 1 || replicas > nodes {
+		return nil, fmt.Errorf("cluster: replication factor %d outside [1, %d nodes]", replicas, nodes)
+	}
+	base, err := partition.Uniform(c, nodes)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: partitioning: %w", err)
+	}
+	return &Topology{c: c, base: base, nodes: nodes, replicas: replicas}, nil
+}
+
+// Curve returns the curve the placement is defined over.
+func (t *Topology) Curve() curve.Curve { return t.c }
+
+// Nodes returns the cluster size N.
+func (t *Topology) Nodes() int { return t.nodes }
+
+// Replicas returns the replication factor R.
+func (t *Topology) Replicas() int { return t.replicas }
+
+// Base returns the home-ownership partition (segment j ↔ node j).
+func (t *Topology) Base() *partition.Partition { return t.base }
+
+// Segment returns the half-open curve-index range [lo, hi) of segment j.
+func (t *Topology) Segment(j int) (lo, hi uint64) { return t.base.Segment(j) }
+
+// ReplicaSet returns the nodes holding segment j's data, home node first:
+// {j, j+1, …, j+R−1} mod N.
+func (t *Topology) ReplicaSet(j int) []int {
+	set := make([]int, t.replicas)
+	for i := range set {
+		set[i] = (j + i) % t.nodes
+	}
+	return set
+}
+
+// Holds reports whether node holds a replica of segment j.
+func (t *Topology) Holds(node, j int) bool {
+	return ((node-j)%t.nodes+t.nodes)%t.nodes < t.replicas
+}
+
+// HoldsKey reports whether node holds a replica of the segment owning the
+// given curve index.
+func (t *Topology) HoldsKey(node int, key uint64) bool {
+	return t.Holds(node, t.base.OwnerOfPosition(key))
+}
+
+// HeldRanges returns the merged curve-index ranges node stores: the union
+// of the segments whose replica set contains it. Nodes seed (and serve)
+// exactly these ranges.
+func (t *Topology) HeldRanges(node int) []query.Interval {
+	var ivs []query.Interval
+	for j := 0; j < t.nodes; j++ {
+		if !t.Holds(node, j) {
+			continue
+		}
+		lo, hi := t.Segment(j)
+		if lo < hi {
+			ivs = append(ivs, query.Interval{Lo: lo, Hi: hi})
+		}
+	}
+	return query.MergeIntervals(ivs)
+}

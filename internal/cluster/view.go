@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/partition"
+)
+
+// View is the live state of a topology: which nodes are believed dead, and
+// the failed-over ownership partition that results. Ownership failover is
+// exactly partition.FailParts — a dead node's curve segment is absorbed by
+// its surviving curve-neighbors with minimal cut displacement — applied
+// incrementally at each death, so cascading failures compose the way the
+// partition layer's own chaos campaign exercises them.
+//
+// The ledger answers "who should serve this range" (load placement); the
+// topology's replica sets answer "who can serve it" (data placement). The
+// router consults both: it prefers the current owner when the owner holds a
+// replica, and falls back through the replica set otherwise. Conserved
+// checks the ledger's structural invariant — the live segments exactly tile
+// the index space and dead nodes own nothing — after every transition.
+//
+// View is not safe for concurrent use; the Router serializes access.
+type View struct {
+	topo      *Topology
+	dead      []bool
+	killOrder []int // dead nodes in death order, for Revive's replay
+	cur       *partition.Partition
+}
+
+// NewView starts from the topology's base ownership with every node live.
+func NewView(t *Topology) *View {
+	return &View{topo: t, dead: make([]bool, t.Nodes()), cur: t.Base()}
+}
+
+// Kill marks node i dead and fails its ownership over to the survivors.
+// Killing an already-dead node is a no-op. When the last node dies the
+// ownership ledger becomes empty (Current returns nil) until a Revive.
+func (v *View) Kill(i int) error {
+	if i < 0 || i >= len(v.dead) {
+		return fmt.Errorf("cluster: node %d outside [0, %d)", i, len(v.dead))
+	}
+	if v.dead[i] {
+		return nil
+	}
+	v.dead[i] = true
+	v.killOrder = append(v.killOrder, i)
+	if v.NumAlive() == 0 {
+		v.cur = nil
+		return nil
+	}
+	// FailParts must see the FULL dead set, not just the new death: it
+	// absorbs dead ranges into curve-adjacent parts it believes alive, so
+	// passing only {i} could hand i's segment to an earlier casualty.
+	next, _, err := v.cur.FailParts(v.deadList())
+	if err != nil {
+		return fmt.Errorf("cluster: failover of node %d: %w", i, err)
+	}
+	v.cur = next
+	return nil
+}
+
+// deadList returns the currently-dead nodes, ascending.
+func (v *View) deadList() []int {
+	var out []int
+	for i, d := range v.dead {
+		if d {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Revive marks node i live again and rebuilds the ownership ledger by
+// replaying the remaining deaths, in their original order, from the base
+// partition — ownership is a pure function of the surviving death history.
+// Reviving a live node is a no-op.
+func (v *View) Revive(i int) error {
+	if i < 0 || i >= len(v.dead) {
+		return fmt.Errorf("cluster: node %d outside [0, %d)", i, len(v.dead))
+	}
+	if !v.dead[i] {
+		return nil
+	}
+	v.dead[i] = false
+	order := v.killOrder
+	v.killOrder = v.killOrder[:0]
+	v.cur = v.topo.Base()
+	var deadSoFar []int
+	for _, d := range order {
+		if d == i {
+			continue
+		}
+		v.killOrder = append(v.killOrder, d)
+		deadSoFar = append(deadSoFar, d)
+		next, _, err := v.cur.FailParts(deadSoFar)
+		if err != nil {
+			return fmt.Errorf("cluster: replaying failover of node %d: %w", d, err)
+		}
+		v.cur = next
+	}
+	return nil
+}
+
+// Alive reports whether node i is believed live.
+func (v *View) Alive(i int) bool { return i >= 0 && i < len(v.dead) && !v.dead[i] }
+
+// NumAlive returns the number of live nodes.
+func (v *View) NumAlive() int {
+	n := 0
+	for _, d := range v.dead {
+		if !d {
+			n++
+		}
+	}
+	return n
+}
+
+// Current returns the failed-over ownership partition, or nil when every
+// node is dead.
+func (v *View) Current() *partition.Partition { return v.cur }
+
+// LiveReplicas returns the live nodes holding segment j, in routing
+// preference order: the segment's current owner first when it holds a
+// replica, then the replica set in home-first order. Empty means the
+// segment is unreachable — every replica is dead.
+func (v *View) LiveReplicas(j int) []int {
+	set := v.topo.ReplicaSet(j)
+	out := make([]int, 0, len(set))
+	if v.cur != nil {
+		lo, hi := v.topo.Segment(j)
+		if lo < hi {
+			if owner := v.cur.OwnerOfPosition(lo); v.Alive(owner) && v.topo.Holds(owner, j) {
+				out = append(out, owner)
+			}
+		}
+	}
+	for _, n := range set {
+		if v.Alive(n) && (len(out) == 0 || n != out[0]) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// DarkSegments returns the segments with no live replica, ascending.
+func (v *View) DarkSegments() []int {
+	var out []int
+	for j := 0; j < v.topo.Nodes(); j++ {
+		if len(v.LiveReplicas(j)) == 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Conserved checks the ownership ledger's structural invariant: the
+// per-node segments are non-decreasing, exactly tile [0, n), and every dead
+// node owns an empty segment. It errors when all nodes are dead (there is
+// no ownership to conserve) — callers keeping a survivor alive never see
+// that case.
+func (v *View) Conserved() error {
+	if v.cur == nil {
+		return fmt.Errorf("cluster: all %d nodes dead, ownership ledger empty", len(v.dead))
+	}
+	if v.cur.Parts() != v.topo.Nodes() {
+		return fmt.Errorf("cluster: ledger has %d parts, topology %d nodes", v.cur.Parts(), v.topo.Nodes())
+	}
+	n := v.topo.Curve().Universe().N()
+	prev := uint64(0)
+	for j := 0; j < v.cur.Parts(); j++ {
+		lo, hi := v.cur.Segment(j)
+		if lo != prev {
+			return fmt.Errorf("cluster: node %d segment starts at %d, want %d — ownership gap or overlap", j, lo, prev)
+		}
+		if hi < lo {
+			return fmt.Errorf("cluster: node %d segment [%d, %d) inverted", j, lo, hi)
+		}
+		if v.dead[j] && hi != lo {
+			return fmt.Errorf("cluster: dead node %d still owns [%d, %d)", j, lo, hi)
+		}
+		prev = hi
+	}
+	if prev != n {
+		return fmt.Errorf("cluster: segments end at %d, want %d — ownership not conserved", prev, n)
+	}
+	return nil
+}

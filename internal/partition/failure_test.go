@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"math/rand"
 	"reflect"
 	"testing"
 
@@ -232,5 +233,131 @@ func TestFailPartsWeightedNilIsUniform(t *testing.T) {
 	}
 	if total != 256 {
 		t.Fatalf("survivors cover %d of 256 cells", total)
+	}
+}
+
+// TestFailPartsSingleSurvivor: when every part but one dies — at once or as
+// a cascade — the survivor absorbs the whole index space.
+func TestFailPartsSingleSurvivor(t *testing.T) {
+	const parts = 5
+	for survivor := 0; survivor < parts; survivor++ {
+		var dead []int
+		for j := 0; j < parts; j++ {
+			if j != survivor {
+				dead = append(dead, j)
+			}
+		}
+
+		// All at once.
+		pt := failTestPartition(t, parts)
+		next, mig, err := pt.FailParts(dead)
+		if err != nil {
+			t.Fatalf("survivor %d: %v", survivor, err)
+		}
+		checkFailInvariants(t, pt, next, dead, mig)
+		n := pt.c.Universe().N()
+		if lo, hi := next.Segment(survivor); lo != 0 || hi != n {
+			t.Fatalf("survivor %d owns [%d, %d), want [0, %d)", survivor, lo, hi, n)
+		}
+
+		// As a cascade, accumulating the dead set at every step — passing
+		// only the newest death would let FailParts hand ownership to an
+		// earlier casualty it believes alive.
+		cur := failTestPartition(t, parts)
+		var deadSoFar []int
+		for _, j := range dead {
+			deadSoFar = append(deadSoFar, j)
+			cur, _, err = cur.FailParts(deadSoFar)
+			if err != nil {
+				t.Fatalf("survivor %d: cascading kill of %d: %v", survivor, j, err)
+			}
+		}
+		if lo, hi := cur.Segment(survivor); lo != 0 || hi != n {
+			t.Fatalf("cascade survivor %d owns [%d, %d), want [0, %d)", survivor, lo, hi, n)
+		}
+	}
+}
+
+// TestFailPartsAdjacentCascadeNeedsCumulativeDeadSet: the regression behind
+// the cluster view's ownership ledger. After part 1 dies, killing its
+// neighbor with only the new death listed hands part 2's range to part 1 —
+// FailParts believes every unlisted part is alive. With the cumulative dead
+// set, both stay empty and the live neighbors absorb everything.
+func TestFailPartsAdjacentCascadeNeedsCumulativeDeadSet(t *testing.T) {
+	pt := failTestPartition(t, 4)
+	afterOne, _, err := pt.FailParts([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The buggy shape: only the newest death listed.
+	buggy, _, err := afterOne.FailParts([]int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo, hi := buggy.Segment(1); lo == hi {
+		t.Fatal("expected the single-death call to (wrongly) hand range to dead part 1 — the cumulative-set fix exists because of this")
+	}
+
+	// The correct shape: cumulative dead set.
+	next, mig, err := afterOne.FailParts([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFailInvariants(t, afterOne, next, []int{1, 2}, mig)
+	for _, j := range []int{1, 2} {
+		if lo, hi := next.Segment(j); lo != hi {
+			t.Fatalf("dead part %d still owns [%d, %d)", j, lo, hi)
+		}
+	}
+}
+
+// TestFailPartsCascadeFuzz: seeded random kill orders over random part
+// counts, applying FailParts incrementally with the cumulative dead set and
+// asserting the exact-tiling invariants after every step: cuts
+// non-decreasing, segments exactly tile [0, n), dead parts own nothing, and
+// migration equals exactly the cells the newly dead part owned.
+func TestFailPartsCascadeFuzz(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		parts := 2 + rng.Intn(7)
+		cur := failTestPartition(t, parts)
+		n := cur.c.Universe().N()
+		order := rng.Perm(parts)
+		kills := 1 + rng.Intn(parts-1) // leave at least one survivor
+		var dead []int
+		for _, j := range order[:kills] {
+			ownedBefore := cur.DeadCells([]int{j})
+			dead = append(dead, j)
+			next, mig, err := cur.FailParts(dead)
+			if err != nil {
+				t.Fatalf("seed %d: killing %d (dead %v): %v", seed, j, dead, err)
+			}
+			if mig.MovedCells != ownedBefore {
+				t.Fatalf("seed %d: killing %d moved %d cells, it owned %d", seed, j, mig.MovedCells, ownedBefore)
+			}
+			prev := uint64(0)
+			isDead := make(map[int]bool, len(dead))
+			for _, d := range dead {
+				isDead[d] = true
+			}
+			for p := 0; p < next.Parts(); p++ {
+				lo, hi := next.Segment(p)
+				if lo != prev {
+					t.Fatalf("seed %d: part %d starts at %d, want %d — gap or overlap", seed, p, lo, prev)
+				}
+				if hi < lo {
+					t.Fatalf("seed %d: part %d inverted [%d, %d)", seed, p, lo, hi)
+				}
+				if isDead[p] && hi != lo {
+					t.Fatalf("seed %d: dead part %d still owns [%d, %d)", seed, p, lo, hi)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("seed %d: segments end at %d, want %d", seed, prev, n)
+			}
+			cur = next
+		}
 	}
 }

@@ -1,0 +1,35 @@
+// External test package: internal/cluster now imports internal/query (the
+// router speaks curve intervals), so a test crossing the two must live
+// outside the query package to avoid a test-only import cycle.
+package query_test
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/curve"
+	"repro/internal/grid"
+	"repro/internal/query"
+)
+
+func TestIntervalCountMatchesClusteringMetric(t *testing.T) {
+	// |DecomposeBox| is exactly the Moon et al. cluster count of the region.
+	u := grid.MustNew(2, 3)
+	for _, name := range curve.Names() {
+		c, err := curve.ByName(name, u, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := query.NewBox(u, u.MustPoint(2, 1), u.MustPoint(5, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs, err := cluster.Clusters(c, b.Lo, []uint32{4, 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(query.DecomposeBox(c, b)); got != runs {
+			t.Errorf("%s: %d intervals, clustering metric %d", c.Name(), got, runs)
+		}
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/cluster"
 	"repro/internal/curve"
 	"repro/internal/grid"
 )
@@ -145,24 +144,6 @@ func TestDecomposeWholeUniverseIsOneInterval(t *testing.T) {
 		ivs := DecomposeBox(c, b)
 		if len(ivs) != 1 || ivs[0].Lo != 0 || ivs[0].Hi != u.N() {
 			t.Errorf("%s: whole universe decomposes to %v", c.Name(), ivs)
-		}
-	}
-}
-
-func TestIntervalCountMatchesClusteringMetric(t *testing.T) {
-	// |DecomposeBox| is exactly the Moon et al. cluster count of the region.
-	u := grid.MustNew(2, 3)
-	for _, c := range allCurves(t, u) {
-		b, err := NewBox(u, u.MustPoint(2, 1), u.MustPoint(5, 4))
-		if err != nil {
-			t.Fatal(err)
-		}
-		runs, err := cluster.Clusters(c, b.Lo, []uint32{4, 4})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if got := len(DecomposeBox(c, b)); got != runs {
-			t.Errorf("%s: %d intervals, clustering metric %d", c.Name(), got, runs)
 		}
 	}
 }

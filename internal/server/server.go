@@ -196,6 +196,7 @@ func New(svc *service.Service, opts ...Option) (*Server, error) {
 		queueWaitH:  reg.Histogram("server.queue_wait_us"),
 	}
 	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/scan", s.handleScan)
 	s.mux.HandleFunc("/put", s.handleWrite((*service.Service).Put))
 	s.mux.HandleFunc("/delete", s.handleWrite((*service.Service).Delete))
 	s.mux.HandleFunc("/flush", s.handleFlush)
@@ -321,6 +322,133 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(toResponse(res, elapsed.Microseconds()))
 }
 
+// MaxScanIntervals bounds the interval count a single /scan request may
+// carry, so a malformed router cannot make a node sort an unbounded list.
+const MaxScanIntervals = 1 << 14
+
+// handleScan answers GET /scan?ivs=lo-hi,lo-hi,…[&timeout=250ms]: a raw
+// curve-interval scan, the endpoint the cluster router fans box queries out
+// through. Intervals must be non-empty, in-range, sorted, and disjoint —
+// exactly the clipped decomposition the router produces — and the response
+// shape is identical to /query, dark intervals included.
+func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	s.reqTotal.Inc()
+	if s.draining.Load() {
+		s.reqDraining.Inc()
+		s.writeError(w, http.StatusServiceUnavailable, "draining", true)
+		return
+	}
+	q := r.URL.Query()
+	ivs, err := ParseIntervals(q.Get("ivs"))
+	if err != nil {
+		s.reqBad.Inc()
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("ivs: %v", err), false)
+		return
+	}
+	timeout, err := s.parseTimeout(q.Get("timeout"))
+	if err != nil {
+		s.reqBad.Inc()
+		s.writeError(w, http.StatusBadRequest, err.Error(), false)
+		return
+	}
+	ctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	waited, err := s.lim.acquire(ctx)
+	s.queueWaitH.Observe(waited.Microseconds())
+	if err != nil {
+		switch {
+		case errors.Is(err, errShed):
+			s.reqShed.Inc()
+			s.writeError(w, http.StatusTooManyRequests, "overloaded: inflight limit reached within the queue-wait budget", true)
+		case errors.Is(err, context.DeadlineExceeded):
+			s.reqDeadline.Inc()
+			s.writeError(w, http.StatusGatewayTimeout, "deadline exceeded while queued for admission", false)
+		default: // client went away while queued; nobody is listening
+			s.reqCanceled.Inc()
+		}
+		return
+	}
+	s.inflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		s.lim.release()
+	}()
+
+	start := time.Now()
+	res, err := s.svc.Scan(ctx, ivs)
+	elapsed := time.Since(start)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.reqDeadline.Inc()
+			s.writeError(w, http.StatusGatewayTimeout, "deadline exceeded mid-scan", false)
+		case errors.Is(err, context.Canceled):
+			s.reqCanceled.Inc() // client disconnected; response goes nowhere
+		case errors.Is(err, service.ErrShuttingDown):
+			s.reqDraining.Inc()
+			s.writeError(w, http.StatusServiceUnavailable, "shutting down", true)
+		default:
+			s.reqBad.Inc()
+			s.writeError(w, http.StatusBadRequest, err.Error(), false)
+		}
+		return
+	}
+	s.latency.Observe(elapsed.Microseconds())
+	s.reqOK.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(toResponse(res, elapsed.Microseconds()))
+}
+
+// ParseIntervals parses the /scan wire form "lo-hi,lo-hi,…" (each half-open
+// [lo, hi)) into intervals, enforcing the MaxScanIntervals bound. Shared
+// with internal/client, which renders the same form.
+func ParseIntervals(v string) ([]query.Interval, error) {
+	if v == "" {
+		return nil, errors.New("missing")
+	}
+	parts := strings.Split(v, ",")
+	if len(parts) > MaxScanIntervals {
+		return nil, fmt.Errorf("%d intervals exceed the limit %d", len(parts), MaxScanIntervals)
+	}
+	ivs := make([]query.Interval, len(parts))
+	for i, part := range parts {
+		lo, hi, ok := strings.Cut(strings.TrimSpace(part), "-")
+		if !ok {
+			return nil, fmt.Errorf("interval %d: %q is not lo-hi", i, part)
+		}
+		a, err := strconv.ParseUint(lo, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("interval %d lo: %w", i, err)
+		}
+		b, err := strconv.ParseUint(hi, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("interval %d hi: %w", i, err)
+		}
+		ivs[i] = query.Interval{Lo: a, Hi: b}
+	}
+	return ivs, nil
+}
+
+// FormatIntervals renders intervals in the /scan wire form — the inverse of
+// ParseIntervals.
+func FormatIntervals(ivs []query.Interval) string {
+	var sb strings.Builder
+	for i, iv := range ivs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.FormatUint(iv.Lo, 10))
+		sb.WriteByte('-')
+		sb.WriteString(strconv.FormatUint(iv.Hi, 10))
+	}
+	return sb.String()
+}
+
 // handleWrite builds the POST /put and /delete handlers: decode one record,
 // route it through the service's durable write path, acknowledge only after
 // the owning shard's WAL has synced it. On a read-only (in-memory) service
@@ -404,11 +532,11 @@ func (s *Server) writeWriteError(w http.ResponseWriter, err error) {
 func (s *Server) parseQuery(r *http.Request) (query.Box, time.Duration, error) {
 	q := r.URL.Query()
 	u := s.svc.Curve().Universe()
-	lo, err := parsePoint(q.Get("lo"), u.D())
+	lo, err := ParsePoint(q.Get("lo"), u.D())
 	if err != nil {
 		return query.Box{}, 0, fmt.Errorf("lo: %w", err)
 	}
-	hi, err := parsePoint(q.Get("hi"), u.D())
+	hi, err := ParsePoint(q.Get("hi"), u.D())
 	if err != nil {
 		return query.Box{}, 0, fmt.Errorf("hi: %w", err)
 	}
@@ -416,22 +544,33 @@ func (s *Server) parseQuery(r *http.Request) (query.Box, time.Duration, error) {
 	if err != nil {
 		return query.Box{}, 0, err
 	}
+	timeout, err := s.parseTimeout(q.Get("timeout"))
+	if err != nil {
+		return query.Box{}, 0, err
+	}
+	return box, timeout, nil
+}
+
+// parseTimeout resolves the ?timeout parameter against the default and the
+// cap.
+func (s *Server) parseTimeout(t string) (time.Duration, error) {
 	timeout := s.defaultTimeout
-	if t := q.Get("timeout"); t != "" {
+	if t != "" {
 		d, err := time.ParseDuration(t)
 		if err != nil || d <= 0 {
-			return query.Box{}, 0, fmt.Errorf("timeout: bad duration %q", t)
+			return 0, fmt.Errorf("timeout: bad duration %q", t)
 		}
 		timeout = d
 	}
 	if s.maxTimeout > 0 && timeout > s.maxTimeout {
 		timeout = s.maxTimeout
 	}
-	return box, timeout, nil
+	return timeout, nil
 }
 
-// parsePoint parses "3,17,…" into d coordinates.
-func parsePoint(v string, d int) ([]uint32, error) {
+// ParsePoint parses "3,17,…" into d coordinates — the /query corner wire
+// form, shared with the router daemon.
+func ParsePoint(v string, d int) ([]uint32, error) {
 	if v == "" {
 		return nil, errors.New("missing")
 	}

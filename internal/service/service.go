@@ -213,7 +213,46 @@ func (s *Service) Metrics() *metrics.Registry { return s.reg }
 // intervals in Result.Unavailable) rather than failing it; a canceled or
 // expired context fails the query with the context's error.
 func (s *Service) Range(ctx context.Context, b query.Box) (Result, error) {
-	ivs := s.cache.get(b)
+	return s.scanIntervals(ctx, s.cache.get(b))
+}
+
+// Scan answers a raw interval scan: the given sorted, disjoint curve
+// intervals are clipped to each shard's segment and scanned exactly like a
+// decomposed box query. It is the in-process face of the daemon's /scan
+// endpoint, which the cluster router uses to query a node for the clipped
+// curve ranges it owns instead of re-decomposing the box on every node.
+func (s *Service) Scan(ctx context.Context, ivs []query.Interval) (Result, error) {
+	if err := ValidateIntervals(ivs, s.c.Universe().N()); err != nil {
+		return Result{}, fmt.Errorf("service: scan: %w", err)
+	}
+	return s.scanIntervals(ctx, ivs)
+}
+
+// ValidateIntervals checks that ivs is a canonical scan argument: every
+// interval non-empty, within [0, n), sorted ascending and disjoint. The
+// scan path's degraded tiling guarantees are stated over exactly this form.
+func ValidateIntervals(ivs []query.Interval, n uint64) error {
+	if len(ivs) == 0 {
+		return errors.New("no intervals")
+	}
+	prev := uint64(0)
+	for i, iv := range ivs {
+		if iv.Lo >= iv.Hi {
+			return fmt.Errorf("interval %d [%d, %d) is empty or inverted", i, iv.Lo, iv.Hi)
+		}
+		if iv.Hi > n {
+			return fmt.Errorf("interval %d [%d, %d) exceeds the index space [0, %d)", i, iv.Lo, iv.Hi, n)
+		}
+		if i > 0 && iv.Lo < prev {
+			return fmt.Errorf("interval %d [%d, %d) overlaps or precedes its predecessor", i, iv.Lo, iv.Hi)
+		}
+		prev = iv.Hi
+	}
+	return nil
+}
+
+// scanIntervals is the shared scatter core of Range and Scan.
+func (s *Service) scanIntervals(ctx context.Context, ivs []query.Interval) (Result, error) {
 	type job struct {
 		shard int
 		ivs   []query.Interval
