@@ -12,6 +12,12 @@
 // clients (internal/client, cmd/sfcserve -remote) work against a router
 // unchanged. /topology reports the live ownership ledger.
 //
+// Scatter legs upgrade to the binary wire protocol per member: with
+// -wire auto (the default) the router probes each member's /wireinfo at
+// startup and speaks binary (internal/wire) to members that advertise a
+// wire listener, JSON to the rest; -wire json pins every leg to JSON. The
+// startup banner lists the transport chosen for each member.
+//
 // Usage:
 //
 //	sfcrouter -addr 127.0.0.1:7170 \
@@ -42,6 +48,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/query"
 	"repro/internal/server"
+	wiretext "repro/internal/wire/text"
 )
 
 type config struct {
@@ -57,6 +64,7 @@ type config struct {
 	probeInterval time.Duration
 	maxTimeout    time.Duration
 	drainTimeout  time.Duration
+	wireMode      string
 }
 
 func main() {
@@ -73,6 +81,7 @@ func main() {
 	flag.DurationVar(&cfg.probeInterval, "probe-interval", time.Second, "how often dead members are probed for revival (0 = never)")
 	flag.DurationVar(&cfg.maxTimeout, "max-timeout", server.DefaultMaxTimeout, "cap on the per-request ?timeout parameter")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "how long a drain waits for inflight queries")
+	flag.StringVar(&cfg.wireMode, "wire", "auto", "scatter-leg transport: auto (binary when a member advertises /wireinfo, JSON otherwise) or json")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -103,16 +112,34 @@ func run(ctx context.Context, cfg config, ready func(addr string), w io.Writer) 
 	if err != nil {
 		return err
 	}
+	if cfg.wireMode != "auto" && cfg.wireMode != "json" {
+		return fmt.Errorf("-wire %q: want auto or json", cfg.wireMode)
+	}
 	nodes := make([]cluster.Node, len(urls))
+	transports := make([]string, len(urls))
 	for i, nu := range urls {
 		// Each member gets its own client, hence its own retry budget; the
 		// policy is kept snappy so failover to a replica beats a long local
 		// retry dance.
-		nodes[i] = cluster.NewClientNode(client.New(nu, client.WithRetryPolicy(client.RetryPolicy{
+		opts := []client.Option{client.WithRetryPolicy(client.RetryPolicy{
 			MaxAttempts: 2,
 			BaseBackoff: 10 * time.Millisecond,
 			MaxBackoff:  50 * time.Millisecond,
-		})))
+		})}
+		transports[i] = "json"
+		if cfg.wireMode == "auto" {
+			// Per-node upgrade with per-node fallback: a member that does
+			// not advertise a wire listener (older build, flag unset) is
+			// spoken to over JSON; the rest get the binary transport.
+			dctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			addr, err := client.New(nu).WireAddr(dctx)
+			cancel()
+			if err == nil && addr != "" {
+				opts = append(opts, client.WithTransport(&client.BinaryTransport{Addr: addr}))
+				transports[i] = "binary:" + addr
+			}
+		}
+		nodes[i] = cluster.NewClientNode(client.New(nu, opts...))
 	}
 	reg := metrics.NewRegistry()
 	rt, err := cluster.NewRouter(topo, nodes,
@@ -136,8 +163,8 @@ func run(ctx context.Context, cfg config, ready func(addr string), w io.Writer) 
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "sfcrouter: routing curve=%s universe=%v nodes=%d replicas=%d on %s\n",
-		c.Name(), u, len(urls), cfg.replicas, l.Addr())
+	fmt.Fprintf(w, "sfcrouter: routing curve=%s universe=%v nodes=%d replicas=%d transports=%s on %s\n",
+		c.Name(), u, len(urls), cfg.replicas, strings.Join(transports, ","), l.Addr())
 	if ready != nil {
 		ready(l.Addr().String())
 	}
@@ -206,12 +233,12 @@ type routerHTTP struct {
 // the router, scatter across the cluster, merge.
 func (h *routerHTTP) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	lo, err := server.ParsePoint(q.Get("lo"), h.u.D())
+	lo, err := wiretext.ParsePoint(q.Get("lo"), h.u.D())
 	if err != nil {
 		h.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	hi, err := server.ParsePoint(q.Get("hi"), h.u.D())
+	hi, err := wiretext.ParsePoint(q.Get("hi"), h.u.D())
 	if err != nil {
 		h.fail(w, http.StatusBadRequest, err)
 		return
@@ -228,7 +255,7 @@ func (h *routerHTTP) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 // handleScan answers raw interval scans, mirroring sfcserved's /scan.
 func (h *routerHTTP) handleScan(w http.ResponseWriter, r *http.Request) {
-	ivs, err := server.ParseIntervals(r.URL.Query().Get("ivs"))
+	ivs, err := wiretext.ParseIntervals(r.URL.Query().Get("ivs"))
 	if err != nil {
 		h.fail(w, http.StatusBadRequest, err)
 		return
@@ -276,6 +303,7 @@ func (h *routerHTTP) serve(w http.ResponseWriter, r *http.Request, do func(conte
 	out := server.QueryResponse{
 		Records:       make([]server.WireRecord, len(res.Records)),
 		ShardsQueried: res.NodesQueried,
+		PagesRead:     res.PagesRead,
 		Complete:      res.Complete(),
 		ElapsedUS:     time.Since(start).Microseconds(),
 	}

@@ -10,7 +10,10 @@
 // sfcserved daemon through internal/client instead of an in-process
 // service: client-side latency quantiles, throughput, and the shed rate
 // (429 responses per attempt) are reported, and -maxshed turns an excessive
-// shed rate into a nonzero exit for CI gates.
+// shed rate into a nonzero exit for CI gates. -transport selects the
+// JSON/HTTP transport, the binary wire transport (the daemon must run with
+// -wire-addr), or "both" — an A/B replay of the identical trace over each
+// that prints the binary-vs-JSON speedup.
 //
 // Usage:
 //
@@ -18,6 +21,7 @@
 //	sfcserve -shards 8 -compare            # also run 1 shard, print speedup
 //	sfcserve -json BENCH_service.json      # write the machine-readable summary
 //	sfcserve -remote http://127.0.0.1:7171 -queries 2000 -maxshed 0 -json BENCH_server.json
+//	sfcserve -remote http://127.0.0.1:7171 -transport both   # JSON vs binary A/B
 package main
 
 import (
@@ -60,9 +64,10 @@ type config struct {
 	compare   bool
 	jsonPath  string
 
-	remote   string
-	rtimeout time.Duration
-	maxShed  float64
+	remote    string
+	transport string
+	rtimeout  time.Duration
+	maxShed   float64
 }
 
 func main() {
@@ -86,6 +91,7 @@ func main() {
 	flag.BoolVar(&cfg.compare, "compare", false, "also replay against 1 shard and print the speedup")
 	flag.StringVar(&cfg.jsonPath, "json", "", "write a JSON summary to this file")
 	flag.StringVar(&cfg.remote, "remote", "", "replay against a live sfcserved daemon at this base URL instead of in-process")
+	flag.StringVar(&cfg.transport, "transport", "json", "remote replay transport: json, binary (needs the daemon's -wire-addr), or both (A/B, prints the speedup)")
 	flag.DurationVar(&cfg.rtimeout, "rtimeout", 0, "per-request ?timeout sent to the remote daemon (0 = none)")
 	flag.Float64Var(&cfg.maxShed, "maxshed", 1, "fail (exit nonzero) if the remote shed rate exceeds this fraction")
 	flag.Parse()
@@ -195,6 +201,7 @@ func (cfg config) public() map[string]any {
 		"shards": cfg.shards, "clients": cfg.clients,
 		"distinct": cfg.distinct, "zipf": cfg.zipfS,
 		"box": cfg.boxSide, "seed": cfg.seed,
+		"transport": cfg.transport,
 	}
 }
 
@@ -290,9 +297,17 @@ type remoteResult struct {
 }
 
 // runRemote replays the zipf trace over the wire against a live sfcserved
-// daemon. The -d/-k/-distinct/-box/-seed flags must describe the same
-// universe the daemon was started with, or every query 400s.
+// daemon, over the JSON transport, the binary wire transport, or both
+// (printing the A/B speedup). The -d/-k/-distinct/-box/-seed flags must
+// describe the same universe the daemon was started with, or every query
+// 400s.
 func runRemote(cfg config, w io.Writer) error {
+	if cfg.transport == "" {
+		cfg.transport = "json"
+	}
+	if cfg.transport != "json" && cfg.transport != "binary" && cfg.transport != "both" {
+		return fmt.Errorf("-transport %q: want json, binary, or both", cfg.transport)
+	}
 	u, err := grid.New(cfg.d, cfg.k)
 	if err != nil {
 		return err
@@ -303,6 +318,7 @@ func runRemote(cfg config, w io.Writer) error {
 		return err
 	}
 	cl := client.New(cfg.remote)
+	defer cl.Close()
 	ctx := context.Background()
 	if ok, err := cl.Readyz(ctx); err != nil {
 		return fmt.Errorf("remote %s unreachable: %w", cfg.remote, err)
@@ -310,9 +326,59 @@ func runRemote(cfg config, w io.Writer) error {
 		return fmt.Errorf("remote %s is not ready (draining?)", cfg.remote)
 	}
 
-	fmt.Fprintf(w, "remote=%s universe=%v queries=%d distinct=%d zipf=%.2f clients=%d\n",
-		cfg.remote, u, cfg.queries, cfg.distinct, cfg.zipfS, cfg.clients)
+	fmt.Fprintf(w, "remote=%s universe=%v queries=%d distinct=%d zipf=%.2f clients=%d transport=%s\n",
+		cfg.remote, u, cfg.queries, cfg.distinct, cfg.zipfS, cfg.clients, cfg.transport)
 
+	out := map[string]any{"config": cfg.public()}
+	var jsonRes, binRes remoteResult
+	if cfg.transport == "json" || cfg.transport == "both" {
+		jsonRes, err = replayRemote(ctx, cfg, boxes, cl, "json", w)
+		if err != nil {
+			return err
+		}
+		out["remote"] = jsonRes
+	}
+	if cfg.transport == "binary" || cfg.transport == "both" {
+		addr, err := cl.WireAddr(ctx)
+		if err != nil {
+			return err
+		}
+		if addr == "" {
+			return fmt.Errorf("remote %s does not advertise a wire address (start sfcserved with -wire-addr)", cfg.remote)
+		}
+		bcl := client.New(cfg.remote, client.WithTransport(&client.BinaryTransport{Addr: addr}))
+		defer bcl.Close()
+		binRes, err = replayRemote(ctx, cfg, boxes, bcl, "binary "+addr, w)
+		if err != nil {
+			return err
+		}
+		out["remote_binary"] = binRes
+	}
+	if cfg.transport == "both" {
+		speedup := binRes.Throughput / jsonRes.Throughput
+		fmt.Fprintf(w, "speedup: %.2fx (binary vs JSON)\n", speedup)
+		out["speedup"] = speedup
+	}
+
+	if cfg.jsonPath != "" {
+		if err := writeJSON(cfg.jsonPath, out); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", cfg.jsonPath)
+	}
+	for _, res := range []remoteResult{jsonRes, binRes} {
+		if res.ShedRate > cfg.maxShed {
+			return fmt.Errorf("shed rate %.4f exceeds -maxshed %.4f", res.ShedRate, cfg.maxShed)
+		}
+	}
+	return nil
+}
+
+// replayRemote replays the full zipf trace through cl and reports the
+// client-side view: latency quantiles, throughput, shed and degraded
+// rates. Each call uses its own client so the attempt/retry/shed counters
+// are per-transport.
+func replayRemote(ctx context.Context, cfg config, boxes []query.Box, cl *client.Client, label string, w io.Writer) (remoteResult, error) {
 	reg := metrics.NewRegistry()
 	lat := reg.Histogram("remote.latency_us")
 	var served, failed, degraded atomic.Int64
@@ -334,7 +400,7 @@ func runRemote(cfg config, w io.Writer) error {
 			zipf := rand.NewZipf(lr, cfg.zipfS, 1, uint64(len(boxes)-1))
 			for i := 0; i < n; i++ {
 				t0 := time.Now()
-				resp, err := cl.Query(ctx, boxes[zipf.Uint64()], cfg.rtimeout)
+				resp, err := cl.QueryBox(ctx, boxes[zipf.Uint64()], client.WithTimeout(cfg.rtimeout))
 				switch {
 				case err == nil:
 					lat.Observe(time.Since(t0).Microseconds())
@@ -361,7 +427,7 @@ func runRemote(cfg config, w io.Writer) error {
 	close(errc)
 	for err := range errc {
 		if err != nil {
-			return err
+			return remoteResult{}, err
 		}
 	}
 
@@ -386,23 +452,12 @@ func runRemote(cfg config, w io.Writer) error {
 	if res.Served > 0 {
 		res.DegradedRate = float64(res.Degraded) / float64(res.Served)
 	}
-	fmt.Fprintf(w, "served=%d failed=%d degraded=%d attempts=%d retries=%d shed=%d shed_rate=%.4f degraded_rate=%.4f\n",
-		res.Served, res.Failed, res.Degraded, res.Attempts, res.Retries, res.Shed, res.ShedRate, res.DegradedRate)
-	fmt.Fprintf(w, "latency: p50=%dus p99=%dus max=%dus\n", res.P50US, res.P99US, res.MaxUS)
-	fmt.Fprintf(w, "throughput: %d served in %.3fs = %.0f queries/s\n",
-		res.Served, res.Elapsed, res.Throughput)
-
-	if cfg.jsonPath != "" {
-		out := map[string]any{"config": cfg.public(), "remote": res}
-		if err := writeJSON(cfg.jsonPath, out); err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "wrote %s\n", cfg.jsonPath)
-	}
-	if res.ShedRate > cfg.maxShed {
-		return fmt.Errorf("shed rate %.4f exceeds -maxshed %.4f", res.ShedRate, cfg.maxShed)
-	}
-	return nil
+	fmt.Fprintf(w, "\n[%s] served=%d failed=%d degraded=%d attempts=%d retries=%d shed=%d shed_rate=%.4f degraded_rate=%.4f\n",
+		label, res.Served, res.Failed, res.Degraded, res.Attempts, res.Retries, res.Shed, res.ShedRate, res.DegradedRate)
+	fmt.Fprintf(w, "[%s] latency: p50=%dus p99=%dus max=%dus\n", label, res.P50US, res.P99US, res.MaxUS)
+	fmt.Fprintf(w, "[%s] throughput: %d served in %.3fs = %.0f queries/s\n",
+		label, res.Served, res.Elapsed, res.Throughput)
+	return res, nil
 }
 
 // syntheticBoxes builds the trace's box population: random corners, sides

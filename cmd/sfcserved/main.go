@@ -4,6 +4,12 @@
 // drains — stops accepting, finishes inflight queries up to the drain
 // deadline — and exits 0 on a clean drain.
 //
+// With -wire-addr the daemon additionally serves the binary wire protocol
+// (internal/wire) on a second port — pipelined requests, streamed scan
+// results — sharing the HTTP mux's admission control, deadline clamps, and
+// drain lifecycle. The address is advertised via GET /wireinfo so clients
+// and the cluster router upgrade automatically.
+//
 // With -data the shards are durable: each lives under <data>/shard-<j>/
 // with a write-ahead log, the synthetic records seed the directory only on
 // first start, POST /put, /delete and /flush mutate the set, and a restart
@@ -18,6 +24,7 @@
 // Usage:
 //
 //	sfcserved -addr 127.0.0.1:7171 -curve hilbert -d 2 -k 6 -records 50000
+//	sfcserved -addr 127.0.0.1:7171 -wire-addr 127.0.0.1:7173
 //	sfcserved -data /var/lib/sfc -records 50000
 //	sfcserved -max-inflight 16 -queue-wait 50ms -drain-timeout 10s -pprof
 //	sfcserved -addr 127.0.0.1:7181 -cluster-nodes 3 -cluster-node 0 -cluster-replicas 2
@@ -48,6 +55,7 @@ import (
 
 type config struct {
 	addr      string
+	wireAddr  string
 	curveName string
 	d, k      int
 	records   int
@@ -73,6 +81,7 @@ type config struct {
 func main() {
 	var cfg config
 	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:7171", "listen address")
+	flag.StringVar(&cfg.wireAddr, "wire-addr", "", "binary wire protocol listen address (empty = JSON only); advertised via /wireinfo")
 	flag.StringVar(&cfg.curveName, "curve", "hilbert", fmt.Sprintf("curve name %v", curve.Names()))
 	flag.IntVar(&cfg.d, "d", 2, "dimensions")
 	flag.IntVar(&cfg.k, "k", 6, "log2 side length (n = 2^(d·k) cells)")
@@ -181,17 +190,33 @@ func run(ctx context.Context, cfg config, ready func(addr string), w io.Writer) 
 		svc.Close()
 		return err
 	}
+	var wireInfo string
+	serveErr := make(chan error, 1)
+	if cfg.wireAddr != "" {
+		wl, err := net.Listen("tcp", cfg.wireAddr)
+		if err != nil {
+			l.Close()
+			svc.Close()
+			return err
+		}
+		srv.AdvertiseWire(wl.Addr().String())
+		go func() {
+			if err := srv.ServeWire(wl); err != nil {
+				serveErr <- fmt.Errorf("wire: %w", err)
+			}
+		}()
+		wireInfo = " wire=" + wl.Addr().String()
+	}
 	mode := "in-memory"
 	if svc.DurableMode() {
 		mode = "durable:" + cfg.data
 	}
-	fmt.Fprintf(w, "sfcserved: serving curve=%s universe=%v records=%d shards=%d mode=%s%s on %s\n",
-		c.Name(), u, len(recs), cfg.shards, mode, clusterInfo, l.Addr())
+	fmt.Fprintf(w, "sfcserved: serving curve=%s universe=%v records=%d shards=%d mode=%s%s%s on %s\n",
+		c.Name(), u, len(recs), cfg.shards, mode, clusterInfo, wireInfo, l.Addr())
 	if ready != nil {
 		ready(l.Addr().String())
 	}
 
-	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(l) }()
 	select {
 	case err := <-serveErr:

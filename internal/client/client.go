@@ -1,13 +1,16 @@
 // Package client is the Go client for the sfcserved query daemon
-// (internal/server): it speaks the daemon's HTTP/JSON protocol and folds
-// the serving-side backpressure signals into a bounded retry loop.
+// (internal/server). It speaks either of the daemon's two protocols behind
+// one API: the HTTP/JSON endpoints (JSONTransport, the default) or the
+// binary wire protocol with streaming scans (BinaryTransport,
+// internal/wire), selected with WithTransport. The Client folds the
+// serving-side backpressure signals into a bounded retry loop either way.
 //
 // Retry semantics mirror the store's RetryPolicy shape — bounded attempts,
 // exponential backoff with deterministic jitter — with the network-side
-// refinements: a 429/503 Retry-After hint overrides the computed backoff,
-// and a response whose body was only partially read is NEVER retried (the
-// bytes already consumed cannot be unconsumed, so the client reports the
-// truncation instead of silently re-reading).
+// refinements: a shed/drain answer's Retry-After hint overrides the
+// computed backoff, and a response whose body was only partially read is
+// NEVER retried (the bytes already consumed cannot be unconsumed, so the
+// client reports the truncation instead of silently re-reading).
 package client
 
 import (
@@ -17,8 +20,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"net/url"
-	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -28,11 +29,12 @@ import (
 )
 
 // ErrOverloaded is the sentinel wrapped by errors reporting that the server
-// shed the request (429) on every attempt; test with errors.Is.
+// shed the request (429 / CodeOverloaded) on every attempt; test with
+// errors.Is.
 var ErrOverloaded = errors.New("client: server overloaded")
 
 // ErrUnavailable is the sentinel wrapped by errors reporting that the
-// server was draining or down (503) on every attempt.
+// server was draining or down (503 / CodeUnavailable) on every attempt.
 var ErrUnavailable = errors.New("client: server unavailable")
 
 // RetryPolicy bounds the per-query retry loop, mirroring the shape of
@@ -87,17 +89,19 @@ func splitmix64(x uint64) uint64 {
 // Stats counts the client's traffic; every field is atomic, so one Client
 // is safe to share across goroutines.
 type Stats struct {
-	Queries  int64 // Query calls
-	Attempts int64 // HTTP requests issued
+	Queries  int64 // Query/Scan/ScanStream calls
+	Attempts int64 // requests issued across all transports
 	Retries  int64 // attempts beyond the first
-	Shed     int64 // 429 responses observed (retried or not)
+	Shed     int64 // overload answers observed (retried or not)
 }
 
 // Client queries one sfcserved daemon. Methods are safe for concurrent use.
 type Client struct {
-	base  string
-	hc    *http.Client
-	retry RetryPolicy
+	base    string
+	hc      *http.Client
+	retry   RetryPolicy
+	tr      Transport
+	maxBody int64
 
 	// sleep is swapped by tests to observe requested backoff without
 	// waiting it out.
@@ -113,12 +117,48 @@ type Client struct {
 type Option func(*Client)
 
 // WithHTTPClient substitutes the underlying http.Client (default:
-// http.DefaultClient).
+// http.DefaultClient) used by the JSON transport and the HTTP side
+// channels (Readyz, MetricsJSON, WireAddr).
 func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
 
 // WithRetryPolicy replaces the retry policy; zero fields take defaults.
 func WithRetryPolicy(rp RetryPolicy) Option {
 	return func(c *Client) { c.retry = rp.withDefaults() }
+}
+
+// WithTransport selects the query transport: a *BinaryTransport pointed at
+// the daemon's -wire-addr listener, a *JSONTransport, or any custom
+// implementation. Without this option the client speaks JSON against the
+// base URL.
+func WithTransport(t Transport) Option { return func(c *Client) { c.tr = t } }
+
+// WithMaxResponseBytes caps JSON response-body buffering (default
+// DefaultMaxResponseBytes); larger bodies fail with ErrResponseTooLarge.
+// It configures the default JSON transport only — an explicit
+// WithTransport takes its own limits.
+func WithMaxResponseBytes(n int64) Option { return func(c *Client) { c.maxBody = n } }
+
+// CallOption configures one Query/Scan/ScanStream call.
+type CallOption func(*callOpts)
+
+type callOpts struct {
+	timeout time.Duration
+}
+
+// WithTimeout asks the server to bound this request's service time; the
+// server still clamps it to its own -max-timeout. Zero (the default) takes
+// the server's default deadline. The caller's ctx bounds the whole retry
+// loop client-side regardless.
+func WithTimeout(d time.Duration) CallOption { return func(o *callOpts) { o.timeout = d } }
+
+func applyCallOpts(opts []CallOption) callOpts {
+	var o callOpts
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	return o
 }
 
 // New builds a client for the daemon at base (e.g.
@@ -135,8 +175,17 @@ func New(base string, opts ...Option) *Client {
 			opt(c)
 		}
 	}
+	if c.tr == nil {
+		c.tr = &JSONTransport{Base: c.base, HTTPClient: c.hc, MaxResponseBytes: c.maxBody}
+	}
 	return c
 }
+
+// Transport returns the transport the client queries through.
+func (c *Client) Transport() Transport { return c.tr }
+
+// Close releases the transport's persistent connections.
+func (c *Client) Close() error { return c.tr.Close() }
 
 // Stats returns a snapshot of the traffic counters.
 func (c *Client) Stats() Stats {
@@ -148,39 +197,66 @@ func (c *Client) Stats() Stats {
 	}
 }
 
-// Query answers the box query against the daemon. A timeout > 0 is passed
-// to the server as its per-request deadline; ctx bounds the whole retry
-// loop on the client side. Retryable failures — transport errors before
-// any response, 429, 503 — are retried within the policy's budget,
-// honoring a Retry-After hint over the computed backoff. A 200 whose body
-// cannot be fully read fails immediately: bytes were consumed, so the
-// attempt is not repeatable.
+// QueryBox answers the box query against the daemon. ctx bounds the whole
+// retry loop on the client side; WithTimeout sets the server-side
+// deadline. Retryable failures — transport errors before any response,
+// shed, draining — are retried within the policy's budget, honoring a
+// Retry-After hint over the computed backoff. A response that was
+// partially consumed fails immediately: the attempt is not repeatable.
+func (c *Client) QueryBox(ctx context.Context, b query.Box, opts ...CallOption) (server.QueryResponse, error) {
+	o := applyCallOpts(opts)
+	return doRetry(ctx, c, func(ctx context.Context) (server.QueryResponse, error) {
+		return c.tr.Query(ctx, b, o.timeout)
+	})
+}
+
+// ScanIntervals answers a raw curve-interval scan — the query form the
+// cluster router uses, sending each node only the intervals clipped to the
+// curve ranges it holds. Intervals must be non-empty, in-range, sorted,
+// and disjoint or the server rejects the request. Retry semantics are
+// identical to QueryBox's.
+func (c *Client) ScanIntervals(ctx context.Context, ivs []query.Interval, opts ...CallOption) (server.QueryResponse, error) {
+	o := applyCallOpts(opts)
+	return doRetry(ctx, c, func(ctx context.Context) (server.QueryResponse, error) {
+		return c.tr.Scan(ctx, ivs, o.timeout)
+	})
+}
+
+// ScanStream opens a streaming scan: record batches arrive in curve order
+// while the server is still scanning, and the dark-interval/pages-read
+// summary arrives in the trailer. Only the stream open is retried — once
+// the server has accepted the request, a mid-stream failure surfaces from
+// Stream.Next. Over the JSON transport the stream is a buffered shim; over
+// the binary transport it is genuinely incremental.
+func (c *Client) ScanStream(ctx context.Context, ivs []query.Interval, opts ...CallOption) (*Stream, error) {
+	o := applyCallOpts(opts)
+	return doRetry(ctx, c, func(ctx context.Context) (*Stream, error) {
+		return c.tr.ScanStream(ctx, ivs, o.timeout)
+	})
+}
+
+// Query answers the box query with a positional server-side timeout.
+//
+// Deprecated: use QueryBox with WithTimeout.
 func (c *Client) Query(ctx context.Context, b query.Box, timeout time.Duration) (server.QueryResponse, error) {
-	v := url.Values{}
-	v.Set("lo", joinCoords(b.Lo))
-	v.Set("hi", joinCoords(b.Hi))
-	if timeout > 0 {
-		v.Set("timeout", timeout.String())
-	}
-	return c.get(ctx, c.base+"/query?"+v.Encode())
+	return c.QueryBox(ctx, b, WithTimeout(timeout))
 }
 
-// Scan answers a raw curve-interval scan against the daemon's /scan
-// endpoint — the query form the cluster router uses, sending each node only
-// the intervals clipped to the curve ranges it holds. Intervals must be
-// non-empty, in-range, sorted, and disjoint or the server answers 400.
-// Retry semantics are identical to Query's.
+// Scan answers a raw curve-interval scan with a positional server-side
+// timeout.
+//
+// Deprecated: use ScanIntervals with WithTimeout.
 func (c *Client) Scan(ctx context.Context, ivs []query.Interval, timeout time.Duration) (server.QueryResponse, error) {
-	v := url.Values{}
-	v.Set("ivs", server.FormatIntervals(ivs))
-	if timeout > 0 {
-		v.Set("timeout", timeout.String())
-	}
-	return c.get(ctx, c.base+"/scan?"+v.Encode())
+	return c.ScanIntervals(ctx, ivs, WithTimeout(timeout))
 }
 
-// get runs the bounded retry loop for one GET returning a QueryResponse.
-func (c *Client) get(ctx context.Context, reqURL string) (server.QueryResponse, error) {
+// doRetry runs one logical query through the bounded retry loop: attempts
+// are issued until one succeeds, fails terminally (anything that is not a
+// *RetryableError), or the policy's budget is spent. The server's
+// Retry-After hint, when present, overrides the computed backoff — zero
+// means retry immediately.
+func doRetry[T any](ctx context.Context, c *Client, op func(ctx context.Context) (T, error)) (T, error) {
+	var zero T
 	q := uint64(c.queries.Add(1))
 	var lastErr error
 	var delay time.Duration
@@ -188,52 +264,29 @@ func (c *Client) get(ctx context.Context, reqURL string) (server.QueryResponse, 
 		if attempt > 1 {
 			c.retries.Add(1)
 			if err := c.sleep(ctx, delay); err != nil {
-				return server.QueryResponse{}, fmt.Errorf("client: giving up while backing off: %w (last failure: %w)", err, lastErr)
+				return zero, fmt.Errorf("client: giving up while backing off: %w (last failure: %w)", err, lastErr)
 			}
-		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, reqURL, nil)
-		if err != nil {
-			return server.QueryResponse{}, fmt.Errorf("client: %w", err)
 		}
 		c.attempts.Add(1)
-		resp, err := c.hc.Do(req)
-		if err != nil {
-			// No response at all: nothing was consumed, safe to retry —
-			// unless the caller's context is what ended the attempt.
-			if ctx.Err() != nil {
-				return server.QueryResponse{}, fmt.Errorf("client: %w", ctx.Err())
-			}
-			lastErr = err
-			delay = c.retry.backoff(q, attempt)
-			continue
-		}
-		body, readErr := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		switch resp.StatusCode {
-		case http.StatusOK:
-			if readErr != nil {
-				// Partial body: never retried.
-				return server.QueryResponse{}, fmt.Errorf("client: response truncated after %d bytes (not retried): %w", len(body), readErr)
-			}
-			var out server.QueryResponse
-			if err := json.Unmarshal(body, &out); err != nil {
-				return server.QueryResponse{}, fmt.Errorf("client: decoding response: %w", err)
-			}
+		out, err := op(ctx)
+		if err == nil {
 			return out, nil
-		case http.StatusTooManyRequests:
+		}
+		if errors.Is(err, ErrOverloaded) {
 			c.shed.Add(1)
-			lastErr = fmt.Errorf("%w: %s", ErrOverloaded, errorBody(body))
-			delay = c.retryDelay(resp, q, attempt)
-		case http.StatusServiceUnavailable:
-			lastErr = fmt.Errorf("%w: %s", ErrUnavailable, errorBody(body))
-			delay = c.retryDelay(resp, q, attempt)
-		default:
-			// Complete non-retryable answer (400 bad box, 504 deadline,
-			// 500): repeating it would repeat the failure.
-			return server.QueryResponse{}, fmt.Errorf("client: server returned %d: %s", resp.StatusCode, errorBody(body))
+		}
+		var re *RetryableError
+		if !errors.As(err, &re) {
+			return zero, err
+		}
+		lastErr = re.Err
+		if re.RetryAfter >= 0 {
+			delay = re.RetryAfter
+		} else {
+			delay = c.retry.backoff(q, attempt)
 		}
 	}
-	return server.QueryResponse{}, fmt.Errorf("client: %d attempts exhausted: %w", c.retry.MaxAttempts, lastErr)
+	return zero, fmt.Errorf("client: %d attempts exhausted: %w", c.retry.MaxAttempts, lastErr)
 }
 
 // Readyz reports whether the daemon is ready for traffic.
@@ -249,6 +302,36 @@ func (c *Client) Readyz(ctx context.Context) (bool, error) {
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body)
 	return resp.StatusCode == http.StatusOK, nil
+}
+
+// WireAddr asks the daemon for its advertised binary-protocol listener
+// (GET /wireinfo). It returns "" without error when the daemon does not
+// serve the binary protocol — the caller falls back to JSON.
+func (c *Client) WireAddr(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/wireinfo", nil)
+	if err != nil {
+		return "", fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if err != nil {
+		return "", fmt.Errorf("client: %w", err)
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		return "", nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("client: /wireinfo returned %d", resp.StatusCode)
+	}
+	var info server.WireInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		return "", fmt.Errorf("client: decoding /wireinfo: %w", err)
+	}
+	return info.Addr, nil
 }
 
 // MetricsJSON fetches the daemon's /metrics document in JSON form.
@@ -270,40 +353,6 @@ func (c *Client) MetricsJSON(ctx context.Context) (string, error) {
 		return "", fmt.Errorf("client: /metrics returned %d", resp.StatusCode)
 	}
 	return string(body), nil
-}
-
-// retryDelay picks the wait before the next attempt: the server's
-// Retry-After hint when present (the server knows its own queue), the
-// policy's backoff otherwise.
-func (c *Client) retryDelay(resp *http.Response, q uint64, attempt int) time.Duration {
-	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		if sec, err := strconv.Atoi(ra); err == nil && sec >= 0 {
-			return time.Duration(sec) * time.Second
-		}
-	}
-	return c.retry.backoff(q, attempt)
-}
-
-// errorBody extracts the server's JSON error message, falling back to the
-// raw bytes.
-func errorBody(body []byte) string {
-	var er server.ErrorResponse
-	if err := json.Unmarshal(body, &er); err == nil && er.Error != "" {
-		return er.Error
-	}
-	return strings.TrimSpace(string(body))
-}
-
-// joinCoords renders a point as the wire's comma-separated coordinates.
-func joinCoords(p []uint32) string {
-	var sb strings.Builder
-	for i, v := range p {
-		if i > 0 {
-			sb.WriteByte(',')
-		}
-		sb.WriteString(strconv.FormatUint(uint64(v), 10))
-	}
-	return sb.String()
 }
 
 // sleepCtx sleeps for d or until ctx ends, whichever comes first.

@@ -22,14 +22,15 @@ type ClientNode struct {
 // NewClientNode wraps cl as a cluster member handle.
 func NewClientNode(cl *client.Client) *ClientNode { return &ClientNode{cl: cl} }
 
-// Scan runs the interval scan against the daemon and converts the wire
-// response to the store's result shape.
+// Scan runs the interval scan against the daemon — over whichever
+// transport the client was built with — and converts the wire response to
+// the store's result shape.
 func (n *ClientNode) Scan(ctx context.Context, ivs []query.Interval, timeout time.Duration) (store.ScanResult, error) {
-	resp, err := n.cl.Scan(ctx, ivs, timeout)
+	resp, err := n.cl.ScanIntervals(ctx, ivs, client.WithTimeout(timeout))
 	if err != nil {
 		return store.ScanResult{}, err
 	}
-	res := store.ScanResult{Records: make([]store.Record, len(resp.Records))}
+	res := store.ScanResult{Records: make([]store.Record, len(resp.Records)), PagesRead: int(resp.PagesRead)}
 	for i, r := range resp.Records {
 		res.Records[i] = store.Record{Point: grid.Point(r.Point), Payload: r.Payload}
 	}

@@ -36,6 +36,9 @@ type Result struct {
 	Unavailable []query.Interval
 	// NodesQueried counts the distinct nodes that contributed an answer.
 	NodesQueried int
+	// PagesRead totals the leaf pages members reported touching on behalf
+	// of this query, hedged losers excluded.
+	PagesRead int64
 	// Hedges counts attempts launched by the hedge timer, and Failovers
 	// attempts launched because an earlier replica failed.
 	Hedges, Failovers int
@@ -193,6 +196,7 @@ func (rt *Router) Scan(ctx context.Context, ivs []query.Interval) (Result, error
 	for _, sr := range results {
 		out.Records = append(out.Records, sr.records...)
 		dark = append(dark, sr.dark...)
+		out.PagesRead += sr.pages
 		out.Hedges += sr.hedges
 		out.Failovers += sr.failovers
 		for _, n := range sr.servedBy {
@@ -213,6 +217,7 @@ type segResult struct {
 	records   []store.Record
 	dark      []query.Interval
 	servedBy  []int
+	pages     int64
 	hedges    int
 	failovers int
 }
@@ -245,6 +250,7 @@ func (rt *Router) scanSegment(ctx context.Context, seg int, ivs []query.Interval
 		tried[winner] = true
 		sr.servedBy = append(sr.servedBy, winner)
 		sr.records = append(sr.records, res.Records...)
+		sr.pages += int64(res.PagesRead)
 		sources++
 		// The winner's own dark intervals go back through the chain: a
 		// replica may hold the pages this one lost.

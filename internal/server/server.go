@@ -32,6 +32,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -40,6 +41,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/service"
 	"repro/internal/store"
+	wiretext "repro/internal/wire/text"
 )
 
 // Config defaults.
@@ -67,6 +69,15 @@ type Server struct {
 	draining atomic.Bool
 	mux      *http.ServeMux
 	http     *http.Server
+
+	// Binary wire listener state (wireserver.go). The HTTP and wire front
+	// doors share the limiter, drain flag, and metrics above.
+	wireMu        sync.Mutex
+	wireListeners []net.Listener
+	wireConns     map[net.Conn]struct{}
+	wireConnWG    sync.WaitGroup // connection read loops
+	wireReqWG     sync.WaitGroup // in-flight wire requests
+	wireAdvert    atomic.Value   // string: addr published via /wireinfo
 
 	reqTotal    *metrics.Counter
 	reqOK       *metrics.Counter
@@ -203,6 +214,7 @@ func New(svc *service.Service, opts ...Option) (*Server, error) {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/wireinfo", s.handleWireInfo)
 	if cfg.pprof {
 		profiling.AttachPprof(s.mux)
 	}
@@ -233,19 +245,46 @@ func (s *Server) Serve(l net.Listener) error {
 	return err
 }
 
-// Drain performs the graceful shutdown sequence: flip /readyz to 503 and
-// reject new queries (load balancers steer away), stop accepting
-// connections, wait for inflight requests up to ctx's deadline, then close
-// the underlying service. If ctx expires first, remaining connections are
-// force-closed and the context's error is returned — inflight queries at
-// that point die with the socket.
+// Drain performs the graceful shutdown sequence across both front doors:
+// flip /readyz to 503 and reject new queries (load balancers steer away),
+// stop accepting HTTP and wire connections, wait for inflight requests up
+// to ctx's deadline, then close the underlying service. If ctx expires
+// first, remaining connections are force-closed and the context's error is
+// returned — inflight queries at that point die with the socket.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
+	s.wireMu.Lock()
+	for _, l := range s.wireListeners {
+		l.Close()
+	}
+	s.wireMu.Unlock()
 	err := s.http.Shutdown(ctx)
 	if err != nil {
 		// Deadline hit with requests still inflight: force the sockets.
 		s.http.Close()
 	}
+	// Wait out in-flight wire requests; their trailers are the commit
+	// point pipelined clients depend on.
+	done := make(chan struct{})
+	go func() {
+		s.wireReqWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	// Idle (or stuck, if ctx expired) wire connections block in ReadFrame;
+	// closing the sockets releases their read loops.
+	s.wireMu.Lock()
+	for c := range s.wireConns {
+		c.Close()
+	}
+	s.wireMu.Unlock()
+	s.wireConnWG.Wait()
 	if cerr := s.svc.Close(); err == nil {
 		err = cerr
 	}
@@ -324,7 +363,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 // MaxScanIntervals bounds the interval count a single /scan request may
 // carry, so a malformed router cannot make a node sort an unbounded list.
-const MaxScanIntervals = 1 << 14
+//
+// Deprecated: use wiretext.MaxScanIntervals (internal/wire/text).
+const MaxScanIntervals = wiretext.MaxScanIntervals
 
 // handleScan answers GET /scan?ivs=lo-hi,lo-hi,…[&timeout=250ms]: a raw
 // curve-interval scan, the endpoint the cluster router fans box queries out
@@ -404,49 +445,18 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(toResponse(res, elapsed.Microseconds()))
 }
 
-// ParseIntervals parses the /scan wire form "lo-hi,lo-hi,…" (each half-open
-// [lo, hi)) into intervals, enforcing the MaxScanIntervals bound. Shared
-// with internal/client, which renders the same form.
+// ParseIntervals parses the /scan wire form "lo-hi,lo-hi,…".
+//
+// Deprecated: use wiretext.ParseIntervals (internal/wire/text).
 func ParseIntervals(v string) ([]query.Interval, error) {
-	if v == "" {
-		return nil, errors.New("missing")
-	}
-	parts := strings.Split(v, ",")
-	if len(parts) > MaxScanIntervals {
-		return nil, fmt.Errorf("%d intervals exceed the limit %d", len(parts), MaxScanIntervals)
-	}
-	ivs := make([]query.Interval, len(parts))
-	for i, part := range parts {
-		lo, hi, ok := strings.Cut(strings.TrimSpace(part), "-")
-		if !ok {
-			return nil, fmt.Errorf("interval %d: %q is not lo-hi", i, part)
-		}
-		a, err := strconv.ParseUint(lo, 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("interval %d lo: %w", i, err)
-		}
-		b, err := strconv.ParseUint(hi, 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("interval %d hi: %w", i, err)
-		}
-		ivs[i] = query.Interval{Lo: a, Hi: b}
-	}
-	return ivs, nil
+	return wiretext.ParseIntervals(v)
 }
 
-// FormatIntervals renders intervals in the /scan wire form — the inverse of
-// ParseIntervals.
+// FormatIntervals renders intervals in the /scan wire form.
+//
+// Deprecated: use wiretext.FormatIntervals (internal/wire/text).
 func FormatIntervals(ivs []query.Interval) string {
-	var sb strings.Builder
-	for i, iv := range ivs {
-		if i > 0 {
-			sb.WriteByte(',')
-		}
-		sb.WriteString(strconv.FormatUint(iv.Lo, 10))
-		sb.WriteByte('-')
-		sb.WriteString(strconv.FormatUint(iv.Hi, 10))
-	}
-	return sb.String()
+	return wiretext.FormatIntervals(ivs)
 }
 
 // handleWrite builds the POST /put and /delete handlers: decode one record,
@@ -554,39 +564,35 @@ func (s *Server) parseQuery(r *http.Request) (query.Box, time.Duration, error) {
 // parseTimeout resolves the ?timeout parameter against the default and the
 // cap.
 func (s *Server) parseTimeout(t string) (time.Duration, error) {
-	timeout := s.defaultTimeout
-	if t != "" {
-		d, err := time.ParseDuration(t)
-		if err != nil || d <= 0 {
-			return 0, fmt.Errorf("timeout: bad duration %q", t)
-		}
-		timeout = d
+	if t == "" {
+		return s.clampTimeout(0), nil
 	}
-	if s.maxTimeout > 0 && timeout > s.maxTimeout {
-		timeout = s.maxTimeout
+	d, err := time.ParseDuration(t)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("timeout: bad duration %q", t)
 	}
-	return timeout, nil
+	return s.clampTimeout(d), nil
+}
+
+// clampTimeout resolves a requested deadline against the default and the
+// cap — the one deadline policy both the HTTP and wire front doors apply.
+// Zero means "no deadline requested" and takes the server default.
+func (s *Server) clampTimeout(d time.Duration) time.Duration {
+	if d <= 0 {
+		d = s.defaultTimeout
+	}
+	if s.maxTimeout > 0 && d > s.maxTimeout {
+		d = s.maxTimeout
+	}
+	return d
 }
 
 // ParsePoint parses "3,17,…" into d coordinates — the /query corner wire
-// form, shared with the router daemon.
+// form.
+//
+// Deprecated: use wiretext.ParsePoint (internal/wire/text).
 func ParsePoint(v string, d int) ([]uint32, error) {
-	if v == "" {
-		return nil, errors.New("missing")
-	}
-	parts := strings.Split(v, ",")
-	if len(parts) != d {
-		return nil, fmt.Errorf("%d coordinates, universe has %d dimensions", len(parts), d)
-	}
-	p := make([]uint32, d)
-	for i, part := range parts {
-		x, err := strconv.ParseUint(strings.TrimSpace(part), 10, 32)
-		if err != nil {
-			return nil, fmt.Errorf("coordinate %d: %w", i+1, err)
-		}
-		p[i] = uint32(x)
-	}
-	return p, nil
+	return wiretext.ParsePoint(v, d)
 }
 
 // writeError sends the JSON error body; retryable responses carry a

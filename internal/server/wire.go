@@ -34,11 +34,22 @@ type QueryResponse struct {
 	// ElapsedUS is the server-side service time in microseconds, admission
 	// queueing excluded.
 	ElapsedUS int64 `json:"elapsed_us"`
+	// PagesRead counts distinct leaf pages the query touched, dark pages
+	// included — the paper's clustering cost made observable per request.
+	PagesRead int64 `json:"pages_read"`
 }
 
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// WireInfo is the body of GET /wireinfo: the daemon's advertised binary
+// protocol listener, if any. Daemons not serving the binary protocol answer
+// 404, and clients fall back to JSON.
+type WireInfo struct {
+	// Addr is the "host:port" of the binary wire listener.
+	Addr string `json:"addr"`
 }
 
 // WriteRequest is the body of POST /put and POST /delete: one record,
@@ -62,6 +73,7 @@ func toResponse(res service.Result, elapsedUS int64) QueryResponse {
 		ShardsQueried: res.ShardsQueried,
 		Complete:      res.Complete(),
 		ElapsedUS:     elapsedUS,
+		PagesRead:     res.PagesRead,
 	}
 	for i, r := range res.Records {
 		out.Records[i] = WireRecord{Point: r.Point, Payload: r.Payload}

@@ -1,0 +1,313 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/query"
+	"repro/internal/service"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// ServeWire accepts binary-protocol connections (internal/wire) on l until
+// Drain. The wire listener is a second front door to the same service:
+// every request passes the same admission control, deadline clamps, drain
+// lifecycle, and metrics as the HTTP mux — only the encoding differs.
+// Requests pipeline per connection: each request frame is handled in its
+// own goroutine and responses interleave by request id.
+func (s *Server) ServeWire(l net.Listener) error {
+	s.wireMu.Lock()
+	if s.wireListeners == nil {
+		s.wireConns = make(map[net.Conn]struct{})
+	}
+	s.wireListeners = append(s.wireListeners, l)
+	s.wireMu.Unlock()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		s.wireMu.Lock()
+		s.wireConns[c] = struct{}{}
+		s.wireMu.Unlock()
+		s.wireConnWG.Add(1)
+		go func() {
+			defer s.wireConnWG.Done()
+			s.serveWireConn(c)
+			s.wireMu.Lock()
+			delete(s.wireConns, c)
+			s.wireMu.Unlock()
+		}()
+	}
+}
+
+// AdvertiseWire publishes addr through GET /wireinfo so JSON clients (and
+// the cluster router) can discover the binary listener and upgrade.
+func (s *Server) AdvertiseWire(addr string) { s.wireAdvert.Store(addr) }
+
+// handleWireInfo answers GET /wireinfo: the advertised binary listener,
+// or 404 when the daemon does not serve the binary protocol.
+func (s *Server) handleWireInfo(w http.ResponseWriter, r *http.Request) {
+	addr, _ := s.wireAdvert.Load().(string)
+	if addr == "" {
+		s.writeError(w, http.StatusNotFound, "binary protocol not served", false)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(WireInfo{Addr: addr})
+}
+
+// wireWriter serializes whole-frame writes to one connection, so frames
+// from pipelined handler goroutines never interleave mid-frame. One
+// conn.Write per frame: the frame is the flush unit.
+type wireWriter struct {
+	mu  sync.Mutex
+	c   net.Conn
+	buf []byte
+}
+
+func (w *wireWriter) write(f wire.Frame) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf = wire.AppendFrame(w.buf[:0], f)
+	_, err := w.c.Write(w.buf)
+	return err
+}
+
+// segmentBytes bounds how much of a response one conn.Write carries. Small
+// results — the common case — go out as one write (batches plus trailer,
+// one syscall); large scans flush in segments, releasing the writer between
+// them so pipelined responses and pings still interleave.
+const segmentBytes = 1 << 18
+
+// writeSegment encodes TBatch frames from *recs directly into the shared
+// write buffer — no intermediate payload allocation, capacity retained
+// across calls — until the segment bound, appends the TTrailer once the
+// records run out, and writes the segment with a single conn.Write. It
+// advances *recs past what it consumed and reports done when the trailer
+// went out. An encoding error (malformed records) is reported distinctly
+// from a write error so the caller can send a TError for the former.
+func (w *wireWriter) writeSegment(id uint64, recs *[]store.Record, tr wire.Trailer) (done bool, encErr, writeErr error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf = w.buf[:0]
+	for len(*recs) > 0 && len(w.buf) < segmentBytes {
+		n := len(*recs)
+		if n > wire.DefaultBatchRecords {
+			n = wire.DefaultBatchRecords
+		}
+		start := len(w.buf)
+		buf, err := wire.AppendBatchPayload(wire.BeginFrame(w.buf, wire.TBatch, id), (*recs)[:n])
+		if err != nil {
+			return false, err, nil
+		}
+		w.buf = wire.FinishFrame(buf, start)
+		*recs = (*recs)[n:]
+	}
+	if len(*recs) == 0 {
+		start := len(w.buf)
+		buf, err := wire.AppendTrailerPayload(wire.BeginFrame(w.buf, wire.TTrailer, id), tr)
+		if err != nil {
+			return false, err, nil
+		}
+		w.buf = wire.FinishFrame(buf, start)
+		done = true
+	}
+	_, werr := w.c.Write(w.buf)
+	return done, nil, werr
+}
+
+// writeError sends a TError frame; hint < 0 means no retry-after.
+func (w *wireWriter) writeError(id uint64, code uint8, hint int64, msg string) error {
+	p, err := wire.AppendErrorPayload(nil, wire.ErrorFrame{Code: code, RetryAfterSec: hint, Msg: msg})
+	if err != nil {
+		return err
+	}
+	return w.write(wire.Frame{Type: wire.TError, ID: id, Payload: p})
+}
+
+// serveWireConn reads request frames until the connection dies or sends a
+// malformed frame (framing is terminal: a corrupt stream cannot be
+// re-synchronized). Handlers run concurrently; the connection closes only
+// after every handler has finished writing.
+func (s *Server) serveWireConn(c net.Conn) {
+	ctx, cancel := context.WithCancel(context.Background())
+	w := &wireWriter{c: c}
+	var handlers sync.WaitGroup
+	br := bufio.NewReaderSize(c, 1<<16)
+	for {
+		f, err := wire.ReadFrame(br)
+		if err != nil {
+			break
+		}
+		switch f.Type {
+		case wire.TPing:
+			s.wireReqWG.Add(1)
+			handlers.Add(1)
+			go func(id uint64) {
+				defer s.wireReqWG.Done()
+				defer handlers.Done()
+				w.write(wire.Frame{
+					Type:    wire.TPong,
+					ID:      id,
+					Payload: wire.AppendPongPayload(nil, wire.Pong{Ready: !s.draining.Load()}),
+				})
+			}(f.ID)
+		case wire.TQuery, wire.TScan:
+			s.reqTotal.Inc()
+			if s.draining.Load() {
+				s.reqDraining.Inc()
+				w.writeError(f.ID, wire.CodeUnavailable, int64(s.retryAfterSec), "draining")
+				continue
+			}
+			s.wireReqWG.Add(1)
+			handlers.Add(1)
+			go func(f wire.Frame) {
+				defer s.wireReqWG.Done()
+				defer handlers.Done()
+				s.handleWireRequest(ctx, w, f)
+			}(f)
+		default:
+			// A response-direction or unknown frame from a client is a
+			// protocol violation; drop the connection.
+			cancel()
+			handlers.Wait()
+			c.Close()
+			return
+		}
+	}
+	cancel()
+	handlers.Wait()
+	c.Close()
+}
+
+// handleWireRequest runs one TQuery/TScan through admission, the service,
+// and the streaming response encoding. Failure mapping mirrors the HTTP
+// handlers': shed → CodeOverloaded (+hint), queued past deadline →
+// CodeDeadline, drain → CodeUnavailable, malformed → CodeBadRequest.
+func (s *Server) handleWireRequest(connCtx context.Context, w *wireWriter, f wire.Frame) {
+	var timeout time.Duration
+	run := func(ctx context.Context) (service.Result, error) { return service.Result{}, nil }
+	switch f.Type {
+	case wire.TQuery:
+		req, err := wire.DecodeQueryRequest(f.Payload)
+		if err != nil {
+			s.reqBad.Inc()
+			w.writeError(f.ID, wire.CodeBadRequest, -1, err.Error())
+			return
+		}
+		box, err := query.NewBox(s.svc.Curve().Universe(), req.Lo, req.Hi)
+		if err != nil {
+			s.reqBad.Inc()
+			w.writeError(f.ID, wire.CodeBadRequest, -1, err.Error())
+			return
+		}
+		timeout = req.Timeout
+		run = func(ctx context.Context) (service.Result, error) { return s.svc.Range(ctx, box) }
+	case wire.TScan:
+		req, err := wire.DecodeScanRequest(f.Payload)
+		if err != nil {
+			s.reqBad.Inc()
+			w.writeError(f.ID, wire.CodeBadRequest, -1, err.Error())
+			return
+		}
+		timeout = req.Timeout
+		run = func(ctx context.Context) (service.Result, error) { return s.svc.Scan(ctx, req.Ivs) }
+	}
+
+	ctx := connCtx
+	if timeout = s.clampTimeout(timeout); timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	waited, err := s.lim.acquire(ctx)
+	s.queueWaitH.Observe(waited.Microseconds())
+	if err != nil {
+		switch {
+		case errors.Is(err, errShed):
+			s.reqShed.Inc()
+			w.writeError(f.ID, wire.CodeOverloaded, int64(s.retryAfterSec), "overloaded: inflight limit reached within the queue-wait budget")
+		case errors.Is(err, context.DeadlineExceeded):
+			s.reqDeadline.Inc()
+			w.writeError(f.ID, wire.CodeDeadline, -1, "deadline exceeded while queued for admission")
+		default: // connection went away while queued; nobody is listening
+			s.reqCanceled.Inc()
+		}
+		return
+	}
+	s.inflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		s.lim.release()
+	}()
+
+	start := time.Now()
+	res, err := run(ctx)
+	elapsed := time.Since(start)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.reqDeadline.Inc()
+			w.writeError(f.ID, wire.CodeDeadline, -1, "deadline exceeded mid-scan")
+		case errors.Is(err, context.Canceled):
+			s.reqCanceled.Inc() // connection closed; response goes nowhere
+		case errors.Is(err, service.ErrShuttingDown):
+			s.reqDraining.Inc()
+			w.writeError(f.ID, wire.CodeUnavailable, int64(s.retryAfterSec), "shutting down")
+		case f.Type == wire.TScan:
+			// Scan validation failures (unsorted, out of range) are the
+			// client's fault, mirroring HTTP 400.
+			s.reqBad.Inc()
+			w.writeError(f.ID, wire.CodeBadRequest, -1, err.Error())
+		default:
+			s.reqErrors.Inc()
+			w.writeError(f.ID, wire.CodeInternal, -1, err.Error())
+		}
+		return
+	}
+	s.latency.Observe(elapsed.Microseconds())
+	if err := s.streamWireResult(w, f.ID, res, elapsed); err != nil {
+		// The connection broke mid-stream; the read loop notices too.
+		s.reqErrors.Inc()
+		return
+	}
+	s.reqOK.Inc()
+}
+
+// streamWireResult writes a result as chunked TBatch frames in curve order
+// followed by the TTrailer. The trailer is the commit point — a client
+// that never sees it knows the body is incomplete, whatever arrived.
+func (s *Server) streamWireResult(w *wireWriter, id uint64, res service.Result, elapsed time.Duration) error {
+	tr := wire.Trailer{
+		Unavailable:   res.Unavailable,
+		ShardsQueried: res.ShardsQueried,
+		PagesRead:     res.PagesRead,
+		ElapsedUS:     elapsed.Microseconds(),
+	}
+	recs := res.Records
+	for {
+		done, encErr, writeErr := w.writeSegment(id, &recs, tr)
+		if encErr != nil {
+			w.writeError(id, wire.CodeInternal, -1, encErr.Error())
+			return encErr
+		}
+		if writeErr != nil {
+			return writeErr
+		}
+		if done {
+			return nil
+		}
+	}
+}

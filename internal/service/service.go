@@ -75,6 +75,9 @@ type Result struct {
 	// ShardsQueried counts the shards whose segment intersected the
 	// query's decomposition.
 	ShardsQueried int
+	// PagesRead counts distinct leaf pages touched across shards, dark
+	// pages included — the per-query clustering cost.
+	PagesRead int64
 }
 
 // Complete reports whether the whole query was served.
@@ -316,6 +319,7 @@ func (s *Service) scanIntervals(ctx context.Context, ivs []query.Interval) (Resu
 	// segments, so the concatenation is already sorted; MergeIntervals
 	// coalesces abutting spans across a shard boundary.
 	out.Unavailable = query.MergeIntervals(dark)
+	out.PagesRead = int64(pages)
 	s.pagesRead.Add(int64(pages))
 	if !out.Complete() {
 		s.qDegraded.Inc()

@@ -1,0 +1,198 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// fuzzSrc deterministically consumes fuzz input bytes as integers, so the
+// fuzzer's byte mutations translate into structured protocol values.
+type fuzzSrc struct {
+	b []byte
+	i int
+}
+
+func (s *fuzzSrc) byte_() byte {
+	if s.i >= len(s.b) {
+		return 0
+	}
+	v := s.b[s.i]
+	s.i++
+	return v
+}
+
+func (s *fuzzSrc) u32() uint32 {
+	return uint32(s.byte_()) | uint32(s.byte_())<<8 | uint32(s.byte_())<<16 | uint32(s.byte_())<<24
+}
+
+func (s *fuzzSrc) u64() uint64 {
+	return uint64(s.u32()) | uint64(s.u32())<<32
+}
+
+// FuzzWireRoundTrip is the differential fuzz over the whole codec: it derives
+// structured payloads (records, intervals, trailers, error frames) from the
+// fuzz input, asserts encode→decode is the identity through both DecodeFrame
+// and ReadFrame, asserts truncation at every byte offset is ErrTruncated, and
+// finally feeds the raw input to the decoders to prove they never panic or
+// over-consume on arbitrary bytes.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x46, 0x53, 1, TPing})
+	f.Add(bytes.Repeat([]byte{0xa5}, 64))
+	f.Add(AppendFrame(nil, Frame{Type: TPing, ID: 42}))
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		s := &fuzzSrc{b: in}
+
+		// --- Structured round trips derived from the input ---
+		d := 1 + int(s.byte_())%MaxDims
+		q := QueryRequest{
+			Lo:      make(grid.Point, d),
+			Hi:      make(grid.Point, d),
+			Timeout: time.Duration(s.u64() % uint64(time.Hour)),
+		}
+		for i := 0; i < d; i++ {
+			q.Lo[i], q.Hi[i] = s.u32(), s.u32()
+		}
+		qb, err := AppendQueryRequest(nil, q)
+		if err != nil {
+			t.Fatalf("query encode: %v", err)
+		}
+		qBack, err := DecodeQueryRequest(qb)
+		if err != nil || !qBack.Lo.Equal(q.Lo) || !qBack.Hi.Equal(q.Hi) || qBack.Timeout != q.Timeout {
+			t.Fatalf("query round trip: %+v vs %+v (%v)", qBack, q, err)
+		}
+
+		nIv := 1 + int(s.byte_())%8
+		ivs := make([]query.Interval, nIv)
+		for i := range ivs {
+			ivs[i] = query.Interval{Lo: s.u64(), Hi: s.u64()}
+		}
+		sb, err := AppendScanRequest(nil, ScanRequest{Ivs: ivs, Timeout: time.Duration(s.u32())})
+		if err != nil {
+			t.Fatalf("scan encode: %v", err)
+		}
+		sBack, err := DecodeScanRequest(sb)
+		if err != nil || len(sBack.Ivs) != nIv {
+			t.Fatalf("scan round trip: %+v (%v)", sBack, err)
+		}
+		for i := range ivs {
+			if sBack.Ivs[i] != ivs[i] {
+				t.Fatalf("scan interval %d: %+v vs %+v", i, sBack.Ivs[i], ivs[i])
+			}
+		}
+
+		nRec := 1 + int(s.byte_())%16
+		recs := make([]store.Record, nRec)
+		for i := range recs {
+			p := make(grid.Point, d)
+			for j := range p {
+				p[j] = s.u32()
+			}
+			recs[i] = store.Record{Point: p, Payload: s.u64()}
+		}
+		bb, err := AppendBatchPayload(nil, recs)
+		if err != nil {
+			t.Fatalf("batch encode: %v", err)
+		}
+		rBack, err := DecodeBatchPayload(bb)
+		if err != nil || len(rBack) != nRec {
+			t.Fatalf("batch round trip: %d records (%v)", len(rBack), err)
+		}
+		for i := range recs {
+			if !rBack[i].Point.Equal(recs[i].Point) || rBack[i].Payload != recs[i].Payload {
+				t.Fatalf("batch record %d: %+v vs %+v", i, rBack[i], recs[i])
+			}
+		}
+
+		tr := Trailer{
+			ShardsQueried: int(s.byte_()),
+			PagesRead:     int64(s.u32()),
+			ElapsedUS:     int64(s.u32()),
+		}
+		if nDark := int(s.byte_()) % 4; nDark > 0 {
+			tr.Unavailable = make([]query.Interval, nDark)
+			for i := range tr.Unavailable {
+				tr.Unavailable[i] = query.Interval{Lo: s.u64(), Hi: s.u64()}
+			}
+		}
+		tb, err := AppendTrailerPayload(nil, tr)
+		if err != nil {
+			t.Fatalf("trailer encode: %v", err)
+		}
+		tBack, err := DecodeTrailerPayload(tb)
+		if err != nil || tBack.ShardsQueried != tr.ShardsQueried ||
+			tBack.PagesRead != tr.PagesRead || tBack.ElapsedUS != tr.ElapsedUS ||
+			len(tBack.Unavailable) != len(tr.Unavailable) {
+			t.Fatalf("trailer round trip: %+v vs %+v (%v)", tBack, tr, err)
+		}
+		for i := range tr.Unavailable {
+			if tBack.Unavailable[i] != tr.Unavailable[i] {
+				t.Fatalf("trailer interval %d: %+v vs %+v", i, tBack.Unavailable[i], tr.Unavailable[i])
+			}
+		}
+
+		codes := []uint8{CodeBadRequest, CodeOverloaded, CodeUnavailable, CodeDeadline, CodeInternal}
+		ef := ErrorFrame{
+			Code:          codes[int(s.byte_())%len(codes)],
+			RetryAfterSec: int64(s.byte_()%5) - 1,
+			Msg:           string(in[:min(len(in), 32)]),
+		}
+		eb, err := AppendErrorPayload(nil, ef)
+		if err != nil {
+			t.Fatalf("error encode: %v", err)
+		}
+		eBack, err := DecodeErrorPayload(eb)
+		if err != nil || eBack != ef {
+			t.Fatalf("error round trip: %+v vs %+v (%v)", eBack, ef, err)
+		}
+
+		// --- Frame round trip + torn truncation at every offset ---
+		fr := Frame{Type: TScan, ID: s.u64(), Payload: sb}
+		full := AppendFrame(nil, fr)
+		got, n, err := DecodeFrame(full)
+		if err != nil || n != len(full) ||
+			got.Type != fr.Type || got.ID != fr.ID || !bytes.Equal(got.Payload, fr.Payload) {
+			t.Fatalf("frame round trip: %+v, %d, %v", got, n, err)
+		}
+		rGot, err := ReadFrame(bytes.NewReader(full))
+		if err != nil || rGot.Type != fr.Type || rGot.ID != fr.ID || !bytes.Equal(rGot.Payload, fr.Payload) {
+			t.Fatalf("frame read round trip: %+v, %v", rGot, err)
+		}
+		for cut := 1; cut < len(full); cut++ {
+			if _, _, err := DecodeFrame(full[:cut]); !errors.Is(err, ErrTruncated) {
+				t.Fatalf("cut %d/%d: decode %v, want ErrTruncated", cut, len(full), err)
+			}
+			if _, err := ReadFrame(bytes.NewReader(full[:cut])); !errors.Is(err, ErrTruncated) {
+				t.Fatalf("cut %d/%d: read %v, want ErrTruncated", cut, len(full), err)
+			}
+		}
+
+		// --- Arbitrary bytes must never panic or over-consume ---
+		if fr, n, err := DecodeFrame(in); err == nil && len(in) > 0 {
+			if n <= 0 || n > len(in) || !validType(fr.Type) {
+				t.Fatalf("arbitrary decode consumed %d of %d, type 0x%02x", n, len(in), fr.Type)
+			}
+		}
+		_, _ = ReadFrame(bytes.NewReader(in))
+		_, _ = DecodeQueryRequest(in)
+		_, _ = DecodeScanRequest(in)
+		_, _ = DecodeBatchPayload(in)
+		_, _ = DecodeTrailerPayload(in)
+		_, _ = DecodeErrorPayload(in)
+		_, _ = DecodePongPayload(in)
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

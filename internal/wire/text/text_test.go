@@ -1,0 +1,56 @@
+package text
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/query"
+)
+
+func TestPointRoundTrip(t *testing.T) {
+	for _, p := range [][]uint32{{0}, {1, 2, 3}, {^uint32(0), 0, 7}} {
+		s := FormatPoint(p)
+		back, err := ParsePoint(s, len(p))
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		for i := range p {
+			if back[i] != p[i] {
+				t.Fatalf("%q coord %d: %d want %d", s, i, back[i], p[i])
+			}
+		}
+	}
+	if _, err := ParsePoint("", 2); err == nil {
+		t.Fatal("empty point accepted")
+	}
+	if _, err := ParsePoint("1,2,3", 2); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if _, err := ParsePoint("1,4294967296", 2); err == nil {
+		t.Fatal("coordinate overflow accepted")
+	}
+}
+
+func TestIntervalsRoundTrip(t *testing.T) {
+	ivs := []query.Interval{{Lo: 0, Hi: 9}, {Lo: 12, Hi: ^uint64(0)}}
+	s := FormatIntervals(ivs)
+	back, err := ParseIntervals(s)
+	if err != nil || len(back) != len(ivs) {
+		t.Fatalf("%q: %v (%d intervals)", s, err, len(back))
+	}
+	for i := range ivs {
+		if back[i] != ivs[i] {
+			t.Fatalf("interval %d: %+v want %+v", i, back[i], ivs[i])
+		}
+	}
+	if _, err := ParseIntervals(""); err == nil {
+		t.Fatal("empty intervals accepted")
+	}
+	if _, err := ParseIntervals("5"); err == nil {
+		t.Fatal("missing dash accepted")
+	}
+	over := strings.Repeat("1-2,", MaxScanIntervals) + "1-2"
+	if _, err := ParseIntervals(over); err == nil {
+		t.Fatal("interval count over the limit accepted")
+	}
+}
