@@ -33,6 +33,9 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,9 +43,9 @@ import (
 	"repro/internal/client"
 	"repro/internal/curve"
 	"repro/internal/grid"
-	"repro/internal/metrics"
 	"repro/internal/profiling"
 	"repro/internal/query"
+	"repro/internal/server"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -62,12 +65,15 @@ type config struct {
 	seed      int64
 	trace     string
 	compare   bool
+	cold      bool
 	jsonPath  string
 
 	remote    string
 	transport string
 	rtimeout  time.Duration
 	maxShed   float64
+	stream    bool
+	compress  bool
 }
 
 func main() {
@@ -83,6 +89,9 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 0, "service worker pool size (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.clients, "clients", 4, "concurrent client goroutines")
 	flag.IntVar(&cfg.cache, "cache", 0, "decomposition cache entries (0 = default, negative = off)")
+	var cacheSize int
+	flag.IntVar(&cacheSize, "cachesize", 0, "decomposition cache entries, 0 = disabled (cold scans); overrides -cache when given")
+	flag.BoolVar(&cfg.cold, "cold", false, "also replay with the cache disabled and record warm + cold sections")
 	flag.IntVar(&cfg.distinct, "distinct", 512, "distinct boxes in the trace population")
 	flag.Float64Var(&cfg.zipfS, "zipf", 1.2, "zipf exponent of the box popularity (s > 1)")
 	flag.IntVar(&cfg.boxSide, "box", 12, "maximum box side length in cells")
@@ -94,7 +103,20 @@ func main() {
 	flag.StringVar(&cfg.transport, "transport", "json", "remote replay transport: json, binary (needs the daemon's -wire-addr), or both (A/B, prints the speedup)")
 	flag.DurationVar(&cfg.rtimeout, "rtimeout", 0, "per-request ?timeout sent to the remote daemon (0 = none)")
 	flag.Float64Var(&cfg.maxShed, "maxshed", 1, "fail (exit nonzero) if the remote shed rate exceeds this fraction")
+	flag.BoolVar(&cfg.stream, "stream", false, "remote: also replay through the streaming surface, recording time-to-first-batch (binary transport)")
+	flag.BoolVar(&cfg.compress, "compress", false, "remote: with -stream, also replay with per-frame compression negotiated")
 	flag.Parse()
+	// -cachesize is the cold-cache dial: unlike -cache, an explicit 0 means
+	// "no cache at all", so every query pays the full decomposition + scan.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "cachesize" {
+			if cacheSize <= 0 {
+				cfg.cache = -1
+			} else {
+				cfg.cache = cacheSize
+			}
+		}
+	})
 
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -161,7 +183,7 @@ func run(cfg config, w io.Writer) error {
 	fmt.Fprintf(w, "curve=%s universe=%v records=%d queries=%d distinct=%d zipf=%.2f clients=%d\n",
 		c.Name(), u, cfg.records, cfg.queries, cfg.distinct, cfg.zipfS, cfg.clients)
 
-	res, rep, err := replay(c, recs, boxes, cfg, cfg.shards)
+	res, rep, err := replay(c, recs, boxes, cfg, cfg.shards, cfg.cache)
 	if err != nil {
 		return err
 	}
@@ -173,7 +195,7 @@ func run(cfg config, w io.Writer) error {
 
 	out := map[string]any{"config": cfg.public(), "sharded": res}
 	if cfg.compare && cfg.shards != 1 {
-		base, _, err := replay(c, recs, boxes, cfg, 1)
+		base, _, err := replay(c, recs, boxes, cfg, 1, cfg.cache)
 		if err != nil {
 			return err
 		}
@@ -183,6 +205,34 @@ func run(cfg config, w io.Writer) error {
 		fmt.Fprintf(w, "speedup: %.2fx (%d shards vs 1)\n", speedup, cfg.shards)
 		out["baseline"] = base
 		out["speedup"] = speedup
+	}
+	if cfg.cold {
+		// Cold section: the cache disabled, so every query pays its full
+		// decomposition and shard scans. The warm numbers above flatter the
+		// sharding comparison — a ~95% hit rate means most queries never
+		// touch the shards — so the cold section is where the scan-path
+		// speedup actually shows.
+		coldRes, _, err := replay(c, recs, boxes, cfg, cfg.shards, -1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "cold (no cache): %d queries in %.3fs = %.0f queries/s (%d shards), pages/query=%.1f\n",
+			coldRes.Queries, coldRes.Elapsed, coldRes.Throughput, cfg.shards,
+			float64(coldRes.PagesRead)/float64(coldRes.Queries))
+		coldOut := map[string]any{"sharded": coldRes}
+		if cfg.compare && cfg.shards != 1 {
+			coldBase, _, err := replay(c, recs, boxes, cfg, 1, -1)
+			if err != nil {
+				return err
+			}
+			speedup := coldRes.Throughput / coldBase.Throughput
+			fmt.Fprintf(w, "cold baseline:   %d queries in %.3fs = %.0f queries/s (1 shard)\n",
+				coldBase.Queries, coldBase.Elapsed, coldBase.Throughput)
+			fmt.Fprintf(w, "cold speedup: %.2fx (%d shards vs 1)\n", speedup, cfg.shards)
+			coldOut["baseline"] = coldBase
+			coldOut["speedup"] = speedup
+		}
+		out["cold"] = coldOut
 	}
 	if cfg.jsonPath != "" {
 		if err := writeJSON(cfg.jsonPath, out); err != nil {
@@ -201,17 +251,19 @@ func (cfg config) public() map[string]any {
 		"shards": cfg.shards, "clients": cfg.clients,
 		"distinct": cfg.distinct, "zipf": cfg.zipfS,
 		"box": cfg.boxSide, "seed": cfg.seed,
-		"transport": cfg.transport,
+		"transport": cfg.transport, "cache": cfg.cache,
+		"stream": cfg.stream, "compress": cfg.compress,
 	}
 }
 
 // replay runs the full trace against a fresh service with the given shard
-// count and returns the measured result plus the metrics report.
-func replay(c curve.Curve, recs []store.Record, boxes []query.Box, cfg config, shards int) (replayResult, string, error) {
+// count and cache capacity, returning the measured result plus the metrics
+// report.
+func replay(c curve.Curve, recs []store.Record, boxes []query.Box, cfg config, shards, cache int) (replayResult, string, error) {
 	svc, err := service.New(c, recs, service.Config{
 		Shards:    shards,
 		Workers:   cfg.workers,
-		CacheSize: cfg.cache,
+		CacheSize: cache,
 	})
 	if err != nil {
 		return replayResult{}, "", err
@@ -294,6 +346,17 @@ type remoteResult struct {
 	P50US        int64   `json:"p50_us"`
 	P99US        int64   `json:"p99_us"`
 	MaxUS        int64   `json:"max_us"`
+	// Stream marks a replay consumed through the streaming surface; the
+	// TTFB quantiles are then time to the first batch, while P50US/P99US
+	// still measure the fully drained result. On a buffered replay TTFB
+	// equals the full latency — the caller sees nothing earlier.
+	Stream    bool  `json:"stream"`
+	P50TTFBUS int64 `json:"p50_ttfb_us"`
+	P99TTFBUS int64 `json:"p99_ttfb_us"`
+	// PeakRSSKB samples the replay process's RSS high watermark (VmHWM,
+	// reset per replay where the kernel allows) — the client-side
+	// full-result vs streamed buffering difference.
+	PeakRSSKB int64 `json:"peak_rss_kb"`
 }
 
 // runRemote replays the zipf trace over the wire against a live sfcserved
@@ -330,13 +393,15 @@ func runRemote(cfg config, w io.Writer) error {
 		cfg.remote, u, cfg.queries, cfg.distinct, cfg.zipfS, cfg.clients, cfg.transport)
 
 	out := map[string]any{"config": cfg.public()}
+	var all []remoteResult
 	var jsonRes, binRes remoteResult
 	if cfg.transport == "json" || cfg.transport == "both" {
-		jsonRes, err = replayRemote(ctx, cfg, boxes, cl, "json", w)
+		jsonRes, err = replayRemote(ctx, cfg, boxes, cl, "json", false, w)
 		if err != nil {
 			return err
 		}
 		out["remote"] = jsonRes
+		all = append(all, jsonRes)
 	}
 	if cfg.transport == "binary" || cfg.transport == "both" {
 		addr, err := cl.WireAddr(ctx)
@@ -348,11 +413,41 @@ func runRemote(cfg config, w io.Writer) error {
 		}
 		bcl := client.New(cfg.remote, client.WithTransport(&client.BinaryTransport{Addr: addr}))
 		defer bcl.Close()
-		binRes, err = replayRemote(ctx, cfg, boxes, bcl, "binary "+addr, w)
+		binRes, err = replayRemote(ctx, cfg, boxes, bcl, "binary "+addr, false, w)
 		if err != nil {
 			return err
 		}
 		out["remote_binary"] = binRes
+		all = append(all, binRes)
+		if cfg.stream {
+			// Streamed A/B: identical trace, results consumed batch by
+			// batch as the server's shard merge produces them. TTFB is the
+			// headline; full-drain latency shows the (non-)regression.
+			scl := client.New(cfg.remote, client.WithTransport(&client.BinaryTransport{Addr: addr}))
+			defer scl.Close()
+			streamRes, err := replayRemote(ctx, cfg, boxes, scl, "binary+stream", true, w)
+			if err != nil {
+				return err
+			}
+			out["remote_binary_stream"] = streamRes
+			all = append(all, streamRes)
+			if binRes.P50US > 0 {
+				earlier := float64(binRes.P50US) / float64(streamRes.P50TTFBUS)
+				fmt.Fprintf(w, "ttfb: streamed p50=%dus vs full-result p50=%dus (%.2fx earlier)\n",
+					streamRes.P50TTFBUS, binRes.P50US, earlier)
+				out["ttfb_speedup"] = earlier
+			}
+			if cfg.compress {
+				ccl := client.New(cfg.remote, client.WithTransport(&client.BinaryTransport{Addr: addr, Compress: true}))
+				defer ccl.Close()
+				compRes, err := replayRemote(ctx, cfg, boxes, ccl, "binary+stream+deflate", true, w)
+				if err != nil {
+					return err
+				}
+				out["remote_binary_stream_compress"] = compRes
+				all = append(all, compRes)
+			}
+		}
 	}
 	if cfg.transport == "both" {
 		speedup := binRes.Throughput / jsonRes.Throughput
@@ -366,7 +461,7 @@ func runRemote(cfg config, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "wrote %s\n", cfg.jsonPath)
 	}
-	for _, res := range []remoteResult{jsonRes, binRes} {
+	for _, res := range all {
 		if res.ShedRate > cfg.maxShed {
 			return fmt.Errorf("shed rate %.4f exceeds -maxshed %.4f", res.ShedRate, cfg.maxShed)
 		}
@@ -377,10 +472,15 @@ func runRemote(cfg config, w io.Writer) error {
 // replayRemote replays the full zipf trace through cl and reports the
 // client-side view: latency quantiles, throughput, shed and degraded
 // rates. Each call uses its own client so the attempt/retry/shed counters
-// are per-transport.
-func replayRemote(ctx context.Context, cfg config, boxes []query.Box, cl *client.Client, label string, w io.Writer) (remoteResult, error) {
-	reg := metrics.NewRegistry()
-	lat := reg.Histogram("remote.latency_us")
+// are per-transport. With stream set, queries go through the streaming
+// surface: time-to-first-batch is observed when the first batch lands and
+// the latency quantiles when the stream is fully drained.
+func replayRemote(ctx context.Context, cfg config, boxes []query.Box, cl *client.Client, label string, stream bool, w io.Writer) (remoteResult, error) {
+	// Exact quantiles from raw samples: the A/B columns (streamed TTFB vs
+	// full-result p50) need microsecond resolution, which the registry's
+	// log-bucketed histograms round away.
+	var lat, ttfb samples
+	resetPeakRSS()
 	var served, failed, degraded atomic.Int64
 	perClient := cfg.queries / cfg.clients
 	extra := cfg.queries % cfg.clients
@@ -400,15 +500,27 @@ func replayRemote(ctx context.Context, cfg config, boxes []query.Box, cl *client
 			zipf := rand.NewZipf(lr, cfg.zipfS, 1, uint64(len(boxes)-1))
 			for i := 0; i < n; i++ {
 				t0 := time.Now()
-				resp, err := cl.QueryBox(ctx, boxes[zipf.Uint64()], client.WithTimeout(cfg.rtimeout))
+				var complete bool
+				var err error
+				if stream {
+					complete, err = drainStreamed(ctx, cfg, cl, boxes[zipf.Uint64()], t0, &ttfb)
+				} else {
+					var resp server.QueryResponse
+					resp, err = cl.QueryBox(ctx, boxes[zipf.Uint64()], client.WithTimeout(cfg.rtimeout))
+					complete = resp.Complete
+					if err == nil {
+						// Buffered: the first usable byte is the last one.
+						ttfb.observe(time.Since(t0).Microseconds())
+					}
+				}
 				switch {
 				case err == nil:
-					lat.Observe(time.Since(t0).Microseconds())
+					lat.observe(time.Since(t0).Microseconds())
 					served.Add(1)
 					// Degraded answers (dark intervals reported) count as
 					// served but are tracked separately: against a cluster
 					// router this is the availability story, not an error.
-					if !resp.Complete {
+					if !complete {
 						degraded.Add(1)
 					}
 				case errors.Is(err, client.ErrOverloaded):
@@ -442,9 +554,13 @@ func replayRemote(ctx context.Context, cfg config, boxes []query.Box, cl *client
 		Degraded:   degraded.Load(),
 		Elapsed:    elapsed.Seconds(),
 		Throughput: float64(served.Load()) / elapsed.Seconds(),
-		P50US:      lat.Quantile(0.50),
-		P99US:      lat.Quantile(0.99),
-		MaxUS:      lat.Max(),
+		P50US:      lat.quantile(0.50),
+		P99US:      lat.quantile(0.99),
+		MaxUS:      lat.max(),
+		Stream:     stream,
+		P50TTFBUS:  ttfb.quantile(0.50),
+		P99TTFBUS:  ttfb.quantile(0.99),
+		PeakRSSKB:  peakRSSKB(),
 	}
 	if st.Attempts > 0 {
 		res.ShedRate = float64(st.Shed) / float64(st.Attempts)
@@ -454,10 +570,100 @@ func replayRemote(ctx context.Context, cfg config, boxes []query.Box, cl *client
 	}
 	fmt.Fprintf(w, "\n[%s] served=%d failed=%d degraded=%d attempts=%d retries=%d shed=%d shed_rate=%.4f degraded_rate=%.4f\n",
 		label, res.Served, res.Failed, res.Degraded, res.Attempts, res.Retries, res.Shed, res.ShedRate, res.DegradedRate)
-	fmt.Fprintf(w, "[%s] latency: p50=%dus p99=%dus max=%dus\n", label, res.P50US, res.P99US, res.MaxUS)
+	fmt.Fprintf(w, "[%s] latency: p50=%dus p99=%dus max=%dus ttfb_p50=%dus ttfb_p99=%dus peak_rss=%dKB\n",
+		label, res.P50US, res.P99US, res.MaxUS, res.P50TTFBUS, res.P99TTFBUS, res.PeakRSSKB)
 	fmt.Fprintf(w, "[%s] throughput: %d served in %.3fs = %.0f queries/s\n",
 		label, res.Served, res.Elapsed, res.Throughput)
 	return res, nil
+}
+
+// samples collects raw microsecond observations for exact quantiles —
+// the streamed-vs-full TTFB comparison needs more resolution than
+// log-bucketed histograms give.
+type samples struct {
+	mu sync.Mutex
+	v  []int64
+}
+
+func (s *samples) observe(us int64) {
+	s.mu.Lock()
+	s.v = append(s.v, us)
+	s.mu.Unlock()
+}
+
+// quantile returns the exact q-quantile by nearest rank; 0 when empty.
+func (s *samples) quantile(q float64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.v) == 0 {
+		return 0
+	}
+	sort.Slice(s.v, func(i, j int) bool { return s.v[i] < s.v[j] })
+	i := int(q * float64(len(s.v)-1))
+	return s.v[i]
+}
+
+func (s *samples) max() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var m int64
+	for _, v := range s.v {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// drainStreamed runs one box query through the streaming surface: the TTFB
+// observation lands when the first batch (or an immediately empty stream)
+// arrives, then the stream is drained to completion. Returns whether the
+// answer was complete (no dark intervals).
+func drainStreamed(ctx context.Context, cfg config, cl *client.Client, b query.Box, t0 time.Time, ttfb *samples) (bool, error) {
+	st, err := cl.QueryBoxStream(ctx, b, client.WithTimeout(cfg.rtimeout))
+	if err != nil {
+		return false, err
+	}
+	defer st.Close()
+	first := true
+	for {
+		_, err := st.Next()
+		if first {
+			ttfb.observe(time.Since(t0).Microseconds())
+			first = false
+		}
+		if err == io.EOF {
+			tr, _ := st.Trailer()
+			return tr.Complete(), nil
+		}
+		if err != nil {
+			return false, err
+		}
+	}
+}
+
+// resetPeakRSS clears the kernel's RSS high watermark so each replay
+// samples its own peak; best-effort, Linux-only (clear_refs code 5).
+func resetPeakRSS() {
+	os.WriteFile("/proc/self/clear_refs", []byte("5"), 0)
+}
+
+// peakRSSKB reads VmHWM from /proc/self/status, in KiB; 0 when unavailable.
+func peakRSSKB() int64 {
+	b, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
+			f := strings.Fields(rest)
+			if len(f) >= 1 {
+				n, _ := strconv.ParseInt(f[0], 10, 64)
+				return n
+			}
+		}
+	}
+	return 0
 }
 
 // syntheticBoxes builds the trace's box population: random corners, sides

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -26,7 +27,7 @@ func TestRunSyntheticTrace(t *testing.T) {
 		curveName: "hilbert", d: 2, k: 5,
 		records: 3000, queries: 800, shards: 4, clients: 2,
 		distinct: 64, zipfS: 1.2, boxSide: 6, seed: 1,
-		trace: "synthetic", compare: true, jsonPath: jsonPath,
+		trace: "synthetic", compare: true, cold: true, jsonPath: jsonPath,
 	}
 	var sb strings.Builder
 	if err := run(cfg, &sb); err != nil {
@@ -63,6 +64,22 @@ func TestRunSyntheticTrace(t *testing.T) {
 	}
 	if _, ok := doc["speedup"]; !ok {
 		t.Fatal("compare run missing speedup in summary")
+	}
+	// The cold section replays with the cache disabled: its hit rate is
+	// necessarily zero and it has its own sharding comparison.
+	if !strings.Contains(out, "cold speedup:") {
+		t.Fatalf("report missing cold comparison:\n%s", out)
+	}
+	cold, ok := doc["cold"].(map[string]any)
+	if !ok {
+		t.Fatal("summary missing cold section")
+	}
+	coldSharded := cold["sharded"].(map[string]any)
+	if coldSharded["cache_hit_rate"].(float64) != 0 {
+		t.Fatalf("cold replay hit the cache: %v", coldSharded["cache_hit_rate"])
+	}
+	if _, ok := cold["speedup"]; !ok {
+		t.Fatal("cold section missing speedup")
 	}
 }
 
@@ -127,6 +144,83 @@ func TestRunRemoteReplay(t *testing.T) {
 	}
 	if remote["throughput_qps"].(float64) <= 0 {
 		t.Fatal("non-positive remote throughput")
+	}
+}
+
+// TestRunRemoteStreamedReplay: -transport binary -stream -compress replays
+// the trace three ways — full-result, streamed, streamed+compressed — and
+// the summary carries all three blocks with TTFB quantiles.
+func TestRunRemoteStreamedReplay(t *testing.T) {
+	u := grid.MustNew(2, 5)
+	c, err := curve.ByName("hilbert", u, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	recs := make([]store.Record, 3000)
+	for i := range recs {
+		p := u.NewPoint()
+		for d := range p {
+			p[d] = rng.Uint32() % u.Side()
+		}
+		recs[i] = store.Record{Point: p, Payload: uint64(i)}
+	}
+	svc, err := service.New(c, recs, service.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer svc.Close()
+	wl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.ServeWire(wl)
+	defer wl.Close()
+	srv.AdvertiseWire(wl.Addr().String())
+
+	jsonPath := filepath.Join(t.TempDir(), "bench_stream.json")
+	cfg := config{
+		curveName: "hilbert", d: 2, k: 5,
+		queries: 300, clients: 2, distinct: 64, zipfS: 1.2, boxSide: 6, seed: 1,
+		trace: "synthetic", jsonPath: jsonPath,
+		remote: ts.URL, transport: "binary", maxShed: 0,
+		stream: true, compress: true,
+	}
+	var sb strings.Builder
+	if err := run(cfg, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"[binary+stream]", "[binary+stream+deflate]", "ttfb:", "ttfb_p50="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("streamed report missing %q:\n%s", want, out)
+		}
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("summary is not valid JSON: %v", err)
+	}
+	for _, key := range []string{"remote_binary", "remote_binary_stream", "remote_binary_stream_compress"} {
+		block, ok := doc[key].(map[string]any)
+		if !ok {
+			t.Fatalf("summary missing %s", key)
+		}
+		if block["served"].(float64) != 300 || block["shed"].(float64) != 0 {
+			t.Fatalf("%s: %v", key, block)
+		}
+	}
+	if doc["remote_binary_stream"].(map[string]any)["p50_ttfb_us"].(float64) <= 0 {
+		t.Fatal("streamed replay recorded no TTFB")
 	}
 }
 

@@ -39,6 +39,12 @@ type BinaryTransport struct {
 	// DialTimeout bounds each connection attempt (default
 	// DefaultDialTimeout).
 	DialTimeout time.Duration
+	// Compress asks the server to deflate large response frames
+	// (wire.FlagCompress on every request). Enable it only against a
+	// daemon whose /wireinfo advertised compression — an older daemon
+	// rejects the flags byte as a bad request. Decompression is
+	// transparent: batches arrive decoded either way.
+	Compress bool
 
 	initOnce sync.Once
 	slots    []*connSlot
@@ -99,20 +105,26 @@ func (t *BinaryTransport) conn(ctx context.Context) (*binConn, error) {
 // Query implements Transport: one pipelined box query, response stream
 // drained into a buffered QueryResponse.
 func (t *BinaryTransport) Query(ctx context.Context, b query.Box, timeout time.Duration) (server.QueryResponse, error) {
-	eff, err := effectiveTimeout(ctx, timeout)
-	if err != nil {
-		return server.QueryResponse{}, err
-	}
-	payload, err := wire.AppendQueryRequest(nil, wire.QueryRequest{Lo: b.Lo, Hi: b.Hi, Timeout: eff})
-	if err != nil {
-		return server.QueryResponse{}, err
-	}
-	st, err := t.openStream(ctx, wire.TQuery, payload)
+	st, err := t.QueryStream(ctx, b, timeout)
 	if err != nil {
 		return server.QueryResponse{}, err
 	}
 	defer st.Close()
 	return st.Collect()
+}
+
+// QueryStream implements Transport: a box query whose record batches arrive
+// in curve order while the server is still scanning later intervals.
+func (t *BinaryTransport) QueryStream(ctx context.Context, b query.Box, timeout time.Duration) (*Stream, error) {
+	eff, err := effectiveTimeout(ctx, timeout)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := wire.AppendQueryRequest(nil, wire.QueryRequest{Lo: b.Lo, Hi: b.Hi, Timeout: eff, Compress: t.Compress})
+	if err != nil {
+		return nil, err
+	}
+	return t.openStream(ctx, wire.TQuery, payload)
 }
 
 // Scan implements Transport: a streaming scan drained into a buffered
@@ -133,7 +145,7 @@ func (t *BinaryTransport) ScanStream(ctx context.Context, ivs []query.Interval, 
 	if err != nil {
 		return nil, err
 	}
-	payload, err := wire.AppendScanRequest(nil, wire.ScanRequest{Ivs: ivs, Timeout: eff})
+	payload, err := wire.AppendScanRequest(nil, wire.ScanRequest{Ivs: ivs, Timeout: eff, Compress: t.Compress})
 	if err != nil {
 		return nil, err
 	}

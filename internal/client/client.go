@@ -235,6 +235,17 @@ func (c *Client) ScanStream(ctx context.Context, ivs []query.Interval, opts ...C
 	})
 }
 
+// QueryBoxStream opens a streaming box query: the decomposition happens
+// server-side and record batches arrive in curve order while the scan is
+// still running. Retry semantics match ScanStream's: only the open is
+// retried.
+func (c *Client) QueryBoxStream(ctx context.Context, b query.Box, opts ...CallOption) (*Stream, error) {
+	o := applyCallOpts(opts)
+	return doRetry(ctx, c, func(ctx context.Context) (*Stream, error) {
+		return c.tr.QueryStream(ctx, b, o.timeout)
+	})
+}
+
 // Query answers the box query with a positional server-side timeout.
 //
 // Deprecated: use QueryBox with WithTimeout.

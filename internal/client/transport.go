@@ -41,6 +41,9 @@ type Transport interface {
 	// means the server accepted the request; later failures surface from
 	// Stream.Next and are not retried by the Client.
 	ScanStream(ctx context.Context, ivs []query.Interval, timeout time.Duration) (*Stream, error)
+	// QueryStream opens one attempt of a streaming box query, with the
+	// same acceptance/retry split as ScanStream.
+	QueryStream(ctx context.Context, b query.Box, timeout time.Duration) (*Stream, error)
 	// Close releases the transport's persistent resources.
 	Close() error
 }
@@ -120,6 +123,15 @@ func (t *JSONTransport) Scan(ctx context.Context, ivs []query.Interval, timeout 
 // stream — the API is uniform, only the transfer isn't incremental.
 func (t *JSONTransport) ScanStream(ctx context.Context, ivs []query.Interval, timeout time.Duration) (*Stream, error) {
 	resp, err := t.Scan(ctx, ivs, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return newBufferedStream(resp), nil
+}
+
+// QueryStream implements Transport as a buffered shim, like ScanStream.
+func (t *JSONTransport) QueryStream(ctx context.Context, b query.Box, timeout time.Duration) (*Stream, error) {
+	resp, err := t.Query(ctx, b, timeout)
 	if err != nil {
 		return nil, err
 	}

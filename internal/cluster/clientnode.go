@@ -2,10 +2,10 @@ package cluster
 
 import (
 	"context"
+	"io"
 	"time"
 
 	"repro/internal/client"
-	"repro/internal/grid"
 	"repro/internal/query"
 	"repro/internal/store"
 )
@@ -22,23 +22,32 @@ type ClientNode struct {
 // NewClientNode wraps cl as a cluster member handle.
 func NewClientNode(cl *client.Client) *ClientNode { return &ClientNode{cl: cl} }
 
-// Scan runs the interval scan against the daemon — over whichever
-// transport the client was built with — and converts the wire response to
-// the store's result shape.
+// Scan runs the interval scan against the daemon over the client's
+// streaming surface — incremental over the binary transport, a buffered
+// shim over JSON — accumulating batches into the store's result shape as
+// they arrive. Batches from the client stream stay valid across Next calls,
+// so the records are appended without a per-record copy.
 func (n *ClientNode) Scan(ctx context.Context, ivs []query.Interval, timeout time.Duration) (store.ScanResult, error) {
-	resp, err := n.cl.ScanIntervals(ctx, ivs, client.WithTimeout(timeout))
+	st, err := n.cl.ScanStream(ctx, ivs, client.WithTimeout(timeout))
 	if err != nil {
 		return store.ScanResult{}, err
 	}
-	res := store.ScanResult{Records: make([]store.Record, len(resp.Records)), PagesRead: int(resp.PagesRead)}
-	for i, r := range resp.Records {
-		res.Records[i] = store.Record{Point: grid.Point(r.Point), Payload: r.Payload}
-	}
-	if len(resp.Unavailable) > 0 {
-		res.Unavailable = make([]query.Interval, len(resp.Unavailable))
-		for i, iv := range resp.Unavailable {
-			res.Unavailable[i] = query.Interval{Lo: iv.Lo, Hi: iv.Hi}
+	defer st.Close()
+	var res store.ScanResult
+	for {
+		batch, err := st.Next()
+		if err == io.EOF {
+			break
 		}
+		if err != nil {
+			return store.ScanResult{}, err
+		}
+		res.Records = append(res.Records, batch...)
+	}
+	tr, _ := st.Trailer()
+	res.PagesRead = int(tr.PagesRead)
+	if len(tr.Unavailable) > 0 {
+		res.Unavailable = append([]query.Interval(nil), tr.Unavailable...)
 	}
 	return res, nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"time"
@@ -151,11 +152,44 @@ func (rt *Router) Query(ctx context.Context, b query.Box) (Result, error) {
 	return rt.Scan(ctx, query.DecomposeBox(rt.topo.Curve(), b))
 }
 
-// Scan answers a raw interval scan across the cluster. Intervals must be
-// sorted, disjoint, and within the curve's index space.
+// Scan answers a raw interval scan across the cluster: a Collect over the
+// streaming scatter, so the buffered and streaming entry points cannot
+// diverge. Intervals must be sorted, disjoint, and within the curve's
+// index space.
 func (rt *Router) Scan(ctx context.Context, ivs []query.Interval) (Result, error) {
+	st, err := rt.ScanStream(ctx, ivs)
+	if err != nil {
+		return Result{}, err
+	}
+	return st.Collect()
+}
+
+// Stream is an incremental view of one routed scan: each segment's records
+// arrive as one batch, in segment (hence global curve) order, as soon as
+// that segment's replica chain finishes — the first segment's records reach
+// the consumer while later segments are still being raced across replicas.
+// The trailer commits the merged dark tiling once every segment is in.
+type Stream struct {
+	rt    *Router
+	ctx   context.Context
+	chans []chan segResult
+
+	cur       int
+	dark      []query.Interval
+	nodesSeen map[int]bool
+
+	trailer Result
+	eof     bool
+	err     error
+}
+
+// ScanStream opens the streaming form of Scan. The returned stream must be
+// drained (Next until io.EOF or error); segment goroutines buffer their one
+// result, so an abandoned stream does not leak them, but Close exists for
+// symmetry and early interest loss.
+func (rt *Router) ScanStream(ctx context.Context, ivs []query.Interval) (*Stream, error) {
 	if err := service.ValidateIntervals(ivs, rt.topo.Curve().Universe().N()); err != nil {
-		return Result{}, fmt.Errorf("cluster: scan: %w", err)
+		return nil, fmt.Errorf("cluster: scan: %w", err)
 	}
 	rt.qTotal.Inc()
 
@@ -164,7 +198,6 @@ func (rt *Router) Scan(ctx context.Context, ivs []query.Interval) (Result, error
 		ivs []query.Interval
 	}
 	var jobs []job
-	var dark []query.Interval
 	for j := 0; j < rt.topo.Nodes(); j++ {
 		lo, hi := rt.topo.Segment(j)
 		clipped := clipIntervals(ivs, lo, hi)
@@ -173,43 +206,92 @@ func (rt *Router) Scan(ctx context.Context, ivs []query.Interval) (Result, error
 		}
 		jobs = append(jobs, job{seg: j, ivs: clipped})
 	}
-
-	results := make([]segResult, len(jobs))
-	var wg sync.WaitGroup
+	st := &Stream{
+		rt:        rt,
+		ctx:       ctx,
+		chans:     make([]chan segResult, len(jobs)),
+		nodesSeen: map[int]bool{},
+	}
 	for i, jb := range jobs {
-		i, jb := i, jb
-		wg.Add(1)
+		ch := make(chan segResult, 1) // buffered: the goroutine never blocks on an abandoned stream
+		st.chans[i] = ch
+		jb := jb
 		go func() {
-			defer wg.Done()
-			results[i] = rt.scanSegment(ctx, jb.seg, jb.ivs)
+			ch <- rt.scanSegment(ctx, jb.seg, jb.ivs)
 		}()
 	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return Result{}, err
-	}
+	return st, nil
+}
 
-	// Segments ascend in curve space and each segment's records ascend in
-	// curve key, so concatenation in job order is globally curve-ordered.
-	out := Result{}
-	nodesSeen := map[int]bool{}
-	for _, sr := range results {
-		out.Records = append(out.Records, sr.records...)
-		dark = append(dark, sr.dark...)
-		out.PagesRead += sr.pages
-		out.Hedges += sr.hedges
-		out.Failovers += sr.failovers
+// Next returns the next segment's records (possibly empty), or io.EOF once
+// every segment has reported — the trailer is then available. Segments
+// ascend in curve space and each segment's records ascend in curve key, so
+// batches concatenate in global curve order. A context that ended before
+// the scatter completed surfaces as its error, exactly like the buffered
+// Scan.
+func (st *Stream) Next() ([]store.Record, error) {
+	if st.err != nil {
+		return nil, st.err
+	}
+	if st.eof {
+		return nil, io.EOF
+	}
+	for st.cur < len(st.chans) {
+		sr := <-st.chans[st.cur]
+		st.cur++
+		st.dark = append(st.dark, sr.dark...)
+		st.trailer.PagesRead += sr.pages
+		st.trailer.Hedges += sr.hedges
+		st.trailer.Failovers += sr.failovers
 		for _, n := range sr.servedBy {
-			nodesSeen[n] = true
+			st.nodesSeen[n] = true
+		}
+		if len(sr.records) > 0 {
+			return sr.records, nil
 		}
 	}
-	out.NodesQueried = len(nodesSeen)
-	out.Unavailable = query.MergeIntervals(dark)
-	if !out.Complete() {
-		rt.qDegraded.Inc()
-		rt.darkIvs.Add(int64(len(out.Unavailable)))
+	if err := st.ctx.Err(); err != nil {
+		st.err = err
+		return nil, err
 	}
-	return out, nil
+	st.eof = true
+	st.trailer.NodesQueried = len(st.nodesSeen)
+	st.trailer.Unavailable = query.MergeIntervals(st.dark)
+	if !st.trailer.Complete() {
+		st.rt.qDegraded.Inc()
+		st.rt.darkIvs.Add(int64(len(st.trailer.Unavailable)))
+	}
+	return nil, io.EOF
+}
+
+// Trailer returns the end-of-scan summary; valid only after Next has
+// returned io.EOF.
+func (st *Stream) Trailer() Result { return st.trailer }
+
+// Close abandons the stream. In-flight segment goroutines park their result
+// in their buffered channel and exit; nothing leaks.
+func (st *Stream) Close() {
+	if !st.eof && st.err == nil {
+		st.err = io.ErrClosedPipe
+	}
+}
+
+// Collect drains the stream into the buffered Result shape.
+func (st *Stream) Collect() (Result, error) {
+	var recs []store.Record
+	for {
+		b, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		recs = append(recs, b...)
+	}
+	res := st.Trailer()
+	res.Records = recs
+	return res, nil
 }
 
 // segResult is one segment's share of a scatter.

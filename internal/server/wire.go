@@ -50,6 +50,11 @@ type ErrorResponse struct {
 type WireInfo struct {
 	// Addr is the "host:port" of the binary wire listener.
 	Addr string `json:"addr"`
+	// Compress reports that the listener honors per-request compression
+	// (wire.FlagCompress): deflated response frames for clients that ask.
+	// Clients must not send the request flags byte to a daemon that did
+	// not advertise it.
+	Compress bool `json:"compress,omitempty"`
 }
 
 // WriteRequest is the body of POST /put and POST /delete: one record,

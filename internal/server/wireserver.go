@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net"
 	"net/http"
 	"sync"
@@ -56,7 +57,8 @@ func (s *Server) ServeWire(l net.Listener) error {
 func (s *Server) AdvertiseWire(addr string) { s.wireAdvert.Store(addr) }
 
 // handleWireInfo answers GET /wireinfo: the advertised binary listener,
-// or 404 when the daemon does not serve the binary protocol.
+// or 404 when the daemon does not serve the binary protocol. Compress
+// advertises per-frame deflate support; clients opt in per request.
 func (s *Server) handleWireInfo(w http.ResponseWriter, r *http.Request) {
 	addr, _ := s.wireAdvert.Load().(string)
 	if addr == "" {
@@ -64,7 +66,7 @@ func (s *Server) handleWireInfo(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(WireInfo{Addr: addr})
+	json.NewEncoder(w).Encode(WireInfo{Addr: addr, Compress: true})
 }
 
 // wireWriter serializes whole-frame writes to one connection, so frames
@@ -90,41 +92,85 @@ func (w *wireWriter) write(f wire.Frame) error {
 // them so pipelined responses and pings still interleave.
 const segmentBytes = 1 << 18
 
-// writeSegment encodes TBatch frames from *recs directly into the shared
-// write buffer — no intermediate payload allocation, capacity retained
-// across calls — until the segment bound, appends the TTrailer once the
-// records run out, and writes the segment with a single conn.Write. It
-// advances *recs past what it consumed and reports done when the trailer
-// went out. An encoding error (malformed records) is reported distinctly
-// from a write error so the caller can send a TError for the former.
-func (w *wireWriter) writeSegment(id uint64, recs *[]store.Record, tr wire.Trailer) (done bool, encErr, writeErr error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.buf = w.buf[:0]
-	for len(*recs) > 0 && len(w.buf) < segmentBytes {
-		n := len(*recs)
+// wireStreamEnc encodes one request's response frames into a private
+// per-request buffer, flushing with a single locked conn.Write whenever a
+// segment fills. The buffer never grows past one segment plus one frame, so
+// per-request server-side buffering is bounded by segmentBytes plus the
+// largest batch — not by the result size, however large the scan. ioFailed
+// distinguishes a dead connection (give up silently; the read loop notices
+// too) from an encoding failure (send TError).
+type wireStreamEnc struct {
+	w        *wireWriter
+	id       uint64
+	compress bool
+	buf      []byte
+	scratch  []byte // payload staging when compressing
+	ioFailed bool
+}
+
+// addBatch encodes recs as TBatch frames of at most DefaultBatchRecords
+// each. When the request negotiated compression, payloads of at least
+// wire.MinCompressSize are deflated; the plain path encodes straight into
+// the segment buffer with no intermediate copy.
+func (e *wireStreamEnc) addBatch(recs []store.Record) error {
+	for len(recs) > 0 {
+		n := len(recs)
 		if n > wire.DefaultBatchRecords {
 			n = wire.DefaultBatchRecords
 		}
-		start := len(w.buf)
-		buf, err := wire.AppendBatchPayload(wire.BeginFrame(w.buf, wire.TBatch, id), (*recs)[:n])
-		if err != nil {
-			return false, err, nil
+		if e.compress {
+			var err error
+			e.scratch, err = wire.AppendBatchPayload(e.scratch[:0], recs[:n])
+			if err != nil {
+				return err
+			}
+			e.buf, err = wire.AppendCompressedFrame(e.buf, wire.Frame{Type: wire.TBatch, ID: e.id, Payload: e.scratch})
+			if err != nil {
+				return err
+			}
+		} else {
+			start := len(e.buf)
+			buf, err := wire.AppendBatchPayload(wire.BeginFrame(e.buf, wire.TBatch, e.id), recs[:n])
+			if err != nil {
+				return err
+			}
+			e.buf = wire.FinishFrame(buf, start)
 		}
-		w.buf = wire.FinishFrame(buf, start)
-		*recs = (*recs)[n:]
-	}
-	if len(*recs) == 0 {
-		start := len(w.buf)
-		buf, err := wire.AppendTrailerPayload(wire.BeginFrame(w.buf, wire.TTrailer, id), tr)
-		if err != nil {
-			return false, err, nil
+		recs = recs[n:]
+		if len(e.buf) >= segmentBytes {
+			if err := e.flush(); err != nil {
+				return err
+			}
 		}
-		w.buf = wire.FinishFrame(buf, start)
-		done = true
 	}
-	_, werr := w.c.Write(w.buf)
-	return done, nil, werr
+	return nil
+}
+
+// flush writes the buffered segment under the connection's write lock.
+func (e *wireStreamEnc) flush() error {
+	if len(e.buf) == 0 {
+		return nil
+	}
+	e.w.mu.Lock()
+	_, err := e.w.c.Write(e.buf)
+	e.w.mu.Unlock()
+	e.buf = e.buf[:0]
+	if err != nil {
+		e.ioFailed = true
+	}
+	return err
+}
+
+// finish appends the TTrailer — the stream's commit point — and flushes
+// whatever remains, so small responses go out as one write.
+func (e *wireStreamEnc) finish(tr wire.Trailer) error {
+	start := len(e.buf)
+	buf, err := wire.AppendTrailerPayload(wire.BeginFrame(e.buf, wire.TTrailer, e.id), tr)
+	if err != nil {
+		return err
+	}
+	e.buf = wire.FinishFrame(buf, start)
+	return e.flush()
 }
 
 // writeError sends a TError frame; hint < 0 means no retry-after.
@@ -191,13 +237,20 @@ func (s *Server) serveWireConn(c net.Conn) {
 	c.Close()
 }
 
-// handleWireRequest runs one TQuery/TScan through admission, the service,
-// and the streaming response encoding. Failure mapping mirrors the HTTP
-// handlers': shed → CodeOverloaded (+hint), queued past deadline →
-// CodeDeadline, drain → CodeUnavailable, malformed → CodeBadRequest.
+// handleWireRequest runs one TQuery/TScan through admission, the service's
+// streaming pipeline, and the incremental response encoding: TBatch frames
+// go out as the shard merge produces them, so the client's first records
+// arrive while later curve intervals are still being scanned, and the
+// trailer commits the degraded tiling only once every shard has finished.
+// Failure mapping mirrors the HTTP handlers': shed → CodeOverloaded
+// (+hint), queued past deadline → CodeDeadline, drain → CodeUnavailable,
+// malformed → CodeBadRequest. A failure after batches have flushed is
+// reported as a TError frame — the protocol's promise that a missing
+// trailer is always accompanied by a reason or a dead connection.
 func (s *Server) handleWireRequest(connCtx context.Context, w *wireWriter, f wire.Frame) {
 	var timeout time.Duration
-	run := func(ctx context.Context) (service.Result, error) { return service.Result{}, nil }
+	var compress bool
+	open := func(ctx context.Context) (*service.Stream, error) { return nil, nil }
 	switch f.Type {
 	case wire.TQuery:
 		req, err := wire.DecodeQueryRequest(f.Payload)
@@ -212,8 +265,8 @@ func (s *Server) handleWireRequest(connCtx context.Context, w *wireWriter, f wir
 			w.writeError(f.ID, wire.CodeBadRequest, -1, err.Error())
 			return
 		}
-		timeout = req.Timeout
-		run = func(ctx context.Context) (service.Result, error) { return s.svc.Range(ctx, box) }
+		timeout, compress = req.Timeout, req.Compress
+		open = func(ctx context.Context) (*service.Stream, error) { return s.svc.RangeStream(ctx, box) }
 	case wire.TScan:
 		req, err := wire.DecodeScanRequest(f.Payload)
 		if err != nil {
@@ -221,8 +274,8 @@ func (s *Server) handleWireRequest(connCtx context.Context, w *wireWriter, f wir
 			w.writeError(f.ID, wire.CodeBadRequest, -1, err.Error())
 			return
 		}
-		timeout = req.Timeout
-		run = func(ctx context.Context) (service.Result, error) { return s.svc.Scan(ctx, req.Ivs) }
+		timeout, compress = req.Timeout, req.Compress
+		open = func(ctx context.Context) (*service.Stream, error) { return s.svc.ScanStream(ctx, req.Ivs) }
 	}
 
 	ctx := connCtx
@@ -254,60 +307,72 @@ func (s *Server) handleWireRequest(connCtx context.Context, w *wireWriter, f wir
 	}()
 
 	start := time.Now()
-	res, err := run(ctx)
-	elapsed := time.Since(start)
+	st, err := open(ctx)
 	if err != nil {
-		switch {
-		case errors.Is(err, context.DeadlineExceeded):
-			s.reqDeadline.Inc()
-			w.writeError(f.ID, wire.CodeDeadline, -1, "deadline exceeded mid-scan")
-		case errors.Is(err, context.Canceled):
-			s.reqCanceled.Inc() // connection closed; response goes nowhere
-		case errors.Is(err, service.ErrShuttingDown):
-			s.reqDraining.Inc()
-			w.writeError(f.ID, wire.CodeUnavailable, int64(s.retryAfterSec), "shutting down")
-		case f.Type == wire.TScan:
-			// Scan validation failures (unsorted, out of range) are the
-			// client's fault, mirroring HTTP 400.
-			s.reqBad.Inc()
-			w.writeError(f.ID, wire.CodeBadRequest, -1, err.Error())
-		default:
-			s.reqErrors.Inc()
-			w.writeError(f.ID, wire.CodeInternal, -1, err.Error())
+		s.failWireRequest(w, f, err)
+		return
+	}
+	defer st.Close()
+	enc := &wireStreamEnc{w: w, id: f.ID, compress: compress}
+	for {
+		recs, err := st.Next()
+		if err == io.EOF {
+			break
 		}
-		return
+		if err != nil {
+			s.failWireRequest(w, f, err)
+			return
+		}
+		if err := enc.addBatch(recs); err != nil {
+			if !enc.ioFailed {
+				s.reqErrors.Inc()
+				w.writeError(f.ID, wire.CodeInternal, -1, err.Error())
+				return
+			}
+			// The connection broke mid-stream; the read loop notices too.
+			s.reqErrors.Inc()
+			return
+		}
 	}
-	s.latency.Observe(elapsed.Microseconds())
-	if err := s.streamWireResult(w, f.ID, res, elapsed); err != nil {
-		// The connection broke mid-stream; the read loop notices too.
-		s.reqErrors.Inc()
-		return
-	}
-	s.reqOK.Inc()
-}
-
-// streamWireResult writes a result as chunked TBatch frames in curve order
-// followed by the TTrailer. The trailer is the commit point — a client
-// that never sees it knows the body is incomplete, whatever arrived.
-func (s *Server) streamWireResult(w *wireWriter, id uint64, res service.Result, elapsed time.Duration) error {
+	res := st.Trailer()
+	elapsed := time.Since(start)
 	tr := wire.Trailer{
 		Unavailable:   res.Unavailable,
 		ShardsQueried: res.ShardsQueried,
 		PagesRead:     res.PagesRead,
 		ElapsedUS:     elapsed.Microseconds(),
 	}
-	recs := res.Records
-	for {
-		done, encErr, writeErr := w.writeSegment(id, &recs, tr)
-		if encErr != nil {
-			w.writeError(id, wire.CodeInternal, -1, encErr.Error())
-			return encErr
+	if err := enc.finish(tr); err != nil {
+		if !enc.ioFailed {
+			w.writeError(f.ID, wire.CodeInternal, -1, err.Error())
 		}
-		if writeErr != nil {
-			return writeErr
-		}
-		if done {
-			return nil
-		}
+		s.reqErrors.Inc()
+		return
+	}
+	s.latency.Observe(elapsed.Microseconds())
+	s.reqOK.Inc()
+}
+
+// failWireRequest maps a stream-open or mid-stream failure to its TError
+// frame (or silence for a vanished client), keeping the binary protocol's
+// failure vocabulary identical to the HTTP handlers'.
+func (s *Server) failWireRequest(w *wireWriter, f wire.Frame, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.reqDeadline.Inc()
+		w.writeError(f.ID, wire.CodeDeadline, -1, "deadline exceeded mid-scan")
+	case errors.Is(err, context.Canceled):
+		s.reqCanceled.Inc() // connection closed; response goes nowhere
+	case errors.Is(err, service.ErrShuttingDown):
+		s.reqDraining.Inc()
+		w.writeError(f.ID, wire.CodeUnavailable, int64(s.retryAfterSec), "shutting down")
+	case f.Type == wire.TScan:
+		// Scan validation failures (unsorted, out of range) are the
+		// client's fault, mirroring HTTP 400.
+		s.reqBad.Inc()
+		w.writeError(f.ID, wire.CodeBadRequest, -1, err.Error())
+	default:
+		s.reqErrors.Inc()
+		w.writeError(f.ID, wire.CodeInternal, -1, err.Error())
 	}
 }

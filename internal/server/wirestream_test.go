@@ -1,0 +1,265 @@
+package server_test
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/query"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// TestWireCompressedScanMatchesPlain: a scan with the compression flag
+// returns bit-identical records and trailer to the in-process service —
+// decompression is transparent in the client — and the frames on the wire
+// actually carry the compressed bit, so the flag is not silently ignored.
+func TestWireCompressedScanMatchesPlain(t *testing.T) {
+	svc := newTestService(t, 0)
+	srv, err := server.New(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startWire(t, srv)
+
+	n := svc.Curve().Universe().N()
+	ivs := []query.Interval{{Lo: 0, Hi: n}}
+	want, err := svc.Scan(context.Background(), ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := &client.BinaryTransport{Addr: addr, Compress: true}
+	defer tr.Close()
+	st, err := tr.ScanStream(context.Background(), ivs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	i := 0
+	for {
+		batch, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range batch {
+			if !r.Point.Equal(want.Records[i].Point) || r.Payload != want.Records[i].Payload {
+				t.Fatalf("record %d differs under compression: %v/%d want %v/%d",
+					i, r.Point, r.Payload, want.Records[i].Point, want.Records[i].Payload)
+			}
+			i++
+		}
+	}
+	if i != len(want.Records) {
+		t.Fatalf("streamed %d records, want %d", i, len(want.Records))
+	}
+	trailer, ok := st.Trailer()
+	if !ok || trailer.PagesRead != want.PagesRead || !trailer.Complete() {
+		t.Fatalf("trailer %+v (ok=%v), want pages=%d complete", trailer, ok, want.PagesRead)
+	}
+
+	// Raw socket: the same request must produce at least one frame with
+	// the compressed bit set, and the compressed response must be smaller
+	// than the plain one end to end.
+	compressedTypes, compressedBytes := rawScanFrames(t, addr, ivs, true)
+	_, plainBytes := rawScanFrames(t, addr, ivs, false)
+	sawCompressed := false
+	for _, typ := range compressedTypes {
+		if typ&wire.CompressedBit != 0 {
+			sawCompressed = true
+			if typ&^wire.CompressedBit != wire.TBatch {
+				t.Fatalf("compressed bit on type 0x%02x, only batches should compress", typ)
+			}
+		}
+	}
+	if !sawCompressed {
+		t.Fatal("no compressed frame on the wire despite the negotiated flag")
+	}
+	if compressedBytes >= plainBytes {
+		t.Fatalf("compressed response %d bytes, plain %d: compression did not shrink the transfer", compressedBytes, plainBytes)
+	}
+}
+
+// rawScanFrames sends one TScan over a raw socket and reads response frame
+// headers without decompressing, returning the on-wire type bytes and the
+// total response size.
+func rawScanFrames(t *testing.T, addr string, ivs []query.Interval, compress bool) ([]byte, int) {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	payload, err := wire.AppendScanRequest(nil, wire.ScanRequest{Ivs: ivs, Compress: compress})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(wire.AppendFrame(nil, wire.Frame{Type: wire.TScan, ID: 1, Payload: payload})); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	var types []byte
+	total := 0
+	hdr := make([]byte, wire.HeaderSize)
+	for {
+		if _, err := io.ReadFull(c, hdr); err != nil {
+			t.Fatalf("reading frame header: %v", err)
+		}
+		typ := hdr[3]
+		types = append(types, typ)
+		n := int(binary.LittleEndian.Uint32(hdr[12:16]))
+		if _, err := io.CopyN(io.Discard, c, int64(n)); err != nil {
+			t.Fatalf("reading frame payload: %v", err)
+		}
+		total += wire.HeaderSize + n
+		if base := typ &^ wire.CompressedBit; base == wire.TTrailer || base == wire.TError {
+			return types, total
+		}
+	}
+}
+
+// TestWireStreamDisconnectReleases: a client that vanishes mid-stream must
+// not pin the server's admission slot or shard workers. With the inflight
+// limit at 1, a leaked slot would make every follow-up request shed — so a
+// promptly successful follow-up query is the release proof.
+func TestWireStreamDisconnectReleases(t *testing.T) {
+	svc := newTestService(t, 500*time.Microsecond) // slow pages: the scan outlives the disconnect
+	srv, err := server.New(svc, server.WithMaxInflight(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startWire(t, srv)
+
+	n := svc.Curve().Universe().N()
+	tr := &client.BinaryTransport{Addr: addr, Conns: 1}
+	st, err := tr.ScanStream(context.Background(), []query.Interval{{Lo: 0, Hi: n}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Next(); err != nil {
+		t.Fatalf("first batch before disconnect: %v", err)
+	}
+	// Drop the connection with the stream mid-flight. The server sees the
+	// read side close, cancels the per-connection context, and the stream's
+	// shard legs unwind between batches.
+	st.Close()
+	tr.Close()
+
+	u := svc.Curve().Universe()
+	box, err := query.NewBox(u, u.MustPoint(0, 0), u.MustPoint(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2 := &client.BinaryTransport{Addr: addr}
+	defer tr2.Close()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		_, err := tr2.Query(context.Background(), box, 0)
+		if err == nil {
+			return
+		}
+		var re *client.RetryableError
+		if !errors.As(err, &re) {
+			t.Fatalf("follow-up query failed terminally: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("inflight slot never released after disconnect: still %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestWireTornConnectionTruncated: when the connection dies before the
+// trailer arrives, the client must surface wire.ErrTruncated (retryably) —
+// batches without a trailer are an uncommitted result, never silently
+// returned as complete. A relay between client and server forwards every
+// frame but cuts the connection partway through the trailer frame.
+func TestWireTornConnectionTruncated(t *testing.T) {
+	svc := newTestService(t, 0)
+	srv, err := server.New(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startWire(t, srv)
+
+	relay, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+	go func() {
+		cc, err := relay.Accept()
+		if err != nil {
+			return
+		}
+		defer cc.Close()
+		sc, err := net.Dial("tcp", addr)
+		if err != nil {
+			return
+		}
+		defer sc.Close()
+		go io.Copy(sc, cc)
+		hdr := make([]byte, wire.HeaderSize)
+		for {
+			if _, err := io.ReadFull(sc, hdr); err != nil {
+				return
+			}
+			n := int64(binary.LittleEndian.Uint32(hdr[12:16]))
+			if hdr[3]&^wire.CompressedBit == wire.TTrailer {
+				// Forward the header and half the payload, then tear the
+				// connection: the torn-tail shape a crash leaves behind.
+				cc.Write(hdr)
+				io.CopyN(cc, sc, n/2)
+				return
+			}
+			if _, err := cc.Write(hdr); err != nil {
+				return
+			}
+			if _, err := io.CopyN(cc, sc, n); err != nil {
+				return
+			}
+		}
+	}()
+
+	n := svc.Curve().Universe().N()
+	tr := &client.BinaryTransport{Addr: relay.Addr().String(), Conns: 1}
+	defer tr.Close()
+	st, err := tr.ScanStream(context.Background(), []query.Interval{{Lo: 0, Hi: n}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	batches := 0
+	for {
+		_, err := st.Next()
+		if err == nil {
+			batches++
+			continue
+		}
+		if err == io.EOF {
+			t.Fatal("torn stream reported clean EOF: truncation went undetected")
+		}
+		if !errors.Is(err, wire.ErrTruncated) {
+			t.Fatalf("torn stream error %v, want wire.ErrTruncated", err)
+		}
+		var re *client.RetryableError
+		if !errors.As(err, &re) {
+			t.Fatalf("truncation not classified retryable: %v", err)
+		}
+		break
+	}
+	if batches == 0 {
+		t.Fatal("no batches before the tear; the cut did not exercise mid-stream truncation")
+	}
+	if _, ok := st.Trailer(); ok {
+		t.Fatal("trailer reported present on a torn stream")
+	}
+}

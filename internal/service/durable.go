@@ -22,6 +22,7 @@ var ErrReadOnly = errors.New("service: read-only (no durable directory)")
 // Range works unchanged over either.
 type shardScanner interface {
 	Scan(ctx context.Context, ivs []query.Interval, opts ...store.ScanOption) (store.ScanResult, error)
+	ScanCursor(ivs []query.Interval, opts ...store.ScanOption) (store.BatchCursor, error)
 }
 
 // openDurableShards opens (or recovers) one *store.Durable per shard under

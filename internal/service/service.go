@@ -26,7 +26,6 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"time"
 
 	"repro/internal/curve"
 	"repro/internal/metrics"
@@ -254,77 +253,17 @@ func ValidateIntervals(ivs []query.Interval, n uint64) error {
 	return nil
 }
 
-// scanIntervals is the shared scatter core of Range and Scan.
+// scanIntervals is the shared core of Range and Scan: a Collect over the
+// streaming pipeline, so the buffered and streaming entry points cannot
+// diverge — the differential property test in stream_test.go pins the
+// equivalence under fault injection.
 func (s *Service) scanIntervals(ctx context.Context, ivs []query.Interval) (Result, error) {
-	type job struct {
-		shard int
-		ivs   []query.Interval
+	st, err := s.openStream(ctx, ivs)
+	if err != nil {
+		return Result{}, err
 	}
-	jobs := make([]job, 0, len(s.scanners))
-	for j := range s.scanners {
-		lo, hi := s.pt.Segment(j)
-		if clipped := clipIntervals(ivs, lo, hi); len(clipped) > 0 {
-			jobs = append(jobs, job{shard: j, ivs: clipped})
-		}
-	}
-	s.qTotal.Inc()
-	if len(jobs) == 0 {
-		return Result{}, nil
-	}
-	type shardRes struct {
-		pos int
-		res store.ScanResult
-		err error
-	}
-	resc := make(chan shardRes, len(jobs))
-	s.mu.RLock()
-	if s.closed {
-		s.mu.RUnlock()
-		s.qErrors.Inc()
-		return Result{}, fmt.Errorf("service: range: %w", ErrShuttingDown)
-	}
-	for pos, jb := range jobs {
-		pos, jb := pos, jb
-		s.tasks <- func() {
-			start := time.Now()
-			r, err := s.scanners[jb.shard].Scan(ctx, jb.ivs)
-			s.shardLat[jb.shard].Observe(time.Since(start).Microseconds())
-			resc <- shardRes{pos: pos, res: r, err: err}
-		}
-	}
-	s.mu.RUnlock()
-
-	ordered := make([]store.ScanResult, len(jobs))
-	var firstErr error
-	for range jobs {
-		sr := <-resc
-		if sr.err != nil && firstErr == nil {
-			firstErr = sr.err
-		}
-		ordered[sr.pos] = sr.res
-	}
-	if firstErr != nil {
-		s.qErrors.Inc()
-		return Result{}, fmt.Errorf("service: range: %w", firstErr)
-	}
-	out := Result{ShardsQueried: len(jobs)}
-	var dark []query.Interval
-	pages := 0
-	for _, r := range ordered {
-		out.Records = append(out.Records, r.Records...)
-		dark = append(dark, r.Unavailable...)
-		pages += r.PagesRead
-	}
-	// Per-shard dark lists are sorted and confined to disjoint ascending
-	// segments, so the concatenation is already sorted; MergeIntervals
-	// coalesces abutting spans across a shard boundary.
-	out.Unavailable = query.MergeIntervals(dark)
-	out.PagesRead = int64(pages)
-	s.pagesRead.Add(int64(pages))
-	if !out.Complete() {
-		s.qDegraded.Inc()
-	}
-	return out, nil
+	defer st.Close()
+	return st.Collect()
 }
 
 // RangeBatch answers the boxes in order, reusing the decomposition cache

@@ -1,0 +1,379 @@
+package service_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/curve"
+	"repro/internal/faultio"
+	"repro/internal/grid"
+	"repro/internal/query"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// clipToSegment restricts sorted disjoint intervals to [lo, hi) — the same
+// clipping the service applies when routing, reimplemented here so the
+// oracle below does not depend on the code under test.
+func clipToSegment(ivs []query.Interval, lo, hi uint64) []query.Interval {
+	var out []query.Interval
+	for _, iv := range ivs {
+		if iv.Lo >= hi {
+			break
+		}
+		a, b := iv.Lo, iv.Hi
+		if a < lo {
+			a = lo
+		}
+		if b > hi {
+			b = hi
+		}
+		if a < b {
+			out = append(out, query.Interval{Lo: a, Hi: b})
+		}
+	}
+	return out
+}
+
+// bufferedOracle reproduces the pre-streaming scatter/gather by hand: each
+// intersected shard's store is scanned directly (bypassing the service) and
+// the results are concatenated in shard order, dark intervals merged, page
+// counts summed. This is exactly what Service.Scan computed before it became
+// a Collect over the stream.
+func bufferedOracle(t *testing.T, ctx context.Context, svc *service.Service, ivs []query.Interval) service.Result {
+	t.Helper()
+	var res service.Result
+	var dark []query.Interval
+	for j := 0; j < svc.Shards(); j++ {
+		lo, hi := svc.Partition().Segment(j)
+		clipped := clipToSegment(ivs, lo, hi)
+		if len(clipped) == 0 {
+			continue
+		}
+		sr, err := svc.Shard(j).Scan(ctx, clipped)
+		if err != nil {
+			t.Fatalf("oracle scan of shard %d: %v", j, err)
+		}
+		res.Records = append(res.Records, sr.Records...)
+		dark = append(dark, sr.Unavailable...)
+		res.PagesRead += int64(sr.PagesRead)
+		res.ShardsQueried++
+	}
+	res.Unavailable = query.MergeIntervals(dark)
+	return res
+}
+
+// drainStream consumes a Stream by hand — copying each batch, since batches
+// alias recycled buffers — and returns the accumulated result.
+func drainStream(t *testing.T, st *service.Stream) service.Result {
+	t.Helper()
+	var recs []store.Record
+	for {
+		b, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("stream next: %v", err)
+		}
+		recs = append(recs, b...)
+	}
+	res := st.Trailer()
+	res.Records = recs
+	return res
+}
+
+func sameResults(a, b service.Result) bool {
+	if len(a.Records) != len(b.Records) || len(a.Unavailable) != len(b.Unavailable) {
+		return false
+	}
+	if a.ShardsQueried != b.ShardsQueried || a.PagesRead != b.PagesRead {
+		return false
+	}
+	if len(a.Records) > 0 && !reflect.DeepEqual(a.Records, b.Records) {
+		return false
+	}
+	if len(a.Unavailable) > 0 && !reflect.DeepEqual(a.Unavailable, b.Unavailable) {
+		return false
+	}
+	return true
+}
+
+// TestStreamEqualsBufferedOracle is the tentpole property: under
+// deterministic fault injection, a hand-drained ScanStream — records
+// batch-by-batch, dark tiling from the trailer — is bit-identical to the
+// pre-streaming buffered scatter/gather, across curves and shard counts.
+// faultio's LostFrac mode picks lost pages per page id at wrap time, so the
+// oracle and the stream observe the same fault set no matter how many times
+// or in what order each side reads.
+func TestStreamEqualsBufferedOracle(t *testing.T) {
+	u := grid.MustNew(2, 5)
+	recs := randomRecords(u, 2500, 31)
+	for _, name := range []string{"hilbert", "z"} {
+		c, err := curve.ByName(name, u, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{1, 3, 4} {
+			svc, err := service.New(c, recs,
+				service.WithShards(shards),
+				service.WithWorkers(2),
+				service.WithPageSize(8),
+				service.WithShardStoreOptions(func(j int) []store.Option {
+					return []store.Option{store.WithDeviceWrapper(func(dev store.PageDevice) (store.PageDevice, error) {
+						return faultio.Wrap(dev, faultio.Config{Seed: int64(7*j + 1), LostFrac: 0.2})
+					})}
+				}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+			rng := rand.New(rand.NewSource(int64(shards)))
+			sawDark, sawMultiBatch := false, false
+			for q := 0; q < 40; q++ {
+				ivs := query.DecomposeBox(c, randomBox(u, rng))
+				if len(ivs) == 0 {
+					continue
+				}
+				want := bufferedOracle(t, ctx, svc, ivs)
+				st, err := svc.ScanStream(ctx, ivs)
+				if err != nil {
+					t.Fatalf("%s/%d shards query %d: %v", name, shards, q, err)
+				}
+				got := drainStream(t, st)
+				st.Close()
+				if !sameResults(want, got) {
+					t.Fatalf("%s/%d shards query %d: stream diverges from buffered oracle:\n got %d recs %v dark %d pages %d shards\nwant %d recs %v dark %d pages %d shards",
+						name, shards, q,
+						len(got.Records), got.Unavailable, got.PagesRead, got.ShardsQueried,
+						len(want.Records), want.Unavailable, want.PagesRead, want.ShardsQueried)
+				}
+				// The buffered entry point is a Collect over the same
+				// pipeline; pin that it agrees too.
+				buf, err := svc.Scan(ctx, ivs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameResults(want, buf) {
+					t.Fatalf("%s/%d shards query %d: Scan diverges from buffered oracle", name, shards, q)
+				}
+				if !got.Complete() {
+					sawDark = true
+				}
+				if got.ShardsQueried > 1 {
+					sawMultiBatch = true
+				}
+			}
+			if !sawDark {
+				t.Fatalf("%s/%d shards: fault schedule never darkened a query; test is vacuous", name, shards)
+			}
+			if shards > 1 && !sawMultiBatch {
+				t.Fatalf("%s/%d shards: no query fanned out; test is vacuous", name, shards)
+			}
+			svc.Close()
+		}
+	}
+}
+
+// TestStreamOrderAcrossBatches checks the merge invariant directly: keys are
+// globally non-decreasing across batch boundaries, including across the
+// shard handoff, on a scan large enough to need several batches per shard.
+func TestStreamOrderAcrossBatches(t *testing.T) {
+	u := grid.MustNew(2, 7)
+	c := curve.NewHilbert(u)
+	recs := randomRecords(u, 12000, 3)
+	svc, err := service.New(c, recs, service.WithShards(3), service.WithPageSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	st, err := svc.ScanStream(context.Background(), []query.Interval{{Lo: 0, Hi: u.N()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var last uint64
+	have := false
+	batches, total := 0, 0
+	for {
+		b, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches++
+		total += len(b)
+		for _, r := range b {
+			k := c.Index(r.Point)
+			if have && k < last {
+				t.Fatalf("key %d after %d: stream out of curve order", k, last)
+			}
+			last, have = k, true
+		}
+	}
+	if batches < 2 {
+		t.Fatalf("full scan of %d records arrived in %d batch(es); test is vacuous", total, batches)
+	}
+	if total != len(recs) {
+		t.Fatalf("full scan streamed %d of %d records", total, len(recs))
+	}
+}
+
+// TestStreamMidCancel cancels the parent context after the first batch and
+// checks the stream surfaces the context error within a bounded number of
+// batches (cancellation is checked between batches, so at most the batches
+// already buffered in the legs can still arrive), that Close returns — i.e.
+// the shard producers join — and that the worker pool survives to serve
+// later queries.
+func TestStreamMidCancel(t *testing.T) {
+	u := grid.MustNew(2, 7)
+	c := curve.NewHilbert(u)
+	// Enough records that each shard needs far more batches than its leg
+	// can buffer, so neither leg can have finished when we cancel.
+	recs := randomRecords(u, 60000, 17)
+	svc, err := service.New(c, recs, service.WithShards(2), service.WithWorkers(2), service.WithPageSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	st, err := svc.ScanStream(ctx, []query.Interval{{Lo: 0, Hi: u.N()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Next(); err != nil {
+		t.Fatalf("first batch: %v", err)
+	}
+	cancel()
+	// Batches buffered before the cancel may still be delivered; the legs
+	// hold at most streamChanCap+2 buffers each, so the error must surface
+	// within a small bounded number of Next calls.
+	var serr error
+	for i := 0; i < 20; i++ {
+		if _, serr = st.Next(); serr != nil {
+			break
+		}
+	}
+	if serr == nil {
+		t.Fatal("stream kept producing long after cancellation")
+	}
+	if serr == io.EOF || !errors.Is(serr, context.Canceled) {
+		t.Fatalf("got %v, want wrapped context.Canceled", serr)
+	}
+	st.Close()
+	// The pool must be whole again: a fresh query on the 2-worker service
+	// completes only if the canceled stream released its workers.
+	if _, err := svc.Range(context.Background(), randomBox(u, rand.New(rand.NewSource(1)))); err != nil {
+		t.Fatalf("query after canceled stream: %v", err)
+	}
+}
+
+// TestStreamCloseWithoutDrain abandons a stream immediately after opening it
+// (and once more after a single batch) and checks the producers join and the
+// service keeps serving — the rows-style Close contract.
+func TestStreamCloseWithoutDrain(t *testing.T) {
+	u := grid.MustNew(2, 7)
+	c := curve.NewHilbert(u)
+	recs := randomRecords(u, 12000, 29)
+	svc, err := service.New(c, recs, service.WithShards(3), service.WithWorkers(2), service.WithPageSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	full := []query.Interval{{Lo: 0, Hi: u.N()}}
+	for pre := 0; pre < 2; pre++ {
+		st, err := svc.ScanStream(context.Background(), full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < pre; i++ {
+			if _, err := st.Next(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st.Close()
+		st.Close() // idempotent
+	}
+	if _, err := svc.Scan(context.Background(), full); err != nil {
+		t.Fatalf("query after abandoned streams: %v", err)
+	}
+}
+
+// TestStreamDurableEqualsScan drains a stream over durable shards — runs,
+// memtable and tombstones live — and checks it matches the buffered Scan,
+// which over durable shards exercises the k-way durable cursor merge.
+func TestStreamDurableEqualsScan(t *testing.T) {
+	u := grid.MustNew(2, 4)
+	c, err := curve.ByName("z", u, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	svc, err := service.New(c, randomRecords(u, 300, 41),
+		service.WithShards(3),
+		service.WithDurableDir(t.TempDir()),
+		service.WithDurableShardOptions(func(int) []store.DurableOption {
+			return []store.DurableOption{store.WithAutoCompact(false)}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	// Leave a resident memtable on top of the bulkloaded runs: puts across
+	// the whole side plus a few deletes.
+	for i := 0; i < 40; i++ {
+		r := store.Record{Point: grid.Point{uint32(i % 16), uint32(i / 16)}, Payload: 9000 + uint64(i)}
+		if err := svc.Put(ctx, r); err != nil {
+			t.Fatal(err)
+		}
+		if i%8 == 3 {
+			if err := svc.Delete(ctx, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(6))
+	for q := 0; q < 30; q++ {
+		ivs := query.DecomposeBox(c, randomBox(u, rng))
+		if len(ivs) == 0 {
+			continue
+		}
+		want, err := svc.Scan(ctx, ivs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := svc.ScanStream(ctx, ivs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drainStream(t, st)
+		st.Close()
+		if !sameResults(want, got) {
+			t.Fatalf("query %d: durable stream diverges from Scan: %d vs %d records", q, len(got.Records), len(want.Records))
+		}
+	}
+}
+
+// TestStreamAfterClose pins the shutdown surface: opening a stream on a
+// closed service fails with ErrShuttingDown, wrapped like Range's error.
+func TestStreamAfterClose(t *testing.T) {
+	u := grid.MustNew(2, 4)
+	c := curve.NewHilbert(u)
+	svc, err := service.New(c, randomRecords(u, 100, 2), service.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+	if _, err := svc.ScanStream(context.Background(), []query.Interval{{Lo: 0, Hi: u.N()}}); !errors.Is(err, service.ErrShuttingDown) {
+		t.Fatalf("got %v, want ErrShuttingDown", err)
+	}
+	if _, err := svc.ScanStream(context.Background(), nil); err == nil {
+		t.Fatal("invalid intervals accepted")
+	}
+}

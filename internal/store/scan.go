@@ -36,6 +36,7 @@ func (r ScanResult) Complete() bool { return len(r.Unavailable) == 0 }
 // scanConfig is the resolved per-scan configuration.
 type scanConfig struct {
 	strict bool
+	batch  int // cursor batch target; 0 means DefaultScanBatch
 }
 
 // ScanOption configures one Scan call.
@@ -55,6 +56,18 @@ func (f scanOptionFunc) applyScan(c *scanConfig) { f(c) }
 // matters more than completeness.
 func ScanStrict() ScanOption {
 	return scanOptionFunc(func(c *scanConfig) { c.strict = true })
+}
+
+// ScanBatchSize sets the record count a ScanCursor targets per batch
+// (default DefaultScanBatch). A batch ends only on a page boundary, so a
+// run of duplicate keys can overshoot the target by up to a page. Values
+// below 1 are ignored; Scan itself ignores the option entirely.
+func ScanBatchSize(n int) ScanOption {
+	return scanOptionFunc(func(c *scanConfig) {
+		if n >= 1 {
+			c.batch = n
+		}
+	})
 }
 
 // Scan is the store's single query entry point: it scans the given sorted,

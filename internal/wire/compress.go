@@ -1,0 +1,114 @@
+package wire
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// CompressedBit is the high bit of the frame-type byte: set, the payload is
+// a deflate stream prefixed with the raw length. The bit rides inside the
+// existing header layout — a version-1 reader that does not speak
+// compression rejects the type byte as unknown, which is why compression is
+// strictly negotiated: a server compresses only after the client asked for
+// it (FlagCompress in its request), and a client asks only after /wireinfo
+// advertised Compress. The CRC covers the compressed bytes, so corruption
+// is caught before any inflation happens.
+const CompressedBit = 0x80
+
+// FlagCompress is the request-flags bit a client sets to accept compressed
+// response frames for that request.
+const FlagCompress = 0x01
+
+// MinCompressSize is the smallest payload worth deflating: below this the
+// per-frame flate overhead eats the savings. Senders also fall back to the
+// plain encoding whenever deflate fails to shrink the payload, so a
+// compressed frame is never larger than its plain form.
+const MinCompressSize = 4 << 10
+
+// flateWriters pools deflate compressors — flate.NewWriter allocates ~600KiB
+// of window state, far too much to pay per frame.
+var flateWriters = sync.Pool{
+	New: func() any {
+		w, _ := flate.NewWriter(io.Discard, flate.BestSpeed)
+		return w
+	},
+}
+
+// flateReaders pools inflate state; flate.Reader supports Reset.
+var flateReaders = sync.Pool{
+	New: func() any { return flate.NewReader(bytes.NewReader(nil)).(flate.Resetter) },
+}
+
+// AppendCompressedFrame appends f's encoding with a deflated payload when
+// that wins, falling back to the plain encoding for small or incompressible
+// payloads. The compressed payload is `raw_len u32 | deflate stream`, and
+// the frame's checksum covers those bytes, not the raw ones.
+func AppendCompressedFrame(dst []byte, f Frame) ([]byte, error) {
+	if len(f.Payload) < MinCompressSize {
+		return AppendFrame(dst, f), nil
+	}
+	start := len(dst)
+	dst = BeginFrame(dst, f.Type|CompressedBit, f.ID)
+	dst = appendU32(dst, uint32(len(f.Payload)))
+	var sink sliceWriter
+	sink.buf = dst
+	fw := flateWriters.Get().(*flate.Writer)
+	fw.Reset(&sink)
+	if _, err := fw.Write(f.Payload); err != nil {
+		flateWriters.Put(fw)
+		return nil, fmt.Errorf("wire: deflate: %w", err)
+	}
+	if err := fw.Close(); err != nil {
+		flateWriters.Put(fw)
+		return nil, fmt.Errorf("wire: deflate: %w", err)
+	}
+	flateWriters.Put(fw)
+	dst = sink.buf
+	if len(dst)-start-HeaderSize >= len(f.Payload) {
+		// Incompressible: ship it plain.
+		return AppendFrame(dst[:start], f), nil
+	}
+	return FinishFrame(dst, start), nil
+}
+
+// sliceWriter adapts an append-grown byte slice to io.Writer for the pooled
+// flate writer.
+type sliceWriter struct{ buf []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+// inflatePayload decodes a compressed frame payload (raw length prefix plus
+// deflate stream) into a fresh buffer. It runs after the checksum has
+// verified the compressed bytes, so a failure here means a peer bug, not
+// line noise — still ErrCorrupt, still connection-terminal.
+func inflatePayload(b []byte) ([]byte, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: compressed payload %d bytes", ErrCorrupt, len(b))
+	}
+	rawLen := readU32(b)
+	if rawLen > MaxFramePayload {
+		return nil, fmt.Errorf("%w: compressed frame inflates to %d bytes, exceeding %d", ErrCorrupt, rawLen, MaxFramePayload)
+	}
+	fr := flateReaders.Get().(flate.Resetter)
+	defer flateReaders.Put(fr)
+	if err := fr.Reset(bytes.NewReader(b[4:]), nil); err != nil {
+		return nil, fmt.Errorf("%w: inflate: %v", ErrCorrupt, err)
+	}
+	out := make([]byte, rawLen)
+	r := fr.(io.Reader)
+	if _, err := io.ReadFull(r, out); err != nil {
+		return nil, fmt.Errorf("%w: inflate: %v", ErrCorrupt, err)
+	}
+	// The stream must end exactly at the declared length.
+	var one [1]byte
+	if n, _ := r.Read(one[:]); n != 0 {
+		return nil, fmt.Errorf("%w: compressed frame longer than its declared %d bytes", ErrCorrupt, rawLen)
+	}
+	return out, nil
+}

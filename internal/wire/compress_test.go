@@ -1,0 +1,261 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// bigBatchPayload builds a TBatch payload comfortably above MinCompressSize
+// with the repetitive structure real curve-ordered batches have.
+func bigBatchPayload(t *testing.T, n int) []byte {
+	t.Helper()
+	recs := make([]store.Record, n)
+	for i := range recs {
+		recs[i] = store.Record{Point: grid.Point{uint32(i / 64), uint32(i % 64)}, Payload: uint64(i)}
+	}
+	return mustAppend(t)(AppendBatchPayload(nil, recs))
+}
+
+// TestCompressedFrameRoundTrip: a large batch frame survives
+// AppendCompressedFrame -> DecodeFrame and -> ReadFrame byte-identically,
+// arrives smaller on the wire, and decodes with the compressed bit cleared.
+func TestCompressedFrameRoundTrip(t *testing.T) {
+	payload := bigBatchPayload(t, 4096)
+	if len(payload) < MinCompressSize {
+		t.Fatalf("test payload %d bytes below MinCompressSize", len(payload))
+	}
+	buf, err := AppendCompressedFrame(nil, Frame{Type: TBatch, ID: 9, Payload: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) >= HeaderSize+len(payload) {
+		t.Fatalf("compressed frame %d bytes, plain would be %d", len(buf), HeaderSize+len(payload))
+	}
+	if buf[3] != TBatch|CompressedBit {
+		t.Fatalf("type byte 0x%02x, want compressed TBatch", buf[3])
+	}
+
+	got, n, err := DecodeFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if got.Type != TBatch || got.ID != 9 || !bytes.Equal(got.Payload, payload) {
+		t.Fatal("DecodeFrame did not restore the raw payload")
+	}
+
+	rf, err := ReadFrame(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.Type != TBatch || rf.ID != 9 || !bytes.Equal(rf.Payload, payload) {
+		t.Fatal("ReadFrame did not restore the raw payload")
+	}
+}
+
+// TestCompressedFrameFallsBackSmall: payloads under the threshold and
+// incompressible payloads ship as plain frames — a compressed frame is
+// never the larger encoding.
+func TestCompressedFrameFallsBackSmall(t *testing.T) {
+	small := []byte("tiny")
+	buf, err := AppendCompressedFrame(nil, Frame{Type: TBatch, ID: 1, Payload: small})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[3] != TBatch {
+		t.Fatalf("small payload got type 0x%02x, want plain TBatch", buf[3])
+	}
+
+	// Incompressible: uniform pseudo-random bytes above the threshold.
+	noise := make([]byte, 2*MinCompressSize)
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := range noise {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		noise[i] = byte(x)
+	}
+	buf, err = AppendCompressedFrame(nil, Frame{Type: TBatch, ID: 2, Payload: noise})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[3] != TBatch {
+		t.Fatalf("incompressible payload got type 0x%02x, want plain TBatch", buf[3])
+	}
+	got, _, err := DecodeFrame(buf)
+	if err != nil || !bytes.Equal(got.Payload, noise) {
+		t.Fatalf("fallback frame corrupted: %v", err)
+	}
+}
+
+// TestCompressedFrameCorruptionRejected: flipping payload bytes of a
+// compressed frame fails the checksum before inflation; a frame whose
+// declared raw length lies is ErrCorrupt after it.
+func TestCompressedFrameCorruptionRejected(t *testing.T) {
+	payload := bigBatchPayload(t, 2048)
+	buf, err := AppendCompressedFrame(nil, Frame{Type: TBatch, ID: 3, Payload: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bit flip inside the compressed body: CRC catches it.
+	mut := append([]byte(nil), buf...)
+	mut[HeaderSize+10] ^= 0xff
+	if _, _, err := DecodeFrame(mut); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("payload bit flip: %v, want ErrCorrupt", err)
+	}
+
+	// Declared raw length below the actual inflated size, CRC re-patched:
+	// the deflate stream outruns its declaration.
+	mut = append([]byte(nil), buf...)
+	binary.LittleEndian.PutUint32(mut[HeaderSize:], 16)
+	FinishFrame(mut, 0)
+	if _, _, err := DecodeFrame(mut); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("lying raw length: %v, want ErrCorrupt", err)
+	}
+
+	// Declared raw length exceeding MaxFramePayload.
+	mut = append([]byte(nil), buf...)
+	binary.LittleEndian.PutUint32(mut[HeaderSize:], MaxFramePayload+1)
+	FinishFrame(mut, 0)
+	if _, _, err := DecodeFrame(mut); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized raw length: %v, want ErrCorrupt", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(mut)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized raw length via ReadFrame: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestRequestFlagsRoundTrip: the optional trailing flags byte encodes the
+// compression opt-in on both request types, flagless requests keep the
+// version-1 length, and unknown flag bits are rejected.
+func TestRequestFlagsRoundTrip(t *testing.T) {
+	q := QueryRequest{Lo: grid.Point{1, 2}, Hi: grid.Point{3, 4}, Compress: true}
+	qp := mustAppend(t)(AppendQueryRequest(nil, q))
+	gotQ, err := DecodeQueryRequest(qp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotQ.Compress {
+		t.Fatal("query Compress flag lost")
+	}
+	q.Compress = false
+	plain := mustAppend(t)(AppendQueryRequest(nil, q))
+	if len(plain) != len(qp)-1 {
+		t.Fatalf("flagless query is %d bytes, flagged %d: flags byte must be optional", len(plain), len(qp))
+	}
+	if gotQ, err = DecodeQueryRequest(plain); err != nil || gotQ.Compress {
+		t.Fatalf("flagless query: %v, compress=%v", err, gotQ.Compress)
+	}
+
+	s := ScanRequest{Ivs: []query.Interval{{Lo: 1, Hi: 5}}, Compress: true}
+	sp := mustAppend(t)(AppendScanRequest(nil, s))
+	gotS, err := DecodeScanRequest(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotS.Compress {
+		t.Fatal("scan Compress flag lost")
+	}
+
+	// Unknown flag bits are a hard reject, not a silent ignore: they are
+	// the namespace future revisions will use.
+	qp[len(qp)-1] = 0x82
+	if _, err := DecodeQueryRequest(qp); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unknown query flags: %v, want ErrCorrupt", err)
+	}
+	sp[len(sp)-1] = 0x02
+	if _, err := DecodeScanRequest(sp); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unknown scan flags: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestCompressedBitOnUnknownType: the compressed bit does not widen the
+// accepted type space — 0x80|garbage is still an unknown type.
+func TestCompressedBitOnUnknownType(t *testing.T) {
+	buf := AppendFrame(nil, Frame{Type: TPong, ID: 1, Payload: []byte{1}})
+	buf[3] = 0x7f | CompressedBit
+	FinishFrame(buf, 0)
+	if _, _, err := DecodeFrame(buf); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("compressed unknown type: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestHotPathAllocs gates the per-batch hot loops at zero steady-state
+// allocations: the server's encoder (BeginFrame/AppendBatchPayload/
+// FinishFrame into a retained buffer) and the client's decoder
+// (DecodeBatchInto over a retained record slice and slab). A regression
+// here silently multiplies GC pressure by the batch rate.
+func TestHotPathAllocs(t *testing.T) {
+	recs := make([]store.Record, DefaultBatchRecords)
+	for i := range recs {
+		recs[i] = store.Record{Point: grid.Point{uint32(i), uint32(i >> 8)}, Payload: uint64(i)}
+	}
+
+	var encBuf []byte
+	encode := func() {
+		start := len(encBuf[:0])
+		buf, err := AppendBatchPayload(BeginFrame(encBuf[:0], TBatch, 1), recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		encBuf = FinishFrame(buf, start)
+	}
+	encode() // warm: first call sizes the buffer
+	if allocs := testing.AllocsPerRun(20, encode); allocs != 0 {
+		t.Fatalf("BeginFrame+AppendBatchPayload+FinishFrame: %v allocs/run, want 0", allocs)
+	}
+
+	payload := encBuf[HeaderSize:]
+	out := make([]store.Record, 0, len(recs))
+	slab := make([]uint32, 2*len(recs))
+	decode := func() {
+		var err error
+		out, _, err = DecodeBatchInto(payload, out[:0], slab)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	decode()
+	if allocs := testing.AllocsPerRun(20, decode); allocs != 0 {
+		t.Fatalf("DecodeBatchInto with retained slab: %v allocs/run, want 0", allocs)
+	}
+	if len(out) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(out), len(recs))
+	}
+}
+
+// TestCompressedStreamInterleaved: compressed and plain frames interleave
+// on one stream — negotiation is per request, so a connection carries both.
+func TestCompressedStreamInterleaved(t *testing.T) {
+	big := bigBatchPayload(t, 4096)
+	var buf []byte
+	var err error
+	buf = AppendFrame(buf, Frame{Type: TBatch, ID: 1, Payload: []byte{1, 0, 0, 0, 1, 0, 0, 0, 0, 9, 0, 0, 0, 0, 0, 0, 0}})
+	buf, err = AppendCompressedFrame(buf, Frame{Type: TBatch, ID: 2, Payload: big})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = AppendFrame(buf, Frame{Type: TTrailer, ID: 2, Payload: mustAppend(t)(AppendTrailerPayload(nil, Trailer{ShardsQueried: 1}))})
+
+	r := bytes.NewReader(buf)
+	f1, err := ReadFrame(r)
+	if err != nil || f1.Type != TBatch || f1.ID != 1 {
+		t.Fatalf("frame 1: %+v %v", f1, err)
+	}
+	f2, err := ReadFrame(r)
+	if err != nil || f2.Type != TBatch || f2.ID != 2 || !bytes.Equal(f2.Payload, big) {
+		t.Fatalf("frame 2 (compressed): type 0x%02x err %v", f2.Type, err)
+	}
+	f3, err := ReadFrame(r)
+	if err != nil || f3.Type != TTrailer {
+		t.Fatalf("frame 3: %+v %v", f3, err)
+	}
+}

@@ -45,13 +45,28 @@
 // in order. A response stream is complete exactly when its TTrailer or
 // TError has arrived.
 //
+// # Compression
+//
+// The type byte's high bit (CompressedBit) marks a frame whose payload is
+// deflate-compressed: a u32 raw length followed by the deflate stream, with
+// the CRC computed over the compressed bytes. Compression is negotiated,
+// never sprung: the server advertises support through GET /wireinfo, the
+// client opts in per request with a trailing flags byte (FlagCompress) on
+// its TQuery/TScan payload, and only then may the server set the bit — in
+// practice on large TBatch frames (MinCompressSize), where cold-scan record
+// payloads deflate well. A reader that never negotiated compression keeps
+// rejecting the bit as an unknown type, exactly as version 1 always has.
+//
 // # Versioning
 //
 // The version byte is per-frame. A reader that sees a version it does not
 // speak must reject the frame as ErrCorrupt and close the connection; there
 // is no negotiation. Compatibility rule for future revisions: payload
-// encodings may only grow by appending fields, and a new version byte is
-// required for any change that alters the meaning of existing bytes.
+// encodings may only grow by appending fields (the request flags byte and
+// CompressedBit follow it: both occupy space version 1 rejected outright,
+// and both are used only after explicit negotiation), and a new version
+// byte is required for any change that alters the meaning of existing
+// bytes.
 package wire
 
 import (
@@ -178,7 +193,7 @@ func DecodeFrame(b []byte) (Frame, int, error) {
 		return Frame{}, 0, fmt.Errorf("%w: unsupported version %d (speaking %d)", ErrCorrupt, b[2], Version)
 	}
 	typ := b[3]
-	if !validType(typ) {
+	if !validType(typ &^ CompressedBit) {
 		return Frame{}, 0, fmt.Errorf("%w: unknown frame type 0x%02x", ErrCorrupt, typ)
 	}
 	id := readU64(b[4:])
@@ -193,6 +208,13 @@ func DecodeFrame(b []byte) (Frame, int, error) {
 	sum := crc32.Update(crc32.Checksum(b[:16], castagnoli), castagnoli, payload)
 	if sum != readU32(b[16:]) {
 		return Frame{}, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	if typ&CompressedBit != 0 {
+		raw, err := inflatePayload(payload)
+		if err != nil {
+			return Frame{}, 0, err
+		}
+		payload, typ = raw, typ&^CompressedBit
 	}
 	return Frame{Type: typ, ID: id, Payload: payload}, HeaderSize + int(n), nil
 }
@@ -218,7 +240,7 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		return Frame{}, fmt.Errorf("%w: unsupported version %d (speaking %d)", ErrCorrupt, hdr[2], Version)
 	}
 	typ := hdr[3]
-	if !validType(typ) {
+	if !validType(typ &^ CompressedBit) {
 		return Frame{}, fmt.Errorf("%w: unknown frame type 0x%02x", ErrCorrupt, typ)
 	}
 	n := readU32(hdr[12:])
@@ -235,6 +257,13 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	sum := crc32.Update(crc32.Checksum(hdr[:16], castagnoli), castagnoli, payload)
 	if sum != readU32(hdr[16:]) {
 		return Frame{}, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	if typ&CompressedBit != 0 {
+		raw, err := inflatePayload(payload)
+		if err != nil {
+			return Frame{}, err
+		}
+		payload, typ = raw, typ&^CompressedBit
 	}
 	return Frame{Type: typ, ID: readU64(hdr[4:]), Payload: payload}, nil
 }
