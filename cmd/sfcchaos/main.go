@@ -84,6 +84,8 @@ func main() {
 	if rep.ClusterChecks > 0 {
 		fmt.Printf("  cluster   %6d runs, %d routed queries (%d degraded), %d kills, %d restarts\n",
 			rep.ClusterChecks, rep.ClusterQueries, rep.ClusterDegraded, rep.NodesKilled, rep.NodesRestarted)
+		fmt.Printf("  writes    %6d acked at quorum, %d refused below quorum, %d catch-up revivals\n",
+			rep.ClusterWrites, rep.ClusterWriteRefused, rep.ClusterCatchUps)
 	}
 	if len(rep.Violations) == 0 {
 		fmt.Println("  invariants: all held — zero violations")

@@ -12,6 +12,14 @@
 // clients (internal/client, cmd/sfcserve -remote) work against a router
 // unchanged. /topology reports the live ownership ledger.
 //
+// With -write-quorum W ≥ 1 the router also fronts the members' durable
+// write path: POST /put, /delete and /flush fan each write out to every
+// live replica of the owning segment and acknowledge once W members have
+// applied it durably; replicas that were dead are recorded as misses and
+// reconciled by anti-entropy catch-up before the prober revives them.
+// Members must have been started with -data. Without the flag the router
+// is read-only, exactly as before.
+//
 // Scatter legs upgrade to the binary wire protocol per member: with
 // -wire auto (the default) the router probes each member's /wireinfo at
 // startup and speaks binary (internal/wire) to members that advertise a
@@ -48,6 +56,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/query"
 	"repro/internal/server"
+	"repro/internal/store"
 	wiretext "repro/internal/wire/text"
 )
 
@@ -65,6 +74,7 @@ type config struct {
 	maxTimeout    time.Duration
 	drainTimeout  time.Duration
 	wireMode      string
+	writeQuorum   int
 }
 
 func main() {
@@ -82,6 +92,7 @@ func main() {
 	flag.DurationVar(&cfg.maxTimeout, "max-timeout", server.DefaultMaxTimeout, "cap on the per-request ?timeout parameter")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "how long a drain waits for inflight queries")
 	flag.StringVar(&cfg.wireMode, "wire", "auto", "scatter-leg transport: auto (binary when a member advertises /wireinfo, JSON otherwise) or json")
+	flag.IntVar(&cfg.writeQuorum, "write-quorum", 0, "replicas that must durably apply a write before it is acknowledged (0 = read-only router)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -127,24 +138,34 @@ func run(ctx context.Context, cfg config, ready func(addr string), w io.Writer) 
 			MaxBackoff:  50 * time.Millisecond,
 		})}
 		transports[i] = "json"
+		var nodeOpts []cluster.ClientNodeOption
 		if cfg.wireMode == "auto" {
 			// Per-node upgrade with per-node fallback: a member that does
 			// not advertise a wire listener (older build, flag unset) is
-			// spoken to over JSON; the rest get the binary transport.
+			// spoken to over JSON; the rest get the binary transport. A
+			// member advertising a wire listener WITHOUT the write
+			// capability (an older read-only-wire build) still upgrades its
+			// reads, but writes degrade gracefully to a JSON side client —
+			// sending it TPut frames would only get the connection dropped.
 			dctx, cancel := context.WithTimeout(ctx, 2*time.Second)
-			addr, err := client.New(nu).WireAddr(dctx)
+			info, found, err := client.New(nu).WireInfo(dctx)
 			cancel()
-			if err == nil && addr != "" {
-				opts = append(opts, client.WithTransport(&client.BinaryTransport{Addr: addr}))
-				transports[i] = "binary:" + addr
+			if err == nil && found && info.Addr != "" {
+				opts = append(opts, client.WithTransport(&client.BinaryTransport{Addr: info.Addr}))
+				transports[i] = "binary:" + info.Addr
+				if cfg.writeQuorum >= 1 && !info.Write {
+					nodeOpts = append(nodeOpts, cluster.WithNodeWriteClient(client.New(nu)))
+					transports[i] += "+json-writes"
+				}
 			}
 		}
-		nodes[i] = cluster.NewClientNode(client.New(nu, opts...))
+		nodes[i] = cluster.NewClientNode(client.New(nu, opts...), nodeOpts...)
 	}
 	reg := metrics.NewRegistry()
 	rt, err := cluster.NewRouter(topo, nodes,
 		cluster.WithNodeTimeout(cfg.nodeTimeout),
 		cluster.WithHedgeDelay(cfg.hedgeDelay),
+		cluster.WithWriteQuorum(cfg.writeQuorum),
 		cluster.WithRouterMetrics(reg))
 	if err != nil {
 		return err
@@ -154,6 +175,9 @@ func run(ctx context.Context, cfg config, ready func(addr string), w io.Writer) 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", h.handleQuery)
 	mux.HandleFunc("/scan", h.handleScan)
+	mux.HandleFunc("/put", h.handlePut)
+	mux.HandleFunc("/delete", h.handleDelete)
+	mux.HandleFunc("/flush", h.handleFlush)
 	mux.HandleFunc("/topology", h.handleTopology)
 	mux.HandleFunc("/metrics", h.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) { w.WriteHeader(http.StatusOK) })
@@ -163,8 +187,8 @@ func run(ctx context.Context, cfg config, ready func(addr string), w io.Writer) 
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "sfcrouter: routing curve=%s universe=%v nodes=%d replicas=%d transports=%s on %s\n",
-		c.Name(), u, len(urls), cfg.replicas, strings.Join(transports, ","), l.Addr())
+	fmt.Fprintf(w, "sfcrouter: routing curve=%s universe=%v nodes=%d replicas=%d write-quorum=%d transports=%s on %s\n",
+		c.Name(), u, len(urls), cfg.replicas, cfg.writeQuorum, strings.Join(transports, ","), l.Addr())
 	if ready != nil {
 		ready(l.Addr().String())
 	}
@@ -318,6 +342,84 @@ func (h *routerHTTP) serve(w http.ResponseWriter, r *http.Request, do func(conte
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(out)
+}
+
+// handlePut routes one durable insert through the cluster's write fan-out.
+func (h *routerHTTP) handlePut(w http.ResponseWriter, r *http.Request) {
+	h.serveWrite(w, r, h.rt.Put)
+}
+
+// handleDelete routes one durable delete.
+func (h *routerHTTP) handleDelete(w http.ResponseWriter, r *http.Request) {
+	h.serveWrite(w, r, h.rt.Delete)
+}
+
+// serveWrite runs one routed write in sfcserved's /put wire format, so a
+// client pointed at the router instead of a single daemon keeps working;
+// the response additionally reports the replica fan-out (acked, required,
+// missed).
+func (h *routerHTTP) serveWrite(w http.ResponseWriter, r *http.Request, do func(context.Context, store.Record) (cluster.WriteResult, error)) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		h.fail(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	if h.draining.Load() {
+		h.fail(w, http.StatusServiceUnavailable, errors.New("router draining"))
+		return
+	}
+	var req server.WriteRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		h.fail(w, http.StatusBadRequest, fmt.Errorf("body: %w", err))
+		return
+	}
+	res, err := do(r.Context(), store.Record{Point: req.Point, Payload: req.Payload})
+	if err != nil {
+		h.failWrite(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(server.WriteResponse{
+		OK: true, Acked: res.Acked, Required: res.Required, Missed: res.Missed,
+	})
+}
+
+// handleFlush asks every live member to persist its memtables.
+func (h *routerHTTP) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		h.fail(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	if h.draining.Load() {
+		h.fail(w, http.StatusServiceUnavailable, errors.New("router draining"))
+		return
+	}
+	if err := h.rt.Flush(r.Context()); err != nil {
+		h.failWrite(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(server.WriteResponse{OK: true})
+}
+
+// failWrite maps a routed-write failure onto the daemon's status-code
+// contract: 403 read-only, 503 quorum unreachable (retryable — replicas may
+// revive), 504 deadline, 400 everything else.
+func (h *routerHTTP) failWrite(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, cluster.ErrRouterReadOnly):
+		h.fail(w, http.StatusForbidden, err)
+	case errors.Is(err, cluster.ErrWriteQuorum):
+		w.Header().Set("Retry-After", "1")
+		h.fail(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		h.fail(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, context.Canceled):
+		h.fail(w, 499, err)
+	default:
+		h.fail(w, http.StatusBadRequest, err)
+	}
 }
 
 // topologyResponse is the /topology body: the per-node ownership snapshot

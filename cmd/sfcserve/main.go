@@ -13,7 +13,9 @@
 // shed rate into a nonzero exit for CI gates. -transport selects the
 // JSON/HTTP transport, the binary wire transport (the daemon must run with
 // -wire-addr), or "both" — an A/B replay of the identical trace over each
-// that prints the binary-vs-JSON speedup.
+// that prints the binary-vs-JSON speedup. -writes N additionally replays N
+// puts per selected transport against a durable daemon (-data) and records
+// the write-throughput A/B.
 //
 // Usage:
 //
@@ -74,6 +76,7 @@ type config struct {
 	maxShed   float64
 	stream    bool
 	compress  bool
+	writes    int
 }
 
 func main() {
@@ -105,6 +108,7 @@ func main() {
 	flag.Float64Var(&cfg.maxShed, "maxshed", 1, "fail (exit nonzero) if the remote shed rate exceeds this fraction")
 	flag.BoolVar(&cfg.stream, "stream", false, "remote: also replay through the streaming surface, recording time-to-first-batch (binary transport)")
 	flag.BoolVar(&cfg.compress, "compress", false, "remote: with -stream, also replay with per-frame compression negotiated")
+	flag.IntVar(&cfg.writes, "writes", 0, "remote: also replay this many puts per selected transport (the daemon must run with -data)")
 	flag.Parse()
 	// -cachesize is the cold-cache dial: unlike -cache, an explicit 0 means
 	// "no cache at all", so every query pays the full decomposition + scan.
@@ -253,6 +257,7 @@ func (cfg config) public() map[string]any {
 		"box": cfg.boxSide, "seed": cfg.seed,
 		"transport": cfg.transport, "cache": cfg.cache,
 		"stream": cfg.stream, "compress": cfg.compress,
+		"writes": cfg.writes,
 	}
 }
 
@@ -455,6 +460,12 @@ func runRemote(cfg config, w io.Writer) error {
 		out["speedup"] = speedup
 	}
 
+	if cfg.writes > 0 {
+		if err := runRemoteWrites(ctx, cfg, u, cl, out, w); err != nil {
+			return err
+		}
+	}
+
 	if cfg.jsonPath != "" {
 		if err := writeJSON(cfg.jsonPath, out); err != nil {
 			return err
@@ -574,6 +585,133 @@ func replayRemote(ctx context.Context, cfg config, boxes []query.Box, cl *client
 		label, res.P50US, res.P99US, res.MaxUS, res.P50TTFBUS, res.P99TTFBUS, res.PeakRSSKB)
 	fmt.Fprintf(w, "[%s] throughput: %d served in %.3fs = %.0f queries/s\n",
 		label, res.Served, res.Elapsed, res.Throughput)
+	return res, nil
+}
+
+// writeResult is one put-replay's outcome: the write-throughput half of
+// the JSON-vs-binary A/B.
+type writeResult struct {
+	Puts       int     `json:"puts"`
+	Acked      int64   `json:"acked"`
+	Failed     int64   `json:"failed"` // shed or maybe-applied past the budget
+	Elapsed    float64 `json:"elapsed_sec"`
+	Throughput float64 `json:"throughput_wps"`
+	P50US      int64   `json:"p50_us"`
+	P99US      int64   `json:"p99_us"`
+	MaxUS      int64   `json:"max_us"`
+}
+
+// runRemoteWrites replays cfg.writes puts per selected transport against
+// the remote daemon and records the write-throughput sections. The daemon
+// must expose the durable write path (-data); payload namespaces are
+// disjoint per transport so the replays never collide.
+func runRemoteWrites(ctx context.Context, cfg config, u *grid.Universe, cl *client.Client, out map[string]any, w io.Writer) error {
+	info, found, err := cl.WireInfo(ctx)
+	if err != nil {
+		return fmt.Errorf("-writes: %w", err)
+	}
+	if found && !info.Write {
+		return fmt.Errorf("-writes: remote %s is read-only (start sfcserved with -data)", cfg.remote)
+	}
+	var jsonWr, binWr writeResult
+	if cfg.transport == "json" || cfg.transport == "both" {
+		wcl := client.New(cfg.remote)
+		defer wcl.Close()
+		jsonWr, err = replayRemoteWrites(ctx, cfg, u, wcl, "json+puts", 1<<41, w)
+		if err != nil {
+			return err
+		}
+		out["remote_writes"] = jsonWr
+	}
+	if cfg.transport == "binary" || cfg.transport == "both" {
+		addr, err := cl.WireAddr(ctx)
+		if err != nil {
+			return err
+		}
+		if addr == "" {
+			return fmt.Errorf("-writes: remote %s does not advertise a wire address (start sfcserved with -wire-addr)", cfg.remote)
+		}
+		wcl := client.New(cfg.remote, client.WithTransport(&client.BinaryTransport{Addr: addr}))
+		defer wcl.Close()
+		binWr, err = replayRemoteWrites(ctx, cfg, u, wcl, "binary+puts", 1<<42, w)
+		if err != nil {
+			return err
+		}
+		out["remote_binary_writes"] = binWr
+	}
+	if cfg.transport == "both" && jsonWr.Throughput > 0 {
+		speedup := binWr.Throughput / jsonWr.Throughput
+		fmt.Fprintf(w, "write speedup: %.2fx (binary vs JSON puts)\n", speedup)
+		out["write_speedup"] = speedup
+	}
+	return nil
+}
+
+// replayRemoteWrites drives cfg.writes puts at random points through cl
+// with cfg.clients concurrent writers. A put is never retried after it may
+// have left the client (it is not idempotent), so shed and maybe-applied
+// outcomes count as failed rather than fatal; any other error aborts.
+func replayRemoteWrites(ctx context.Context, cfg config, u *grid.Universe, cl *client.Client, label string, payloadBase uint64, w io.Writer) (writeResult, error) {
+	var lat samples
+	var acked, failed atomic.Int64
+	perClient := cfg.writes / cfg.clients
+	extra := cfg.writes % cfg.clients
+	var wg sync.WaitGroup
+	errc := make(chan error, cfg.clients)
+	start := time.Now()
+	for g := 0; g < cfg.clients; g++ {
+		n := perClient
+		if g < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(g, n int) {
+			defer wg.Done()
+			lr := rand.New(rand.NewSource(cfg.seed + int64(g)*104729))
+			for i := 0; i < n; i++ {
+				p := u.NewPoint()
+				for d := range p {
+					p[d] = uint32(lr.Intn(int(u.Side())))
+				}
+				rec := store.Record{Point: p, Payload: payloadBase + uint64(g)<<24 + uint64(i)}
+				t0 := time.Now()
+				ack, err := cl.Put(ctx, rec, client.WithTimeout(cfg.rtimeout))
+				var maybe *client.MaybeAppliedError
+				switch {
+				case err == nil && ack.OK:
+					lat.observe(time.Since(t0).Microseconds())
+					acked.Add(1)
+				case errors.Is(err, client.ErrOverloaded) || errors.As(err, &maybe):
+					failed.Add(1)
+				default:
+					errc <- fmt.Errorf("%s: put %d/%d: %w", label, g, i, err)
+					return
+				}
+			}
+			errc <- nil
+		}(g, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			return writeResult{}, err
+		}
+	}
+	res := writeResult{
+		Puts:       cfg.writes,
+		Acked:      acked.Load(),
+		Failed:     failed.Load(),
+		Elapsed:    elapsed.Seconds(),
+		Throughput: float64(acked.Load()) / elapsed.Seconds(),
+		P50US:      lat.quantile(0.50),
+		P99US:      lat.quantile(0.99),
+		MaxUS:      lat.max(),
+	}
+	fmt.Fprintf(w, "\n[%s] acked=%d failed=%d\n", label, res.Acked, res.Failed)
+	fmt.Fprintf(w, "[%s] latency: p50=%dus p99=%dus max=%dus\n", label, res.P50US, res.P99US, res.MaxUS)
+	fmt.Fprintf(w, "[%s] throughput: %d acked in %.3fs = %.0f puts/s\n", label, res.Acked, res.Elapsed, res.Throughput)
 	return res, nil
 }
 

@@ -91,6 +91,9 @@ type Report struct {
 	ClusterDegraded      int    // routed queries answered with dark intervals
 	NodesKilled          int    // cluster members SIGKILLed mid-replay
 	NodesRestarted       int    // cluster members restarted and revived
+	ClusterWrites        int    // routed puts/deletes acknowledged at quorum
+	ClusterWriteRefused  int    // routed writes correctly refused below quorum
+	ClusterCatchUps      int    // anti-entropy catch-up passes before revival
 	Violations           []Violation
 }
 

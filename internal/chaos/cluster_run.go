@@ -25,9 +25,11 @@ import (
 )
 
 // The cluster campaign is the only over-the-wire substrate: each run starts
-// N real sfcserved processes in cluster mode, fronts them with an
-// in-process router, SIGKILLs and restarts members mid-replay, and checks
-// the distributed counterparts of the in-process invariants:
+// N real sfcserved processes in cluster mode (each on its own durable data
+// directory), fronts them with an in-process router carrying a write
+// quorum, SIGKILLs and restarts members mid-replay, interleaves routed
+// writes with the query replay, and checks the distributed counterparts of
+// the in-process invariants:
 //
 //	(a) record exactness — the records a routed query returns are exactly
 //	    the ground-truth content of the query's curve intervals minus the
@@ -39,11 +41,21 @@ import (
 //	(c) ownership conservation — after every kill is discovered, the
 //	    router's FailParts ledger still tiles the curve exactly, dead
 //	    members own nothing, and the router's liveness view agrees with
-//	    the harness's.
+//	    the harness's;
+//	(d) write durability — a routed write succeeds exactly when the owning
+//	    segment has ≥ W live replicas, and once acknowledged at quorum W
+//	    it is never lost: ground truth absorbs every acked put/delete, so
+//	    the record-exactness check re-proves all of them after every kill,
+//	    restart, and anti-entropy catch-up;
+//	(e) catch-up revival — a restarted member (same data directory, WAL
+//	    recovery, new port) is revived only after anti-entropy reconciles
+//	    the writes it missed while dead.
 //
 // Ground truth costs nothing to establish: the daemon seeds itself from
 // SyntheticRecords(universe, seed, n), a pure function the campaign calls
-// too, so both sides agree on the record set without data on the wire.
+// too, so both sides agree on the seed set without data on the wire; the
+// campaign's own writes (payloads ≥ 2^40, disjoint from the synthetic
+// 0..n-1) mutate the oracle as they are acknowledged.
 
 // clusterNodeTimeout bounds one member request during the campaign; local
 // loopback scans over a few hundred records finish in microseconds, so this
@@ -85,6 +97,15 @@ func clusterRun(cfg Config, run int, rng *rand.Rand, rep *Report) error {
 	// Ground truth: the same pure function the daemons seed from.
 	truth := newGroundTruth(c, SyntheticRecords(u, seed, records))
 
+	// Each member owns a durable data directory that survives its kills:
+	// a restart recovers the WAL state it had at SIGKILL, and anti-entropy
+	// owes it only the writes routed while it was down.
+	dataRoot, err := os.MkdirTemp("", "sfcchaos-cluster-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dataRoot)
+
 	h := &clusterHarness{
 		bin: cfg.ServerBin,
 		args: func(node int) []string {
@@ -95,6 +116,7 @@ func clusterRun(cfg Config, run int, rng *rand.Rand, rep *Report) error {
 				"-seed", fmt.Sprint(seed),
 				"-records", fmt.Sprint(records),
 				"-shards", "2",
+				"-data", filepath.Join(dataRoot, fmt.Sprintf("node-%d", node)),
 				"-cluster-nodes", fmt.Sprint(n),
 				"-cluster-node", fmt.Sprint(node),
 				"-cluster-replicas", fmt.Sprint(r),
@@ -117,9 +139,13 @@ func clusterRun(cfg Config, run int, rng *rand.Rand, rep *Report) error {
 	// (refused → ~12ms jittered backoff → refused): the router then learns
 	// of every kill from a completed error rather than a hedged race,
 	// which is what makes the post-discovery liveness check deterministic.
+	// The write quorum is drawn per run so both W=1 (ack from any replica)
+	// and W=R (ack only at full replication) shapes are exercised.
+	wq := 1 + rng.Intn(r)
 	rt, err := cluster.NewRouter(topo, nodes,
 		cluster.WithNodeTimeout(clusterNodeTimeout),
-		cluster.WithHedgeDelay(150*time.Millisecond))
+		cluster.WithHedgeDelay(150*time.Millisecond),
+		cluster.WithWriteQuorum(wq))
 	if err != nil {
 		return err
 	}
@@ -127,12 +153,13 @@ func clusterRun(cfg Config, run int, rng *rand.Rand, rep *Report) error {
 	// The replay: a healthy phase, two kill phases, two restart phases.
 	// Each phase runs a full-curve discovery scan (forcing the router to
 	// contact every owner, so kills become ledger entries), checks the
-	// ledger, then replays QueriesPerRun random boxes under the full
-	// invariant set.
-	ck := &clusterChecker{cfg: cfg, run: run, rep: rep, rt: rt, topo: topo, truth: truth, h: h}
+	// ledger, interleaves routed writes (mutating the oracle on each ack),
+	// then replays QueriesPerRun random boxes under the full invariant set.
+	ck := &clusterChecker{cfg: cfg, run: run, rep: rep, rt: rt, topo: topo, truth: truth, h: h, wq: wq}
 	phase := func(label string) {
 		ck.discover(label)
 		ck.ledger(label)
+		ck.writes(rng, label)
 		for q := 0; q < cfg.QueriesPerRun; q++ {
 			ck.query(rng, fmt.Sprintf("%s/q%d", label, q))
 		}
@@ -150,8 +177,19 @@ func clusterRun(cfg Config, run int, rng *rand.Rand, rep *Report) error {
 	rep.NodesKilled++
 	phase(fmt.Sprintf("kill%d", victim2))
 
-	// Restarts come back on fresh ports: swap the handle, then revive.
-	for _, victim := range []int{victim1, victim2} {
+	// Restarts come back on fresh ports over their original data
+	// directories: swap the handle, then let Probe drive the catch-up-gated
+	// revival — the member recovers its WAL, anti-entropy replays the
+	// writes it missed, and only then does it re-enter the read path.
+	//
+	// Revival runs in REVERSE kill order, and that ordering is load-bearing
+	// for W < R: a write acked while victim1 was dead may sit only on
+	// victim2's WAL (it acked alone at W=1). Reviving victim2 first brings
+	// that copy back, so victim1's catch-up always finds a live source
+	// holding every acknowledged write; reviving victim1 first would leave
+	// their shared segments sourceless — the write would stay invisible
+	// until victim2 returned, which the oracle would rightly flag.
+	for _, victim := range []int{victim2, victim1} {
 		p, err := h.start(victim)
 		if err != nil {
 			return fmt.Errorf("restarting node %d: %w", victim, err)
@@ -159,10 +197,23 @@ func clusterRun(cfg Config, run int, rng *rand.Rand, rep *Report) error {
 		if err := rt.SetNode(victim, clientNodeFor(p.addr)); err != nil {
 			return err
 		}
-		if err := rt.Revive(victim); err != nil {
-			return err
+		revived := false
+		for attempt := 0; attempt < 3 && !revived; attempt++ {
+			for _, rv := range rt.Probe(h.ctx()) {
+				if rv == victim {
+					revived = true
+				}
+			}
+		}
+		if !revived {
+			ck.violate("cluster-catchup", "restart%d: probe did not revive the member after catch-up", victim)
+			// Force the ledger back in sync so later phases still check.
+			if err := rt.Revive(victim); err != nil {
+				return err
+			}
 		}
 		rep.NodesRestarted++
+		rep.ClusterCatchUps++
 		phase(fmt.Sprintf("restart%d", victim))
 	}
 
@@ -221,6 +272,40 @@ func (gt *groundTruth) expect(ivs, dark []query.Interval) []store.Record {
 	return out
 }
 
+// add absorbs one acknowledged put, keeping (key, payload) order.
+func (gt *groundTruth) add(c curve.Curve, rec store.Record) {
+	key := c.Index(rec.Point)
+	i := sort.Search(len(gt.keys), func(i int) bool {
+		if gt.keys[i] != key {
+			return gt.keys[i] > key
+		}
+		return gt.recs[i].Payload >= rec.Payload
+	})
+	gt.keys = append(gt.keys, 0)
+	copy(gt.keys[i+1:], gt.keys[i:])
+	gt.keys[i] = key
+	gt.recs = append(gt.recs, store.Record{})
+	copy(gt.recs[i+1:], gt.recs[i:])
+	gt.recs[i] = rec
+}
+
+// remove absorbs one acknowledged delete: every instance of (key, payload)
+// goes, matching the daemon's delete semantics.
+func (gt *groundTruth) remove(c curve.Curve, rec store.Record) {
+	key := c.Index(rec.Point)
+	keys := gt.keys[:0]
+	recs := gt.recs[:0]
+	for i, k := range gt.keys {
+		if k == key && gt.recs[i].Payload == rec.Payload {
+			continue
+		}
+		keys = append(keys, k)
+		recs = append(recs, gt.recs[i])
+	}
+	gt.keys = keys
+	gt.recs = recs
+}
+
 // clusterChecker runs the per-phase invariant checks and collects failures.
 type clusterChecker struct {
 	cfg   Config
@@ -230,6 +315,10 @@ type clusterChecker struct {
 	topo  *cluster.Topology
 	truth *groundTruth
 	h     *clusterHarness
+
+	wq    int            // the router's write quorum W
+	wseq  uint64         // next write payload (offset past 2^40)
+	acked []store.Record // routed puts acknowledged so far, delete candidates
 
 	failures []string
 }
@@ -272,6 +361,83 @@ func (ck *clusterChecker) ledger(label string) {
 	if err := ck.rt.Conserved(); err != nil {
 		ck.violate("cluster-conservation", "%s: %v", label, err)
 	}
+}
+
+// liveReplicaCount counts, from the harness's true liveness, the live
+// replicas of the segment owning key.
+func (ck *clusterChecker) liveReplicaCount(key uint64) int {
+	seg := ck.topo.Base().OwnerOfPosition(key)
+	live := 0
+	for _, rep := range ck.topo.ReplicaSet(seg) {
+		if ck.h.alive[rep] {
+			live++
+		}
+	}
+	return live
+}
+
+// writes interleaves routed writes with the replay and checks invariant
+// (d)'s acknowledgment half: a put or delete must succeed exactly when the
+// owning segment has ≥ W live replicas (the phase opens with a discovery
+// scan, so the router's view has settled to the harness's). Acknowledged
+// writes mutate the oracle; the phase's query replay then re-proves them
+// readable. Write payloads live at ≥ 2^40, disjoint from the synthetic
+// seed payloads 0..records-1.
+func (ck *clusterChecker) writes(rng *rand.Rand, label string) {
+	c := ck.topo.Curve()
+	u := c.Universe()
+	for i := 0; i < 8; i++ {
+		p := u.NewPoint()
+		for d := range p {
+			p[d] = rng.Uint32() % u.Side()
+		}
+		rec := store.Record{Point: p, Payload: 1<<40 + ck.wseq}
+		ck.wseq++
+		live := ck.liveReplicaCount(c.Index(p))
+		res, err := ck.rt.Put(ck.h.ctx(), rec)
+		switch {
+		case live >= ck.wq && err != nil:
+			ck.violate("cluster-write-quorum", "%s: put refused with %d live replicas ≥ W=%d: %v", label, live, ck.wq, err)
+		case live < ck.wq && err == nil:
+			ck.violate("cluster-write-quorum", "%s: put acked with %d live replicas < W=%d", label, live, ck.wq)
+		case err != nil:
+			if !errors.Is(err, cluster.ErrWriteQuorum) {
+				ck.violate("cluster-write-quorum", "%s: sub-quorum put failed with %v, want ErrWriteQuorum", label, err)
+			}
+			ck.rep.ClusterWriteRefused++
+		default:
+			if res.Acked < ck.wq {
+				ck.violate("cluster-write-quorum", "%s: put acked by %d replicas, quorum %d", label, res.Acked, ck.wq)
+			}
+			ck.truth.add(c, rec)
+			ck.acked = append(ck.acked, rec)
+			ck.rep.ClusterWrites++
+		}
+	}
+	// Delete a couple of earlier acknowledged writes (or seeds) with the
+	// same quorum contract.
+	for i := 0; i < 2 && len(ck.acked) > 0; i++ {
+		j := rng.Intn(len(ck.acked))
+		rec := ck.acked[j]
+		live := ck.liveReplicaCount(c.Index(rec.Point))
+		_, err := ck.rt.Delete(ck.h.ctx(), rec)
+		switch {
+		case live >= ck.wq && err != nil:
+			ck.violate("cluster-write-quorum", "%s: delete refused with %d live replicas ≥ W=%d: %v", label, live, ck.wq, err)
+		case live < ck.wq && err == nil:
+			ck.violate("cluster-write-quorum", "%s: delete acked with %d live replicas < W=%d", label, live, ck.wq)
+		case err != nil:
+			ck.rep.ClusterWriteRefused++
+		default:
+			ck.truth.remove(c, rec)
+			ck.acked = append(ck.acked[:j], ck.acked[j+1:]...)
+			ck.rep.ClusterWrites++
+		}
+	}
+	// An acknowledgment returns at quorum W; legs to the remaining live
+	// replicas are still completing. Let them settle before the replay
+	// reads through arbitrary replicas (loopback legs finish in ~1ms).
+	time.Sleep(150 * time.Millisecond)
 }
 
 // query replays one random box through the router and checks it.

@@ -152,6 +152,121 @@ func (t *BinaryTransport) ScanStream(ctx context.Context, ivs []query.Interval, 
 	return t.openStream(ctx, wire.TScan, payload)
 }
 
+// Put implements Transport: one TPut frame, answered by a TWriteAck.
+func (t *BinaryTransport) Put(ctx context.Context, rec store.Record, timeout time.Duration) (server.WriteResponse, error) {
+	return t.doWrite(ctx, wire.TPut, rec, timeout)
+}
+
+// Delete implements Transport: one TDelete frame, answered by a TWriteAck.
+func (t *BinaryTransport) Delete(ctx context.Context, rec store.Record, timeout time.Duration) (server.WriteResponse, error) {
+	return t.doWrite(ctx, wire.TDelete, rec, timeout)
+}
+
+// Flush implements Transport: one TFlush frame, answered by a TWriteAck.
+func (t *BinaryTransport) Flush(ctx context.Context, timeout time.Duration) (server.WriteResponse, error) {
+	eff, err := effectiveTimeout(ctx, timeout)
+	if err != nil {
+		return server.WriteResponse{}, err
+	}
+	payload, err := wire.AppendFlushRequest(nil, wire.FlushRequest{Timeout: eff})
+	if err != nil {
+		return server.WriteResponse{}, err
+	}
+	return t.roundTripWrite(ctx, wire.TFlush, payload)
+}
+
+// doWrite encodes and round-trips one TPut/TDelete request.
+func (t *BinaryTransport) doWrite(ctx context.Context, ftype uint8, rec store.Record, timeout time.Duration) (server.WriteResponse, error) {
+	eff, err := effectiveTimeout(ctx, timeout)
+	if err != nil {
+		return server.WriteResponse{}, err
+	}
+	payload, err := wire.AppendWriteRequest(nil, wire.WriteRequest{Point: rec.Point, Payload: rec.Payload, Timeout: eff})
+	if err != nil {
+		return server.WriteResponse{}, err
+	}
+	return t.roundTripWrite(ctx, ftype, payload)
+}
+
+// roundTripWrite sends one write frame and waits for its TWriteAck,
+// classifying failures by whether the frame can have reached the server:
+// dial failures and dead-before-send connections stay plainly retryable,
+// while any failure after the frame hit the socket — connection death,
+// context expiry — is a *MaybeAppliedError. A server answering with a
+// TError decides the classification itself: refusal codes it sends before
+// touching state (shed, draining, read-only) are the server marking the
+// attempt safe to repeat or terminal; deadline and internal failures are
+// maybe-applied.
+func (t *BinaryTransport) roundTripWrite(ctx context.Context, ftype uint8, payload []byte) (server.WriteResponse, error) {
+	bc, err := t.conn(ctx)
+	if err != nil {
+		return server.WriteResponse{}, err
+	}
+	pr, sent, err := bc.sendClassified(ftype, payload)
+	if err != nil {
+		if sent {
+			return server.WriteResponse{}, maybeApplied(err)
+		}
+		return server.WriteResponse{}, err
+	}
+	defer pr.cancel()
+	f, err := pr.wait(ctx, bc)
+	if err != nil {
+		// The frame left the client; a dead connection or an expired
+		// context no longer proves the server did not apply it.
+		var re *RetryableError
+		if errors.As(err, &re) {
+			err = re.Err
+		}
+		return server.WriteResponse{}, maybeApplied(err)
+	}
+	switch f.Type {
+	case wire.TWriteAck:
+		ack, err := wire.DecodeWriteAckPayload(f.Payload)
+		if err != nil {
+			bc.fail(err)
+			return server.WriteResponse{}, maybeApplied(err)
+		}
+		return server.WriteResponse{OK: true, Acked: ack.Acked, Required: ack.Required}, nil
+	case wire.TError:
+		return server.WriteResponse{}, writeErrorFromFrame(bc, f)
+	default:
+		err := fmt.Errorf("client: unexpected frame type 0x%02x answering write", f.Type)
+		bc.fail(err)
+		return server.WriteResponse{}, maybeApplied(err)
+	}
+}
+
+// writeErrorFromFrame maps a write-answering TError to the client's error
+// vocabulary. Unlike errorFromFrame, ambiguity matters here: only codes
+// the server guarantees were raised before touching the WAL may come back
+// retryable.
+func writeErrorFromFrame(bc *binConn, f wire.Frame) error {
+	e, err := wire.DecodeErrorPayload(f.Payload)
+	if err != nil {
+		bc.fail(err)
+		return maybeApplied(err)
+	}
+	var hint time.Duration = -1
+	if e.RetryAfterSec >= 0 {
+		hint = time.Duration(e.RetryAfterSec) * time.Second
+	}
+	switch e.Code {
+	case wire.CodeOverloaded:
+		return &RetryableError{RetryAfter: hint, Err: fmt.Errorf("%w: %s", ErrOverloaded, e.Msg)}
+	case wire.CodeUnavailable:
+		return &RetryableError{RetryAfter: hint, Err: fmt.Errorf("%w: %s", ErrUnavailable, e.Msg)}
+	case wire.CodeReadOnly:
+		return fmt.Errorf("%w: %s", ErrReadOnly, e.Msg)
+	case wire.CodeBadRequest:
+		return fmt.Errorf("client: server rejected write: %s", e.Msg)
+	case wire.CodeDeadline:
+		return maybeApplied(fmt.Errorf("client: server deadline exceeded: %s", e.Msg))
+	default:
+		return maybeApplied(fmt.Errorf("client: server error: %s", e.Msg))
+	}
+}
+
 // Ping round-trips a TPing frame, reporting the daemon's readiness over
 // the binary listener.
 func (t *BinaryTransport) Ping(ctx context.Context) (bool, error) {
@@ -403,8 +518,18 @@ func (bc *binConn) readLoop() {
 // Write failures retire the connection and are retryable — the request
 // may not have reached the server, and reads are idempotent.
 func (bc *binConn) send(ftype uint8, payload []byte) (*pendingReq, error) {
+	pr, _, err := bc.sendClassified(ftype, payload)
+	return pr, err
+}
+
+// sendClassified is send with the information write callers need: sent
+// reports whether the frame write was attempted on the socket — false
+// means the request provably never left this process, true with an error
+// means its fate is unknown. The error itself is retryable either way; the
+// write path upgrades sent-but-failed attempts to *MaybeAppliedError.
+func (bc *binConn) sendClassified(ftype uint8, payload []byte) (pr *pendingReq, sent bool, err error) {
 	id := bc.nextID.Add(1)
-	pr := &pendingReq{
+	pr = &pendingReq{
 		id:   id,
 		bc:   bc,
 		ch:   make(chan wire.Frame, 32),
@@ -423,7 +548,7 @@ func (bc *binConn) send(ftype uint8, payload []byte) (*pendingReq, error) {
 	if bc.err != nil {
 		err := bc.err
 		bc.mu.Unlock()
-		return nil, retryable(err)
+		return nil, false, retryable(err)
 	}
 	bc.pending[id] = pr
 	bc.mu.Unlock()
@@ -435,9 +560,9 @@ func (bc *binConn) send(ftype uint8, payload []byte) (*pendingReq, error) {
 	if werr != nil {
 		bc.fail(fmt.Errorf("client: wire write: %w", werr))
 		pr.cancel()
-		return nil, retryable(werr)
+		return nil, true, retryable(werr)
 	}
-	return pr, nil
+	return pr, true, nil
 }
 
 // wait blocks for the request's next response frame.

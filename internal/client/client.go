@@ -15,7 +15,6 @@ package client
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -317,30 +316,12 @@ func (c *Client) Readyz(ctx context.Context) (bool, error) {
 
 // WireAddr asks the daemon for its advertised binary-protocol listener
 // (GET /wireinfo). It returns "" without error when the daemon does not
-// serve the binary protocol — the caller falls back to JSON.
+// serve the binary protocol — the caller falls back to JSON. WireInfo
+// (write.go) returns the full advertisement, write capability included.
 func (c *Client) WireAddr(ctx context.Context) (string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/wireinfo", nil)
-	if err != nil {
-		return "", fmt.Errorf("client: %w", err)
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
+	info, found, err := c.WireInfo(ctx)
+	if err != nil || !found {
 		return "", err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 4096))
-	if err != nil {
-		return "", fmt.Errorf("client: %w", err)
-	}
-	if resp.StatusCode == http.StatusNotFound {
-		return "", nil
-	}
-	if resp.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("client: /wireinfo returned %d", resp.StatusCode)
-	}
-	var info server.WireInfo
-	if err := json.Unmarshal(body, &info); err != nil {
-		return "", fmt.Errorf("client: decoding /wireinfo: %w", err)
 	}
 	return info.Addr, nil
 }

@@ -1,11 +1,13 @@
 package client
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -14,6 +16,7 @@ import (
 
 	"repro/internal/query"
 	"repro/internal/server"
+	"repro/internal/store"
 	wiretext "repro/internal/wire/text"
 )
 
@@ -27,10 +30,13 @@ var ErrResponseTooLarge = errors.New("client: response too large")
 // than this should stream over the binary transport instead of buffering.
 const DefaultMaxResponseBytes = int64(1) << 30
 
-// Transport performs single attempts of the daemon's read RPCs. Each
-// method issues exactly one request — the Client layers the bounded retry
-// loop on top, so a Transport reports a retryable failure by returning a
-// *RetryableError and a terminal one by returning any other error.
+// Transport performs single attempts of the daemon's RPCs. Each method
+// issues exactly one request — the Client layers the bounded retry loop on
+// top, so a Transport reports a retryable failure by returning a
+// *RetryableError and a terminal one by returning any other error. Write
+// attempts add a third class: a *MaybeAppliedError reports a failure after
+// the request may have reached the server — the Client repeats those only
+// for idempotent operations, never for Put.
 type Transport interface {
 	// Query performs one attempt of a box query. timeout > 0 is the
 	// server-side deadline to request; ctx bounds the attempt client-side.
@@ -44,6 +50,15 @@ type Transport interface {
 	// QueryStream opens one attempt of a streaming box query, with the
 	// same acceptance/retry split as ScanStream.
 	QueryStream(ctx context.Context, b query.Box, timeout time.Duration) (*Stream, error)
+	// Put performs one attempt of a durable record insert. Failures after
+	// the request may have left the client are *MaybeAppliedError, never
+	// plain retryable — puts are not idempotent.
+	Put(ctx context.Context, rec store.Record, timeout time.Duration) (server.WriteResponse, error)
+	// Delete performs one attempt of a durable record delete, with the
+	// same classification contract as Put.
+	Delete(ctx context.Context, rec store.Record, timeout time.Duration) (server.WriteResponse, error)
+	// Flush performs one attempt of a full-daemon memtable flush.
+	Flush(ctx context.Context, timeout time.Duration) (server.WriteResponse, error)
 	// Close releases the transport's persistent resources.
 	Close() error
 }
@@ -136,6 +151,109 @@ func (t *JSONTransport) QueryStream(ctx context.Context, b query.Box, timeout ti
 		return nil, err
 	}
 	return newBufferedStream(resp), nil
+}
+
+// Put implements Transport: POST /put.
+func (t *JSONTransport) Put(ctx context.Context, rec store.Record, timeout time.Duration) (server.WriteResponse, error) {
+	return t.postWrite(ctx, "/put", &server.WriteRequest{Point: rec.Point, Payload: rec.Payload}, timeout)
+}
+
+// Delete implements Transport: POST /delete.
+func (t *JSONTransport) Delete(ctx context.Context, rec store.Record, timeout time.Duration) (server.WriteResponse, error) {
+	return t.postWrite(ctx, "/delete", &server.WriteRequest{Point: rec.Point, Payload: rec.Payload}, timeout)
+}
+
+// Flush implements Transport: POST /flush.
+func (t *JSONTransport) Flush(ctx context.Context, timeout time.Duration) (server.WriteResponse, error) {
+	return t.postWrite(ctx, "/flush", nil, timeout)
+}
+
+// postWrite runs one write attempt, classifying failures by whether the
+// request can have reached the daemon's write path: a dial-phase failure
+// or a pre-application refusal (429 shed, 503 draining — both answered
+// before the service touches the WAL) is retryable; a transport failure
+// after the request left, or a server-side deadline, is *MaybeAppliedError
+// — the WAL may already hold the write. The HTTP write endpoints take no
+// ?timeout parameter, so the requested server-side deadline is enforced
+// client-side instead.
+func (t *JSONTransport) postWrite(ctx context.Context, path string, body *server.WriteRequest, timeout time.Duration) (server.WriteResponse, error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return server.WriteResponse{}, fmt.Errorf("client: %w", err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, strings.TrimRight(t.Base, "/")+path, rd)
+	if err != nil {
+		return server.WriteResponse{}, fmt.Errorf("client: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.hc().Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			// The caller's deadline (or the requested timeout) ended the
+			// attempt; whether the server applied the write is unknowable.
+			return server.WriteResponse{}, maybeApplied(fmt.Errorf("client: %w", ctx.Err()))
+		}
+		if isDialError(err) {
+			// The connection was never established; nothing reached the
+			// server.
+			return server.WriteResponse{}, retryable(err)
+		}
+		return server.WriteResponse{}, maybeApplied(err)
+	}
+	limit := t.maxBody()
+	rbody, readErr := io.ReadAll(io.LimitReader(resp.Body, limit+1))
+	resp.Body.Close()
+	if int64(len(rbody)) > limit {
+		return server.WriteResponse{}, fmt.Errorf("%w: body exceeds %d bytes (status %d)", ErrResponseTooLarge, limit, resp.StatusCode)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if readErr != nil {
+			// The server answered 200 — the write applied — but the body
+			// broke; report success-shaped data loss as a terminal error
+			// rather than tempting a duplicate-producing retry.
+			return server.WriteResponse{}, fmt.Errorf("client: write acknowledged but response truncated after %d bytes (not retried): %w", len(rbody), readErr)
+		}
+		var out server.WriteResponse
+		if err := json.Unmarshal(rbody, &out); err != nil {
+			return server.WriteResponse{}, fmt.Errorf("client: decoding response: %w", err)
+		}
+		return out, nil
+	case http.StatusTooManyRequests:
+		return server.WriteResponse{}, &RetryableError{
+			RetryAfter: retryAfterHint(resp),
+			Err:        fmt.Errorf("%w: %s", ErrOverloaded, errorBody(rbody)),
+		}
+	case http.StatusServiceUnavailable:
+		return server.WriteResponse{}, &RetryableError{
+			RetryAfter: retryAfterHint(resp),
+			Err:        fmt.Errorf("%w: %s", ErrUnavailable, errorBody(rbody)),
+		}
+	case http.StatusForbidden:
+		return server.WriteResponse{}, fmt.Errorf("%w: %s", ErrReadOnly, errorBody(rbody))
+	case http.StatusGatewayTimeout:
+		// The deadline expired server-side, possibly mid-WAL-sync.
+		return server.WriteResponse{}, maybeApplied(fmt.Errorf("client: server deadline exceeded: %s", errorBody(rbody)))
+	default:
+		return server.WriteResponse{}, fmt.Errorf("client: server returned %d: %s", resp.StatusCode, errorBody(rbody))
+	}
+}
+
+// isDialError reports whether err failed before a connection existed —
+// the one transport-failure class where a write attempt provably never
+// reached the server.
+func isDialError(err error) bool {
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
 }
 
 // Close implements Transport; the http.Client may be shared, so nothing is

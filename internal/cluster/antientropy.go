@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// CatchUpStats summarizes one anti-entropy pass over a node's held ranges.
+type CatchUpStats struct {
+	// Segments counts the segments the node holds a replica of; Synced of
+	// those matched a live source's digest without repair, Repaired needed
+	// records moved.
+	Segments, Synced, Repaired int
+	// PutsPushed and DeletesPushed count the write operations replayed onto
+	// the node to reconcile it.
+	PutsPushed, DeletesPushed int
+	// Skipped counts held segments with no live source replica to reconcile
+	// against; they are left as the node last saw them.
+	Skipped int
+}
+
+// CatchUp reconciles a (typically dead, restarting) node against the live
+// replicas of every segment it holds: for each held segment the first live
+// replica in routing preference order is the source of truth; the two sides
+// exchange order-independent range digests, and only on mismatch are the
+// segment's records scanned and diffed as multisets keyed on (curve index,
+// payload) — extra instances on the node are deleted, missing ones put, and
+// the digests re-checked. A node repaired by the pass is flushed so the
+// moved records are on-disk before the caller revives it. Segments with no
+// live source are skipped: the node's own data is the best copy there.
+//
+// The node's miss ledger is zeroed on success — after a verified catch-up
+// there is nothing outstanding to charge it with.
+func (rt *Router) CatchUp(ctx context.Context, node int) (CatchUpStats, error) {
+	var st CatchUpStats
+	if node < 0 || node >= rt.topo.Nodes() {
+		return st, fmt.Errorf("cluster: catch-up: node %d outside [0, %d)", node, rt.topo.Nodes())
+	}
+	h := rt.nodeHandle(node)
+	repairedAny := false
+	for seg := 0; seg < rt.topo.Nodes(); seg++ {
+		if !rt.topo.Holds(node, seg) {
+			continue
+		}
+		lo, hi := rt.topo.Segment(seg)
+		if lo >= hi {
+			continue
+		}
+		st.Segments++
+		ivs := []query.Interval{{Lo: lo, Hi: hi}}
+
+		// The source is the first live replica of the segment; the node
+		// under catch-up is dead in the view, so it never nominates itself.
+		rt.mu.Lock()
+		srcs := rt.view.LiveReplicas(seg)
+		rt.mu.Unlock()
+		src := -1
+		for _, s := range srcs {
+			if s != node {
+				src = s
+				break
+			}
+		}
+		if src < 0 {
+			st.Skipped++
+			continue
+		}
+		sh := rt.nodeHandle(src)
+
+		srcD, err := sh.Digest(ctx, ivs, rt.nodeTimeout)
+		if err != nil {
+			return st, fmt.Errorf("cluster: catch-up node %d: digesting segment %d on source %d: %w", node, seg, src, err)
+		}
+		dstD, err := h.Digest(ctx, ivs, rt.nodeTimeout)
+		if err != nil {
+			return st, fmt.Errorf("cluster: catch-up node %d: digesting segment %d: %w", node, seg, err)
+		}
+		if srcD.Count == dstD.Count && srcD.Sum == dstD.Sum {
+			st.Synced++
+			continue
+		}
+
+		puts, dels, err := rt.repairSegment(ctx, node, src, seg, ivs)
+		if err != nil {
+			return st, err
+		}
+		st.Repaired++
+		st.PutsPushed += puts
+		st.DeletesPushed += dels
+		repairedAny = true
+		rt.aeRepairs.Inc()
+
+		// Verify: the repaired range must now digest identically.
+		srcD, err = sh.Digest(ctx, ivs, rt.nodeTimeout)
+		if err != nil {
+			return st, fmt.Errorf("cluster: catch-up node %d: re-digesting segment %d on source %d: %w", node, seg, src, err)
+		}
+		dstD, err = h.Digest(ctx, ivs, rt.nodeTimeout)
+		if err != nil {
+			return st, fmt.Errorf("cluster: catch-up node %d: re-digesting segment %d: %w", node, seg, err)
+		}
+		if srcD.Count != dstD.Count || srcD.Sum != dstD.Sum {
+			return st, fmt.Errorf("cluster: catch-up node %d: segment %d still divergent after repair (src %d/%#x, dst %d/%#x)",
+				node, seg, srcD.Count, srcD.Sum, dstD.Count, dstD.Sum)
+		}
+	}
+	if repairedAny {
+		if err := h.Flush(ctx, rt.nodeTimeout); err != nil {
+			return st, fmt.Errorf("cluster: catch-up node %d: flushing repairs: %w", node, err)
+		}
+	}
+	rt.mu.Lock()
+	rt.missedW[node] = 0
+	rt.mu.Unlock()
+	return st, nil
+}
+
+// repairSegment scans a divergent segment on both sides and replays the
+// multiset difference onto the node. Both scans must be complete — repairing
+// from a partial view would delete records the source merely failed to read.
+func (rt *Router) repairSegment(ctx context.Context, node, src, seg int, ivs []query.Interval) (puts, dels int, err error) {
+	h, sh := rt.nodeHandle(node), rt.nodeHandle(src)
+	srcRes, err := sh.Scan(ctx, ivs, rt.nodeTimeout)
+	if err != nil {
+		return 0, 0, fmt.Errorf("cluster: catch-up node %d: scanning segment %d on source %d: %w", node, seg, src, err)
+	}
+	if len(srcRes.Unavailable) > 0 {
+		return 0, 0, fmt.Errorf("cluster: catch-up node %d: source %d reported %d dark intervals in segment %d", node, src, len(srcRes.Unavailable), seg)
+	}
+	dstRes, err := h.Scan(ctx, ivs, rt.nodeTimeout)
+	if err != nil {
+		return 0, 0, fmt.Errorf("cluster: catch-up node %d: scanning segment %d: %w", node, seg, err)
+	}
+	if len(dstRes.Unavailable) > 0 {
+		return 0, 0, fmt.Errorf("cluster: catch-up node %d: %d dark intervals in its own segment %d", node, len(dstRes.Unavailable), seg)
+	}
+
+	// Multiset diff keyed on (curve index, payload). One record per key is
+	// kept to replay with — any instance will do, they are equal.
+	c := rt.topo.Curve()
+	type instKey struct {
+		key     uint64
+		payload uint64
+	}
+	srcN := map[instKey]int{}
+	dstN := map[instKey]int{}
+	sample := map[instKey]store.Record{}
+	for _, r := range srcRes.Records {
+		k := instKey{c.Index(r.Point), r.Payload}
+		srcN[k]++
+		sample[k] = r
+	}
+	for _, r := range dstRes.Records {
+		k := instKey{c.Index(r.Point), r.Payload}
+		dstN[k]++
+		sample[k] = r
+	}
+	push := func(rec store.Record, n int) error {
+		for i := 0; i < n; i++ {
+			if err := h.Put(ctx, rec, rt.nodeTimeout); err != nil {
+				return fmt.Errorf("cluster: catch-up node %d: replaying put in segment %d: %w", node, seg, err)
+			}
+			puts++
+		}
+		return nil
+	}
+	for k, want := range srcN {
+		have := dstN[k]
+		switch {
+		case have < want:
+			if err := push(sample[k], want-have); err != nil {
+				return puts, dels, err
+			}
+		case have > want:
+			// Delete removes EVERY instance of (point, payload), so take the
+			// node to zero and rebuild the source's count.
+			if err := h.Delete(ctx, sample[k], rt.nodeTimeout); err != nil {
+				return puts, dels, fmt.Errorf("cluster: catch-up node %d: replaying delete in segment %d: %w", node, seg, err)
+			}
+			dels++
+			if err := push(sample[k], want); err != nil {
+				return puts, dels, err
+			}
+		}
+	}
+	for k := range dstN {
+		if _, ok := srcN[k]; ok {
+			continue
+		}
+		// The node holds instances the source has none of: delete them all.
+		if err := h.Delete(ctx, sample[k], rt.nodeTimeout); err != nil {
+			return puts, dels, fmt.Errorf("cluster: catch-up node %d: replaying delete in segment %d: %w", node, seg, err)
+		}
+		dels++
+	}
+	return puts, dels, nil
+}

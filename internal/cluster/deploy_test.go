@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/curve"
 	"repro/internal/grid"
 	"repro/internal/query"
+	"repro/internal/service"
 	"repro/internal/store"
 )
 
@@ -229,13 +231,24 @@ func TestViewCascadeFuzz(t *testing.T) {
 
 // stubNode serves a held subset of a record set from an in-process store,
 // with switchable failure and injectable local dark ranges — the in-memory
-// stand-in for one sfcserved member.
+// stand-in for one sfcserved member. Writes mutate the record multiset and
+// rebuild the store, so routed writes become scan-visible exactly as on a
+// durable member.
 type stubNode struct {
+	mu   sync.Mutex // guards st and recs
 	st   *store.Store
+	recs []store.Record
 	c    curve.Curve
-	fail func() bool          // when non-nil and true, Scan errors
+	fail func() bool          // when non-nil and true, operations error
 	dark []query.Interval     // local ranges reported unavailable
 	slow func() time.Duration // when non-nil, delay before answering
+}
+
+// snapshot returns the current store under the lock.
+func (s *stubNode) snapshot() *store.Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st
 }
 
 func (s *stubNode) Scan(ctx context.Context, ivs []query.Interval, _ time.Duration) (store.ScanResult, error) {
@@ -249,7 +262,7 @@ func (s *stubNode) Scan(ctx context.Context, ivs []query.Interval, _ time.Durati
 			return store.ScanResult{}, ctx.Err()
 		}
 	}
-	res, err := s.st.Scan(ctx, ivs)
+	res, err := s.snapshot().Scan(ctx, ivs)
 	if err != nil {
 		return store.ScanResult{}, err
 	}
@@ -286,6 +299,66 @@ func (s *stubNode) Scan(ctx context.Context, ivs []query.Interval, _ time.Durati
 
 func (s *stubNode) Ready(context.Context) bool { return s.fail == nil || !s.fail() }
 
+// rebuild re-bulkloads the store from the mutated multiset; caller holds mu.
+func (s *stubNode) rebuild() error {
+	st, err := store.Bulkload(s.c, append([]store.Record(nil), s.recs...))
+	if err != nil {
+		return err
+	}
+	s.st = st
+	return nil
+}
+
+func (s *stubNode) Put(_ context.Context, rec store.Record, _ time.Duration) error {
+	if s.fail != nil && s.fail() {
+		return errors.New("stub: node down")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recs = append(s.recs, rec)
+	return s.rebuild()
+}
+
+func (s *stubNode) Delete(_ context.Context, rec store.Record, _ time.Duration) error {
+	if s.fail != nil && s.fail() {
+		return errors.New("stub: node down")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := s.c.Index(rec.Point)
+	out := make([]store.Record, 0, len(s.recs))
+	for _, r := range s.recs {
+		if r.Payload == rec.Payload && s.c.Index(r.Point) == key {
+			continue
+		}
+		out = append(out, r)
+	}
+	s.recs = out
+	return s.rebuild()
+}
+
+func (s *stubNode) Flush(context.Context, time.Duration) error {
+	if s.fail != nil && s.fail() {
+		return errors.New("stub: node down")
+	}
+	return nil
+}
+
+func (s *stubNode) Digest(ctx context.Context, ivs []query.Interval, _ time.Duration) (service.RangeDigest, error) {
+	if s.fail != nil && s.fail() {
+		return service.RangeDigest{}, errors.New("stub: node down")
+	}
+	res, err := s.snapshot().Scan(ctx, ivs)
+	if err != nil {
+		return service.RangeDigest{}, err
+	}
+	var d service.RangeDigest
+	for _, r := range res.Records {
+		d.Fold(s.c.Index(r.Point), r.Payload)
+	}
+	return d, nil
+}
+
 // buildStubCluster bulkloads each node's held subset of recs into its own
 // store — the same placement the daemon applies in cluster mode.
 func buildStubCluster(t *testing.T, topo *Topology, recs []store.Record) []*stubNode {
@@ -303,7 +376,7 @@ func buildStubCluster(t *testing.T, topo *Topology, recs []store.Record) []*stub
 		if err != nil {
 			t.Fatal(err)
 		}
-		stubs[i] = &stubNode{st: st, c: c}
+		stubs[i] = &stubNode{st: st, recs: held, c: c}
 	}
 	return stubs
 }

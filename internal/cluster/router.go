@@ -16,11 +16,22 @@ import (
 )
 
 // Node is the router's handle on one cluster member: an interval scan with
-// a per-request deadline, and a readiness probe. Over the wire it is a
-// ClientNode; tests substitute in-process fakes.
+// a per-request deadline, a readiness probe, the durable write operations,
+// and the anti-entropy range digest. Over the wire it is a ClientNode;
+// tests substitute in-process fakes.
 type Node interface {
 	Scan(ctx context.Context, ivs []query.Interval, timeout time.Duration) (store.ScanResult, error)
 	Ready(ctx context.Context) bool
+	// Put durably inserts rec on the member; nil means the member's WAL
+	// holds the write.
+	Put(ctx context.Context, rec store.Record, timeout time.Duration) error
+	// Delete durably removes every stored instance equal to rec.
+	Delete(ctx context.Context, rec store.Record, timeout time.Duration) error
+	// Flush persists the member's memtables to on-disk runs.
+	Flush(ctx context.Context, timeout time.Duration) error
+	// Digest summarizes the records the member holds in ivs for
+	// anti-entropy comparison.
+	Digest(ctx context.Context, ivs []query.Interval, timeout time.Duration) (service.RangeDigest, error)
 }
 
 // Result is the outcome of one routed query, mirroring service.Result
@@ -60,11 +71,13 @@ type Router struct {
 	topo  *Topology
 	nodes []Node
 
-	mu   sync.Mutex // guards view and nodes
-	view *View
+	mu      sync.Mutex // guards view, nodes, and missedW
+	view    *View
+	missedW []int64 // per-node writes acked without that replica
 
 	nodeTimeout time.Duration
 	hedgeDelay  time.Duration
+	writeQuorum int // 0 = read-only router
 
 	reg        *metrics.Registry
 	qTotal     *metrics.Counter
@@ -75,6 +88,10 @@ type Router struct {
 	revivals   *metrics.Counter
 	darkIvs    *metrics.Counter
 	nodeErrors *metrics.Counter
+	wTotal     *metrics.Counter
+	wDegraded  *metrics.Counter
+	wMisses    *metrics.Counter
+	aeRepairs  *metrics.Counter
 }
 
 // RouterOption configures NewRouter.
@@ -95,6 +112,17 @@ func WithHedgeDelay(d time.Duration) RouterOption {
 // WithRouterMetrics records into reg instead of a fresh registry.
 func WithRouterMetrics(reg *metrics.Registry) RouterOption {
 	return func(rt *Router) { rt.reg = reg }
+}
+
+// WithWriteQuorum makes the router writable: a routed Put or Delete fans out
+// to every live replica of the owning segment and is acknowledged once w
+// replicas have durably applied it. w must satisfy 1 ≤ w ≤ R. The default, 0,
+// leaves the router read-only — Put, Delete and Flush refuse with
+// ErrRouterReadOnly and the read path behaves exactly as before (in
+// particular, Probe revives ready nodes without anti-entropy catch-up, since
+// a read-only cluster's members can never diverge).
+func WithWriteQuorum(w int) RouterOption {
+	return func(rt *Router) { rt.writeQuorum = w }
 }
 
 // NewRouter builds a router over the topology's nodes; nodes[i] must be the
@@ -126,6 +154,10 @@ func NewRouter(topo *Topology, nodes []Node, opts ...RouterOption) (*Router, err
 	if rt.hedgeDelay < 0 {
 		return nil, fmt.Errorf("cluster: negative hedge delay %v", rt.hedgeDelay)
 	}
+	if rt.writeQuorum < 0 || rt.writeQuorum > topo.Replicas() {
+		return nil, fmt.Errorf("cluster: write quorum %d outside [0, %d replicas]", rt.writeQuorum, topo.Replicas())
+	}
+	rt.missedW = make([]int64, topo.Nodes())
 	if rt.reg == nil {
 		rt.reg = metrics.NewRegistry()
 	}
@@ -137,6 +169,10 @@ func NewRouter(topo *Topology, nodes []Node, opts ...RouterOption) (*Router, err
 	rt.revivals = rt.reg.Counter("router.node_revivals")
 	rt.darkIvs = rt.reg.Counter("router.dark_intervals")
 	rt.nodeErrors = rt.reg.Counter("router.node_errors")
+	rt.wTotal = rt.reg.Counter("router.writes")
+	rt.wDegraded = rt.reg.Counter("router.writes_degraded")
+	rt.wMisses = rt.reg.Counter("router.write_misses")
+	rt.aeRepairs = rt.reg.Counter("router.antientropy_repairs")
 	return rt, nil
 }
 
@@ -501,7 +537,11 @@ func (rt *Router) SetNode(i int, n Node) error {
 }
 
 // Probe asks every dead node whether it is ready again and revives the ones
-// that answer. Returns the nodes revived.
+// that answer. On a writable router (write quorum ≥ 1) a ready node must
+// first pass anti-entropy catch-up — its held ranges are reconciled against
+// the live replicas so writes it missed while dead are replayed onto it —
+// before it re-enters the read path; a node whose catch-up fails stays dead
+// until the next probe. Returns the nodes revived.
 func (rt *Router) Probe(ctx context.Context) []int {
 	rt.mu.Lock()
 	var deadNodes []int
@@ -518,10 +558,16 @@ func (rt *Router) Probe(ctx context.Context) []int {
 
 	var revived []int
 	for i, n := range deadNodes {
-		if handles[i].Ready(ctx) {
-			if err := rt.Revive(n); err == nil {
-				revived = append(revived, n)
+		if !handles[i].Ready(ctx) {
+			continue
+		}
+		if rt.writeQuorum >= 1 {
+			if _, err := rt.CatchUp(ctx, n); err != nil {
+				continue // still divergent: stays dead, retried next probe
 			}
+		}
+		if err := rt.Revive(n); err == nil {
+			revived = append(revived, n)
 		}
 	}
 	return revived
@@ -549,6 +595,9 @@ type NodeStatus struct {
 	Home     query.Interval   `json:"home"`     // base segment
 	Replicas []int            `json:"replicas"` // replica set of the home segment
 	Held     []query.Interval `json:"held"`     // ranges stored on the node
+	// MissedWrites counts routed writes acknowledged without this replica
+	// (it was dead or its leg failed); anti-entropy catch-up zeroes it.
+	MissedWrites int64 `json:"missed_writes,omitempty"`
 }
 
 // Snapshot returns the per-node topology view the /topology endpoint and
@@ -560,11 +609,12 @@ func (rt *Router) Snapshot() []NodeStatus {
 	for j := range out {
 		hlo, hhi := rt.topo.Segment(j)
 		st := NodeStatus{
-			Node:     j,
-			Alive:    rt.view.Alive(j),
-			Home:     query.Interval{Lo: hlo, Hi: hhi},
-			Replicas: rt.topo.ReplicaSet(j),
-			Held:     rt.topo.HeldRanges(j),
+			Node:         j,
+			Alive:        rt.view.Alive(j),
+			Home:         query.Interval{Lo: hlo, Hi: hhi},
+			Replicas:     rt.topo.ReplicaSet(j),
+			Held:         rt.topo.HeldRanges(j),
+			MissedWrites: rt.missedW[j],
 		}
 		if cur := rt.view.Current(); cur != nil {
 			lo, hi := cur.Segment(j)

@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/store"
+)
+
+// ErrRouterReadOnly is the sentinel wrapped by write refusals on a router
+// built without WithWriteQuorum; test with errors.Is.
+var ErrRouterReadOnly = errors.New("cluster: router is read-only (no write quorum configured)")
+
+// ErrWriteQuorum is the sentinel wrapped by writes that could not reach
+// their quorum: fewer than W replicas of the owning segment acknowledged.
+// The write may still sit durably on the replicas that did acknowledge —
+// anti-entropy reconciles either way — but the router never reported it
+// committed, so the caller must not assume it readable.
+var ErrWriteQuorum = errors.New("cluster: write quorum not reached")
+
+// WriteResult is the outcome of one routed write.
+type WriteResult struct {
+	// Acked counts the replicas that had durably applied the write when the
+	// router acknowledged; at least Required on success. Stragglers that
+	// complete after the quorum acknowledgment are not waited for.
+	Acked int
+	// Required is the configured write quorum W.
+	Required int
+	// Missed counts the replicas of the owning segment that were believed
+	// dead when the write was routed; each is recorded in the per-node miss
+	// ledger that anti-entropy catch-up settles.
+	Missed int
+	// Nodes lists the replicas counted in Acked, in acknowledgment order.
+	Nodes []int
+}
+
+// Put routes one durable insert: the owning segment is the one whose curve
+// range covers rec's index, and the write fans out to every live replica of
+// that segment concurrently — not just W of them, so healthy replicas do not
+// silently diverge — acknowledging as soon as W replicas have applied it.
+// Replicas believed dead are skipped and recorded as misses for anti-entropy
+// to settle; a live replica whose leg fails is marked dead with the same
+// error classification as the read path. Fewer than W live replicas fails
+// fast with ErrWriteQuorum before any leg is attempted.
+func (rt *Router) Put(ctx context.Context, rec store.Record) (WriteResult, error) {
+	return rt.writeRecord(ctx, rec, func(n Node, ctx context.Context) error {
+		return n.Put(ctx, rec, rt.nodeTimeout)
+	})
+}
+
+// Delete routes one durable delete of every stored instance equal to rec
+// (same point, same payload), with Put's fan-out and quorum semantics.
+func (rt *Router) Delete(ctx context.Context, rec store.Record) (WriteResult, error) {
+	return rt.writeRecord(ctx, rec, func(n Node, ctx context.Context) error {
+		return n.Delete(ctx, rec, rt.nodeTimeout)
+	})
+}
+
+// Flush asks every live node to persist its memtables to on-disk runs. All
+// live nodes must succeed; nodes believed dead are skipped (their WAL makes
+// them no less durable, and catch-up flushes them before revival).
+func (rt *Router) Flush(ctx context.Context) error {
+	if rt.writeQuorum < 1 {
+		return fmt.Errorf("cluster: flush: %w", ErrRouterReadOnly)
+	}
+	rt.mu.Lock()
+	var live []int
+	for i := 0; i < rt.topo.Nodes(); i++ {
+		if rt.view.Alive(i) {
+			live = append(live, i)
+		}
+	}
+	rt.mu.Unlock()
+	for _, n := range live {
+		fctx, cancel := context.WithTimeout(ctx, rt.nodeTimeout)
+		err := rt.nodeHandle(n).Flush(fctx, rt.nodeTimeout)
+		cancel()
+		if err != nil {
+			if ctx.Err() == nil && !errors.Is(err, context.Canceled) {
+				rt.nodeErrors.Inc()
+				rt.MarkDead(n)
+			}
+			return fmt.Errorf("cluster: flushing node %d: %w", n, err)
+		}
+	}
+	return nil
+}
+
+// writeRecord fans one write out to the owning segment's replicas.
+func (rt *Router) writeRecord(ctx context.Context, rec store.Record, apply func(n Node, ctx context.Context) error) (WriteResult, error) {
+	if rt.writeQuorum < 1 {
+		return WriteResult{}, fmt.Errorf("cluster: write: %w", ErrRouterReadOnly)
+	}
+	c := rt.topo.Curve()
+	if u := c.Universe(); !u.Contains(rec.Point) {
+		return WriteResult{}, fmt.Errorf("cluster: write: point %v outside universe %v", rec.Point, u)
+	}
+	rt.wTotal.Inc()
+	seg := rt.topo.Base().OwnerOfPosition(c.Index(rec.Point))
+	replicas := rt.topo.ReplicaSet(seg)
+
+	// Snapshot liveness once: the legs launch against this view, and the
+	// replicas dead in it are this write's misses.
+	rt.mu.Lock()
+	var live, dead []int
+	for _, n := range replicas {
+		if rt.view.Alive(n) {
+			live = append(live, n)
+		} else {
+			dead = append(dead, n)
+		}
+	}
+	rt.mu.Unlock()
+
+	required := rt.writeQuorum
+	res := WriteResult{Required: required, Missed: len(dead)}
+	if len(live) < required {
+		return res, fmt.Errorf("cluster: write: %w: %d of %d replicas of segment %d live, quorum %d",
+			ErrWriteQuorum, len(live), len(replicas), seg, required)
+	}
+
+	// Every leg runs on a context detached from the caller's cancellation:
+	// once W replicas acknowledge, the router returns, but the remaining
+	// replicas must still finish applying (or be recorded as misses) —
+	// canceling them would manufacture divergence on healthy nodes.
+	type legOut struct {
+		node int
+		err  error
+	}
+	outc := make(chan legOut, len(live))
+	for _, n := range live {
+		n := n
+		h := rt.nodeHandle(n)
+		go func() {
+			lctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), rt.nodeTimeout)
+			defer cancel()
+			err := apply(h, lctx)
+			if err != nil && ctx.Err() == nil && !errors.Is(err, context.Canceled) {
+				rt.nodeErrors.Inc()
+				rt.MarkDead(n)
+				rt.recordMiss(n)
+			}
+			outc <- legOut{node: n, err: err}
+		}()
+	}
+
+	var lastErr error
+	for done := 0; done < len(live); done++ {
+		select {
+		case o := <-outc:
+			if o.err != nil {
+				lastErr = o.err
+				continue
+			}
+			res.Acked++
+			res.Nodes = append(res.Nodes, o.node)
+			if res.Acked >= required {
+				for _, d := range dead {
+					rt.recordMiss(d)
+				}
+				if res.Missed > 0 || res.Acked < len(live) {
+					rt.wDegraded.Inc()
+				}
+				return res, nil
+			}
+		case <-ctx.Done():
+			return res, fmt.Errorf("cluster: write: %w (acked %d of %d)", ctx.Err(), res.Acked, required)
+		}
+	}
+	return res, fmt.Errorf("cluster: write: %w: %d of %d required acks on segment %d: %w",
+		ErrWriteQuorum, res.Acked, required, seg, lastErr)
+}
+
+// recordMiss charges node with one write it did not apply.
+func (rt *Router) recordMiss(node int) {
+	rt.wMisses.Inc()
+	rt.mu.Lock()
+	rt.missedW[node]++
+	rt.mu.Unlock()
+}
+
+// MissedWrites returns node i's outstanding miss count.
+func (rt *Router) MissedWrites(i int) int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if i < 0 || i >= len(rt.missedW) {
+		return 0
+	}
+	return rt.missedW[i]
+}
+
+// WriteQuorum returns the configured quorum W (0 = read-only router).
+func (rt *Router) WriteQuorum() int { return rt.writeQuorum }

@@ -1,0 +1,372 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// countOf counts the instances of rec in the stub's multiset.
+func (s *stubNode) countOf(rec store.Record) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := s.c.Index(rec.Point)
+	n := 0
+	for _, r := range s.recs {
+		if r.Payload == rec.Payload && s.c.Index(r.Point) == key {
+			n++
+		}
+	}
+	return n
+}
+
+// TestRouterReadOnlyByDefault: a router built without WithWriteQuorum refuses
+// every write with ErrRouterReadOnly — the PR-8 read-only surface survives
+// the API extension byte for byte.
+func TestRouterReadOnlyByDefault(t *testing.T) {
+	c := testCurve(t, 3)
+	topo, err := NewTopology(c, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRouter(topo, nodesOf(buildStubCluster(t, topo, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := store.Record{Point: c.Universe().NewPoint(), Payload: 7}
+	if _, err := rt.Put(context.Background(), rec); !errors.Is(err, ErrRouterReadOnly) {
+		t.Fatalf("Put on read-only router: %v, want ErrRouterReadOnly", err)
+	}
+	if _, err := rt.Delete(context.Background(), rec); !errors.Is(err, ErrRouterReadOnly) {
+		t.Fatalf("Delete on read-only router: %v, want ErrRouterReadOnly", err)
+	}
+	if err := rt.Flush(context.Background()); !errors.Is(err, ErrRouterReadOnly) {
+		t.Fatalf("Flush on read-only router: %v, want ErrRouterReadOnly", err)
+	}
+	if w := rt.WriteQuorum(); w != 0 {
+		t.Fatalf("WriteQuorum = %d, want 0", w)
+	}
+}
+
+// TestRouterWriteQuorumBounds: the quorum is confined to 0 ≤ W ≤ R.
+func TestRouterWriteQuorumBounds(t *testing.T) {
+	c := testCurve(t, 3)
+	topo, err := NewTopology(c, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{-1, 3} {
+		if _, err := NewRouter(topo, nodesOf(buildStubCluster(t, topo, nil)), WithWriteQuorum(w)); err == nil {
+			t.Fatalf("write quorum %d accepted with R=2", w)
+		}
+	}
+}
+
+// TestRouterWriteQuorumReadable is the satellite property test: whenever a
+// routed write acknowledges at quorum W, the record is immediately readable
+// from at least W replicas of its owning segment (the acknowledged ones),
+// and a write routed while fewer than W replicas are live fails with
+// ErrWriteQuorum without corrupting the view. Deletes hold the mirrored
+// property: every acknowledged replica has dropped the record.
+func TestRouterWriteQuorumReadable(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c := testCurve(t, 3)
+		u := c.Universe()
+		const nodes = 5
+		replicas := 1 + rng.Intn(3)
+		w := 1 + rng.Intn(replicas)
+		topo, err := NewTopology(c, nodes, replicas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stubs := buildStubCluster(t, topo, distinctRecords(rng, u, 20))
+		rt, err := NewRouter(topo, nodesOf(stubs), WithWriteQuorum(w), WithHedgeDelay(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Kill a random strict subset of the nodes.
+		for _, n := range rng.Perm(nodes)[:rng.Intn(nodes)] {
+			if err := rt.MarkDead(n); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		var acked []store.Record
+		for i := 0; i < 30; i++ {
+			p := u.NewPoint()
+			u.FromLinear(uint64(rng.Intn(int(u.N()))), p)
+			rec := store.Record{Point: p, Payload: 1000 + uint64(i)}
+			seg := topo.Base().OwnerOfPosition(c.Index(rec.Point))
+			live := 0
+			for _, n := range topo.ReplicaSet(seg) {
+				if rt.Alive(n) {
+					live++
+				}
+			}
+			res, err := rt.Put(context.Background(), rec)
+			if live < w {
+				if !errors.Is(err, ErrWriteQuorum) {
+					t.Fatalf("seed %d: put with %d live < W=%d: err = %v, want ErrWriteQuorum", seed, live, w, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("seed %d: put: %v", seed, err)
+			}
+			if res.Acked < w || len(res.Nodes) != res.Acked {
+				t.Fatalf("seed %d: put acked %d (nodes %v), quorum %d", seed, res.Acked, res.Nodes, w)
+			}
+			if res.Missed != len(topo.ReplicaSet(seg))-live {
+				t.Fatalf("seed %d: put missed %d, want %d", seed, res.Missed, len(topo.ReplicaSet(seg))-live)
+			}
+			for _, n := range res.Nodes {
+				if got := stubs[n].countOf(rec); got < 1 {
+					t.Fatalf("seed %d: acked replica %d does not hold %v", seed, n, rec)
+				}
+			}
+			acked = append(acked, rec)
+		}
+
+		// Delete a sample of the acknowledged writes: every acknowledged
+		// replica must have dropped the record.
+		for _, rec := range acked {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			res, err := rt.Delete(context.Background(), rec)
+			if err != nil {
+				if errors.Is(err, ErrWriteQuorum) {
+					continue
+				}
+				t.Fatalf("seed %d: delete: %v", seed, err)
+			}
+			for _, n := range res.Nodes {
+				if got := stubs[n].countOf(rec); got != 0 {
+					t.Fatalf("seed %d: acked replica %d still holds %d instances of deleted %v", seed, n, got, rec)
+				}
+			}
+		}
+
+		if err := rt.Conserved(); err != nil {
+			t.Fatalf("seed %d: after writes: %v", seed, err)
+		}
+	}
+}
+
+// TestRouterWriteReadYourWrites: with W = R every replica has applied before
+// the acknowledgment, so a routed scan immediately returns the written
+// records even after any single node death.
+func TestRouterWriteReadYourWrites(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	c := testCurve(t, 3)
+	u := c.Universe()
+	topo, err := NewTopology(c, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stubs := buildStubCluster(t, topo, nil)
+	rt, err := NewRouter(topo, nodesOf(stubs), WithWriteQuorum(2), WithHedgeDelay(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []store.Record
+	for i := 0; i < 40; i++ {
+		p := u.NewPoint()
+		u.FromLinear(uint64(rng.Intn(int(u.N()))), p)
+		rec := store.Record{Point: p, Payload: uint64(i)}
+		if _, err := rt.Put(context.Background(), rec); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		want = append(want, rec)
+	}
+	if err := rt.MarkDead(rng.Intn(4)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Scan(context.Background(), []query.Interval{{Lo: 0, Hi: u.N()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete() {
+		t.Fatalf("scan degraded after single death with R=2: dark %v", res.Unavailable)
+	}
+	if len(res.Records) != len(want) {
+		t.Fatalf("scan returned %d records, want %d", len(res.Records), len(want))
+	}
+	counts := map[[2]uint64]int{}
+	for _, r := range want {
+		counts[[2]uint64{c.Index(r.Point), r.Payload}]++
+	}
+	for _, r := range res.Records {
+		counts[[2]uint64{c.Index(r.Point), r.Payload}]--
+	}
+	for k, n := range counts {
+		if n != 0 {
+			t.Fatalf("multiset mismatch at %v: %+d", k, n)
+		}
+	}
+}
+
+// TestRouterCatchUp: a node that missed writes while dead is reconciled by
+// anti-entropy before Probe revives it — its held ranges digest identically
+// to the live copies, its miss ledger is zeroed, and records deleted while
+// it was down are gone from it too.
+func TestRouterCatchUp(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := testCurve(t, 3)
+	u := c.Universe()
+	topo, err := NewTopology(c, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := distinctRecords(rng, u, 24)
+	stubs := buildStubCluster(t, topo, seeds)
+	down := false
+	stubs[1].fail = func() bool { return down }
+	rt, err := NewRouter(topo, nodesOf(stubs), WithWriteQuorum(1), WithHedgeDelay(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	down = true
+	if err := rt.MarkDead(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Writes node 1 will miss: puts across the whole space, plus deletes of
+	// seeded records node 1 holds a replica of.
+	var written []store.Record
+	for i := 0; i < 30; i++ {
+		p := u.NewPoint()
+		u.FromLinear(uint64(rng.Intn(int(u.N()))), p)
+		rec := store.Record{Point: p, Payload: 5000 + uint64(i)}
+		if _, err := rt.Put(context.Background(), rec); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		written = append(written, rec)
+	}
+	var deleted []store.Record
+	for _, rec := range seeds {
+		if !topo.HoldsKey(1, c.Index(rec.Point)) || len(deleted) >= 4 {
+			continue
+		}
+		if _, err := rt.Delete(context.Background(), rec); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
+		deleted = append(deleted, rec)
+	}
+	if rt.MissedWrites(1) == 0 {
+		t.Fatal("no misses recorded for the dead replica")
+	}
+
+	// While still down, probing must not revive it.
+	if revived := rt.Probe(context.Background()); len(revived) != 0 {
+		t.Fatalf("probe revived %v while node 1 is down", revived)
+	}
+
+	down = false
+	revived := rt.Probe(context.Background())
+	if len(revived) != 1 || revived[0] != 1 {
+		t.Fatalf("probe revived %v, want [1]", revived)
+	}
+	if !rt.Alive(1) {
+		t.Fatal("node 1 not alive after catch-up probe")
+	}
+	if got := rt.MissedWrites(1); got != 0 {
+		t.Fatalf("miss ledger not settled: %d", got)
+	}
+	for _, rec := range written {
+		if !topo.HoldsKey(1, c.Index(rec.Point)) {
+			continue
+		}
+		if stubs[1].countOf(rec) != 1 {
+			t.Fatalf("caught-up node missing replayed write %v", rec)
+		}
+	}
+	for _, rec := range deleted {
+		if stubs[1].countOf(rec) != 0 {
+			t.Fatalf("caught-up node still holds deleted %v", rec)
+		}
+	}
+	// Held ranges digest identically to a live replica of each segment.
+	for seg := 0; seg < topo.Nodes(); seg++ {
+		if !topo.Holds(1, seg) {
+			continue
+		}
+		lo, hi := topo.Segment(seg)
+		ivs := []query.Interval{{Lo: lo, Hi: hi}}
+		var src *stubNode
+		for _, n := range topo.ReplicaSet(seg) {
+			if n != 1 {
+				src = stubs[n]
+				break
+			}
+		}
+		want, err := src.Digest(context.Background(), ivs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := stubs[1].Digest(context.Background(), ivs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Count != got.Count || want.Sum != got.Sum {
+			t.Fatalf("segment %d digests diverge after catch-up: src %d/%#x, node %d/%#x",
+				seg, want.Count, want.Sum, got.Count, got.Sum)
+		}
+	}
+}
+
+// TestRouterCatchUpStats: the pass reports which segments were synced versus
+// repaired, and a second pass over an already-consistent node repairs
+// nothing.
+func TestRouterCatchUpStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := testCurve(t, 3)
+	u := c.Universe()
+	topo, err := NewTopology(c, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stubs := buildStubCluster(t, topo, distinctRecords(rng, u, 16))
+	rt, err := NewRouter(topo, nodesOf(stubs), WithWriteQuorum(1), WithHedgeDelay(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.MarkDead(2); err != nil {
+		t.Fatal(err)
+	}
+	// One write into a range node 2 holds (FromLinear takes a row-major
+	// index, so the curve position must be recomputed from the point).
+	var rec store.Record
+	for lin := uint64(0); lin < u.N(); lin++ {
+		p := u.NewPoint()
+		u.FromLinear(lin, p)
+		if topo.HoldsKey(2, c.Index(p)) {
+			rec = store.Record{Point: p, Payload: 9999}
+			break
+		}
+	}
+	if _, err := rt.Put(context.Background(), rec); err != nil {
+		t.Fatal(err)
+	}
+	st, err := rt.CatchUp(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Segments != 2 || st.Repaired < 1 || st.PutsPushed < 1 {
+		t.Fatalf("first pass stats %+v, want 2 segments with ≥1 repaired put", st)
+	}
+	st, err = rt.CatchUp(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Repaired != 0 || st.Synced != st.Segments {
+		t.Fatalf("second pass stats %+v, want all synced", st)
+	}
+}

@@ -211,6 +211,7 @@ func New(svc *service.Service, opts ...Option) (*Server, error) {
 	s.mux.HandleFunc("/put", s.handleWrite((*service.Service).Put))
 	s.mux.HandleFunc("/delete", s.handleWrite((*service.Service).Delete))
 	s.mux.HandleFunc("/flush", s.handleFlush)
+	s.mux.HandleFunc("/digest", s.handleDigest)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
@@ -463,7 +464,7 @@ func FormatIntervals(ivs []query.Interval) string {
 // route it through the service's durable write path, acknowledge only after
 // the owning shard's WAL has synced it. On a read-only (in-memory) service
 // the endpoints answer 403.
-func (s *Server) handleWrite(op func(*service.Service, context.Context, store.Record) error) http.HandlerFunc {
+func (s *Server) handleWrite(op func(*service.Service, context.Context, store.Record, ...service.WriteOption) error) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.reqTotal.Inc()
 		if r.Method != http.MethodPost {
@@ -489,8 +490,89 @@ func (s *Server) handleWrite(op func(*service.Service, context.Context, store.Re
 		}
 		s.reqOK.Inc()
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(WriteResponse{OK: true})
+		json.NewEncoder(w).Encode(WriteResponse{OK: true, Acked: 1, Required: 1})
 	}
+}
+
+// handleDigest answers GET /digest?ivs=lo-hi,…[&timeout=250ms]: an
+// order-independent (count, checksum) summary of the records held in the
+// given curve intervals, the primitive anti-entropy compares across
+// replicas. A range the node cannot fully read answers 503 — a digest over
+// dark pages would report divergence that is really unavailability.
+func (s *Server) handleDigest(w http.ResponseWriter, r *http.Request) {
+	s.reqTotal.Inc()
+	if s.draining.Load() {
+		s.reqDraining.Inc()
+		s.writeError(w, http.StatusServiceUnavailable, "draining", true)
+		return
+	}
+	q := r.URL.Query()
+	ivs, err := ParseIntervals(q.Get("ivs"))
+	if err != nil {
+		s.reqBad.Inc()
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("ivs: %v", err), false)
+		return
+	}
+	timeout, err := s.parseTimeout(q.Get("timeout"))
+	if err != nil {
+		s.reqBad.Inc()
+		s.writeError(w, http.StatusBadRequest, err.Error(), false)
+		return
+	}
+	ctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	waited, err := s.lim.acquire(ctx)
+	s.queueWaitH.Observe(waited.Microseconds())
+	if err != nil {
+		switch {
+		case errors.Is(err, errShed):
+			s.reqShed.Inc()
+			s.writeError(w, http.StatusTooManyRequests, "overloaded: inflight limit reached within the queue-wait budget", true)
+		case errors.Is(err, context.DeadlineExceeded):
+			s.reqDeadline.Inc()
+			s.writeError(w, http.StatusGatewayTimeout, "deadline exceeded while queued for admission", false)
+		default: // client went away while queued; nobody is listening
+			s.reqCanceled.Inc()
+		}
+		return
+	}
+	s.inflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		s.lim.release()
+	}()
+
+	start := time.Now()
+	d, err := s.svc.Digest(ctx, ivs)
+	elapsed := time.Since(start)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.reqDeadline.Inc()
+			s.writeError(w, http.StatusGatewayTimeout, "deadline exceeded mid-digest", false)
+		case errors.Is(err, context.Canceled):
+			s.reqCanceled.Inc() // client disconnected; response goes nowhere
+		case errors.Is(err, service.ErrShuttingDown):
+			s.reqDraining.Inc()
+			s.writeError(w, http.StatusServiceUnavailable, "shutting down", true)
+		case errors.Is(err, service.ErrDigestUnavailable):
+			s.reqErrors.Inc()
+			s.writeError(w, http.StatusServiceUnavailable, err.Error(), true)
+		default:
+			s.reqBad.Inc()
+			s.writeError(w, http.StatusBadRequest, err.Error(), false)
+		}
+		return
+	}
+	s.latency.Observe(elapsed.Microseconds())
+	s.reqOK.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(toDigestResponse(d, elapsed.Microseconds()))
 }
 
 // handleFlush answers POST /flush: persist every shard's memtable into an
@@ -514,7 +596,7 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	}
 	s.reqOK.Inc()
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(WriteResponse{OK: true})
+	json.NewEncoder(w).Encode(WriteResponse{OK: true, Acked: 1, Required: 1})
 }
 
 // writeWriteError maps a write-path failure to its status code.

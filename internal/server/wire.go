@@ -1,6 +1,9 @@
 package server
 
 import (
+	"fmt"
+	"strconv"
+
 	"repro/internal/service"
 )
 
@@ -55,6 +58,11 @@ type WireInfo struct {
 	// Clients must not send the request flags byte to a daemon that did
 	// not advertise it.
 	Compress bool `json:"compress,omitempty"`
+	// Write reports that the listener accepts TPut/TDelete/TFlush frames —
+	// only durable (-data) daemons advertise it. A router probing a daemon
+	// without the capability must route writes through the HTTP /put form
+	// instead of sending frames the daemon will drop the connection over.
+	Write bool `json:"write,omitempty"`
 }
 
 // WriteRequest is the body of POST /put and POST /delete: one record,
@@ -66,9 +74,44 @@ type WriteRequest struct {
 
 // WriteResponse is the body of a successful /put, /delete or /flush
 // response. A put or delete is acknowledged only after the owning shard's
-// WAL has synced it.
+// WAL has synced it. A standalone daemon answers Acked=1, Required=1; a
+// router reports its replica fan-out — how many replicas applied the
+// write, the quorum it waited for, and how many known-dead replicas were
+// recorded as missed for anti-entropy to repair.
 type WriteResponse struct {
-	OK bool `json:"ok"`
+	OK       bool `json:"ok"`
+	Acked    int  `json:"acked,omitempty"`
+	Required int  `json:"required,omitempty"`
+	Missed   int  `json:"missed,omitempty"`
+}
+
+// DigestResponse is the body of GET /digest: the anti-entropy range
+// summary. Sum is rendered as a hex string because JSON numbers cannot
+// carry a full uint64 exactly.
+type DigestResponse struct {
+	Count      uint64 `json:"count"`
+	Sum        string `json:"sum"`
+	Generation uint64 `json:"generation"`
+	ElapsedUS  int64  `json:"elapsed_us"`
+}
+
+// Digest converts the wire form back to the service's digest shape.
+func (d DigestResponse) Digest() (service.RangeDigest, error) {
+	sum, err := strconv.ParseUint(d.Sum, 16, 64)
+	if err != nil {
+		return service.RangeDigest{}, fmt.Errorf("digest sum %q: %w", d.Sum, err)
+	}
+	return service.RangeDigest{Count: d.Count, Sum: sum, Generation: d.Generation}, nil
+}
+
+// toDigestResponse converts a service digest to its wire form.
+func toDigestResponse(d service.RangeDigest, elapsedUS int64) DigestResponse {
+	return DigestResponse{
+		Count:      d.Count,
+		Sum:        strconv.FormatUint(d.Sum, 16),
+		Generation: d.Generation,
+		ElapsedUS:  elapsedUS,
+	}
 }
 
 // toResponse converts a service result to its wire form.

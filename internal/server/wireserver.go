@@ -58,7 +58,12 @@ func (s *Server) AdvertiseWire(addr string) { s.wireAdvert.Store(addr) }
 
 // handleWireInfo answers GET /wireinfo: the advertised binary listener,
 // or 404 when the daemon does not serve the binary protocol. Compress
-// advertises per-frame deflate support; clients opt in per request.
+// advertises per-frame deflate support; clients opt in per request. Write
+// advertises the TPut/TDelete/TFlush frames, present only on durable
+// daemons — a router seeing write:false (or an old daemon that omits the
+// field entirely) must keep its writes on the HTTP endpoints. The frames
+// share the reads' flags-byte contract: unknown request flag bits are
+// hard-rejected as corrupt, never ignored.
 func (s *Server) handleWireInfo(w http.ResponseWriter, r *http.Request) {
 	addr, _ := s.wireAdvert.Load().(string)
 	if addr == "" {
@@ -66,7 +71,7 @@ func (s *Server) handleWireInfo(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(WireInfo{Addr: addr, Compress: true})
+	json.NewEncoder(w).Encode(WireInfo{Addr: addr, Compress: true, Write: s.svc.DurableMode()})
 }
 
 // wireWriter serializes whole-frame writes to one connection, so frames
@@ -223,6 +228,20 @@ func (s *Server) serveWireConn(c net.Conn) {
 				defer handlers.Done()
 				s.handleWireRequest(ctx, w, f)
 			}(f)
+		case wire.TPut, wire.TDelete, wire.TFlush:
+			s.reqTotal.Inc()
+			if s.draining.Load() {
+				s.reqDraining.Inc()
+				w.writeError(f.ID, wire.CodeUnavailable, int64(s.retryAfterSec), "draining")
+				continue
+			}
+			s.wireReqWG.Add(1)
+			handlers.Add(1)
+			go func(f wire.Frame) {
+				defer s.wireReqWG.Done()
+				defer handlers.Done()
+				s.handleWireWrite(ctx, w, f)
+			}(f)
 		default:
 			// A response-direction or unknown frame from a client is a
 			// protocol violation; drop the connection.
@@ -351,6 +370,116 @@ func (s *Server) handleWireRequest(connCtx context.Context, w *wireWriter, f wir
 	}
 	s.latency.Observe(elapsed.Microseconds())
 	s.reqOK.Inc()
+}
+
+// handleWireWrite runs one TPut/TDelete/TFlush through the same admission
+// control and deadline clamps as reads, applies it through the service's
+// durable write path, and answers with a TWriteAck — Acked=1, Required=1,
+// empty replica list: the standalone daemon is its own single replica, and
+// routers build the fan-out view themselves. Failure mapping mirrors
+// writeWriteError's HTTP statuses: read-only → CodeReadOnly (403),
+// drain/close → CodeUnavailable (503), deadline → CodeDeadline (504),
+// vanished client → silence, anything else → CodeBadRequest (400).
+func (s *Server) handleWireWrite(connCtx context.Context, w *wireWriter, f wire.Frame) {
+	var timeout time.Duration
+	var apply func(ctx context.Context) error
+	switch f.Type {
+	case wire.TPut, wire.TDelete:
+		req, err := wire.DecodeWriteRequest(f.Payload)
+		if err != nil {
+			s.reqBad.Inc()
+			w.writeError(f.ID, wire.CodeBadRequest, -1, err.Error())
+			return
+		}
+		timeout = req.Timeout
+		rec := store.Record{Point: req.Point, Payload: req.Payload}
+		if f.Type == wire.TPut {
+			apply = func(ctx context.Context) error { return s.svc.Put(ctx, rec) }
+		} else {
+			apply = func(ctx context.Context) error { return s.svc.Delete(ctx, rec) }
+		}
+	case wire.TFlush:
+		req, err := wire.DecodeFlushRequest(f.Payload)
+		if err != nil {
+			s.reqBad.Inc()
+			w.writeError(f.ID, wire.CodeBadRequest, -1, err.Error())
+			return
+		}
+		timeout = req.Timeout
+		apply = func(ctx context.Context) error { return s.svc.Flush(ctx) }
+	}
+
+	ctx := connCtx
+	if timeout = s.clampTimeout(timeout); timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	waited, err := s.lim.acquire(ctx)
+	s.queueWaitH.Observe(waited.Microseconds())
+	if err != nil {
+		switch {
+		case errors.Is(err, errShed):
+			s.reqShed.Inc()
+			w.writeError(f.ID, wire.CodeOverloaded, int64(s.retryAfterSec), "overloaded: inflight limit reached within the queue-wait budget")
+		case errors.Is(err, context.DeadlineExceeded):
+			s.reqDeadline.Inc()
+			w.writeError(f.ID, wire.CodeDeadline, -1, "deadline exceeded while queued for admission")
+		default: // connection went away while queued; nobody is listening
+			s.reqCanceled.Inc()
+		}
+		return
+	}
+	s.inflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		s.lim.release()
+	}()
+
+	start := time.Now()
+	if err := apply(ctx); err != nil {
+		s.failWireWrite(w, f.ID, err)
+		return
+	}
+	elapsed := time.Since(start)
+	p, err := wire.AppendWriteAckPayload(nil, wire.WriteAck{
+		Acked:     1,
+		Required:  1,
+		ElapsedUS: elapsed.Microseconds(),
+	})
+	if err != nil {
+		s.reqErrors.Inc()
+		w.writeError(f.ID, wire.CodeInternal, -1, err.Error())
+		return
+	}
+	if err := w.write(wire.Frame{Type: wire.TWriteAck, ID: f.ID, Payload: p}); err != nil {
+		s.reqErrors.Inc()
+		return
+	}
+	s.latency.Observe(elapsed.Microseconds())
+	s.reqOK.Inc()
+}
+
+// failWireWrite maps a write failure to its TError frame, the binary twin
+// of writeWriteError.
+func (s *Server) failWireWrite(w *wireWriter, id uint64, err error) {
+	switch {
+	case errors.Is(err, service.ErrReadOnly):
+		s.reqBad.Inc()
+		w.writeError(id, wire.CodeReadOnly, -1, "read-only: the daemon was started without -data")
+	case errors.Is(err, service.ErrShuttingDown), errors.Is(err, store.ErrClosed):
+		s.reqDraining.Inc()
+		w.writeError(id, wire.CodeUnavailable, int64(s.retryAfterSec), "shutting down")
+	case errors.Is(err, context.DeadlineExceeded):
+		s.reqDeadline.Inc()
+		w.writeError(id, wire.CodeDeadline, -1, "deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		s.reqCanceled.Inc() // connection closed; response goes nowhere
+	default:
+		s.reqErrors.Inc()
+		w.writeError(id, wire.CodeBadRequest, -1, err.Error())
+	}
 }
 
 // failWireRequest maps a stream-open or mid-stream failure to its TError

@@ -1,0 +1,74 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/query"
+)
+
+// ErrDigestUnavailable is returned (wrapped) by Digest when some requested
+// interval could not be fully read: a digest over a partially dark range
+// would compare unequal against a healthy replica for reasons that have
+// nothing to do with divergence, so the comparison is refused outright.
+var ErrDigestUnavailable = errors.New("service: digest over unavailable intervals")
+
+// RangeDigest summarizes the records held in a set of curve intervals for
+// anti-entropy comparison. Count and Sum are order-independent — two
+// replicas holding the same multiset of records over a range produce the
+// same (Count, Sum) regardless of memtable/run layout — so they are the
+// fields peers compare. Generation is node-local write progress (the sum
+// of the durable shards' last WAL sequence numbers) and is reported for
+// observability only; it is never compared across nodes.
+type RangeDigest struct {
+	// Count is the number of records in the range.
+	Count uint64
+	// Sum is a commutative checksum over the records' (curve key, payload)
+	// pairs.
+	Sum uint64
+	// Generation is the node's write progress when the digest was taken.
+	Generation uint64
+}
+
+// Fold mixes one record into the digest. Folding is commutative and
+// associative, so any scan order — or any partition of the range folded
+// separately and summed — yields the same digest.
+func (d *RangeDigest) Fold(key, payload uint64) {
+	d.Count++
+	d.Sum += mix64(key ^ mix64(payload))
+}
+
+// mix64 is the SplitMix64 finalizer: a cheap bijective scramble that makes
+// the commutative sum sensitive to which (key, payload) pairs are present,
+// not just to their XOR or count.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Digest scans ivs and folds every readable record into a RangeDigest. If
+// any part of the range is dark the digest fails with a wrapped
+// ErrDigestUnavailable — anti-entropy must not "repair" toward a replica
+// that cannot currently see its own data.
+func (s *Service) Digest(ctx context.Context, ivs []query.Interval) (RangeDigest, error) {
+	res, err := s.Scan(ctx, ivs)
+	if err != nil {
+		return RangeDigest{}, fmt.Errorf("service: digest: %w", err)
+	}
+	if !res.Complete() {
+		return RangeDigest{}, fmt.Errorf("service: digest: %d dark intervals: %w", len(res.Unavailable), ErrDigestUnavailable)
+	}
+	var d RangeDigest
+	for i := range res.Records {
+		d.Fold(s.c.Index(res.Records[i].Point), res.Records[i].Payload)
+	}
+	for _, dur := range s.durables {
+		d.Generation += dur.LastSeq()
+	}
+	return d, nil
+}

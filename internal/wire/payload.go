@@ -339,6 +339,11 @@ const (
 	CodeDeadline = 0x04
 	// CodeInternal: an unexpected server-side failure.
 	CodeInternal = 0x05
+	// CodeReadOnly: the daemon has no durable store, so writes are
+	// rejected before touching any state; do not retry against this node.
+	// Only ever sent in answer to write frames, which old clients never
+	// send — adding the code is compatibility-safe.
+	CodeReadOnly = 0x06
 )
 
 // NoRetryHint marks an ErrorFrame that carries no retry-after hint.
@@ -360,7 +365,7 @@ type ErrorFrame struct {
 // AppendErrorPayload appends e's encoding to dst.
 func AppendErrorPayload(dst []byte, e ErrorFrame) ([]byte, error) {
 	switch e.Code {
-	case CodeBadRequest, CodeOverloaded, CodeUnavailable, CodeDeadline, CodeInternal:
+	case CodeBadRequest, CodeOverloaded, CodeUnavailable, CodeDeadline, CodeInternal, CodeReadOnly:
 	default:
 		return nil, fmt.Errorf("wire: unknown error code 0x%02x", e.Code)
 	}
@@ -383,7 +388,7 @@ func DecodeErrorPayload(b []byte) (ErrorFrame, error) {
 	}
 	e := ErrorFrame{Code: b[0], RetryAfterSec: -1, Msg: string(b[5:])}
 	switch e.Code {
-	case CodeBadRequest, CodeOverloaded, CodeUnavailable, CodeDeadline, CodeInternal:
+	case CodeBadRequest, CodeOverloaded, CodeUnavailable, CodeDeadline, CodeInternal, CodeReadOnly:
 	default:
 		return ErrorFrame{}, fmt.Errorf("%w: unknown error code 0x%02x", ErrCorrupt, b[0])
 	}

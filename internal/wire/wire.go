@@ -30,8 +30,9 @@
 //
 // # Request/response state machine
 //
-// The client sends request frames (TQuery, TScan, TPing), each with a fresh
-// id. The server answers each id with exactly one of:
+// The client sends request frames (TQuery, TScan, TPing, TPut, TDelete,
+// TFlush), each with a fresh id. The server answers each id with exactly
+// one of:
 //
 //   - zero or more TBatch frames followed by one TTrailer (a scan stream:
 //     records in curve order, then dark intervals + pages read in the
@@ -39,7 +40,15 @@
 //   - one TError frame (typed code + optional retry-after hint), which may
 //     arrive even after TBatch frames — a mid-stream failure is reported,
 //     never a silently truncated body, or
-//   - one TPong (for TPing).
+//   - one TPong (for TPing), or
+//   - one TWriteAck (for TPut, TDelete, TFlush: replica outcome summary).
+//
+// Write frames (TPut, TDelete, TFlush) are accepted only by daemons that
+// advertise "write": true through GET /wireinfo — a read-only daemon
+// rejects them as unknown types and drops the connection, so a router
+// probing capabilities must fall back to the HTTP write endpoints. Like
+// reads, write requests carry an optional trailing flags byte; unknown flag
+// bits are hard-rejected as ErrCorrupt, never ignored.
 //
 // Frames of different ids interleave arbitrarily; frames of one id arrive
 // in order. A response stream is complete exactly when its TTrailer or
@@ -99,6 +108,13 @@ const (
 	TScan = 0x02
 	// TPing probes readiness: empty payload.
 	TPing = 0x03
+	// TPut asks to durably upsert one record: payload is a WriteRequest.
+	TPut = 0x04
+	// TDelete asks to durably delete every stored instance of a record
+	// (same point, same payload): payload is a WriteRequest.
+	TDelete = 0x05
+	// TFlush asks to persist all buffered writes: payload is a FlushRequest.
+	TFlush = 0x06
 
 	// TBatch carries one chunk of result records in curve order.
 	TBatch = 0x10
@@ -108,6 +124,8 @@ const (
 	TError = 0x12
 	// TPong answers TPing: payload is a Pong.
 	TPong = 0x13
+	// TWriteAck answers TPut/TDelete/TFlush: payload is a WriteAck.
+	TWriteAck = 0x14
 )
 
 // ErrTruncated reports a frame that ends past the end of the input — the
@@ -130,7 +148,8 @@ type Frame struct {
 // validType reports whether t is a known frame type.
 func validType(t uint8) bool {
 	switch t {
-	case TQuery, TScan, TPing, TBatch, TTrailer, TError, TPong:
+	case TQuery, TScan, TPing, TPut, TDelete, TFlush,
+		TBatch, TTrailer, TError, TPong, TWriteAck:
 		return true
 	}
 	return false

@@ -49,6 +49,24 @@ func sampleFrames(t *testing.T) []Frame {
 	ep := mustAppend(t)(AppendErrorPayload(nil, ErrorFrame{
 		Code: CodeOverloaded, RetryAfterSec: 1, Msg: "overloaded",
 	}))
+	wp := mustAppend(t)(AppendWriteRequest(nil, WriteRequest{
+		Point:   grid.Point{5, 6},
+		Payload: 42,
+		Timeout: 100 * time.Millisecond,
+	}))
+	dp := mustAppend(t)(AppendWriteRequest(nil, WriteRequest{
+		Point: grid.Point{9, 10, 11},
+	}))
+	fp := mustAppend(t)(AppendFlushRequest(nil, FlushRequest{Timeout: time.Second}))
+	ap := mustAppend(t)(AppendWriteAckPayload(nil, WriteAck{
+		Acked:     2,
+		Required:  2,
+		ElapsedUS: 310,
+		Replicas: []ReplicaOutcome{
+			{Node: 0, Code: 0},
+			{Node: 2, Code: CodeUnavailable},
+		},
+	}))
 	return []Frame{
 		{Type: TQuery, ID: 1, Payload: qp},
 		{Type: TScan, ID: 2, Payload: sp},
@@ -57,6 +75,10 @@ func sampleFrames(t *testing.T) []Frame {
 		{Type: TTrailer, ID: 5, Payload: tp},
 		{Type: TError, ID: 6, Payload: ep},
 		{Type: TPong, ID: 7, Payload: AppendPongPayload(nil, Pong{Ready: true})},
+		{Type: TPut, ID: 8, Payload: wp},
+		{Type: TDelete, ID: 9, Payload: dp},
+		{Type: TFlush, ID: 10, Payload: fp},
+		{Type: TWriteAck, ID: 11, Payload: ap},
 	}
 }
 
